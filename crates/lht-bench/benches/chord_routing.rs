@@ -1,0 +1,47 @@
+//! Chord substrate benchmarks: iterative routing cost across ring
+//! sizes, and churn + stabilization overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lht_dht::{ChordDht, Dht, DhtKey};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chord_get");
+    g.sample_size(20);
+    for n in [16usize, 64, 256] {
+        let dht: ChordDht<u64> = ChordDht::with_nodes(n, 99);
+        for i in 0..500u64 {
+            dht.put(&DhtKey::from(format!("warm:{i}").as_str()), i).unwrap();
+        }
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % 500;
+                black_box(
+                    dht.get(&DhtKey::from(format!("warm:{i}").as_str()))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chord_churn");
+    g.sample_size(10);
+    g.bench_function("join_stabilize_64", |b| {
+        let dht: ChordDht<u64> = ChordDht::with_nodes(64, 101);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let id = dht.join(&format!("churner:{i}")).expect("fresh name");
+            dht.stabilize(1);
+            dht.leave(&id);
+            dht.stabilize(1);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_churn);
+criterion_main!(benches);

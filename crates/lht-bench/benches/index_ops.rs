@@ -1,0 +1,77 @@
+//! End-to-end LHT operation benchmarks over the one-hop oracle
+//! substrate: wall-clock complements to the DHT-lookup counts the
+//! figure experiments report.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use lht_core::{KeyInterval, LeafBucket, LhtConfig, LhtIndex};
+use lht_dht::DirectDht;
+use lht_id::KeyFraction;
+use lht_workload::{Dataset, KeyDist, LookupGen, RangeQueryGen};
+
+fn populated(n: usize) -> DirectDht<LeafBucket<u64>> {
+    let dht = DirectDht::new();
+    let data = Dataset::generate(KeyDist::Uniform, n, 7);
+    let ix = LhtIndex::new(&dht, LhtConfig::default()).unwrap();
+    for (i, k) in data.iter().enumerate() {
+        ix.insert(k, i as u64).unwrap();
+    }
+    dht
+}
+
+fn bench_index_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lht");
+    g.sample_size(20);
+
+    let dht = populated(100_000);
+    let ix = LhtIndex::new(&dht, LhtConfig::default()).unwrap();
+
+    let mut probe = LookupGen::new(3);
+    g.bench_function("lookup/100k", |b| {
+        b.iter(|| black_box(ix.lookup(probe.next_key()).unwrap().cost))
+    });
+
+    let mut probe2 = LookupGen::new(5);
+    g.bench_function("exact_match/100k", |b| {
+        b.iter(|| black_box(ix.exact_match(probe2.next_key()).unwrap().cost))
+    });
+
+    let mut ranges = RangeQueryGen::new(0.01, 9);
+    g.bench_function("range_span0.01/100k", |b| {
+        b.iter(|| black_box(ix.range(ranges.next_range()).unwrap().cost))
+    });
+
+    g.bench_function("min/100k", |b| b.iter(|| black_box(ix.min().unwrap().cost)));
+
+    // Insert throughput including splits, on a fresh small index per
+    // batch so tree growth cost is included.
+    let data = Dataset::generate(KeyDist::Uniform, 2_000, 11);
+    g.bench_function("insert_2k_records", |b| {
+        b.iter_batched(
+            DirectDht::<LeafBucket<u64>>::new,
+            |dht| {
+                let ix = LhtIndex::new(&dht, LhtConfig::default()).unwrap();
+                for (i, k) in data.iter().enumerate() {
+                    ix.insert(k, i as u64).unwrap();
+                }
+                black_box(ix.stats().splits)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_range_full(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lht_range_wide");
+    g.sample_size(10);
+    let dht = populated(100_000);
+    let ix = LhtIndex::new(&dht, LhtConfig::default()).unwrap();
+    let q = KeyInterval::half_open(KeyFraction::from_f64(0.2), KeyFraction::from_f64(0.8));
+    g.bench_function("range_span0.6/100k", |b| {
+        b.iter(|| black_box(ix.range(q).unwrap().records.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_index_ops, bench_range_full);
+criterion_main!(benches);

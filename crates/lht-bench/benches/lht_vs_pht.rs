@@ -1,0 +1,93 @@
+//! Head-to-head wall-clock comparison of LHT and the PHT baseline on
+//! identical substrates and datasets.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use lht_core::{LeafBucket, LhtConfig, LhtIndex};
+use lht_dht::DirectDht;
+use lht_pht::{PhtIndex, PhtNode};
+use lht_workload::{Dataset, KeyDist, LookupGen, RangeQueryGen};
+
+const N: usize = 50_000;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert_5k");
+    g.sample_size(10);
+    let data = Dataset::generate(KeyDist::Uniform, 5_000, 13);
+    g.bench_function("lht", |b| {
+        b.iter_batched(
+            DirectDht::<LeafBucket<u64>>::new,
+            |dht| {
+                let ix = LhtIndex::new(&dht, LhtConfig::default()).unwrap();
+                for (i, k) in data.iter().enumerate() {
+                    ix.insert(k, i as u64).unwrap();
+                }
+                black_box(ix.stats().splits)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pht", |b| {
+        b.iter_batched(
+            DirectDht::<PhtNode<u64>>::new,
+            |dht| {
+                let ix = PhtIndex::new(&dht, LhtConfig::default()).unwrap();
+                for (i, k) in data.iter().enumerate() {
+                    ix.insert(k, i as u64).unwrap();
+                }
+                black_box(ix.stats().splits)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let data = Dataset::generate(KeyDist::Uniform, N, 13);
+    let lht_dht = DirectDht::new();
+    let lht = LhtIndex::new(&lht_dht, LhtConfig::default()).unwrap();
+    let pht_dht = DirectDht::new();
+    let pht = PhtIndex::new(&pht_dht, LhtConfig::default()).unwrap();
+    for (i, k) in data.iter().enumerate() {
+        lht.insert(k, i as u64).unwrap();
+        pht.insert(k, i as u64).unwrap();
+    }
+
+    let mut g = c.benchmark_group("lookup_50k");
+    g.sample_size(30);
+    let mut p1 = LookupGen::new(17);
+    g.bench_function("lht", |b| {
+        b.iter(|| black_box(lht.lookup(p1.next_key()).unwrap().cost))
+    });
+    let mut p2 = LookupGen::new(17);
+    g.bench_function("pht", |b| {
+        b.iter(|| black_box(pht.lookup(p2.next_key()).unwrap().cost))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("range_span0.05_50k");
+    g.sample_size(15);
+    let mut r1 = RangeQueryGen::new(0.05, 19);
+    g.bench_function("lht", |b| {
+        b.iter(|| black_box(lht.range(r1.next_range()).unwrap().records.len()))
+    });
+    let mut r2 = RangeQueryGen::new(0.05, 19);
+    g.bench_function("pht_sequential", |b| {
+        b.iter(|| {
+            black_box(
+                pht.range_sequential(r2.next_range())
+                    .unwrap()
+                    .records
+                    .len(),
+            )
+        })
+    });
+    let mut r3 = RangeQueryGen::new(0.05, 19);
+    g.bench_function("pht_parallel", |b| {
+        b.iter(|| black_box(pht.range_parallel(r3.next_range()).unwrap().records.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_queries);
+criterion_main!(benches);

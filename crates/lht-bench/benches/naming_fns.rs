@@ -1,0 +1,71 @@
+//! Micro-benchmarks for the pure label algebra at the heart of LHT:
+//! the naming function and its relatives are evaluated on every hop
+//! of every query, so they must be branch-cheap and allocation-free.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lht_core::naming::{left_neighbor, name, next_name, right_neighbor};
+use lht_core::Label;
+use lht_id::KeyFraction;
+
+fn labels() -> Vec<Label> {
+    // A spread of shapes: short/long, 0-runs and 1-runs.
+    [
+        "#0",
+        "#01",
+        "#0110",
+        "#01100",
+        "#0101011",
+        "#000000000000",
+        "#011111111111",
+        "#01010101010101010101",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect()
+}
+
+fn bench_naming(c: &mut Criterion) {
+    let ls = labels();
+    c.bench_function("naming/f_n", |b| {
+        b.iter(|| {
+            for l in &ls {
+                black_box(name(black_box(l)));
+            }
+        })
+    });
+    c.bench_function("naming/f_rn_f_ln", |b| {
+        b.iter(|| {
+            for l in &ls {
+                black_box(right_neighbor(black_box(l)));
+                black_box(left_neighbor(black_box(l)));
+            }
+        })
+    });
+    let mu = Label::search_string(KeyFraction::from_f64(0.9), 20);
+    c.bench_function("naming/f_nn", |b| {
+        b.iter(|| {
+            for len in 1..10 {
+                let x = mu.prefix(len);
+                black_box(next_name(black_box(&x), black_box(&mu)));
+            }
+        })
+    });
+    c.bench_function("naming/search_string", |b| {
+        b.iter(|| {
+            black_box(Label::search_string(
+                black_box(KeyFraction::from_f64(0.123456)),
+                20,
+            ))
+        })
+    });
+    c.bench_function("naming/interval", |b| {
+        b.iter(|| {
+            for l in &ls {
+                black_box(l.interval());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_naming);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Figure 6 — average α.
+//!
+//! §9.2: data is continuously inserted into LHT and the average α
+//! (moved fraction of `θ_split` per split, averaged over all splits
+//! of the tree's growth) is recorded, (a) against data size for
+//! `θ_split ∈ {40, 160}` and (b) against `θ_split`. The paper's
+//! closed form for uniform data is `ᾱ = ½ + 1/(2·θ_split)`.
+
+use lht_core::LhtConfig;
+use lht_workload::{summary, KeyDist};
+
+use super::GrowthRun;
+
+/// One point of Fig. 6a: data size → average α (mean over trials).
+#[derive(Clone, Copy, Debug)]
+pub struct AlphaPoint {
+    /// Data size (records inserted).
+    pub n: usize,
+    /// Mean over trials of the run's average α.
+    pub avg_alpha: f64,
+}
+
+/// Fig. 6a: average α as a function of data size.
+pub fn alpha_vs_size(
+    dist: KeyDist,
+    theta_split: usize,
+    sizes: &[usize],
+    trials: u64,
+) -> Vec<AlphaPoint> {
+    let cfg = LhtConfig::new(theta_split, 24);
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for trial in 0..trials {
+        let run = GrowthRun::run(dist, sizes, cfg, seed(dist, trial), |_, _, _| {});
+        for (i, cp) in run.checkpoints.iter().enumerate() {
+            if let Some(a) = cp.lht.average_alpha() {
+                per_size[i].push(a);
+            }
+        }
+    }
+    sizes
+        .iter()
+        .zip(per_size)
+        .map(|(n, alphas)| AlphaPoint {
+            n: *n,
+            avg_alpha: summary::mean(&alphas),
+        })
+        .collect()
+}
+
+/// One point of Fig. 6b: `θ_split` → average α, with the paper's
+/// predicted value for uniform data.
+#[derive(Clone, Copy, Debug)]
+pub struct AlphaThetaPoint {
+    /// The splitting threshold.
+    pub theta_split: usize,
+    /// Measured mean average α.
+    pub avg_alpha: f64,
+    /// The closed form `½ + 1/(2θ)`.
+    pub predicted: f64,
+}
+
+/// Fig. 6b: average α as a function of `θ_split` at a fixed data
+/// size.
+pub fn alpha_vs_theta(
+    dist: KeyDist,
+    n: usize,
+    thetas: &[usize],
+    trials: u64,
+) -> Vec<AlphaThetaPoint> {
+    thetas
+        .iter()
+        .map(|&theta| {
+            let points = alpha_vs_size(dist, theta, &[n], trials);
+            AlphaThetaPoint {
+                theta_split: theta,
+                avg_alpha: points[0].avg_alpha,
+                predicted: 0.5 + 1.0 / (2.0 * theta as f64),
+            }
+        })
+        .collect()
+}
+
+fn seed(dist: KeyDist, trial: u64) -> u64 {
+    let tag = match dist {
+        KeyDist::Uniform => 1,
+        KeyDist::Gaussian { .. } => 2,
+        KeyDist::Zipf { .. } => 3,
+    };
+    0x6_1000 + tag * 1_000 + trial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_alpha_tracks_closed_form() {
+        let pts = alpha_vs_size(KeyDist::Uniform, 40, &[4096], 2);
+        let predicted = 0.5 + 1.0 / 80.0;
+        assert!(
+            (pts[0].avg_alpha - predicted).abs() < 0.03,
+            "α = {} vs predicted {predicted}",
+            pts[0].avg_alpha
+        );
+    }
+
+    #[test]
+    fn theta_sweep_shape() {
+        let rows = alpha_vs_theta(KeyDist::Uniform, 2048, &[8, 32], 1);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].predicted > rows[1].predicted, "ᾱ decreases with θ");
+        for r in rows {
+            assert!(r.avg_alpha > 0.45 && r.avg_alpha < 0.65);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Figures 9 and 10 — range query performance.
+//!
+//! §9.4: queries `[l, l + span)` with `l` uniform in `[0, 1 − span]`
+//! are issued against LHT, PHT(sequential) and PHT(parallel).
+//! Fig. 9 plots **bandwidth** (DHT-lookups per query); Fig. 10 plots
+//! **latency** (parallel steps of DHT-lookups). Both are measured
+//! (a) against data size at a fixed span and (b) against span at a
+//! fixed data size. Expected shape: PHT(parallel) has the highest
+//! bandwidth while LHT ≈ PHT(sequential) near the optimum;
+//! PHT(sequential)'s latency is an order of magnitude worse, LHT the
+//! most time-efficient.
+
+use lht_core::{LhtConfig, LhtError};
+use lht_workload::{summary, KeyDist, RangeQueryGen};
+
+use super::GrowthRun;
+
+/// Range queries issued per data point.
+pub const QUERIES: usize = 25;
+
+/// One point of Figs. 9/10: mean bandwidth and latency per scheme.
+#[derive(Clone, Copy, Debug)]
+pub struct RangePoint {
+    /// The x-value: records inserted (size sweeps) — see
+    /// [`RangeSpanPoint`] for span sweeps.
+    pub n: usize,
+    /// Mean DHT-lookups per query (Fig. 9).
+    pub bandwidth: SchemeTriple,
+    /// Mean parallel steps per query (Fig. 10).
+    pub latency: SchemeTriple,
+}
+
+/// A `(LHT, PHT-sequential, PHT-parallel)` measurement triple.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchemeTriple {
+    /// LHT's value.
+    pub lht: f64,
+    /// PHT(sequential)'s value.
+    pub pht_seq: f64,
+    /// PHT(parallel)'s value.
+    pub pht_par: f64,
+}
+
+/// One span point of Figs. 9b/10b.
+#[derive(Clone, Copy, Debug)]
+pub struct RangeSpanPoint {
+    /// The query span `u − l`.
+    pub span: f64,
+    /// Mean DHT-lookups per query.
+    pub bandwidth: SchemeTriple,
+    /// Mean parallel steps per query.
+    pub latency: SchemeTriple,
+}
+
+struct Samples {
+    bw: [Vec<f64>; 3],
+    lat: [Vec<f64>; 3],
+}
+
+impl Samples {
+    fn new() -> Samples {
+        Samples {
+            bw: Default::default(),
+            lat: Default::default(),
+        }
+    }
+
+    fn triples(&self) -> (SchemeTriple, SchemeTriple) {
+        (
+            SchemeTriple {
+                lht: summary::mean(&self.bw[0]),
+                pht_seq: summary::mean(&self.bw[1]),
+                pht_par: summary::mean(&self.bw[2]),
+            },
+            SchemeTriple {
+                lht: summary::mean(&self.lat[0]),
+                pht_seq: summary::mean(&self.lat[1]),
+                pht_par: summary::mean(&self.lat[2]),
+            },
+        )
+    }
+}
+
+fn measure(
+    lht: &lht_core::LhtIndex<&lht_dht::DirectDht<lht_core::LeafBucket<u32>>, u32>,
+    pht: &lht_pht::PhtIndex<&lht_dht::DirectDht<lht_pht::PhtNode<u32>>, u32>,
+    span: f64,
+    seed: u64,
+    samples: &mut Samples,
+) -> Result<(), LhtError> {
+    let mut gen = RangeQueryGen::new(span, seed);
+    for _ in 0..QUERIES {
+        let q = gen.next_range();
+        let a = lht.range(q)?.cost;
+        let b = pht.range_sequential(q)?.cost;
+        let c = pht.range_parallel(q)?.cost;
+        samples.bw[0].push(a.dht_lookups as f64);
+        samples.bw[1].push(b.dht_lookups as f64);
+        samples.bw[2].push(c.dht_lookups as f64);
+        samples.lat[0].push(a.steps as f64);
+        samples.lat[1].push(b.steps as f64);
+        samples.lat[2].push(c.steps as f64);
+    }
+    Ok(())
+}
+
+/// Figs. 9a/10a: range cost against data size at a fixed span.
+pub fn range_vs_size(
+    dist: KeyDist,
+    sizes: &[usize],
+    span: f64,
+    trials: u64,
+) -> Vec<RangePoint> {
+    let cfg = LhtConfig::new(100, 20);
+    let mut per_size: Vec<Samples> = sizes.iter().map(|_| Samples::new()).collect();
+    for trial in 0..trials {
+        let seed = 0x9_4000 + trial * 13 + dist.tag().len() as u64;
+        let mut idx = 0usize;
+        GrowthRun::run(dist, sizes, cfg, seed, |_n, lht, pht| {
+            measure(lht, pht, span, seed ^ 0xfeed, &mut per_size[idx])
+                .expect("consistent tree");
+            idx += 1;
+        });
+    }
+    sizes
+        .iter()
+        .zip(per_size)
+        .map(|(n, s)| {
+            let (bandwidth, latency) = s.triples();
+            RangePoint {
+                n: *n,
+                bandwidth,
+                latency,
+            }
+        })
+        .collect()
+}
+
+/// Figs. 9b/10b: range cost against span at a fixed data size.
+pub fn range_vs_span(
+    dist: KeyDist,
+    n: usize,
+    spans: &[f64],
+    trials: u64,
+) -> Vec<RangeSpanPoint> {
+    let cfg = LhtConfig::new(100, 20);
+    let mut per_span: Vec<Samples> = spans.iter().map(|_| Samples::new()).collect();
+    for trial in 0..trials {
+        let seed = 0x9_5000 + trial * 13 + dist.tag().len() as u64;
+        let run = GrowthRun::run(dist, &[n], cfg, seed, |_, _, _| {});
+        let lht = run.lht();
+        let pht = run.pht();
+        for (i, span) in spans.iter().enumerate() {
+            measure(&lht, &pht, *span, seed ^ 0xfeed, &mut per_span[i])
+                .expect("consistent tree");
+        }
+    }
+    spans
+        .iter()
+        .zip(per_span)
+        .map(|(span, s)| {
+            let (bandwidth, latency) = s.triples();
+            RangeSpanPoint {
+                span: *span,
+                bandwidth,
+                latency,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_section9_4() {
+        let pts = range_vs_size(KeyDist::Uniform, &[4096, 16384], 0.1, 1);
+        for p in &pts {
+            // Fig. 9: parallel PHT burns the most bandwidth; LHT ≈
+            // sequential PHT.
+            assert!(
+                p.bandwidth.pht_par > p.bandwidth.pht_seq,
+                "par {} vs seq {}",
+                p.bandwidth.pht_par,
+                p.bandwidth.pht_seq
+            );
+            assert!(p.bandwidth.lht <= p.bandwidth.pht_seq * 1.1);
+            // Fig. 10: sequential PHT is the slowest; LHT at least
+            // matches parallel PHT.
+            assert!(p.latency.pht_seq > p.latency.pht_par);
+            assert!(p.latency.lht <= p.latency.pht_par * 1.1);
+        }
+        // The sequential/parallel latency gap widens with data size
+        // (the paper's order-of-magnitude gap is at 2^17–2^20 sizes;
+        // at 16k records and span 0.1 a ≥3× gap is already visible).
+        let last = pts.last().unwrap();
+        assert!(
+            last.latency.pht_seq > 3.0 * last.latency.pht_par,
+            "seq {} vs par {}",
+            last.latency.pht_seq,
+            last.latency.pht_par
+        );
+        // Bandwidth grows with data size (more buckets per span).
+        assert!(pts[1].bandwidth.lht > pts[0].bandwidth.lht);
+    }
+
+    #[test]
+    fn span_sweep_grows_with_span() {
+        let pts = range_vs_span(KeyDist::Uniform, 8192, &[0.05, 0.3], 1);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[1].bandwidth.lht > pts[0].bandwidth.lht);
+        assert!(pts[1].latency.pht_seq > pts[0].latency.pht_seq);
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per reproduced figure/table of the paper's §9.
+
+pub mod balance;
+pub mod baselines;
+pub mod bulk;
+pub mod churn;
+mod common;
+pub mod deletion;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9_10;
+pub mod hops;
+pub mod saving;
+
+pub use common::{GrowthCheckpoint, GrowthRun};

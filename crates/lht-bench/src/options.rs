@@ -1,0 +1,103 @@
+//! Command-line options shared by the experiment binaries.
+
+/// Options for an experiment run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchOpts {
+    /// Independently generated datasets averaged per data point
+    /// (the paper used 100; the default here is 3 for speed).
+    pub trials: u64,
+    /// Run at the paper's full data scale (up to 2^20 records)
+    /// instead of the faster default subset.
+    pub full: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            trials: 3,
+            full: false,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses options from an argument iterator (excluding the
+    /// program name). Unknown arguments abort with a usage message.
+    ///
+    /// Recognized: `--trials N`, `--full`.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> BenchOpts {
+        let mut opts = BenchOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trials" => {
+                    let v = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--trials needs a positive integer"));
+                    if v == 0 {
+                        usage("--trials needs a positive integer");
+                    }
+                    opts.trials = v;
+                }
+                "--full" => opts.full = true,
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument {other:?}")),
+            }
+        }
+        opts
+    }
+
+    /// Parses from the process environment.
+    pub fn from_env() -> BenchOpts {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The data-size sweep for growth experiments: powers of two from
+    /// `2^10`, up to `2^20` with `--full` and `2^16` otherwise.
+    pub fn data_sizes(&self) -> Vec<usize> {
+        let top = if self.full { 20 } else { 16 };
+        (10..=top).map(|e| 1usize << e).collect()
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <experiment> [--trials N] [--full]");
+    eprintln!("  --trials N   datasets averaged per point (default 3; paper used 100)");
+    eprintln!("  --full       paper-scale data sizes up to 2^20 (default up to 2^16)");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchOpts {
+        BenchOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o, BenchOpts::default());
+        assert_eq!(o.trials, 3);
+        assert!(!o.full);
+    }
+
+    #[test]
+    fn parses_trials_and_full() {
+        let o = parse(&["--trials", "10", "--full"]);
+        assert_eq!(o.trials, 10);
+        assert!(o.full);
+    }
+
+    #[test]
+    fn data_sizes_scale_with_full() {
+        assert_eq!(*parse(&[]).data_sizes().last().unwrap(), 1 << 16);
+        assert_eq!(*parse(&["--full"]).data_sizes().last().unwrap(), 1 << 20);
+        assert_eq!(parse(&[]).data_sizes()[0], 1 << 10);
+    }
+}

@@ -1,0 +1,100 @@
+//! Runtime-selectable substrate.
+
+use lht_core::LeafBucket;
+use lht_dht::{ChordDht, Dht, DhtError, DhtKey, DhtStats, DirectDht};
+use lht_kad::KademliaDht;
+
+/// The record value type the REPL stores.
+pub type Value = String;
+type Bucket = LeafBucket<Value>;
+
+/// A substrate chosen at runtime — the [`Dht`] trait object pattern
+/// via an enum, demonstrating that index code is substrate-agnostic
+/// even without generics.
+#[derive(Debug)]
+pub enum AnyDht {
+    /// One-hop oracle.
+    Direct(DirectDht<Bucket>),
+    /// Chord ring.
+    Chord(ChordDht<Bucket>),
+    /// Kademlia network.
+    Kad(KademliaDht<Bucket>),
+}
+
+impl Dht for AnyDht {
+    type Value = Bucket;
+
+    fn get(&self, key: &DhtKey) -> Result<Option<Bucket>, DhtError> {
+        match self {
+            AnyDht::Direct(d) => d.get(key),
+            AnyDht::Chord(d) => d.get(key),
+            AnyDht::Kad(d) => d.get(key),
+        }
+    }
+
+    fn put(&self, key: &DhtKey, value: Bucket) -> Result<(), DhtError> {
+        match self {
+            AnyDht::Direct(d) => d.put(key, value),
+            AnyDht::Chord(d) => d.put(key, value),
+            AnyDht::Kad(d) => d.put(key, value),
+        }
+    }
+
+    fn remove(&self, key: &DhtKey) -> Result<Option<Bucket>, DhtError> {
+        match self {
+            AnyDht::Direct(d) => d.remove(key),
+            AnyDht::Chord(d) => d.remove(key),
+            AnyDht::Kad(d) => d.remove(key),
+        }
+    }
+
+    fn update(
+        &self,
+        key: &DhtKey,
+        f: &mut dyn FnMut(&mut Option<Bucket>),
+    ) -> Result<(), DhtError> {
+        match self {
+            AnyDht::Direct(d) => d.update(key, f),
+            AnyDht::Chord(d) => d.update(key, f),
+            AnyDht::Kad(d) => d.update(key, f),
+        }
+    }
+
+    fn stats(&self) -> DhtStats {
+        match self {
+            AnyDht::Direct(d) => Dht::stats(d),
+            AnyDht::Chord(d) => Dht::stats(d),
+            AnyDht::Kad(d) => Dht::stats(d),
+        }
+    }
+
+    fn reset_stats(&self) {
+        match self {
+            AnyDht::Direct(d) => d.reset_stats(),
+            AnyDht::Chord(d) => d.reset_stats(),
+            AnyDht::Kad(d) => d.reset_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_works_for_all_variants() {
+        for dht in [
+            AnyDht::Direct(DirectDht::new()),
+            AnyDht::Chord(ChordDht::with_nodes(4, 1)),
+            AnyDht::Kad(KademliaDht::with_nodes(4, 1)),
+        ] {
+            let key = DhtKey::from("#");
+            let bucket = LeafBucket::new(lht_core::Label::root());
+            dht.put(&key, bucket.clone()).unwrap();
+            assert_eq!(dht.get(&key).unwrap(), Some(bucket));
+            assert!(dht.stats().lookups() >= 2);
+            dht.reset_stats();
+            assert_eq!(dht.stats().lookups(), 0);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! `lht-repl` — drive an LHT index interactively over a simulated
+//! DHT substrate.
+//!
+//! ```sh
+//! cargo run -p lht-cli --bin lht-repl -- [direct|chord|kad] [seed]
+//! # or scripted:
+//! printf 'load 1000\nrange 0.2 0.3\nstats\n' | cargo run -p lht-cli --bin lht-repl
+//! ```
+
+use std::io::{self, BufRead, IsTerminal, Write};
+
+use lht_cli::{Repl, Substrate};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let substrate = match args.next() {
+        None => Substrate::Direct,
+        Some(s) => match Substrate::parse(&s) {
+            Some(sub) => sub,
+            None => {
+                eprintln!("unknown substrate {s:?}; use direct, chord or kad");
+                std::process::exit(2);
+            }
+        },
+    };
+    let seed = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+
+    let interactive = io::stdin().is_terminal();
+    if interactive {
+        println!("lht-repl over {substrate:?} (seed {seed}) — `help` for commands");
+    }
+    let mut repl = Repl::new(substrate, seed);
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        if interactive {
+            print!("lht> ");
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        let reply = repl.eval(trimmed);
+        if !reply.is_empty() {
+            println!("{reply}");
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Whole-tree invariant checking against an inspectable substrate.
+//!
+//! These checks are meant for tests, property tests and experiment
+//! harnesses: they enumerate every bucket through
+//! [`DirectDht`]'s free inspection interface and verify that the
+//! stored state forms a consistent LHT — the global guarantees that
+//! §3's structure and Theorems 1–2 promise are maintained by every
+//! sequence of distributed operations.
+
+use std::collections::BTreeMap;
+
+use lht_dht::DirectDht;
+use lht_id::KeyFraction;
+
+use crate::naming::name;
+use crate::{Label, LeafBucket, LhtConfig};
+
+/// A violated invariant discovered by [`check_tree`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditViolation {
+    /// A bucket is stored under a DHT key different from the name of
+    /// its label.
+    MisplacedBucket {
+        /// The key the bucket was found under.
+        stored_at: String,
+        /// The key it should be under: `f_n(label)`.
+        expected: String,
+    },
+    /// Two leaves' intervals overlap (labels not prefix-free).
+    OverlappingLeaves {
+        /// First leaf label.
+        a: String,
+        /// Second leaf label.
+        b: String,
+    },
+    /// The leaves do not tile the whole key space `[0, 1)`.
+    CoverageGap {
+        /// Raw lower end of the first uncovered point.
+        at: u128,
+    },
+    /// A record's key lies outside its bucket's interval.
+    StrayRecord {
+        /// The bucket's label.
+        label: String,
+        /// The stray record's key.
+        key: KeyFraction,
+    },
+    /// A bucket holds more records than the split discipline can
+    /// explain. Because each insertion causes at most one split
+    /// (§5: "to avoid the cascading split"), a fully-skewed split can
+    /// leave the insert-target bucket above `θ_split − 1` records
+    /// transiently; every further insertion splits it again, one
+    /// level deeper, so clustered keys can push a bucket at depth `d`
+    /// at most `max_depth − d` records past capacity before the depth
+    /// cap ends splitting. Anything beyond that bound is a bug.
+    OverfullBucket {
+        /// The bucket's label.
+        label: String,
+        /// Its record count.
+        len: usize,
+    },
+}
+
+/// Checks every global LHT invariant over the buckets stored in
+/// `dht`, returning all violations found (empty = consistent).
+///
+/// Invariants checked:
+///
+/// 1. **Placement** — every bucket is stored under `f_n(label)`
+///    (Theorem 1's bijection, maintained by Theorem 2 across splits).
+/// 2. **Partition** — leaf intervals are pairwise disjoint and tile
+///    `[0, 1)` exactly (the space partition tree's fullness).
+/// 3. **Containment** — every record lies in its leaf's interval.
+/// 4. **Capacity** — no bucket below the depth limit exceeds
+///    `θ_split − 1` records by more than the transient overflow the
+///    one-split-per-insertion discipline permits (see
+///    [`AuditViolation::OverfullBucket`]).
+///
+/// # Examples
+///
+/// ```
+/// use lht_core::{audit, LhtConfig, LhtIndex};
+/// use lht_dht::DirectDht;
+/// use lht_id::KeyFraction;
+///
+/// let dht = DirectDht::new();
+/// let ix = LhtIndex::new(&dht, LhtConfig::new(4, 20))?;
+/// for i in 0..100u32 {
+///     ix.insert(KeyFraction::from_f64(i as f64 / 100.0), i)?;
+/// }
+/// assert!(audit::check_tree(&dht, LhtConfig::new(4, 20)).is_empty());
+/// # Ok::<(), lht_core::LhtError>(())
+/// ```
+pub fn check_tree<V: Clone>(
+    dht: &DirectDht<LeafBucket<V>>,
+    cfg: LhtConfig,
+) -> Vec<AuditViolation> {
+    let mut violations = Vec::new();
+    let mut leaves: BTreeMap<u128, (Label, u128)> = BTreeMap::new(); // lo -> (label, hi)
+
+    for key in dht.keys() {
+        let bucket = dht
+            .peek(&key, |b| b.cloned())
+            .expect("key just enumerated");
+        let label = bucket.label();
+
+        // 1. Placement.
+        let expected = name(&label).dht_key();
+        if key != expected {
+            violations.push(AuditViolation::MisplacedBucket {
+                stored_at: key.to_string(),
+                expected: expected.to_string(),
+            });
+        }
+
+        // 3. Containment.
+        for (k, _) in bucket.iter() {
+            if !bucket.covers(k) {
+                violations.push(AuditViolation::StrayRecord {
+                    label: label.to_string(),
+                    key: k,
+                });
+            }
+        }
+
+        // 4. Capacity (buckets at the depth limit may overflow
+        // freely; below it, only the bounded transient overflow of
+        // skewed one-split-per-insert growth is allowed).
+        let slack = cfg.max_depth.saturating_sub(label.len());
+        if label.len() < cfg.max_depth && bucket.len() > cfg.bucket_capacity() + slack {
+            violations.push(AuditViolation::OverfullBucket {
+                label: label.to_string(),
+                len: bucket.len(),
+            });
+        }
+
+        let iv = label.interval();
+        leaves.insert(iv.lo_raw(), (label, iv.hi_raw()));
+    }
+
+    // 2. Partition: walk intervals in order; they must chain exactly
+    // from 0 to 2^64.
+    let mut cursor: u128 = 0;
+    for (lo, (label, hi)) in &leaves {
+        if *lo < cursor {
+            // Overlap with the previous leaf.
+            let prev = leaves
+                .range(..lo)
+                .next_back()
+                .map(|(_, (l, _))| l.to_string())
+                .unwrap_or_default();
+            violations.push(AuditViolation::OverlappingLeaves {
+                a: prev,
+                b: label.to_string(),
+            });
+        } else if *lo > cursor {
+            violations.push(AuditViolation::CoverageGap { at: cursor });
+        }
+        cursor = cursor.max(*hi);
+    }
+    if cursor != 1u128 << 64 {
+        violations.push(AuditViolation::CoverageGap { at: cursor });
+    }
+
+    violations
+}
+
+/// Total number of records stored across all buckets (free oracle
+/// count, for conservation checks in tests).
+pub fn total_records<V: Clone>(dht: &DirectDht<LeafBucket<V>>) -> usize {
+    dht.keys()
+        .into_iter()
+        .map(|k| dht.peek(&k, |b| b.map(|b| b.len()).unwrap_or(0)))
+        .sum()
+}
+
+/// All bucket labels currently stored, in interval order (free oracle
+/// view, for computing the optimal `B` of a range query in tests).
+pub fn leaf_labels<V: Clone>(dht: &DirectDht<LeafBucket<V>>) -> Vec<Label> {
+    let mut labels: Vec<Label> = dht
+        .keys()
+        .into_iter()
+        .filter_map(|k| dht.peek(&k, |b| b.map(|b| b.label())))
+        .collect();
+    labels.sort_by_key(|l| l.interval().lo_raw());
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LhtIndex;
+
+    fn kf(x: f64) -> KeyFraction {
+        KeyFraction::from_f64(x)
+    }
+
+    #[test]
+    fn fresh_index_is_consistent() {
+        let dht = DirectDht::new();
+        let cfg = LhtConfig::new(4, 20);
+        let _ix: LhtIndex<_, u32> = LhtIndex::new(&dht, cfg).unwrap();
+        assert!(check_tree(&dht, cfg).is_empty());
+        assert_eq!(total_records(&dht), 0);
+        assert_eq!(leaf_labels(&dht), vec![Label::root()]);
+    }
+
+    #[test]
+    fn consistency_survives_growth() {
+        let dht = DirectDht::new();
+        let cfg = LhtConfig::new(4, 20);
+        let ix = LhtIndex::new(&dht, cfg).unwrap();
+        for i in 0..300u32 {
+            ix.insert(kf((i as f64 + 0.5) / 300.0), i).unwrap();
+            if i % 50 == 0 {
+                assert!(
+                    check_tree(&dht, cfg).is_empty(),
+                    "tree inconsistent after {i} inserts: {:?}", check_tree(&dht, cfg)
+                );
+            }
+        }
+        assert!(check_tree(&dht, cfg).is_empty());
+        assert_eq!(total_records(&dht), 300);
+        assert!(leaf_labels(&dht).len() > 50);
+    }
+
+    #[test]
+    fn consistency_survives_shrinkage() {
+        let dht = DirectDht::new();
+        let cfg = LhtConfig::new(4, 20);
+        let ix = LhtIndex::new(&dht, cfg).unwrap();
+        for i in 0..200u32 {
+            ix.insert(kf((i as f64 + 0.5) / 200.0), i).unwrap();
+        }
+        for i in 0..200u32 {
+            ix.remove(kf((i as f64 + 0.5) / 200.0)).unwrap();
+            if i % 40 == 0 {
+                assert!(check_tree(&dht, cfg).is_empty());
+            }
+        }
+        assert!(check_tree(&dht, cfg).is_empty());
+        assert_eq!(total_records(&dht), 0);
+    }
+
+    #[test]
+    fn audit_detects_data_loss() {
+        let dht = DirectDht::new();
+        let cfg = LhtConfig::new(4, 20);
+        let ix = LhtIndex::new(&dht, cfg).unwrap();
+        for i in 0..100u32 {
+            ix.insert(kf((i as f64 + 0.5) / 100.0), i).unwrap();
+        }
+        // Vaporize one bucket: coverage must now have a gap.
+        let victim = dht.keys().into_iter().next().unwrap();
+        dht.inject_loss(&victim);
+        let violations = check_tree(&dht, cfg);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, AuditViolation::CoverageGap { .. })),
+            "expected a coverage gap, got {violations:?}"
+        );
+    }
+}

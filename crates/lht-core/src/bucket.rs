@@ -1,0 +1,364 @@
+//! Leaf buckets (paper §3.3, Algorithm 1).
+
+use lht_id::KeyFraction;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::naming::name;
+use crate::{KeyInterval, Label};
+
+/// A leaf bucket: the distributed unit LHT stores in the DHT.
+///
+/// Per §3.3 a bucket has exactly two fields — the **leaf label** `λ`
+/// (from which the whole *local tree* is inferable) and the **record
+/// store**. The bucket is stored in the DHT under the key
+/// `f_n(λ)` produced by the naming function.
+///
+/// Records are keyed by their distinct data key `δ` (§3.1: "each
+/// record is identified by a distinct value").
+///
+/// # Examples
+///
+/// ```
+/// use lht_core::LeafBucket;
+/// use lht_id::KeyFraction;
+///
+/// let mut b: LeafBucket<&str> = LeafBucket::new("#00".parse()?);
+/// b.insert(KeyFraction::from_f64(0.2), "song.mp3");
+/// assert_eq!(b.len(), 1);
+/// assert!(b.covers(KeyFraction::from_f64(0.2)));
+/// assert!(!b.covers(KeyFraction::from_f64(0.7)));
+/// # Ok::<(), lht_core::LhtError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LeafBucket<V> {
+    label: Label,
+    records: BTreeMap<KeyFraction, V>,
+}
+
+/// The outcome of [`LeafBucket::split`]: the remote half to push to
+/// another peer, plus the split's `α` accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct SplitOutcome<V> {
+    /// The remote leaf bucket `rb`. Its DHT key is the *old* label
+    /// `λ` (Theorem 2: `f_n(rb.label) = λ`).
+    pub remote: LeafBucket<V>,
+    /// Moved storage units: the remote bucket's records plus one unit
+    /// for its leaf label (§9.2 accounting).
+    pub moved_units: u64,
+}
+
+impl<V> LeafBucket<V> {
+    /// Creates an empty bucket for the given leaf label.
+    pub fn new(label: Label) -> LeafBucket<V> {
+        assert!(
+            !label.is_virtual_root(),
+            "the virtual root cannot be a leaf"
+        );
+        LeafBucket {
+            label,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// The leaf label `λ`.
+    pub fn label(&self) -> Label {
+        self.label
+    }
+
+    /// The DHT key this bucket lives under: `f_n(λ)`.
+    pub fn dht_name(&self) -> Label {
+        name(&self.label)
+    }
+
+    /// The key interval this leaf covers.
+    pub fn interval(&self) -> KeyInterval {
+        self.label.interval()
+    }
+
+    /// Whether `key` falls in this leaf's interval.
+    pub fn covers(&self, key: KeyFraction) -> bool {
+        self.label.covers(key)
+    }
+
+    /// Number of data records stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the bucket stores no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether the bucket is at capacity for the given `θ_split`: the
+    /// label occupies one of the `θ_split` storage slots (§9.2), so a
+    /// bucket is full at `θ_split − 1` records; the next insertion
+    /// must split first.
+    pub fn is_full(&self, theta_split: usize) -> bool {
+        self.records.len() + 1 >= theta_split
+    }
+
+    /// Inserts a record, returning any previous record with the same
+    /// data key.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `key` is outside this leaf's
+    /// interval.
+    pub fn insert(&mut self, key: KeyFraction, value: V) -> Option<V> {
+        debug_assert!(self.covers(key), "record {key:?} outside leaf {}", self.label);
+        self.records.insert(key, value)
+    }
+
+    /// Removes the record with data key `key`.
+    pub fn remove(&mut self, key: KeyFraction) -> Option<V> {
+        self.records.remove(&key)
+    }
+
+    /// The record with data key `key`.
+    pub fn get(&self, key: KeyFraction) -> Option<&V> {
+        self.records.get(&key)
+    }
+
+    /// The smallest data key stored, with its value.
+    pub fn min_record(&self) -> Option<(KeyFraction, &V)> {
+        self.records.iter().next().map(|(k, v)| (*k, v))
+    }
+
+    /// The largest data key stored, with its value.
+    pub fn max_record(&self) -> Option<(KeyFraction, &V)> {
+        self.records.iter().next_back().map(|(k, v)| (*k, v))
+    }
+
+    /// Iterates over records in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (KeyFraction, &V)> {
+        self.records.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Records whose keys fall inside `range`, in key order.
+    pub fn records_in(&self, range: &KeyInterval) -> impl Iterator<Item = (KeyFraction, &V)> {
+        let range = *range;
+        self.records
+            .iter()
+            .filter(move |(k, _)| range.contains(**k))
+            .map(|(k, v)| (*k, v))
+    }
+
+    /// Splits this bucket per Algorithm 1.
+    ///
+    /// `self` becomes the **local leaf** — the child whose name under
+    /// `f_n` is unchanged (Theorem 2), so it stays on its peer — and
+    /// the returned [`SplitOutcome`] carries the **remote leaf** to be
+    /// `DHT-put` under the old label `λ`. Records are partitioned at
+    /// the interval median, which is "unrelated to data distribution"
+    /// (§3.2).
+    pub(crate) fn split(&mut self) -> SplitOutcome<V> {
+        let lambda = self.label;
+        // Algorithm 1 lines 2–8: λ = p011* → remote is λ0, local λ1;
+        // otherwise (λ ends in 0) remote is λ1, local λ0.
+        let remote_bit = self.label.last_bit() != Some(true);
+        let local_bit = !remote_bit;
+        let mid = lambda.child(true).interval().lo_key();
+
+        // Line 9: assign the corresponding records to rb.
+        let upper = self.records.split_off(&mid);
+        let (local_records, remote_records) = if remote_bit {
+            // remote = λ1 covers the upper half
+            (std::mem::take(&mut self.records), upper)
+        } else {
+            // remote = λ0 covers the lower half
+            (upper, std::mem::take(&mut self.records))
+        };
+
+        self.label = lambda.child(local_bit);
+        self.records = local_records;
+
+        let remote = LeafBucket {
+            label: lambda.child(remote_bit),
+            records: remote_records,
+        };
+        debug_assert_eq!(
+            remote.dht_name(),
+            lambda,
+            "Theorem 2: the remote leaf is named by the old label"
+        );
+        debug_assert_eq!(
+            self.dht_name(),
+            name(&lambda),
+            "Theorem 2: the local leaf keeps its old name"
+        );
+        let moved_units = remote.records.len() as u64 + 1;
+        SplitOutcome {
+            remote,
+            moved_units,
+        }
+    }
+
+    /// Absorbs `other`'s records into `self` and relabels `self` to
+    /// the common parent — the merge dual of [`split`](Self::split)
+    /// (§3.2: when an internal node's subtree holds fewer than
+    /// `θ_split` records, its leaves merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two buckets are not siblings.
+    pub(crate) fn merge_sibling(&mut self, other: LeafBucket<V>) {
+        assert_eq!(
+            self.label.sibling(),
+            Some(other.label),
+            "merge requires sibling leaves"
+        );
+        let parent = self.label.parent().expect("sibling implies parent");
+        self.label = parent;
+        self.records.extend(other.records);
+    }
+}
+
+impl<V> Extend<(KeyFraction, V)> for LeafBucket<V> {
+    fn extend<I: IntoIterator<Item = (KeyFraction, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Label {
+        s.parse().unwrap()
+    }
+
+    fn kf(x: f64) -> KeyFraction {
+        KeyFraction::from_f64(x)
+    }
+
+    fn bucket_with(label: &str, keys: &[f64]) -> LeafBucket<u32> {
+        let mut b = LeafBucket::new(l(label));
+        for (i, &k) in keys.iter().enumerate() {
+            b.insert(kf(k), i as u32);
+        }
+        b
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut b: LeafBucket<&str> = LeafBucket::new(l("#0"));
+        assert_eq!(b.insert(kf(0.3), "a"), None);
+        assert_eq!(b.insert(kf(0.3), "b"), Some("a"), "distinct keys: replace");
+        assert_eq!(b.get(kf(0.3)), Some(&"b"));
+        assert_eq!(b.remove(kf(0.3)), Some("b"));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn fullness_counts_the_label_slot() {
+        let mut b: LeafBucket<u32> = LeafBucket::new(l("#0"));
+        // θ = 4: capacity is 3 records (label takes the 4th slot).
+        for (i, k) in [0.1, 0.2, 0.3].iter().enumerate() {
+            assert!(!b.is_full(4));
+            b.insert(kf(*k), i as u32);
+        }
+        assert!(b.is_full(4));
+    }
+
+    #[test]
+    fn min_max_records() {
+        let b = bucket_with("#0", &[0.5, 0.2, 0.8]);
+        assert_eq!(b.min_record().unwrap().0, kf(0.2));
+        assert_eq!(b.max_record().unwrap().0, kf(0.8));
+        let empty: LeafBucket<u32> = LeafBucket::new(l("#0"));
+        assert_eq!(empty.min_record(), None);
+    }
+
+    #[test]
+    fn records_in_filters_by_interval() {
+        let b = bucket_with("#0", &[0.1, 0.2, 0.3, 0.4]);
+        let hits: Vec<_> = b
+            .records_in(&KeyInterval::half_open(kf(0.15), kf(0.35)))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(hits, vec![kf(0.2), kf(0.3)]);
+    }
+
+    #[test]
+    fn split_of_zero_ending_label() {
+        // λ = #00 ends in 0: local leaf is #000 (lower half), remote
+        // is #001 (upper half), and the remote's name is λ.
+        let mut b = bucket_with("#00", &[0.1, 0.3, 0.4]);
+        let out = b.split();
+        assert_eq!(b.label(), l("#000"));
+        assert_eq!(out.remote.label(), l("#001"));
+        assert_eq!(out.remote.dht_name(), l("#00"));
+        // Interval median of #00 = 0.25: 0.1 stays, 0.3/0.4 move.
+        assert_eq!(b.len(), 1);
+        assert_eq!(out.remote.len(), 2);
+        assert_eq!(out.moved_units, 3, "2 records + 1 label unit");
+    }
+
+    #[test]
+    fn split_of_one_ending_label() {
+        // λ = #011 ends in 1: remote leaf is #0110 (lower half),
+        // local is #0111 (upper half). Interval of #011 = [0.75, 1).
+        let mut b = bucket_with("#011", &[0.8, 0.9, 0.95]);
+        let out = b.split();
+        assert_eq!(b.label(), l("#0111"));
+        assert_eq!(out.remote.label(), l("#0110"));
+        assert_eq!(out.remote.dht_name(), l("#011"));
+        // Median 0.875: remote (lower half) gets 0.8.
+        assert_eq!(out.remote.len(), 1);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn split_respects_interval_partition() {
+        let mut b = bucket_with("#0", &[0.1, 0.2, 0.6, 0.7, 0.49999, 0.5]);
+        let out = b.split();
+        for (k, _) in b.iter() {
+            assert!(b.covers(k));
+        }
+        for (k, _) in out.remote.iter() {
+            assert!(out.remote.covers(k));
+        }
+        assert_eq!(b.len() + out.remote.len(), 6);
+    }
+
+    #[test]
+    fn skewed_split_can_move_everything_or_nothing() {
+        // All records below the median: remote (upper half for a
+        // 0-ending label) is empty but still costs its label unit.
+        let mut b = bucket_with("#00", &[0.01, 0.02, 0.03]);
+        let out = b.split();
+        assert_eq!(out.remote.len(), 0);
+        assert_eq!(out.moved_units, 1);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn merge_is_dual_of_split() {
+        let mut b = bucket_with("#00", &[0.1, 0.3, 0.4]);
+        let out = b.split();
+        let mut local = b;
+        local.merge_sibling(out.remote);
+        assert_eq!(local.label(), l("#00"));
+        assert_eq!(local.len(), 3);
+        let keys: Vec<_> = local.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![kf(0.1), kf(0.3), kf(0.4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sibling")]
+    fn merge_rejects_non_siblings() {
+        let mut a = bucket_with("#00", &[]);
+        let b = bucket_with("#010", &[]);
+        a.merge_sibling(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual root")]
+    fn bucket_for_virtual_root_rejected() {
+        let _: LeafBucket<u32> = LeafBucket::new(Label::virtual_root());
+    }
+}

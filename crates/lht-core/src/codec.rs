@@ -1,0 +1,209 @@
+//! Order-preserving codecs from domain keys to [`KeyFraction`]s.
+//!
+//! The paper's data model (§3.1) assumes the data key δ is a value in
+//! `[0, 1)` and notes that in a P2P database "any candidate key could
+//! be its data key". Applications hold timestamps, integers or
+//! strings; what the index needs from them is only an
+//! **order-preserving** (and, for range queries, range-preserving)
+//! mapping into the unit interval. This module provides the standard
+//! ones, so examples don't hand-roll normalization:
+//!
+//! * [`LinearU64`] — integers from a known domain `[lo, hi]`,
+//!   mapped affinely (timestamps, sizes, prices-in-cents…).
+//! * [`BytesLex`] — byte strings / ASCII text by lexicographic order
+//!   (the leading 8 bytes; see its docs for the precision caveat).
+//!
+//! # Examples
+//!
+//! ```
+//! use lht_core::codec::{KeyCodec, LinearU64};
+//!
+//! // Publish timestamps between 2000 and 2008.
+//! let codec = LinearU64::new(946_684_800, 1_199_145_600);
+//! let jan_2007 = codec.encode(&1_167_609_600);
+//! let mid_2003 = codec.encode(&1_057_017_600);
+//! assert!(mid_2003 < jan_2007, "order is preserved");
+//! ```
+
+use lht_id::KeyFraction;
+
+/// An order-preserving encoding of a domain key type into the unit
+/// key space.
+///
+/// Implementations must preserve order: `a <= b` implies
+/// `encode(a) <= encode(b)`; range queries over encoded bounds are
+/// then answered exactly (up to codec-level ties, which each
+/// implementation documents).
+pub trait KeyCodec {
+    /// The domain key type.
+    type Key;
+
+    /// Encodes a domain key as a data key.
+    fn encode(&self, key: &Self::Key) -> KeyFraction;
+}
+
+/// Affine encoding of integers from a fixed domain `[lo, hi]`
+/// (inclusive) onto the unit interval. Distinct integers map to
+/// distinct, equally spaced data keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinearU64 {
+    lo: u64,
+    hi: u64,
+}
+
+impl LinearU64 {
+    /// Creates a codec for the inclusive domain `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn new(lo: u64, hi: u64) -> LinearU64 {
+        assert!(lo < hi, "domain must contain at least two values");
+        LinearU64 { lo, hi }
+    }
+
+    /// Decodes a data key back to the nearest domain integer (the
+    /// inverse of [`encode`](KeyCodec::encode) on in-domain values).
+    pub fn decode(&self, key: KeyFraction) -> u64 {
+        let width = (self.hi - self.lo) as u128 + 1;
+        // encode() floors offset·2^64/width, so invert with the
+        // matching ceiling adjustment: floor((bits·width + width − 1)
+        // / 2^64) recovers the offset exactly for encoded values.
+        let scaled = (key.bits() as u128 * width + (width - 1)) >> 64;
+        self.lo + (scaled as u64).min(self.hi - self.lo)
+    }
+}
+
+impl KeyCodec for LinearU64 {
+    type Key = u64;
+
+    /// Values are clamped into the domain before encoding.
+    fn encode(&self, key: &u64) -> KeyFraction {
+        let clamped = (*key).clamp(self.lo, self.hi);
+        let offset = (clamped - self.lo) as u128;
+        let width = (self.hi - self.lo) as u128 + 1;
+        // offset/width in 64-bit fixed point; distinct integers land
+        // in distinct cells because width <= 2^64.
+        KeyFraction::from_bits(((offset << 64) / width) as u64)
+    }
+}
+
+/// Lexicographic encoding of byte strings: the first 8 bytes become
+/// the data key's high bits.
+///
+/// Order is preserved exactly for strings that differ within their
+/// first 8 bytes; longer strings sharing an 8-byte prefix collide
+/// onto one data key (the index then keeps only one record per
+/// colliding key), so this codec suits keys that are distinctive
+/// early, such as identifiers, words or zero-padded numerals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BytesLex;
+
+impl KeyCodec for BytesLex {
+    type Key = Vec<u8>;
+
+    fn encode(&self, key: &Vec<u8>) -> KeyFraction {
+        KeyFraction::from_bits(prefix64(key))
+    }
+}
+
+impl BytesLex {
+    /// Encodes any byte slice (convenience over the trait, which
+    /// needs an owned type for object safety).
+    pub fn encode_bytes(&self, key: &[u8]) -> KeyFraction {
+        KeyFraction::from_bits(prefix64(key))
+    }
+
+    /// Encodes a string slice.
+    pub fn encode_str(&self, key: &str) -> KeyFraction {
+        self.encode_bytes(key.as_bytes())
+    }
+}
+
+fn prefix64(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = bytes.len().min(8);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    u64::from_be_bytes(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_u64_preserves_order_and_round_trips() {
+        let c = LinearU64::new(1000, 2000);
+        let mut prev = None;
+        for v in (1000..=2000).step_by(97) {
+            let k = c.encode(&v);
+            if let Some((pv, pk)) = prev {
+                assert!(pk < k, "{pv} -> {v} must increase");
+            }
+            assert_eq!(c.decode(k), v, "round trip of {v}");
+            prev = Some((v, k));
+        }
+    }
+
+    #[test]
+    fn linear_u64_bounds() {
+        let c = LinearU64::new(10, 20);
+        assert_eq!(c.encode(&10), KeyFraction::ZERO);
+        assert!(c.encode(&20) > c.encode(&19));
+        assert!(c.encode(&20).to_f64() < 1.0);
+        // Clamping out-of-domain inputs.
+        assert_eq!(c.encode(&5), c.encode(&10));
+        assert_eq!(c.encode(&99), c.encode(&20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linear_rejects_degenerate_domain() {
+        LinearU64::new(7, 7);
+    }
+
+    #[test]
+    fn bytes_lex_orders_strings() {
+        let c = BytesLex;
+        let words = ["", "a", "aa", "ab", "b", "track-001", "track-002", "z"];
+        for w in words.windows(2) {
+            assert!(
+                c.encode_str(w[0]) <= c.encode_str(w[1]),
+                "{:?} <= {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(c.encode_str("a") < c.encode_str("b"));
+    }
+
+    #[test]
+    fn bytes_lex_collides_past_8_bytes() {
+        let c = BytesLex;
+        assert_eq!(
+            c.encode_str("abcdefghSUFFIX1"),
+            c.encode_str("abcdefghSUFFIX2"),
+            "documented collision"
+        );
+        assert_ne!(c.encode_str("abcdefg1"), c.encode_str("abcdefg2"));
+    }
+
+    proptest! {
+        #[test]
+        fn linear_is_monotone(lo in 0u64..1000, width in 2u64..1_000_000, a in any::<u64>(), b in any::<u64>()) {
+            let c = LinearU64::new(lo, lo + width);
+            let (a, b) = (lo + a % (width + 1), lo + b % (width + 1));
+            let (ka, kb) = (c.encode(&a), c.encode(&b));
+            prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+            prop_assert_eq!(c.decode(ka), a);
+        }
+
+        #[test]
+        fn bytes_lex_is_monotone_on_short_keys(a in "[a-z]{0,8}", b in "[a-z]{0,8}") {
+            let c = BytesLex;
+            let (ka, kb) = (c.encode_str(&a), c.encode_str(&b));
+            prop_assert_eq!(a.as_bytes().cmp(b.as_bytes()), ka.cmp(&kb));
+        }
+    }
+}

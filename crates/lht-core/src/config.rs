@@ -1,0 +1,97 @@
+//! Index configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`LhtIndex`](crate::LhtIndex).
+///
+/// # Examples
+///
+/// ```
+/// use lht_core::LhtConfig;
+///
+/// // The paper's defaults: θ_split = 100 (§9.2), D = 20 (§9.3).
+/// let cfg = LhtConfig::default();
+/// assert_eq!(cfg.theta_split, 100);
+/// assert_eq!(cfg.max_depth, 20);
+///
+/// let custom = LhtConfig::new(40, 20);
+/// assert_eq!(custom.theta_split, 40);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LhtConfig {
+    /// The leaf-splitting threshold `θ_split` (§3.2): each leaf can
+    /// store at most `θ_split` records, one storage slot of which is
+    /// occupied by the leaf label itself (§9.2), so a bucket holds up
+    /// to `θ_split − 1` data records before splitting.
+    pub theta_split: usize,
+    /// The a-priori maximum tree depth `D` (§5): the longest possible
+    /// leaf label has `D` bits (length `D + 1` in the paper's
+    /// `#`-inclusive counting). As in PHT, this is estimated from the
+    /// expected data size and distribution.
+    pub max_depth: usize,
+}
+
+impl LhtConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta_split < 2` (a bucket must hold the label plus
+    /// at least one record), if `max_depth < 2`, or if
+    /// `max_depth > 64` (data keys have 64 bits).
+    pub fn new(theta_split: usize, max_depth: usize) -> LhtConfig {
+        assert!(theta_split >= 2, "theta_split must be at least 2");
+        assert!(
+            (2..=64).contains(&max_depth),
+            "max_depth must be in 2..=64"
+        );
+        LhtConfig {
+            theta_split,
+            max_depth,
+        }
+    }
+
+    /// Maximum number of data records a bucket can hold: `θ_split`
+    /// minus the slot occupied by the leaf label.
+    pub fn bucket_capacity(&self) -> usize {
+        self.theta_split - 1
+    }
+}
+
+impl Default for LhtConfig {
+    /// The paper's experimental defaults: `θ_split = 100`, `D = 20`.
+    fn default() -> Self {
+        LhtConfig::new(100, 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = LhtConfig::default();
+        assert_eq!(c.theta_split, 100);
+        assert_eq!(c.max_depth, 20);
+        assert_eq!(c.bucket_capacity(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta_split")]
+    fn rejects_tiny_theta() {
+        LhtConfig::new(1, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_depth")]
+    fn rejects_depth_past_64() {
+        LhtConfig::new(100, 65);
+    }
+
+    #[test]
+    fn minimum_viable_config() {
+        let c = LhtConfig::new(2, 2);
+        assert_eq!(c.bucket_capacity(), 1);
+    }
+}

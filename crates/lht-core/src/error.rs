@@ -1,0 +1,107 @@
+//! Index error types.
+
+use lht_dht::DhtError;
+use std::fmt;
+
+/// Errors surfaced by [`LhtIndex`](crate::LhtIndex) operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LhtError {
+    /// The underlying DHT substrate failed.
+    Dht(DhtError),
+    /// A label string failed to parse (bad `#`-notation).
+    BadLabel(String),
+    /// A lookup's binary search exhausted all candidate prefix lengths
+    /// without locating a covering bucket — the index is corrupt or
+    /// entries were lost by the substrate.
+    LookupExhausted {
+        /// The key being looked up, as its raw 64-bit fraction.
+        key_bits: u64,
+    },
+    /// The bucket expected at a DHT key was missing mid-operation —
+    /// entries were lost by the substrate (e.g. an unreplicated node
+    /// crash).
+    MissingBucket {
+        /// The DHT key whose bucket vanished.
+        key: String,
+    },
+    /// A mutating operation kept colliding with concurrent structural
+    /// changes (splits/merges by other clients) and gave up after its
+    /// retry budget. Retrying later will succeed once the structure
+    /// settles.
+    Contention {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for LhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LhtError::Dht(e) => write!(f, "dht substrate failure: {e}"),
+            LhtError::BadLabel(s) => write!(f, "malformed label {s:?}"),
+            LhtError::LookupExhausted { key_bits } => write!(
+                f,
+                "lookup exhausted candidate prefixes for key {:#018x}/2^64",
+                key_bits
+            ),
+            LhtError::MissingBucket { key } => {
+                write!(f, "bucket missing at dht key {key}")
+            }
+            LhtError::Contention { attempts } => {
+                write!(
+                    f,
+                    "operation lost races with concurrent structural changes {attempts} times"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LhtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LhtError::Dht(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DhtError> for LhtError {
+    fn from(e: DhtError) -> Self {
+        LhtError::Dht(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            LhtError::BadLabel("x1".into()).to_string(),
+            "malformed label \"x1\""
+        );
+        assert!(LhtError::Dht(DhtError::EmptyRing)
+            .to_string()
+            .contains("ring has no live nodes"));
+        assert!(LhtError::MissingBucket { key: "#01".into() }
+            .to_string()
+            .contains("#01"));
+    }
+
+    #[test]
+    fn source_chains_to_dht_error() {
+        use std::error::Error;
+        let e = LhtError::from(DhtError::EmptyRing);
+        assert!(e.source().is_some());
+        assert!(LhtError::BadLabel("".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<LhtError>();
+    }
+}

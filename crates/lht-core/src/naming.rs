@@ -1,0 +1,437 @@
+//! The naming function and its relatives (paper §3.4, §5, §6.1).
+//!
+//! These four pure functions on [`Label`]s carry the entire paper:
+//!
+//! * [`name`] — `f_n` (Definition 1): maps each *leaf* label
+//!   bijectively onto an *internal node* label, which becomes the
+//!   leaf bucket's DHT key. Theorem 1 (bijectivity) and Theorem 2
+//!   (split locality) are verified by property tests in this module.
+//! * [`next_name`] — `f_nn` (Definition 2): during a lookup's binary
+//!   search, the next prefix of the search string whose name differs
+//!   from the current one (all prefixes in between share a name and
+//!   need not be probed).
+//! * [`right_neighbor`] / [`left_neighbor`] — `f_rn` / `f_ln`
+//!   (Definition 3): from a node label, the label of its nearest
+//!   right/left *branch node*, letting a leaf bucket walk its local
+//!   tree during range queries with zero extra state.
+
+use crate::Label;
+
+/// The naming function `f_n` (Definition 1): strips the label's entire
+/// trailing run of equal bits.
+///
+/// If `λ` ends in 0, all trailing 0s are removed; otherwise all
+/// trailing 1s. `f_n(#00…0) = #` (the virtual root).
+///
+/// By Theorem 1 this is a bijection from the leaf labels `Λ` of any
+/// partition tree onto its internal node labels `Ω`: the leaf `ω11…`
+/// (rightmost under `ω`) is named `ω` when `ω` ends in 0, and the leaf
+/// `ω00…` (leftmost under `ω`) is named `ω` when `ω` ends in 1 or is
+/// the virtual root.
+///
+/// # Examples
+///
+/// ```
+/// use lht_core::naming::name;
+///
+/// // The paper's §3.4 examples:
+/// assert_eq!(name(&"#01100".parse()?), "#011".parse()?);
+/// assert_eq!(name(&"#01011".parse()?), "#010".parse()?);
+/// // fn(#01111) = #0 (Fig. 4).
+/// assert_eq!(name(&"#01111".parse()?), "#0".parse()?);
+/// # Ok::<(), lht_core::LhtError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `label` is the virtual root, which is never a leaf.
+pub fn name(label: &Label) -> Label {
+    assert!(
+        !label.is_virtual_root(),
+        "the virtual root is not a leaf and has no name"
+    );
+    Label::from_bits(label.bits().strip_trailing_run())
+}
+
+/// The next-naming function `f_nn` (Definition 2): the shortest prefix
+/// of `mu` longer than `x` whose final bit differs from `x`'s final
+/// bit — the first prefix past `x` that is *not* named `f_n(x)`.
+///
+/// Returns `None` when every remaining bit of `mu` equals `x`'s final
+/// bit (no such prefix exists). During a lookup this cannot occur at
+/// the point `f_nn` is consulted — see Algorithm 2 — but the total
+/// function makes that reasoning checkable.
+///
+/// # Examples
+///
+/// ```
+/// use lht_core::naming::next_name;
+///
+/// // The paper's §5 example: f_nn(#0011, #0011100) = #001110.
+/// let x = "#0011".parse()?;
+/// let mu = "#0011100".parse()?;
+/// assert_eq!(next_name(&x, &mu), Some("#001110".parse()?));
+/// # Ok::<(), lht_core::LhtError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `x` is the virtual root or is not a proper prefix of
+/// `mu`.
+pub fn next_name(x: &Label, mu: &Label) -> Option<Label> {
+    assert!(!x.is_virtual_root(), "x must contain at least one bit");
+    assert!(
+        x.is_prefix_of(mu) && x.len() < mu.len(),
+        "x must be a proper prefix of mu"
+    );
+    let last = x.last_bit().expect("x is not the virtual root");
+    (x.len()..mu.len())
+        .find(|&i| mu.bits().bit(i) != last)
+        .map(|i| mu.prefix(i + 1))
+}
+
+/// The right neighbor function `f_rn` (Definition 3): the label of the
+/// nearest branch node to the right of `x` in `x`'s local tree — i.e.
+/// the root of the neighboring subtree covering the keys immediately
+/// above `x`'s interval.
+///
+/// A node on the tree's rightmost spine (`#01…1`, including the
+/// regular root `#0`) has no right neighbor and maps to itself.
+///
+/// # Examples
+///
+/// ```
+/// use lht_core::naming::right_neighbor;
+/// use lht_core::Label;
+///
+/// let x: Label = "#0100".parse()?;
+/// assert_eq!(right_neighbor(&x), "#0101".parse()?);
+/// // Rightmost spine maps to itself.
+/// let edge: Label = "#011".parse()?;
+/// assert_eq!(right_neighbor(&edge), edge);
+/// # Ok::<(), lht_core::LhtError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `x` is the virtual root.
+pub fn right_neighbor(x: &Label) -> Label {
+    assert!(!x.is_virtual_root(), "the virtual root has no neighbors");
+    // x = p 0 1…1  →  p 1 ; if stripping the 1s leaves only the
+    // root bit (p would be the virtual root), x is rightmost.
+    let mut bits = *x.bits();
+    while bits.last() == Some(true) {
+        bits.pop();
+    }
+    debug_assert_eq!(bits.last(), Some(false), "labels start with 0");
+    if bits.len() == 1 {
+        return *x; // #01…1 — the rightmost spine
+    }
+    bits.pop();
+    Label::from_bits(bits.child(true))
+}
+
+/// The left neighbor function `f_ln` (Definition 3): mirror image of
+/// [`right_neighbor`]. A node on the leftmost spine (`#00…0`) maps to
+/// itself.
+///
+/// # Examples
+///
+/// ```
+/// use lht_core::naming::left_neighbor;
+/// use lht_core::Label;
+///
+/// let x: Label = "#0110".parse()?;
+/// // x = p10* with p = #01 → #010.
+/// assert_eq!(left_neighbor(&x), "#010".parse()?);
+/// let edge: Label = "#000".parse()?;
+/// assert_eq!(left_neighbor(&edge), edge);
+/// # Ok::<(), lht_core::LhtError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `x` is the virtual root.
+pub fn left_neighbor(x: &Label) -> Label {
+    assert!(!x.is_virtual_root(), "the virtual root has no neighbors");
+    // x = p 1 0…0  →  p 0 ; if x is all 0s it is leftmost.
+    let mut bits = *x.bits();
+    while bits.last() == Some(false) {
+        bits.pop();
+    }
+    if bits.is_empty() {
+        return *x; // #00…0 — the leftmost spine
+    }
+    debug_assert_eq!(bits.last(), Some(true));
+    bits.pop();
+    Label::from_bits(bits.child(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn l(s: &str) -> Label {
+        s.parse().unwrap()
+    }
+
+    // ---------- f_n unit tests ----------
+
+    #[test]
+    fn name_matches_paper_examples() {
+        assert_eq!(name(&l("#01100")), l("#011"));
+        assert_eq!(name(&l("#01011")), l("#010"));
+        assert_eq!(name(&l("#01111")), l("#0"));
+        // Fig. 4 arrows: every leaf of the example tree.
+        assert_eq!(name(&l("#000")), Label::virtual_root());
+        assert_eq!(name(&l("#0010")), l("#001"));
+        assert_eq!(name(&l("#0011")), l("#00"));
+        assert_eq!(name(&l("#0100")), l("#01"));
+        assert_eq!(name(&l("#0101")), l("#010"));
+    }
+
+    #[test]
+    fn name_of_root_leaf_is_virtual_root() {
+        // A brand-new tree has the single leaf #0, named #.
+        assert_eq!(name(&Label::root()), Label::virtual_root());
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual root")]
+    fn name_of_virtual_root_panics() {
+        name(&Label::virtual_root());
+    }
+
+    // ---------- f_nn unit tests ----------
+
+    #[test]
+    fn next_name_matches_paper_example() {
+        assert_eq!(
+            next_name(&l("#0011"), &l("#0011100")),
+            Some(l("#001110"))
+        );
+        // §5 lookup walk-through: f_nn(#011, #01110011001100) = #01110.
+        assert_eq!(
+            next_name(&l("#011"), &l("#01110011001100")),
+            Some(l("#01110"))
+        );
+    }
+
+    #[test]
+    fn next_name_none_when_run_reaches_end() {
+        assert_eq!(next_name(&l("#01"), &l("#0111")), None);
+        assert_eq!(next_name(&l("#00"), &l("#0000")), None);
+    }
+
+    #[test]
+    fn prefixes_between_x_and_next_name_share_a_name() {
+        // The justification for the binary-search skip (§5): every
+        // prefix y with |x| <= |y| < |f_nn(x, mu)| has f_n(y) = f_n(x).
+        let mu = l("#0011100110");
+        for xl in 1..mu.len() {
+            let x = mu.prefix(xl);
+            if let Some(nn) = next_name(&x, &mu) {
+                for yl in xl..nn.len() {
+                    let y = mu.prefix(yl);
+                    assert_eq!(
+                        name(&y),
+                        name(&x),
+                        "prefix {y} of {mu} should share the name of {x}"
+                    );
+                }
+                assert_ne!(name(&nn), name(&x));
+            }
+        }
+    }
+
+    // ---------- f_rn / f_ln unit tests ----------
+
+    #[test]
+    fn neighbors_match_definition_patterns() {
+        // f_rn(p01*) = p1
+        assert_eq!(right_neighbor(&l("#00")), l("#01"));
+        assert_eq!(right_neighbor(&l("#0011")), l("#01"));
+        assert_eq!(right_neighbor(&l("#0100")), l("#0101"));
+        // rightmost spine
+        for s in ["#0", "#01", "#011", "#0111"] {
+            assert_eq!(right_neighbor(&l(s)), l(s));
+        }
+        // f_ln(p10*) = p0
+        assert_eq!(left_neighbor(&l("#01")), l("#00"));
+        assert_eq!(left_neighbor(&l("#0100")), l("#00"));
+        assert_eq!(left_neighbor(&l("#0110")), l("#010"));
+        // leftmost spine
+        for s in ["#0", "#00", "#000"] {
+            assert_eq!(left_neighbor(&l(s)), l(s));
+        }
+    }
+
+    #[test]
+    fn fig5b_walkthrough() {
+        // §6.2 example: the query [0.2, 0.6) on Fig. 5b's tree.
+        // f_rn(#000) = #001, f_n(#001) = #00.
+        assert_eq!(right_neighbor(&l("#000")), l("#001"));
+        assert_eq!(name(&l("#001")), l("#00"));
+        // f_rn(#001) = #01.
+        assert_eq!(right_neighbor(&l("#001")), l("#01"));
+        // f_n(f_ln(#0011)) = #001 — the name of bucket #0010.
+        assert_eq!(left_neighbor(&l("#0011")), l("#0010"));
+        assert_eq!(name(&l("#0010")), l("#001"));
+    }
+
+    #[test]
+    fn right_neighbor_interval_is_adjacent() {
+        for s in ["#00", "#0010", "#01010", "#00111"] {
+            let x = l(s);
+            let r = right_neighbor(&x);
+            assert_eq!(
+                x.interval().hi_raw(),
+                r.interval().lo_raw(),
+                "f_rn({x}) = {r} must cover the keys just above {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn left_neighbor_interval_is_adjacent() {
+        for s in ["#01", "#0110", "#01010", "#01100"] {
+            let x = l(s);
+            let left = left_neighbor(&x);
+            assert_eq!(
+                left.interval().hi_raw(),
+                x.interval().lo_raw(),
+                "f_ln({x}) = {left} must cover the keys just below {x}"
+            );
+        }
+    }
+
+    // ---------- Theorem property tests ----------
+
+    /// Builds a random full-binary partition tree: returns its leaf
+    /// set. `choices[i]` selects which current leaf to split next.
+    fn random_tree(choices: &[u16]) -> Vec<Label> {
+        let mut leaves = vec![Label::root()];
+        for &c in choices {
+            let i = c as usize % leaves.len();
+            let leaf = leaves.swap_remove(i);
+            if leaf.len() >= 60 {
+                leaves.push(leaf);
+                continue;
+            }
+            leaves.push(leaf.child(false));
+            leaves.push(leaf.child(true));
+        }
+        leaves
+    }
+
+    /// The internal-node set Ω of a tree given by its leaf set: all
+    /// proper ancestors of leaves, plus the virtual root.
+    fn internal_nodes(leaves: &[Label]) -> BTreeSet<Label> {
+        let mut omega = BTreeSet::new();
+        omega.insert(Label::virtual_root());
+        for leaf in leaves {
+            let mut cur = *leaf;
+            while let Some(p) = cur.parent() {
+                if !p.is_virtual_root() {
+                    omega.insert(p);
+                }
+                cur = p;
+            }
+        }
+        // A single-leaf tree has only the virtual root as "internal"
+        // (the double-root property makes |Λ| = |Ω| hold even there).
+        if leaves.len() == 1 {
+            return omega;
+        }
+        omega
+    }
+
+    proptest! {
+        /// Theorem 1: f_n is a bijection from the leaf labels Λ onto
+        /// the internal labels Ω of any partition tree.
+        #[test]
+        fn theorem1_name_is_bijective(choices in proptest::collection::vec(any::<u16>(), 0..200)) {
+            let leaves = random_tree(&choices);
+            let omega = internal_nodes(&leaves);
+            prop_assert_eq!(leaves.len(), omega.len(), "double-root fullness: |Λ| = |Ω|");
+            let image: BTreeSet<Label> = leaves.iter().map(name).collect();
+            prop_assert_eq!(image.len(), leaves.len(), "f_n is injective on Λ");
+            prop_assert_eq!(image, omega, "f_n maps Λ onto Ω");
+        }
+
+        /// Theorem 2: when leaf λ splits into λ0 and λ1, one child is
+        /// named f_n(λ) (stays on its peer) and the other is named λ.
+        #[test]
+        fn theorem2_split_keeps_one_name(s in "0[01]{0,40}") {
+            let leaf = Label::from_bits(s.parse().unwrap());
+            let old_name = name(&leaf);
+            let n0 = name(&leaf.child(false));
+            let n1 = name(&leaf.child(true));
+            if leaf.last_bit() == Some(true) {
+                prop_assert_eq!(n0, leaf, "λ ends in 1: λ0 is the remote leaf named λ");
+                prop_assert_eq!(n1, old_name, "λ1 is the local leaf named f_n(λ)");
+            } else {
+                prop_assert_eq!(n0, old_name, "λ ends in 0: λ0 is the local leaf");
+                prop_assert_eq!(n1, leaf, "λ1 is the remote leaf named λ");
+            }
+        }
+
+        /// f_n(λ) is always a proper ancestor of λ.
+        #[test]
+        fn name_is_proper_prefix(s in "0[01]{0,40}") {
+            let leaf = Label::from_bits(s.parse().unwrap());
+            let n = name(&leaf);
+            prop_assert!(n.is_prefix_of(&leaf));
+            prop_assert!(n.len() < leaf.len() || leaf.len() == 1);
+        }
+
+        /// In any tree, the leaf named f_n reachable via the theorem's
+        /// construction covers keys adjacent to the name's interval
+        /// edge: ω ending in 0 is claimed by the *rightmost* leaf of
+        /// its subtree, ω ending in 1 (or #) by the *leftmost*.
+        #[test]
+        fn theorem1_edge_leaf_structure(choices in proptest::collection::vec(any::<u16>(), 1..150)) {
+            let leaves = random_tree(&choices);
+            for leaf in &leaves {
+                let n = name(leaf);
+                if n.is_virtual_root() {
+                    // Named leaf is the leftmost leaf of the whole tree.
+                    prop_assert_eq!(leaf.interval().lo_raw(), 0);
+                } else if n.last_bit() == Some(false) {
+                    // Rightmost leaf under n.
+                    prop_assert_eq!(leaf.interval().hi_raw(), n.interval().hi_raw());
+                } else {
+                    // Leftmost leaf under n.
+                    prop_assert_eq!(leaf.interval().lo_raw(), n.interval().lo_raw());
+                }
+            }
+        }
+
+        /// f_rn/f_ln return interval-adjacent nodes (or fixpoints at
+        /// the spines).
+        #[test]
+        fn neighbors_are_interval_adjacent(s in "0[01]{0,40}") {
+            let x = Label::from_bits(s.parse().unwrap());
+            let r = right_neighbor(&x);
+            if r == x {
+                // Rightmost: interval reaches the top of key space.
+                prop_assert_eq!(x.interval().hi_raw(), KeyIntervalTop::TOP);
+            } else {
+                prop_assert_eq!(x.interval().hi_raw(), r.interval().lo_raw());
+            }
+            let lft = left_neighbor(&x);
+            if lft == x {
+                prop_assert_eq!(x.interval().lo_raw(), 0);
+            } else {
+                prop_assert_eq!(lft.interval().hi_raw(), x.interval().lo_raw());
+            }
+        }
+    }
+
+    struct KeyIntervalTop;
+    impl KeyIntervalTop {
+        const TOP: u128 = 1u128 << 64;
+    }
+}

@@ -1,0 +1,55 @@
+//! DHT error types.
+
+use std::fmt;
+
+/// Errors surfaced by [`Dht`](crate::Dht) operations.
+///
+/// A *failed `get`* — a lookup that routes correctly but finds no value
+/// under the key — is **not** an error: it is an expected outcome the
+/// LHT algorithms rely on (Algorithm 2 line 7) and is reported as
+/// `Ok(None)`. Errors model substrate-level failures instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DhtError {
+    /// The ring has no live nodes, so there is nowhere to route to.
+    EmptyRing,
+    /// Iterative routing failed to converge within the hop budget,
+    /// which indicates a partitioned or badly-stale ring.
+    RoutingFailed {
+        /// Number of hops attempted before giving up.
+        hops: u64,
+    },
+}
+
+impl fmt::Display for DhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhtError::EmptyRing => f.write_str("ring has no live nodes"),
+            DhtError::RoutingFailed { hops } => {
+                write!(f, "routing failed to converge after {hops} hops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(DhtError::EmptyRing.to_string(), "ring has no live nodes");
+        assert_eq!(
+            DhtError::RoutingFailed { hops: 7 }.to_string(),
+            "routing failed to converge after 7 hops"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<DhtError>();
+    }
+}

@@ -1,0 +1,103 @@
+//! DHT keys.
+
+use lht_id::{sha1, U160};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A DHT key `κ` — the name under which a value is stored on the ring.
+///
+/// In the LHT architecture (paper §3.1) every record/bucket carries a
+/// DHT key produced by the naming function; the DHT maps the key to the
+/// peer responsible for `hash(κ)`. Keys here are arbitrary byte strings
+/// (index layers use the textual label rendering, e.g. `"#0110"`).
+///
+/// # Examples
+///
+/// ```
+/// use lht_dht::DhtKey;
+///
+/// let k = DhtKey::from("#0110");
+/// assert_eq!(k.as_bytes(), b"#0110");
+/// // `hash` is the consistent-hash position on the 160-bit ring.
+/// let _ring_position = k.hash();
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DhtKey(Vec<u8>);
+
+impl DhtKey {
+    /// Creates a key from raw bytes.
+    pub fn new(bytes: impl Into<Vec<u8>>) -> DhtKey {
+        DhtKey(bytes.into())
+    }
+
+    /// The key's byte content.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The key's consistent-hash position on the identifier ring
+    /// (SHA-1, as in Chord/Bamboo).
+    pub fn hash(&self) -> U160 {
+        sha1(&self.0)
+    }
+}
+
+impl From<&str> for DhtKey {
+    fn from(s: &str) -> Self {
+        DhtKey(s.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for DhtKey {
+    fn from(s: String) -> Self {
+        DhtKey(s.into_bytes())
+    }
+}
+
+impl fmt::Debug for DhtKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DhtKey({self})")
+    }
+}
+
+impl fmt::Display for DhtKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) => f.write_str(s),
+            Err(_) => write!(f, "0x{}", hex(&self.0)),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_equivalences() {
+        assert_eq!(DhtKey::from("#0"), DhtKey::new(b"#0".to_vec()));
+        assert_eq!(DhtKey::from("#0".to_string()), DhtKey::from("#0"));
+    }
+
+    #[test]
+    fn hash_is_sha1_of_bytes() {
+        assert_eq!(DhtKey::from("#0").hash(), sha1(b"#0"));
+        assert_ne!(DhtKey::from("#0").hash(), DhtKey::from("#1").hash());
+    }
+
+    #[test]
+    fn display_prefers_utf8() {
+        assert_eq!(DhtKey::from("#0110").to_string(), "#0110");
+        assert_eq!(DhtKey::new(vec![0xff, 0x00]).to_string(), "0xff00");
+    }
+
+    #[test]
+    fn ordering_is_byte_order_not_ring_order() {
+        assert!(DhtKey::from("#0") < DhtKey::from("#00"));
+        assert!(DhtKey::from("#0") < DhtKey::from("#1"));
+    }
+}

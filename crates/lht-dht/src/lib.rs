@@ -1,0 +1,50 @@
+//! Simulated DHT substrates for over-DHT indexing schemes.
+//!
+//! The LHT paper (§2) defines the *over-DHT paradigm*: index structures
+//! built purely on the `put`/`get` interface of a generic DHT, adaptable
+//! to any substrate. This crate provides that interface — the [`Dht`]
+//! trait — together with two substrates:
+//!
+//! * [`DirectDht`] — a one-hop oracle (a single consistent-hash ring
+//!   partition backed by a map). All index-level metrics in the paper
+//!   (DHT-lookup counts, moved records, parallel steps) are counted
+//!   *above* this interface and are therefore identical on any
+//!   substrate; the paper itself notes (footnote 5) that its
+//!   measurements are independent of the underlying network scale.
+//! * [`ChordDht`] — a faithful in-process Chord ring: 160-bit
+//!   identifier space, finger tables, successor lists, iterative
+//!   lookups with per-hop accounting, node join/leave/crash and
+//!   stabilization. Use it when hop-level behaviour or churn matters.
+//!
+//! Every operation reports its cost through [`DhtStats`], which the
+//! index layers diff around operations to attribute costs the way the
+//! paper's cost model (§8) does.
+//!
+//! # Examples
+//!
+//! ```
+//! use lht_dht::{Dht, DhtKey, DirectDht};
+//!
+//! let dht: DirectDht<String> = DirectDht::new();
+//! dht.put(&DhtKey::from("#0"), "root bucket".to_string())?;
+//! assert_eq!(dht.get(&DhtKey::from("#0"))?, Some("root bucket".to_string()));
+//! assert_eq!(dht.stats().lookups(), 2); // one put + one get
+//! # Ok::<(), lht_dht::DhtError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chord;
+mod direct;
+mod error;
+mod key;
+mod stats;
+mod traits;
+
+pub use chord::{ChordConfig, ChordDht, RingSnapshot};
+pub use direct::DirectDht;
+pub use error::DhtError;
+pub use key::DhtKey;
+pub use stats::DhtStats;
+pub use traits::Dht;

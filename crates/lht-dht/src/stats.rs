@@ -1,0 +1,137 @@
+//! Cost accounting for DHT operations.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Sub;
+
+/// Cumulative operation counters for a DHT instance.
+///
+/// The paper's cost model (§8.1) charges `ȷ` units per DHT-lookup and
+/// `ı` units per moved record; `DhtStats` supplies the lookup side
+/// (the index layers account for moved records themselves, since only
+/// they know what a "record" is).
+///
+/// Every `get`/`put`/`remove`/`update` counts as exactly one
+/// DHT-lookup, matching how the paper counts (a `DHT-put` "consumes
+/// one DHT-lookup", §4). `hops` additionally records the physical
+/// routing hops a substrate took, which is 1 per operation on the
+/// one-hop oracle and `O(log N)` on Chord.
+///
+/// Snapshots are cheap [`Copy`] values; subtract two snapshots to get
+/// the cost of the operations in between:
+///
+/// ```
+/// use lht_dht::{Dht, DhtKey, DirectDht};
+///
+/// let dht: DirectDht<u32> = DirectDht::new();
+/// let before = dht.stats();
+/// dht.put(&DhtKey::from("a"), 1)?;
+/// dht.get(&DhtKey::from("a"))?;
+/// let cost = dht.stats() - before;
+/// assert_eq!(cost.lookups(), 2);
+/// # Ok::<(), lht_dht::DhtError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DhtStats {
+    /// Number of `get` operations (successful or not).
+    pub gets: u64,
+    /// Number of `get` operations that found no value (failed gets).
+    pub failed_gets: u64,
+    /// Number of `put` operations.
+    pub puts: u64,
+    /// Number of `remove` operations.
+    pub removes: u64,
+    /// Number of `update` (execute-at-owner) operations.
+    pub updates: u64,
+    /// Physical routing hops across all operations.
+    pub hops: u64,
+    /// Keys transferred between nodes by churn (join/leave handoff).
+    pub keys_transferred: u64,
+}
+
+impl DhtStats {
+    /// Total DHT-lookups: every operation routes once.
+    pub fn lookups(&self) -> u64 {
+        self.gets + self.puts + self.removes + self.updates
+    }
+
+    /// Mean hops per lookup, or 0.0 when no lookups happened.
+    pub fn hops_per_lookup(&self) -> f64 {
+        let l = self.lookups();
+        if l == 0 {
+            0.0
+        } else {
+            self.hops as f64 / l as f64
+        }
+    }
+}
+
+impl Sub for DhtStats {
+    type Output = DhtStats;
+
+    fn sub(self, rhs: DhtStats) -> DhtStats {
+        DhtStats {
+            gets: self.gets - rhs.gets,
+            failed_gets: self.failed_gets - rhs.failed_gets,
+            puts: self.puts - rhs.puts,
+            removes: self.removes - rhs.removes,
+            updates: self.updates - rhs.updates,
+            hops: self.hops - rhs.hops,
+            keys_transferred: self.keys_transferred - rhs.keys_transferred,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_sum_all_operation_kinds() {
+        let s = DhtStats {
+            gets: 3,
+            failed_gets: 1,
+            puts: 2,
+            removes: 1,
+            updates: 4,
+            hops: 30,
+            keys_transferred: 0,
+        };
+        assert_eq!(s.lookups(), 10);
+        assert_eq!(s.hops_per_lookup(), 3.0);
+    }
+
+    #[test]
+    fn zero_lookups_zero_rate() {
+        assert_eq!(DhtStats::default().hops_per_lookup(), 0.0);
+    }
+
+    #[test]
+    fn subtraction_diffs_fieldwise() {
+        let a = DhtStats {
+            gets: 5,
+            failed_gets: 2,
+            puts: 4,
+            removes: 3,
+            updates: 2,
+            hops: 50,
+            keys_transferred: 7,
+        };
+        let b = DhtStats {
+            gets: 1,
+            failed_gets: 1,
+            puts: 1,
+            removes: 1,
+            updates: 1,
+            hops: 10,
+            keys_transferred: 2,
+        };
+        let d = a - b;
+        assert_eq!(d.gets, 4);
+        assert_eq!(d.failed_gets, 1);
+        assert_eq!(d.puts, 3);
+        assert_eq!(d.removes, 2);
+        assert_eq!(d.updates, 1);
+        assert_eq!(d.hops, 40);
+        assert_eq!(d.keys_transferred, 5);
+    }
+}

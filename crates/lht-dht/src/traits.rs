@@ -1,0 +1,113 @@
+//! The generic over-DHT interface.
+
+use crate::{DhtError, DhtKey, DhtStats};
+
+/// The `put`/`get` interface of a generic DHT, as assumed by the
+/// over-DHT indexing paradigm (paper §2).
+///
+/// Index layers (`lht-core`, `lht-pht`, `lht-dst`, `lht-rst`) are
+/// written against this trait only, which is exactly the paper's
+/// adaptability claim: *"LHT requires no modification of the underlying
+/// DHTs and can be easily adapted to any DHT substrate"* (§1).
+///
+/// # Cost accounting contract
+///
+/// Implementations must count **each** of `get`, `put`, `remove` and
+/// `update` as one DHT-lookup in [`Dht::stats`], regardless of outcome,
+/// and must add however many physical routing hops the operation took.
+///
+/// # Failed gets
+///
+/// A `get` for an absent key returns `Ok(None)` — the LHT lookup
+/// algorithm (Alg. 2) depends on observing such *failed gets* as
+/// negative information about the tree's depth. `Err` is reserved for
+/// substrate failures (empty ring, routing breakdown).
+///
+/// # The `update` operation
+///
+/// `update(key, f)` routes to the owner of `key` and runs `f` on the
+/// (possibly absent) stored value *at the owner*, the way a deployed
+/// over-DHT index runs its bucket logic inside the DHT node's
+/// application layer (Bamboo/OpenDHT deliver application upcalls the
+/// same way; Algorithm 1 line 10 "write b back to the local disk" is
+/// free precisely because it happens at the owner). It costs one
+/// DHT-lookup — the routing — just like a `put`.
+pub trait Dht {
+    /// The value type stored under each key.
+    type Value;
+
+    /// Fetches the value stored under `key`.
+    ///
+    /// Returns `Ok(None)` on a *failed get* (no value under the key).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for substrate failures such as an empty
+    /// ring.
+    fn get(&self, key: &DhtKey) -> Result<Option<Self::Value>, DhtError>;
+
+    /// Stores `value` under `key`, replacing any previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for substrate failures.
+    fn put(&self, key: &DhtKey, value: Self::Value) -> Result<(), DhtError>;
+
+    /// Removes and returns the value stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for substrate failures.
+    fn remove(&self, key: &DhtKey) -> Result<Option<Self::Value>, DhtError>;
+
+    /// Routes to the owner of `key` and applies `f` to the slot for
+    /// `key` (setting the slot to `None` deletes the entry; populating
+    /// it inserts one).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for substrate failures.
+    fn update(
+        &self,
+        key: &DhtKey,
+        f: &mut dyn FnMut(&mut Option<Self::Value>),
+    ) -> Result<(), DhtError>;
+
+    /// A snapshot of the cumulative operation counters.
+    fn stats(&self) -> DhtStats;
+
+    /// Resets the cumulative counters to zero.
+    fn reset_stats(&self);
+}
+
+impl<D: Dht + ?Sized> Dht for &D {
+    type Value = D::Value;
+
+    fn get(&self, key: &DhtKey) -> Result<Option<Self::Value>, DhtError> {
+        (**self).get(key)
+    }
+
+    fn put(&self, key: &DhtKey, value: Self::Value) -> Result<(), DhtError> {
+        (**self).put(key, value)
+    }
+
+    fn remove(&self, key: &DhtKey) -> Result<Option<Self::Value>, DhtError> {
+        (**self).remove(key)
+    }
+
+    fn update(
+        &self,
+        key: &DhtKey,
+        f: &mut dyn FnMut(&mut Option<Self::Value>),
+    ) -> Result<(), DhtError> {
+        (**self).update(key, f)
+    }
+
+    fn stats(&self) -> DhtStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&self) {
+        (**self).reset_stats()
+    }
+}

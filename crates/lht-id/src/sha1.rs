@@ -1,0 +1,228 @@
+//! A from-scratch SHA-1 implementation (FIPS 180-1).
+//!
+//! The LHT paper deploys its index over Bamboo/OpenDHT, which — like
+//! Chord — uses SHA-1 as its consistent hash. Reimplementing the digest
+//! here keeps the workspace dependency-free while staying faithful to
+//! the substrate the paper ran on. SHA-1 is used purely for *placement*
+//! (uniformly spreading keys over the ring), not for security, so its
+//! cryptographic weaknesses are irrelevant to the reproduction.
+
+use crate::U160;
+
+/// Streaming SHA-1 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use lht_id::Sha1;
+///
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// assert_eq!(h.finalize().to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the FIPS 180-1 initial state.
+    pub fn new() -> Sha1 {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len += data.len() as u64;
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.process_block(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut arr = [0u8; 64];
+            arr.copy_from_slice(block);
+            self.process_block(&arr);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Completes the digest, returning it as a [`U160`].
+    pub fn finalize(mut self) -> U160 {
+        let bit_len = self.len * 8;
+        // Append the 0x80 terminator and zero padding so that the
+        // message length (in bits) fits in the final 8 bytes.
+        self.update_padding_byte(0x80);
+        while self.buf_len != 56 {
+            self.update_padding_byte(0x00);
+        }
+        let len_bytes = bit_len.to_be_bytes();
+        self.buf[56..64].copy_from_slice(&len_bytes);
+        let block = self.buf;
+        self.process_block(&block);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        U160::from_be_bytes(out)
+    }
+
+    fn update_padding_byte(&mut self, byte: u8) {
+        self.buf[self.buf_len] = byte;
+        self.buf_len += 1;
+        if self.buf_len == 64 {
+            let block = self.buf;
+            self.process_block(&block);
+            self.buf_len = 0;
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            let o = i * 4;
+            *word = u32::from_be_bytes([block[o], block[o + 1], block[o + 2], block[o + 3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use lht_id::sha1;
+/// assert_eq!(sha1(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+/// ```
+pub fn sha1(data: &[u8]) -> U160 {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS 180-1 / RFC 3174 test vectors.
+    #[test]
+    fn known_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
+        ];
+        for (input, hex) in cases {
+            assert_eq!(sha1(input).to_hex(), *hex, "input {:?}", input);
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"hello sha1 streaming interface";
+        for split in 0..data.len() {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha1(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Lengths around the 55/56/64-byte padding edges.
+        for n in [54usize, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0x5au8; n];
+            let one = sha1(&data);
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), one, "length {n}");
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(sha1(b"#0"), sha1(b"#1"));
+        assert_ne!(sha1(b"#00"), sha1(b"#0"));
+    }
+}

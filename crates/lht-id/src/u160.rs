@@ -1,0 +1,356 @@
+//! A 160-bit unsigned integer for the DHT identifier space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 160-bit unsigned integer, the identifier space of the simulated
+/// DHT (matching the SHA-1 digest width used by Chord and Bamboo).
+///
+/// Arithmetic is modular (wrapping) because DHT identifiers live on a
+/// ring. Comparison is plain big-endian numeric order; ring-relative
+/// predicates are provided by [`U160::in_range`] and
+/// [`U160::distance_cw`].
+///
+/// # Examples
+///
+/// ```
+/// use lht_id::U160;
+///
+/// let a = U160::from_u64(10);
+/// let b = U160::MAX;
+/// // Wrapping: MAX + 11 == 10.
+/// assert_eq!(b.wrapping_add(&U160::from_u64(11)), a);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct U160 {
+    /// Big-endian limbs: `limbs[0]` holds the most significant 32 bits.
+    limbs: [u32; 5],
+}
+
+impl U160 {
+    /// The additive identity.
+    pub const ZERO: U160 = U160 { limbs: [0; 5] };
+    /// The multiplicative-space maximum, `2^160 - 1`.
+    pub const MAX: U160 = U160 {
+        limbs: [u32::MAX; 5],
+    };
+    /// The number of bits in the identifier space.
+    pub const BITS: u32 = 160;
+
+    /// Creates an identifier from a small integer.
+    ///
+    /// ```
+    /// use lht_id::U160;
+    /// assert_eq!(U160::from_u64(0), U160::ZERO);
+    /// ```
+    pub const fn from_u64(v: u64) -> U160 {
+        U160 {
+            limbs: [0, 0, 0, (v >> 32) as u32, v as u32],
+        }
+    }
+
+    /// Creates an identifier from 20 big-endian bytes (e.g. a SHA-1
+    /// digest).
+    pub fn from_be_bytes(bytes: [u8; 20]) -> U160 {
+        let mut limbs = [0u32; 5];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let o = i * 4;
+            *limb = u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        }
+        U160 { limbs }
+    }
+
+    /// Returns the identifier as 20 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 20] {
+        let mut out = [0u8; 20];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Wrapping (mod 2^160) addition.
+    pub fn wrapping_add(&self, rhs: &U160) -> U160 {
+        let mut out = [0u32; 5];
+        let mut carry = 0u64;
+        for i in (0..5).rev() {
+            let sum = self.limbs[i] as u64 + rhs.limbs[i] as u64 + carry;
+            out[i] = sum as u32;
+            carry = sum >> 32;
+        }
+        U160 { limbs: out }
+    }
+
+    /// Wrapping (mod 2^160) subtraction.
+    pub fn wrapping_sub(&self, rhs: &U160) -> U160 {
+        let mut out = [0u32; 5];
+        let mut borrow = 0i64;
+        for i in (0..5).rev() {
+            let diff = self.limbs[i] as i64 - rhs.limbs[i] as i64 - borrow;
+            if diff < 0 {
+                out[i] = (diff + (1i64 << 32)) as u32;
+                borrow = 1;
+            } else {
+                out[i] = diff as u32;
+                borrow = 0;
+            }
+        }
+        U160 { limbs: out }
+    }
+
+    /// Returns `2^k` for `k < 160`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 160`.
+    pub fn pow2(k: u32) -> U160 {
+        assert!(k < Self::BITS, "pow2 exponent {k} out of range");
+        let mut limbs = [0u32; 5];
+        let limb = 4 - (k / 32) as usize;
+        limbs[limb] = 1u32 << (k % 32);
+        U160 { limbs }
+    }
+
+    /// Clockwise ring distance from `self` to `other`, i.e. the amount
+    /// that must be added to `self` (mod 2^160) to reach `other`.
+    ///
+    /// ```
+    /// use lht_id::U160;
+    /// let a = U160::from_u64(5);
+    /// let b = U160::from_u64(2);
+    /// assert_eq!(b.distance_cw(&a), U160::from_u64(3));
+    /// ```
+    pub fn distance_cw(&self, other: &U160) -> U160 {
+        other.wrapping_sub(self)
+    }
+
+    /// Whether `self` lies in the half-open clockwise ring interval
+    /// `(from, to]`.
+    ///
+    /// This is the ownership predicate of consistent hashing: the node
+    /// with identifier `to` owns exactly the keys in
+    /// `(predecessor, to]`. When `from == to` the interval is the whole
+    /// ring.
+    pub fn in_range(&self, from: &U160, to: &U160) -> bool {
+        if from == to {
+            return true;
+        }
+        // Distance walked clockwise from `from`: self must be strictly
+        // past `from` and at most at `to`.
+        let d_self = from.distance_cw(self);
+        let d_to = from.distance_cw(to);
+        d_self != U160::ZERO && d_self <= d_to
+    }
+
+    /// Number of leading zero bits.
+    pub fn leading_zeros(&self) -> u32 {
+        let mut n = 0;
+        for limb in self.limbs {
+            if limb == 0 {
+                n += 32;
+            } else {
+                n += limb.leading_zeros();
+                break;
+            }
+        }
+        n
+    }
+
+    /// Returns bit `i`, where bit 0 is the most significant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 160`.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < Self::BITS, "bit index {i} out of range");
+        let limb = (i / 32) as usize;
+        let shift = 31 - (i % 32);
+        (self.limbs[limb] >> shift) & 1 == 1
+    }
+
+    /// Lowercase hexadecimal rendering (40 characters).
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.to_be_bytes() {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+impl std::ops::BitXor for U160 {
+    type Output = U160;
+
+    /// Bitwise XOR — the Kademlia distance metric.
+    fn bitxor(self, rhs: U160) -> U160 {
+        let mut limbs = [0u32; 5];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = self.limbs[i] ^ rhs.limbs[i];
+        }
+        U160 { limbs }
+    }
+}
+
+impl From<u64> for U160 {
+    fn from(v: u64) -> Self {
+        U160::from_u64(v)
+    }
+}
+
+impl fmt::Debug for U160 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U160({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for U160 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for U160 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_max_roundtrip_bytes() {
+        assert_eq!(U160::from_be_bytes(U160::ZERO.to_be_bytes()), U160::ZERO);
+        assert_eq!(U160::from_be_bytes(U160::MAX.to_be_bytes()), U160::MAX);
+        assert_eq!(U160::MAX.to_be_bytes(), [0xffu8; 20]);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = U160::from_be_bytes([
+            0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff,
+        ]);
+        let one = U160::from_u64(1);
+        let sum = a.wrapping_add(&one);
+        let mut expect = [0u8; 20];
+        expect[14] = 1;
+        assert_eq!(sum.to_be_bytes(), expect);
+    }
+
+    #[test]
+    fn add_wraps_at_modulus() {
+        assert_eq!(U160::MAX.wrapping_add(&U160::from_u64(1)), U160::ZERO);
+    }
+
+    #[test]
+    fn sub_borrows_and_wraps() {
+        assert_eq!(U160::ZERO.wrapping_sub(&U160::from_u64(1)), U160::MAX);
+        let a = U160::from_u64(100);
+        let b = U160::from_u64(58);
+        assert_eq!(a.wrapping_sub(&b), U160::from_u64(42));
+    }
+
+    #[test]
+    fn pow2_values() {
+        assert_eq!(U160::pow2(0), U160::from_u64(1));
+        assert_eq!(U160::pow2(33), U160::from_u64(1 << 33));
+        assert_eq!(U160::pow2(159).leading_zeros(), 0);
+        assert_eq!(
+            U160::pow2(159).wrapping_add(&U160::pow2(159)),
+            U160::ZERO,
+            "2^159 + 2^159 wraps to zero"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pow2_panics_past_160() {
+        let _ = U160::pow2(160);
+    }
+
+    #[test]
+    fn ring_distance() {
+        let a = U160::from_u64(5);
+        let b = U160::from_u64(2);
+        assert_eq!(a.distance_cw(&b), U160::MAX.wrapping_sub(&U160::from_u64(2)));
+        assert_eq!(b.distance_cw(&a), U160::from_u64(3));
+        assert_eq!(a.distance_cw(&a), U160::ZERO);
+    }
+
+    #[test]
+    fn in_range_half_open() {
+        let a = U160::from_u64(10);
+        let b = U160::from_u64(20);
+        assert!(U160::from_u64(15).in_range(&a, &b));
+        assert!(U160::from_u64(20).in_range(&a, &b), "upper bound inclusive");
+        assert!(!U160::from_u64(10).in_range(&a, &b), "lower bound exclusive");
+        assert!(!U160::from_u64(25).in_range(&a, &b));
+    }
+
+    #[test]
+    fn in_range_wrapping_interval() {
+        let a = U160::MAX.wrapping_sub(&U160::from_u64(5));
+        let b = U160::from_u64(5);
+        assert!(U160::ZERO.in_range(&a, &b));
+        assert!(U160::MAX.in_range(&a, &b));
+        assert!(!U160::from_u64(6).in_range(&a, &b));
+        assert!(!a.in_range(&a, &b));
+    }
+
+    #[test]
+    fn in_range_degenerate_full_ring() {
+        let a = U160::from_u64(7);
+        assert!(U160::from_u64(123).in_range(&a, &a));
+        assert!(U160::ZERO.in_range(&a, &a));
+    }
+
+    #[test]
+    fn bit_indexing_is_msb_first() {
+        let one = U160::from_u64(1);
+        assert!(one.bit(159));
+        assert!(!one.bit(0));
+        let top = U160::pow2(159);
+        assert!(top.bit(0));
+        assert!(!top.bit(159));
+    }
+
+    #[test]
+    fn leading_zeros_counts() {
+        assert_eq!(U160::ZERO.leading_zeros(), 160);
+        assert_eq!(U160::from_u64(1).leading_zeros(), 159);
+        assert_eq!(U160::pow2(159).leading_zeros(), 0);
+        assert_eq!(U160::pow2(64).leading_zeros(), 95);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(U160::ZERO < U160::from_u64(1));
+        assert!(U160::from_u64(1) < U160::pow2(64));
+        assert!(U160::pow2(64) < U160::MAX);
+    }
+
+    #[test]
+    fn xor_is_a_metric() {
+        let a = U160::from_u64(0b1100);
+        let b = U160::from_u64(0b1010);
+        assert_eq!(a ^ b, U160::from_u64(0b0110));
+        assert_eq!(a ^ a, U160::ZERO, "d(x, x) = 0");
+        assert_eq!(a ^ b, b ^ a, "symmetry");
+        assert_eq!((a ^ b) ^ b, a, "involution");
+        assert_eq!(U160::MAX ^ U160::MAX, U160::ZERO);
+        assert_eq!(U160::MAX ^ U160::ZERO, U160::MAX);
+    }
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(U160::ZERO.to_hex(), "0".repeat(40));
+        assert_eq!(
+            U160::from_u64(0xdeadbeef).to_hex(),
+            format!("{}deadbeef", "0".repeat(32))
+        );
+        assert_eq!(format!("{:x}", U160::from_u64(0xff)), U160::from_u64(0xff).to_hex());
+    }
+}

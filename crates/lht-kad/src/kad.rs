@@ -1,0 +1,601 @@
+//! The Kademlia network simulation.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use lht_dht::{Dht, DhtError, DhtKey, DhtStats};
+use lht_id::{sha1, U160};
+
+/// Configuration for a [`KademliaDht`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KademliaConfig {
+    /// Bucket size and replication factor (Kademlia's `k`).
+    pub k: usize,
+    /// Lookup parallelism (Kademlia's `α`). In this step-simulation α
+    /// affects which contacts are probed, not wall-clock, but is kept
+    /// for fidelity of the probe pattern.
+    pub alpha: usize,
+    /// Hop budget per lookup.
+    pub max_hops: u64,
+}
+
+impl Default for KademliaConfig {
+    fn default() -> Self {
+        KademliaConfig {
+            k: 8,
+            alpha: 3,
+            max_hops: 512,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node<V> {
+    /// `buckets[i]` holds contacts whose XOR distance to this node
+    /// has its most significant bit at position `i` (0 = closest
+    /// half-space is bucket 159 … wait: bit 0 is the MSB of U160, so
+    /// bucket index = leading_zeros of the distance; smaller index =
+    /// farther). Most-recently-seen first, capped at `k`.
+    buckets: Vec<Vec<U160>>,
+    store: HashMap<DhtKey, V>,
+}
+
+impl<V> Node<V> {
+    fn new() -> Node<V> {
+        Node {
+            buckets: vec![Vec::new(); U160::BITS as usize],
+            store: HashMap::new(),
+        }
+    }
+}
+
+struct Net<V> {
+    cfg: KademliaConfig,
+    nodes: BTreeMap<U160, Node<V>>,
+    stats: DhtStats,
+    rng: StdRng,
+}
+
+/// A simulated Kademlia DHT: XOR-metric routing tables of 160
+/// k-buckets per node, iterative lookups with per-probe hop
+/// accounting, k-closest replication and periodic republish.
+///
+/// Implements the same [`Dht`] trait as the other substrates, so any
+/// over-DHT index runs on it unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use lht_dht::{Dht, DhtKey};
+/// use lht_kad::KademliaDht;
+///
+/// let dht: KademliaDht<u32> = KademliaDht::with_nodes(64, 3);
+/// dht.put(&DhtKey::from("answer"), 42)?;
+/// assert_eq!(dht.get(&DhtKey::from("answer"))?, Some(42));
+/// assert!(dht.stats().hops_per_lookup() <= 16.0);
+/// # Ok::<(), lht_dht::DhtError>(())
+/// ```
+pub struct KademliaDht<V> {
+    inner: Mutex<Net<V>>,
+}
+
+impl<V> std::fmt::Debug for KademliaDht<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("KademliaDht")
+            .field("nodes", &inner.nodes.len())
+            .field("cfg", &inner.cfg)
+            .finish()
+    }
+}
+
+impl<V> KademliaDht<V> {
+    /// Creates a converged network of `n` nodes (ids `sha1("kad:i")`)
+    /// with the default configuration.
+    pub fn with_nodes(n: usize, seed: u64) -> KademliaDht<V> {
+        Self::with_config(n, seed, KademliaConfig::default())
+    }
+
+    /// Creates a converged network with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `cfg.k == 0` or `cfg.alpha == 0`.
+    pub fn with_config(n: usize, seed: u64, cfg: KademliaConfig) -> KademliaDht<V> {
+        assert!(n > 0, "a network needs at least one node");
+        assert!(cfg.k > 0 && cfg.alpha > 0, "k and alpha must be positive");
+        let mut nodes = BTreeMap::new();
+        for i in 0..n {
+            nodes.insert(sha1(format!("kad:{i}").as_bytes()), Node::new());
+        }
+        let mut net = Net {
+            cfg,
+            nodes,
+            stats: DhtStats::default(),
+            rng: StdRng::seed_from_u64(seed),
+        };
+        net.rebuild_all_tables();
+        KademliaDht {
+            inner: Mutex::new(net),
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.lock().nodes.len()
+    }
+
+    /// Live node identifiers (oracle view; free).
+    pub fn node_ids(&self) -> Vec<U160> {
+        self.inner.lock().nodes.keys().copied().collect()
+    }
+
+    /// Adds a node named `name`: it bootstraps its routing table by
+    /// looking itself up through an existing node, and the contacted
+    /// nodes learn about it. Stored data is **not** rebalanced until
+    /// [`republish`](Self::republish) runs (as in real Kademlia,
+    /// where republication is periodic).
+    ///
+    /// Returns the new identifier, or `None` if it already exists.
+    pub fn join(&self, name: &str) -> Option<U160> {
+        let mut inner = self.inner.lock();
+        let id = sha1(name.as_bytes());
+        if inner.nodes.contains_key(&id) {
+            return None;
+        }
+        inner.nodes.insert(id, Node::new());
+        // Self-lookup populates the joiner's table and advertises it
+        // to the nodes it probes (maintenance traffic: not counted in
+        // operation stats).
+        let (_, _) = inner.iterative_find(&id, Some(id));
+        Some(id)
+    }
+
+    /// Crashes the node `id`, losing its stored replicas. Returns
+    /// `false` for unknown ids or the last node.
+    pub fn crash(&self, id: &U160) -> bool {
+        let mut inner = self.inner.lock();
+        if !inner.nodes.contains_key(id) || inner.nodes.len() == 1 {
+            return false;
+        }
+        inner.nodes.remove(id);
+        true
+    }
+
+}
+
+impl<V: Clone> KademliaDht<V> {
+    /// Re-replicates every stored key onto its current `k` closest
+    /// nodes and prunes replicas that no longer belong — Kademlia's
+    /// periodic republish, modeled as one pass. Transferred keys are
+    /// counted in [`DhtStats::keys_transferred`].
+    pub fn republish(&self) {
+        let mut inner = self.inner.lock();
+        let keys: HashSet<DhtKey> = inner
+            .nodes
+            .values()
+            .flat_map(|n| n.store.keys().cloned())
+            .collect();
+        let mut moved = 0u64;
+        for key in keys {
+            let h = key.hash();
+            let closest = inner.k_closest_oracle(&h);
+            // Fetch the value from any current holder.
+            let value = inner.nodes.values().find_map(|n| n.store.get(&key)).cloned();
+            let Some(value) = value else { continue };
+            let target: HashSet<U160> = closest.iter().copied().collect();
+            for (nid, node) in inner.nodes.iter_mut() {
+                let has = node.store.contains_key(&key);
+                let should = target.contains(nid);
+                if should && !has {
+                    node.store.insert(key.clone(), value.clone());
+                    moved += 1;
+                } else if !should && has {
+                    node.store.remove(&key);
+                }
+            }
+        }
+        inner.stats.keys_transferred += moved;
+        inner.rebuild_all_tables();
+    }
+}
+
+impl<V> Net<V> {
+    fn bucket_index(a: &U160, b: &U160) -> Option<usize> {
+        let d = *a ^ *b;
+        if d == U160::ZERO {
+            None
+        } else {
+            Some(d.leading_zeros() as usize)
+        }
+    }
+
+    /// Rebuilds every node's k-buckets from global membership (the
+    /// converged state a long-running network reaches).
+    fn rebuild_all_tables(&mut self) {
+        let ids: Vec<U160> = self.nodes.keys().copied().collect();
+        let k = self.cfg.k;
+        for id in &ids {
+            let mut buckets = vec![Vec::new(); U160::BITS as usize];
+            for other in &ids {
+                if let Some(i) = Self::bucket_index(id, other) {
+                    buckets[i].push(*other);
+                }
+            }
+            for bucket in &mut buckets {
+                // Keep the k XOR-closest contacts per bucket.
+                bucket.sort_by_key(|c| *c ^ *id);
+                bucket.truncate(k);
+            }
+            self.nodes.get_mut(id).expect("node exists").buckets = buckets;
+        }
+    }
+
+    /// The true `k` closest live nodes to `h` (placement oracle).
+    fn k_closest_oracle(&self, h: &U160) -> Vec<U160> {
+        let mut ids: Vec<U160> = self.nodes.keys().copied().collect();
+        ids.sort_by_key(|id| *id ^ *h);
+        ids.truncate(self.cfg.k);
+        ids
+    }
+
+    /// A node's view: its `k` closest known contacts to `target`.
+    fn node_closest(&self, node: &U160, target: &U160) -> Vec<U160> {
+        let mut out: Vec<U160> = self.nodes[node]
+            .buckets
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|c| self.nodes.contains_key(c))
+            .collect();
+        out.push(*node);
+        out.sort_by_key(|c| *c ^ *target);
+        out.dedup();
+        out.truncate(self.cfg.k);
+        out
+    }
+
+    /// Iterative FIND_NODE: returns the queried-and-alive nodes
+    /// sorted by distance to `target`, and the hop count (one per
+    /// probe). When `advertise` is set, probed nodes insert that id
+    /// into their buckets (used by joins).
+    fn iterative_find(&mut self, target: &U160, advertise: Option<U160>) -> (Vec<U160>, u64) {
+        let ids: Vec<U160> = self.nodes.keys().copied().collect();
+        debug_assert!(!ids.is_empty());
+        let start = ids[self.rng.gen_range(0..ids.len())];
+
+        let mut shortlist: Vec<U160> = self.node_closest(&start, target);
+        if !shortlist.contains(&start) {
+            shortlist.push(start);
+        }
+        let mut queried: HashSet<U160> = HashSet::new();
+        let mut hops = 0u64;
+        loop {
+            shortlist.sort_by_key(|c| *c ^ *target);
+            shortlist.dedup();
+            // Probe the α closest unqueried candidates.
+            let batch: Vec<U160> = shortlist
+                .iter()
+                .filter(|c| !queried.contains(*c) && self.nodes.contains_key(*c))
+                .take(self.cfg.alpha)
+                .copied()
+                .collect();
+            if batch.is_empty() {
+                break;
+            }
+            for probe in batch {
+                hops += 1;
+                if hops > self.cfg.max_hops {
+                    break;
+                }
+                queried.insert(probe);
+                let learned = self.node_closest(&probe, target);
+                shortlist.extend(learned);
+                if let Some(adv) = advertise {
+                    if adv != probe {
+                        if let Some(i) = Self::bucket_index(&probe, &adv) {
+                            let k = self.cfg.k;
+                            let bucket =
+                                &mut self.nodes.get_mut(&probe).expect("probed alive").buckets[i];
+                            if !bucket.contains(&adv) {
+                                bucket.insert(0, adv);
+                                bucket.truncate(k);
+                            }
+                        }
+                    }
+                }
+            }
+            if hops > self.cfg.max_hops {
+                break;
+            }
+            // Termination: the k closest candidates have all been
+            // queried.
+            shortlist.sort_by_key(|c| *c ^ *target);
+            shortlist.dedup();
+            let done = shortlist
+                .iter()
+                .filter(|c| self.nodes.contains_key(*c))
+                .take(self.cfg.k)
+                .all(|c| queried.contains(c));
+            if done {
+                break;
+            }
+        }
+        let mut found: Vec<U160> = queried.into_iter().collect();
+        found.sort_by_key(|c| *c ^ *target);
+        (found, hops)
+    }
+
+    fn route(&mut self, h: &U160) -> Result<(Vec<U160>, u64), DhtError> {
+        if self.nodes.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        let (found, hops) = self.iterative_find(h, None);
+        if hops > self.cfg.max_hops {
+            return Err(DhtError::RoutingFailed { hops });
+        }
+        Ok((found, hops))
+    }
+}
+
+impl<V: Clone> Dht for KademliaDht<V> {
+    type Value = V;
+
+    fn get(&self, key: &DhtKey) -> Result<Option<V>, DhtError> {
+        let mut inner = self.inner.lock();
+        let (found, hops) = inner.route(&key.hash())?;
+        inner.stats.gets += 1;
+        inner.stats.hops += hops;
+        let k = inner.cfg.k;
+        let hit = found
+            .iter()
+            .take(k)
+            .find_map(|n| inner.nodes[n].store.get(key).cloned());
+        if hit.is_none() {
+            inner.stats.failed_gets += 1;
+        }
+        Ok(hit)
+    }
+
+    fn put(&self, key: &DhtKey, value: V) -> Result<(), DhtError> {
+        let mut inner = self.inner.lock();
+        let (found, hops) = inner.route(&key.hash())?;
+        inner.stats.puts += 1;
+        inner.stats.hops += hops;
+        let k = inner.cfg.k;
+        let targets: Vec<U160> = found.into_iter().take(k).collect();
+        inner.stats.hops += targets.len().saturating_sub(1) as u64;
+        for t in targets {
+            inner
+                .nodes
+                .get_mut(&t)
+                .expect("found nodes are alive")
+                .store
+                .insert(key.clone(), value.clone());
+        }
+        Ok(())
+    }
+
+    fn remove(&self, key: &DhtKey) -> Result<Option<V>, DhtError> {
+        let mut inner = self.inner.lock();
+        let (found, hops) = inner.route(&key.hash())?;
+        inner.stats.removes += 1;
+        inner.stats.hops += hops;
+        let k = inner.cfg.k;
+        let targets: Vec<U160> = found.into_iter().take(k).collect();
+        inner.stats.hops += targets.len().saturating_sub(1) as u64;
+        let mut out: Option<V> = None;
+        for t in targets {
+            let removed = inner
+                .nodes
+                .get_mut(&t)
+                .expect("found nodes are alive")
+                .store
+                .remove(key);
+            if out.is_none() {
+                out = removed;
+            }
+        }
+        Ok(out)
+    }
+
+    fn update(&self, key: &DhtKey, f: &mut dyn FnMut(&mut Option<V>)) -> Result<(), DhtError> {
+        let mut inner = self.inner.lock();
+        let (found, hops) = inner.route(&key.hash())?;
+        inner.stats.updates += 1;
+        inner.stats.hops += hops;
+        let k = inner.cfg.k;
+        let targets: Vec<U160> = found.into_iter().take(k).collect();
+        inner.stats.hops += targets.len().saturating_sub(1) as u64;
+        // The closest replica holding the key is canonical; fall back
+        // to the closest node for fresh inserts.
+        let canonical = targets
+            .iter()
+            .find(|t| inner.nodes[t].store.contains_key(key))
+            .or(targets.first())
+            .copied();
+        let Some(canonical) = canonical else {
+            return Err(DhtError::EmptyRing);
+        };
+        let mut slot = inner
+            .nodes
+            .get_mut(&canonical)
+            .expect("alive")
+            .store
+            .remove(key);
+        f(&mut slot);
+        for t in targets {
+            let store = &mut inner.nodes.get_mut(&t).expect("alive").store;
+            match &slot {
+                Some(v) => {
+                    store.insert(key.clone(), v.clone());
+                }
+                None => {
+                    store.remove(key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> DhtStats {
+        self.inner.lock().stats
+    }
+
+    fn reset_stats(&self) {
+        self.inner.lock().stats = DhtStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> DhtKey {
+        DhtKey::from(s)
+    }
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let dht: KademliaDht<u32> = KademliaDht::with_nodes(32, 1);
+        for i in 0..100u32 {
+            dht.put(&k(&format!("key:{i}")), i).unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(dht.get(&k(&format!("key:{i}"))).unwrap(), Some(i));
+        }
+        assert_eq!(dht.remove(&k("key:7")).unwrap(), Some(7));
+        assert_eq!(dht.get(&k("key:7")).unwrap(), None);
+        assert_eq!(dht.get(&k("missing")).unwrap(), None);
+    }
+
+    #[test]
+    fn single_node_network_works() {
+        let dht: KademliaDht<u32> = KademliaDht::with_nodes(1, 1);
+        dht.put(&k("a"), 1).unwrap();
+        assert_eq!(dht.get(&k("a")).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn values_land_on_the_k_closest_nodes() {
+        let dht: KademliaDht<u32> = KademliaDht::with_nodes(64, 3);
+        dht.put(&k("target"), 9).unwrap();
+        let inner = dht.inner.lock();
+        let closest = inner.k_closest_oracle(&k("target").hash());
+        for id in &closest {
+            assert!(
+                inner.nodes[id].store.contains_key(&k("target")),
+                "replica missing on a k-closest node"
+            );
+        }
+        let holders = inner
+            .nodes
+            .values()
+            .filter(|n| n.store.contains_key(&k("target")))
+            .count();
+        assert_eq!(holders, inner.cfg.k, "exactly k replicas");
+    }
+
+    #[test]
+    fn lookup_hops_are_logarithmic() {
+        for &(n, bound) in &[(32usize, 10.0f64), (128, 14.0), (512, 18.0)] {
+            let dht: KademliaDht<u32> = KademliaDht::with_nodes(n, 5);
+            for i in 0..100u32 {
+                dht.get(&k(&format!("probe:{i}"))).unwrap();
+            }
+            let per = dht.stats().hops_per_lookup();
+            assert!(
+                per <= bound,
+                "{n}-node network took {per} hops/lookup (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn update_inserts_mutates_and_deletes() {
+        let dht: KademliaDht<Vec<u32>> = KademliaDht::with_nodes(16, 7);
+        dht.update(&k("b"), &mut |slot| {
+            slot.get_or_insert_with(Vec::new).push(1);
+        })
+        .unwrap();
+        dht.update(&k("b"), &mut |slot| {
+            slot.as_mut().unwrap().push(2);
+        })
+        .unwrap();
+        assert_eq!(dht.get(&k("b")).unwrap(), Some(vec![1, 2]));
+        dht.update(&k("b"), &mut |slot| *slot = None).unwrap();
+        assert_eq!(dht.get(&k("b")).unwrap(), None);
+    }
+
+    #[test]
+    fn crash_is_masked_by_replication() {
+        let dht: KademliaDht<u32> = KademliaDht::with_nodes(32, 9);
+        for i in 0..200u32 {
+            dht.put(&k(&format!("key:{i}")), i).unwrap();
+        }
+        // Crash a quarter of the network (fewer than k per key).
+        let ids = dht.node_ids();
+        for id in ids.iter().take(6) {
+            assert!(dht.crash(id));
+        }
+        dht.republish();
+        for i in 0..200u32 {
+            assert_eq!(
+                dht.get(&k(&format!("key:{i}"))).unwrap(),
+                Some(i),
+                "key {i} lost despite k = 8 replication"
+            );
+        }
+    }
+
+    #[test]
+    fn join_then_republish_rebalances() {
+        let dht: KademliaDht<u32> = KademliaDht::with_nodes(16, 11);
+        for i in 0..100u32 {
+            dht.put(&k(&format!("key:{i}")), i).unwrap();
+        }
+        for j in 0..8 {
+            assert!(dht.join(&format!("late:{j}")).is_some());
+        }
+        assert!(dht.join("late:0").is_none(), "duplicate join rejected");
+        dht.republish();
+        assert_eq!(dht.node_count(), 24);
+        for i in 0..100u32 {
+            assert_eq!(dht.get(&k(&format!("key:{i}"))).unwrap(), Some(i));
+        }
+        // After republish, replicas sit on the *current* k closest.
+        {
+            let inner = dht.inner.lock();
+            let key = k("key:42");
+            for id in inner.k_closest_oracle(&key.hash()) {
+                assert!(inner.nodes[&id].store.contains_key(&key));
+            }
+            // The guard must drop before calling back into the DHT —
+            // Dht::stats() takes the same (non-reentrant) lock.
+        }
+        assert!(dht.stats().keys_transferred > 0);
+    }
+
+    #[test]
+    fn every_operation_counts_one_lookup() {
+        let dht: KademliaDht<u32> = KademliaDht::with_nodes(8, 13);
+        dht.put(&k("a"), 1).unwrap();
+        dht.get(&k("a")).unwrap();
+        dht.get(&k("nope")).unwrap();
+        dht.update(&k("a"), &mut |_| {}).unwrap();
+        dht.remove(&k("a")).unwrap();
+        let s = dht.stats();
+        assert_eq!(s.lookups(), 5);
+        assert_eq!(s.failed_gets, 1);
+        assert!(s.hops >= s.lookups());
+    }
+
+    #[test]
+    fn kad_is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<KademliaDht<u64>>();
+    }
+}

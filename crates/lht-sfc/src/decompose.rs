@@ -1,0 +1,250 @@
+//! Rectangle → Z-order interval decomposition.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Rect;
+
+/// A half-open interval `[lo, hi)` of Morton codes. `hi` is held as
+/// `u128` so the interval ending at the top of the curve
+/// (`2^64`) is representable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ZRange {
+    /// Inclusive lower Morton code.
+    pub lo: u64,
+    /// Exclusive upper Morton code.
+    pub hi: u128,
+}
+
+impl ZRange {
+    /// Whether the interval contains the Morton code `z`.
+    pub fn contains(&self, z: u64) -> bool {
+        self.lo as u128 <= z as u128 && (z as u128) < self.hi
+    }
+}
+
+/// Decomposes `rect` into at most `budget` Z-order intervals whose
+/// union **covers** every point of the rectangle.
+///
+/// The decomposition descends the implicit quadtree: a quadrant fully
+/// inside the rectangle emits its (contiguous) curve interval; a
+/// disjoint quadrant is skipped; a straddling quadrant recurses. An
+/// exact decomposition of a `w × h` rectangle needs `O(w + h)`
+/// intervals in the worst case, so when the budget would be exceeded
+/// straddling quadrants emit their whole interval instead — the
+/// result is then a *superset* cover and the caller must post-filter
+/// hits against the rectangle (which [`Lht2d`](crate::Lht2d) always
+/// does). Adjacent intervals are coalesced.
+///
+/// # Panics
+///
+/// Panics if `budget == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use lht_sfc::{decompose, Rect};
+///
+/// // A whole quadrant is one interval.
+/// let quads = decompose(&Rect::new(0, 1 << 31, 0, 1 << 31), 16);
+/// assert_eq!(quads.len(), 1);
+/// assert_eq!(quads[0].lo, 0);
+/// assert_eq!(quads[0].hi, 1u128 << 62);
+/// ```
+pub fn decompose(rect: &Rect, budget: usize) -> Vec<ZRange> {
+    assert!(budget > 0, "budget must be positive");
+    let mut out: Vec<ZRange> = Vec::new();
+    if rect.is_empty() {
+        return out;
+    }
+    descend(rect, 0, 0, 0, 32, budget, &mut out);
+    coalesce(&mut out);
+    out
+}
+
+/// Recursive quadtree descent. The current quadrant has its lower
+/// corner at `(qx, qy)`, side `2^level_size` (where `level_size =
+/// 32 - depth`), and occupies the Morton interval
+/// `[prefix << (2·level_size), (prefix+1) << (2·level_size))`.
+fn descend(
+    rect: &Rect,
+    prefix: u64,
+    qx: u64,
+    qy: u64,
+    level_size: u32,
+    budget: usize,
+    out: &mut Vec<ZRange>,
+) {
+    let size = 1u64 << level_size;
+    if !rect.intersects_cell(qx, qy, size) {
+        return;
+    }
+    let z_lo = if level_size == 32 { 0 } else { prefix << (2 * level_size) };
+    let z_width = 1u128 << (2 * level_size);
+    if rect.contains_cell(qx, qy, size) || level_size == 0 {
+        emit(out, budget, z_lo, z_lo as u128 + z_width);
+        return;
+    }
+    // Budget pressure: once the budget is reached, stop refining and
+    // emit covering intervals instead of recursing.
+    if out.len() >= budget {
+        emit(out, budget, z_lo, z_lo as u128 + z_width);
+        return;
+    }
+    let half = size >> 1;
+    // Children in Morton order: (ybit, xbit) = 00, 01, 10, 11.
+    for c in 0..4u64 {
+        let xbit = c & 1;
+        let ybit = (c >> 1) & 1;
+        descend(
+            rect,
+            (prefix << 2) | c,
+            qx + xbit * half,
+            qy + ybit * half,
+            level_size - 1,
+            budget,
+            out,
+        );
+    }
+}
+
+/// Appends an interval, respecting the budget: once `budget` ranges
+/// exist, the new interval is absorbed into the last one (the DFS
+/// visits quadrants in increasing Morton order, so extending the last
+/// range upward keeps a valid — if coarser — superset cover).
+fn emit(out: &mut Vec<ZRange>, budget: usize, lo: u64, hi: u128) {
+    if out.len() < budget {
+        out.push(ZRange { lo, hi });
+    } else {
+        let last = out.last_mut().expect("budget >= 1 means non-empty");
+        debug_assert!(last.lo <= lo, "DFS emits in Morton order");
+        last.hi = last.hi.max(hi);
+    }
+}
+
+/// Sorts and merges adjacent/overlapping intervals.
+fn coalesce(ranges: &mut Vec<ZRange>) {
+    ranges.sort_by_key(|r| r.lo);
+    let mut merged: Vec<ZRange> = Vec::with_capacity(ranges.len());
+    for r in ranges.drain(..) {
+        match merged.last_mut() {
+            Some(last) if last.hi >= r.lo as u128 => {
+                last.hi = last.hi.max(r.hi);
+            }
+            _ => merged.push(r),
+        }
+    }
+    *ranges = merged;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{interleave, Point};
+    use proptest::prelude::*;
+
+    fn covers_exactly(rect: &Rect, ranges: &[ZRange], samples: &[(u32, u32)]) {
+        for &(x, y) in samples {
+            let inside = rect.contains(Point::new(x, y));
+            let z = interleave(x, y);
+            let covered = ranges.iter().any(|r| r.contains(z));
+            if inside {
+                assert!(covered, "({x},{y}) in rect but not covered");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rect_decomposes_to_nothing() {
+        assert!(decompose(&Rect::new(5, 5, 0, 10), 16).is_empty());
+    }
+
+    #[test]
+    fn full_space_is_one_interval() {
+        let r = decompose(&Rect::new(0, u32::MAX, 0, u32::MAX), 64);
+        // Not the exact full square (u32::MAX exclusive), so several
+        // ranges; but the unit square [0, 2^31)² is exactly one.
+        assert!(!r.is_empty());
+        let q = decompose(&Rect::new(0, 1 << 31, 0, 1 << 31), 4);
+        assert_eq!(q, vec![ZRange { lo: 0, hi: 1u128 << 62 }]);
+    }
+
+    #[test]
+    fn small_grid_exact_decomposition() {
+        // Rect [1,3)×[1,3) on the 4×4 grid: points (1,1),(2,1),(1,2),(2,2)
+        // with Morton codes 3, 6, 9, 12 → four singleton ranges.
+        let rect = Rect::new(1, 3, 1, 3);
+        let ranges = decompose(&rect, 64);
+        let codes: Vec<u64> = vec![3, 6, 9, 12];
+        for z in &codes {
+            assert!(ranges.iter().any(|r| r.contains(*z)), "code {z}");
+        }
+        // And nothing else from the 4x4 grid block.
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                let z = interleave(x, y);
+                let covered = ranges.iter().any(|r| r.contains(z));
+                assert_eq!(covered, rect.contains(Point::new(x, y)), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_forces_superset_cover() {
+        // A thin 1-pixel-tall strip needs many exact ranges; with a
+        // tiny budget the cover is coarser but still complete.
+        let rect = Rect::new(0, 1000, 7, 8);
+        let tight = decompose(&rect, 4);
+        assert!(tight.len() <= 4);
+        let samples: Vec<(u32, u32)> = (0..1000).step_by(37).map(|x| (x, 7)).collect();
+        covers_exactly(&rect, &tight, &samples);
+    }
+
+    #[test]
+    fn ranges_are_sorted_and_disjoint() {
+        let rect = Rect::new(3, 117, 9, 80);
+        let ranges = decompose(&rect, 256);
+        for w in ranges.windows(2) {
+            assert!(w[0].hi < w[1].lo as u128, "coalesced and disjoint");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn cover_is_complete_and_respects_budget(
+            x0 in 0u32..500, w in 1u32..200,
+            y0 in 0u32..500, h in 1u32..200,
+            budget in 1usize..64,
+        ) {
+            let rect = Rect::new(x0, x0 + w, y0, y0 + h);
+            let ranges = decompose(&rect, budget);
+            prop_assert!(ranges.len() <= budget);
+            // Every point of a sample grid inside the rect is covered.
+            for dx in [0, w / 2, w - 1] {
+                for dy in [0, h / 2, h - 1] {
+                    let z = interleave(x0 + dx, y0 + dy);
+                    prop_assert!(
+                        ranges.iter().any(|r| r.contains(z)),
+                        "point ({}, {}) uncovered", x0 + dx, y0 + dy
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn generous_budget_gives_exact_cover(
+            x0 in 0u32..60, w in 1u32..16,
+            y0 in 0u32..60, h in 1u32..16,
+        ) {
+            let rect = Rect::new(x0, x0 + w, y0, y0 + h);
+            let ranges = decompose(&rect, 4096);
+            // Exactness: covered ⇔ inside, over the bounding region.
+            for x in x0.saturating_sub(2)..x0 + w + 2 {
+                for y in y0.saturating_sub(2)..y0 + h + 2 {
+                    let z = interleave(x, y);
+                    let covered = ranges.iter().any(|r| r.contains(z));
+                    prop_assert_eq!(covered, rect.contains(Point::new(x, y)));
+                }
+            }
+        }
+    }
+}

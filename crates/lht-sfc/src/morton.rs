@@ -1,0 +1,209 @@
+//! Morton (Z-order) interleaving and the point/rectangle types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on the 2-D grid `[0, 2^32) × [0, 2^32)`.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: u32,
+    /// Vertical coordinate.
+    pub y: u32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: u32, y: u32) -> Point {
+        Point { x, y }
+    }
+
+    /// The point's Morton code: its position on the Z-order curve.
+    pub fn morton(&self) -> u64 {
+        interleave(self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A half-open axis-aligned rectangle
+/// `[x_lo, x_hi) × [y_lo, y_hi)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Inclusive lower x bound.
+    pub x_lo: u32,
+    /// Exclusive upper x bound.
+    pub x_hi: u32,
+    /// Inclusive lower y bound.
+    pub y_lo: u32,
+    /// Exclusive upper y bound.
+    pub y_hi: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lower bound exceeds its upper bound.
+    pub fn new(x_lo: u32, x_hi: u32, y_lo: u32, y_hi: u32) -> Rect {
+        assert!(x_lo <= x_hi && y_lo <= y_hi, "inverted rectangle bounds");
+        Rect {
+            x_lo,
+            x_hi,
+            y_lo,
+            y_hi,
+        }
+    }
+
+    /// Whether the rectangle contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.x_lo >= self.x_hi || self.y_lo >= self.y_hi
+    }
+
+    /// Whether `p` lies inside.
+    pub fn contains(&self, p: Point) -> bool {
+        (self.x_lo..self.x_hi).contains(&p.x) && (self.y_lo..self.y_hi).contains(&p.y)
+    }
+
+    /// Whether `self` fully contains the square cell
+    /// `[qx, qx+size) × [qy, qy+size)`.
+    pub(crate) fn contains_cell(&self, qx: u64, qy: u64, size: u64) -> bool {
+        self.x_lo as u64 <= qx
+            && qx + size <= self.x_hi as u64
+            && self.y_lo as u64 <= qy
+            && qy + size <= self.y_hi as u64
+    }
+
+    /// Whether `self` intersects that cell.
+    pub(crate) fn intersects_cell(&self, qx: u64, qy: u64, size: u64) -> bool {
+        !self.is_empty()
+            && (self.x_lo as u64) < qx + size
+            && qx < self.x_hi as u64
+            && (self.y_lo as u64) < qy + size
+            && qy < self.y_hi as u64
+    }
+}
+
+/// Spreads the 32 bits of `v` into the even bit positions of a `u64`.
+fn spread(v: u32) -> u64 {
+    let mut v = v as u64;
+    v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+/// Collapses the even bit positions of `v` back into 32 bits.
+fn unspread(v: u64) -> u32 {
+    let mut v = v & 0x5555_5555_5555_5555;
+    v = (v | (v >> 1)) & 0x3333_3333_3333_3333;
+    v = (v | (v >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v >> 4)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v >> 8)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v >> 16)) & 0x0000_0000_FFFF_FFFF;
+    v as u32
+}
+
+/// Interleaves two 32-bit coordinates into a 64-bit Morton code:
+/// bit `i` of `x` lands at position `2i`, bit `i` of `y` at `2i + 1`.
+///
+/// ```
+/// assert_eq!(lht_sfc::interleave(0, 0), 0);
+/// assert_eq!(lht_sfc::interleave(1, 0), 0b01);
+/// assert_eq!(lht_sfc::interleave(0, 1), 0b10);
+/// assert_eq!(lht_sfc::interleave(1, 1), 0b11);
+/// assert_eq!(lht_sfc::interleave(2, 3), 0b1110);
+/// ```
+pub fn interleave(x: u32, y: u32) -> u64 {
+    spread(x) | (spread(y) << 1)
+}
+
+/// Inverts [`interleave`].
+///
+/// ```
+/// let (x, y) = lht_sfc::deinterleave(lht_sfc::interleave(123, 456));
+/// assert_eq!((x, y), (123, 456));
+/// ```
+pub fn deinterleave(z: u64) -> (u32, u32) {
+    (unspread(z), unspread(z >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_morton_codes() {
+        // The canonical 4×4 Z pattern.
+        let expect: [[u64; 4]; 4] = [
+            [0, 1, 4, 5],
+            [2, 3, 6, 7],
+            [8, 9, 12, 13],
+            [10, 11, 14, 15],
+        ];
+        for (y, row) in expect.iter().enumerate() {
+            for (x, &z) in row.iter().enumerate() {
+                assert_eq!(interleave(x as u32, y as u32), z, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(interleave(u32::MAX, u32::MAX), u64::MAX);
+        assert_eq!(interleave(u32::MAX, 0), 0x5555_5555_5555_5555);
+        assert_eq!(interleave(0, u32::MAX), 0xAAAA_AAAA_AAAA_AAAA);
+    }
+
+    #[test]
+    fn rect_membership() {
+        let r = Rect::new(2, 5, 10, 12);
+        assert!(r.contains(Point::new(2, 10)));
+        assert!(r.contains(Point::new(4, 11)));
+        assert!(!r.contains(Point::new(5, 10)), "x upper bound exclusive");
+        assert!(!r.contains(Point::new(2, 12)), "y upper bound exclusive");
+        assert!(Rect::new(3, 3, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn cell_predicates() {
+        let r = Rect::new(0, 8, 0, 8);
+        assert!(r.contains_cell(0, 0, 8));
+        assert!(r.contains_cell(4, 4, 4));
+        assert!(!r.contains_cell(4, 4, 8));
+        assert!(r.intersects_cell(4, 4, 8));
+        assert!(!r.intersects_cell(8, 0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn rect_rejects_inverted_bounds() {
+        Rect::new(5, 2, 0, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn interleave_round_trips(x in any::<u32>(), y in any::<u32>()) {
+            prop_assert_eq!(deinterleave(interleave(x, y)), (x, y));
+        }
+
+        #[test]
+        fn morton_is_monotone_per_quadrant(x in any::<u32>(), y in any::<u32>()) {
+            // Flipping a high coordinate bit moves the code to the
+            // corresponding half of the curve.
+            let z = interleave(x, y);
+            prop_assert_eq!(z >> 63, (y >> 31) as u64);
+            prop_assert_eq!((z >> 62) & 1, (x >> 31) as u64);
+        }
+    }
+}

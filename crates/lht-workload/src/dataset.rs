@@ -1,0 +1,106 @@
+//! Reproducible datasets.
+
+use std::collections::HashSet;
+
+use lht_id::KeyFraction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::KeyDist;
+
+/// A reproducible dataset of **distinct** data keys (§3.1: each record
+/// is identified by a distinct value).
+///
+/// # Examples
+///
+/// ```
+/// use lht_workload::{Dataset, KeyDist};
+///
+/// let a = Dataset::generate(KeyDist::Uniform, 100, 9);
+/// let b = Dataset::generate(KeyDist::Uniform, 100, 9);
+/// assert_eq!(a.keys(), b.keys(), "same seed, same dataset");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dataset {
+    keys: Vec<KeyFraction>,
+}
+
+impl Dataset {
+    /// Generates `n` distinct keys from `dist`, deterministically from
+    /// `seed`. Colliding draws (astronomically rare at 64-bit
+    /// precision for the continuous distributions) are re-drawn.
+    pub fn generate(dist: KeyDist, n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = HashSet::with_capacity(n);
+        let mut keys = Vec::with_capacity(n);
+        while keys.len() < n {
+            let k = dist.sample(&mut rng);
+            if seen.insert(k) {
+                keys.push(k);
+            }
+        }
+        Dataset { keys }
+    }
+
+    /// The keys, in generation order (the insertion order used by the
+    /// experiments).
+    pub fn keys(&self) -> &[KeyFraction] {
+        &self.keys
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over the keys.
+    pub fn iter(&self) -> impl Iterator<Item = KeyFraction> + '_ {
+        self.keys.iter().copied()
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = KeyFraction;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, KeyFraction>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.keys.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_distinct() {
+        let d = Dataset::generate(KeyDist::Zipf { s: 1.2, bins: 4 }, 5_000, 1);
+        let set: HashSet<_> = d.iter().collect();
+        assert_eq!(set.len(), d.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distribution() {
+        let a = Dataset::generate(KeyDist::gaussian_paper(), 500, 5);
+        let b = Dataset::generate(KeyDist::gaussian_paper(), 500, 5);
+        let c = Dataset::generate(KeyDist::gaussian_paper(), 500, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn len_and_iteration() {
+        let d = Dataset::generate(KeyDist::Uniform, 10, 1);
+        assert_eq!(d.len(), 10);
+        assert!(!d.is_empty());
+        assert_eq!(d.iter().count(), 10);
+        assert_eq!((&d).into_iter().count(), 10);
+        let empty = Dataset::generate(KeyDist::Uniform, 0, 1);
+        assert!(empty.is_empty());
+    }
+}

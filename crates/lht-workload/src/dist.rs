@@ -1,0 +1,180 @@
+//! Key distributions.
+
+use lht_id::KeyFraction;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution of data keys over `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use lht_workload::KeyDist;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let k = KeyDist::Uniform.sample(&mut rng);
+/// assert!(k.to_f64() < 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum KeyDist {
+    /// Uniform over `[0, 1)` (paper §9.1).
+    Uniform,
+    /// Gaussian, rejection-sampled into `[0, 1)` (paper §9.1 uses
+    /// mean `1/2`, sd `1/6`; see [`KeyDist::gaussian_paper`]).
+    Gaussian {
+        /// Mean of the underlying normal.
+        mean: f64,
+        /// Standard deviation of the underlying normal.
+        sd: f64,
+    },
+    /// Zipf-skewed keys: the unit interval is cut into `bins` equal
+    /// cells; a cell is chosen with probability ∝ `1/rank^s` and the
+    /// key is uniform within the cell. Used by the extension
+    /// experiments for heavier skew than the paper's gaussian.
+    Zipf {
+        /// Skew exponent `s` (0 = uniform-ish, 1+ = heavy skew).
+        s: f64,
+        /// Number of cells.
+        bins: u32,
+    },
+}
+
+impl KeyDist {
+    /// The paper's gaussian dataset parameters: mean `1/2`, standard
+    /// deviation `1/6`.
+    pub fn gaussian_paper() -> KeyDist {
+        KeyDist::Gaussian {
+            mean: 0.5,
+            sd: 1.0 / 6.0,
+        }
+    }
+
+    /// A short lowercase tag for file names and table headers.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Gaussian { .. } => "gaussian",
+            KeyDist::Zipf { .. } => "zipf",
+        }
+    }
+
+    /// Draws one key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> KeyFraction {
+        match *self {
+            KeyDist::Uniform => KeyFraction::from_bits(rng.gen::<u64>()),
+            KeyDist::Gaussian { mean, sd } => loop {
+                let x = mean + sd * standard_normal(rng);
+                if (0.0..1.0).contains(&x) {
+                    return KeyFraction::from_f64(x);
+                }
+            },
+            KeyDist::Zipf { s, bins } => {
+                let bins = bins.max(1);
+                let rank = zipf_rank(rng, s, bins);
+                let cell = 1.0 / bins as f64;
+                let x = (rank as f64 + rng.gen::<f64>()) * cell;
+                KeyFraction::from_f64(x.min(0.999_999_999))
+            }
+        }
+    }
+}
+
+/// A standard normal deviate via the Box–Muller transform (kept
+/// dependency-free; `rand` alone has no normal distribution).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Samples a 0-based rank from a Zipf(s) distribution over `bins`
+/// ranks by inverse-CDF over the normalized harmonic weights.
+fn zipf_rank<R: Rng + ?Sized>(rng: &mut R, s: f64, bins: u32) -> u32 {
+    // For the bin counts used in experiments (≤ 4096) a linear CDF
+    // walk is plenty fast and exact.
+    let h: f64 = (1..=bins as u64).map(|r| 1.0 / (r as f64).powf(s)).sum();
+    let mut target = rng.gen::<f64>() * h;
+    for r in 0..bins {
+        target -= 1.0 / ((r + 1) as f64).powf(s);
+        if target <= 0.0 {
+            return r;
+        }
+    }
+    bins - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_n(dist: KeyDist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| dist.sample(&mut rng).to_f64()).collect()
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let xs = sample_n(KeyDist::Uniform, 20_000, 1);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "uniform mean {mean}");
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "uniform variance {var}");
+    }
+
+    #[test]
+    fn gaussian_moments_match_paper_parameters() {
+        let xs = sample_n(KeyDist::gaussian_paper(), 20_000, 2);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "gaussian mean {mean}");
+        let sd = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
+        assert!((sd - 1.0 / 6.0).abs() < 0.01, "gaussian sd {sd}");
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn gaussian_is_bell_shaped() {
+        let xs = sample_n(KeyDist::gaussian_paper(), 10_000, 3);
+        let center = xs.iter().filter(|x| (0.4..0.6).contains(*x)).count();
+        let edge = xs.iter().filter(|x| (0.0..0.2).contains(*x)).count();
+        assert!(center > 5 * edge.max(1), "center {center} vs edge {edge}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let xs = sample_n(KeyDist::Zipf { s: 1.0, bins: 64 }, 10_000, 4);
+        let head = xs.iter().filter(|x| **x < 1.0 / 64.0).count();
+        let tail = xs.iter().filter(|x| **x > 63.0 / 64.0).count();
+        assert!(
+            head > 10 * tail.max(1),
+            "first cell {head} should dominate last {tail}"
+        );
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        assert_eq!(
+            sample_n(KeyDist::Uniform, 10, 7),
+            sample_n(KeyDist::Uniform, 10, 7)
+        );
+        assert_ne!(
+            sample_n(KeyDist::Uniform, 10, 7),
+            sample_n(KeyDist::Uniform, 10, 8)
+        );
+    }
+
+    #[test]
+    fn tags() {
+        assert_eq!(KeyDist::Uniform.tag(), "uniform");
+        assert_eq!(KeyDist::gaussian_paper().tag(), "gaussian");
+        assert_eq!(KeyDist::Zipf { s: 1.0, bins: 8 }.tag(), "zipf");
+    }
+}

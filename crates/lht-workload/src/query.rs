@@ -1,0 +1,134 @@
+//! Query generators.
+
+use lht_core::KeyInterval;
+use lht_id::KeyFraction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates range queries the way §9.4 does: for a fixed `span`, the
+/// lower bound `l` is picked uniformly in `[0, 1 − span]` and the
+/// query is `[l, l + span)`.
+///
+/// # Examples
+///
+/// ```
+/// use lht_workload::RangeQueryGen;
+///
+/// let mut gen = RangeQueryGen::new(0.25, 11);
+/// for _ in 0..10 {
+///     let q = gen.next_range();
+///     let width = q.hi_raw() - q.lo_raw();
+///     // Width is one quarter of the key space.
+///     assert_eq!(width, 1u128 << 62);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct RangeQueryGen {
+    span: f64,
+    rng: StdRng,
+}
+
+impl RangeQueryGen {
+    /// Creates a generator for queries of width `span ∈ (0, 1]`,
+    /// deterministic from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is not in `(0, 1]`.
+    pub fn new(span: f64, seed: u64) -> RangeQueryGen {
+        assert!(span > 0.0 && span <= 1.0, "span must be in (0, 1]");
+        RangeQueryGen {
+            span,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured span.
+    pub fn span(&self) -> f64 {
+        self.span
+    }
+
+    /// Draws the next query interval.
+    pub fn next_range(&mut self) -> KeyInterval {
+        let span_raw = (self.span * 18_446_744_073_709_551_616.0) as u128;
+        let span_raw = span_raw.clamp(1, 1u128 << 64);
+        let max_lo = (1u128 << 64) - span_raw;
+        let lo = if max_lo == 0 {
+            0
+        } else {
+            (self.rng.gen::<u64>() as u128) % (max_lo + 1)
+        };
+        KeyInterval::from_raw(lo, lo + span_raw)
+    }
+}
+
+/// Generates uniform lookup keys, as in §9.3 ("1000 lookups for keys
+/// that are uniformly distributed in `[0, 1]`").
+#[derive(Debug)]
+pub struct LookupGen {
+    rng: StdRng,
+}
+
+impl LookupGen {
+    /// Creates a deterministic lookup-key generator.
+    pub fn new(seed: u64) -> LookupGen {
+        LookupGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next lookup key.
+    pub fn next_key(&mut self) -> KeyFraction {
+        KeyFraction::from_bits(self.rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_have_exact_span_and_fit_in_space() {
+        let mut gen = RangeQueryGen::new(0.125, 3);
+        for _ in 0..100 {
+            let q = gen.next_range();
+            assert_eq!(q.hi_raw() - q.lo_raw(), 1u128 << 61);
+            assert!(q.hi_raw() <= 1u128 << 64);
+        }
+    }
+
+    #[test]
+    fn full_span_covers_everything() {
+        let mut gen = RangeQueryGen::new(1.0, 3);
+        let q = gen.next_range();
+        assert_eq!(q, KeyInterval::FULL);
+    }
+
+    #[test]
+    fn lower_bounds_spread_over_the_allowed_interval() {
+        let mut gen = RangeQueryGen::new(0.5, 9);
+        let los: Vec<f64> = (0..200).map(|_| gen.next_range().lo_key().to_f64()).collect();
+        assert!(los.iter().any(|l| *l < 0.1));
+        assert!(los.iter().any(|l| *l > 0.4));
+        assert!(los.iter().all(|l| *l <= 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "span")]
+    fn zero_span_rejected() {
+        RangeQueryGen::new(0.0, 1);
+    }
+
+    #[test]
+    fn lookup_keys_are_deterministic() {
+        let a: Vec<_> = {
+            let mut g = LookupGen::new(5);
+            (0..10).map(|_| g.next_key()).collect()
+        };
+        let b: Vec<_> = {
+            let mut g = LookupGen::new(5);
+            (0..10).map(|_| g.next_key()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

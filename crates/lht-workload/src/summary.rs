@@ -1,0 +1,79 @@
+//! Small statistical helpers for experiment outputs.
+//!
+//! The paper reports per-point *averages* over repeated trials
+//! (§9.1: "100 datasets of each distribution were independently
+//! generated, and the averaged results were reported"). These
+//! helpers compute the summary statistics the harness prints.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+///
+/// ```
+/// assert_eq!(lht_workload::summary::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation. Returns 0.0 for fewer than two
+/// samples.
+///
+/// ```
+/// assert_eq!(lht_workload::summary::stddev(&[2.0, 2.0, 2.0]), 0.0);
+/// ```
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `p`-th percentile (0–100) by nearest-rank on a sorted copy.
+/// Returns 0.0 for an empty slice.
+///
+/// ```
+/// let xs = [5.0, 1.0, 3.0];
+/// assert_eq!(lht_workload::summary::percentile(&xs, 50.0), 3.0);
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in summaries"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[7.0]), 7.0);
+        assert!((mean(&[1.0, 2.0, 4.0]) - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_cases() {
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[3.0]), 0.0);
+        // Population sd of {1, 3} is 1.
+        assert!((stddev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_cases() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 50.0), 30.0);
+        assert_eq!(percentile(&xs, 100.0), 50.0);
+    }
+}

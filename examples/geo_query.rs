@@ -1,0 +1,66 @@
+//! Multi-dimensional indexing over LHT (paper footnote 1): index 2-D
+//! points through the Z-order curve and answer geographic box
+//! queries with 1-D range queries.
+//!
+//! ```sh
+//! cargo run -p lht --example geo_query
+//! ```
+
+use lht::{DirectDht, LeafBucket, LhtConfig, LhtError, Lht2d, Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Grid resolution: a 1024×1024 world map.
+const GRID: u32 = 1024;
+
+fn main() -> Result<(), LhtError> {
+    let dht: DirectDht<LeafBucket<(Point, String)>> = DirectDht::new();
+    let ix = Lht2d::new(&dht, LhtConfig::new(32, 40))?;
+
+    // Scatter 20,000 "sensors" with three dense cities.
+    let mut rng = StdRng::seed_from_u64(17);
+    let cities = [(200u32, 300u32), (700, 650), (512, 100)];
+    let mut placed = 0u32;
+    while placed < 20_000 {
+        let (cx, cy) = cities[rng.gen_range(0..cities.len())];
+        let dx = rng.gen_range(0..120);
+        let dy = rng.gen_range(0..120);
+        let p = Point::new((cx + dx).min(GRID - 1), (cy + dy).min(GRID - 1));
+        ix.insert(p, format!("sensor-{placed}"))?;
+        placed += 1;
+    }
+    println!(
+        "placed {placed} sensors on a {GRID}×{GRID} grid ({} LHT splits)",
+        ix.index().stats().splits
+    );
+
+    // Box query over the first city's neighborhood.
+    let query = Rect::new(180, 340, 280, 440);
+    let hits = ix.box_query(&query)?;
+    println!(
+        "\nbox {:?}:\n  {} sensors via {} Z-interval sub-queries",
+        query,
+        hits.records.len(),
+        hits.sub_queries
+    );
+    println!(
+        "  cost: {} DHT-lookups across {} buckets, {} parallel steps",
+        hits.cost.dht_lookups, hits.cost.buckets_visited, hits.cost.steps
+    );
+
+    // An empty patch of ocean.
+    let ocean = Rect::new(900, 1000, 900, 1000);
+    let nothing = ix.box_query(&ocean)?;
+    println!(
+        "\nbox {:?}: {} sensors (empty region still costs {} lookups to prove empty)",
+        ocean,
+        nothing.records.len(),
+        nothing.cost.dht_lookups
+    );
+
+    // Point lookups round-trip.
+    let (p, name) = (&hits.records[0].0, &hits.records[0].1);
+    assert_eq!(ix.get(*p)?.as_deref(), Some(name.as_str()));
+    println!("\npoint lookup at {p}: {name}");
+    Ok(())
+}

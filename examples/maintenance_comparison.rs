@@ -1,0 +1,77 @@
+//! LHT vs PHT maintenance cost, side by side on identical data — the
+//! paper's headline claim (abstract: "LHT saves up to 75% (at least
+//! 50%) maintenance cost"), measured and compared against the §8
+//! cost model.
+//!
+//! ```sh
+//! cargo run -p lht --example maintenance_comparison
+//! ```
+
+use lht::{
+    CostModel, DirectDht, KeyDist, LhtConfig, LhtError, LhtIndex, PhtIndex,
+};
+use lht_workload::Dataset;
+
+fn main() -> Result<(), LhtError> {
+    let cfg = LhtConfig::new(100, 20);
+    let n = 50_000;
+
+    for dist in [KeyDist::Uniform, KeyDist::gaussian_paper()] {
+        let data = Dataset::generate(dist, n, 99);
+
+        let lht_dht = DirectDht::new();
+        let lht = LhtIndex::new(&lht_dht, cfg)?;
+        let pht_dht = DirectDht::new();
+        let pht = PhtIndex::new(&pht_dht, cfg)?;
+        for key in &data {
+            lht.insert(key, ())?;
+            pht.insert(key, ())?;
+        }
+
+        let ls = lht.stats();
+        let ps = pht.stats();
+        println!("== {} data, n = {n}, θ = {} ==", dist.tag(), cfg.theta_split);
+        println!(
+            "  {:22} {:>12} {:>12} {:>9}",
+            "", "LHT", "PHT", "LHT/PHT"
+        );
+        let rows = [
+            ("splits", ls.splits as f64, ps.splits as f64),
+            (
+                "records moved",
+                ls.records_moved as f64,
+                ps.records_moved as f64,
+            ),
+            (
+                "maintenance lookups",
+                ls.maintenance_lookups as f64,
+                ps.maintenance_lookups as f64,
+            ),
+        ];
+        for (label, a, b) in rows {
+            println!(
+                "  {label:22} {a:>12.0} {b:>12.0} {:>8.1}%",
+                100.0 * a / b.max(1.0)
+            );
+        }
+
+        // Convert to model units for a few γ regimes and compare the
+        // measured saving with Eq. 3.
+        println!("  saving ratio (measured vs Eq. 3 model):");
+        for (i, j) in [(0.1, 10.0), (1.0, 10.0), (10.0, 10.0)] {
+            let model = CostModel::new(i, j);
+            let measured_lht = model.cost(ls.records_moved, ls.maintenance_lookups);
+            let measured_pht = model.cost(ps.records_moved, ps.maintenance_lookups);
+            let measured = 1.0 - measured_lht / measured_pht;
+            println!(
+                "    γ = {:>6.1}: measured {:>5.1}%   Eq.3 {:>5.1}%",
+                model.gamma(cfg.theta_split),
+                100.0 * measured,
+                100.0 * model.saving_ratio(cfg.theta_split)
+            );
+        }
+        println!();
+    }
+    println!("(Eq. 3 band: at least 50%, up to 75% — §8.2)");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Quickstart: build an LHT index, run every query type, and watch
+//! the costs the paper measures.
+//!
+//! ```sh
+//! cargo run -p lht --example quickstart
+//! ```
+
+use lht::{DirectDht, KeyDist, KeyFraction, KeyInterval, LhtConfig, LhtError, LhtIndex};
+use lht_workload::Dataset;
+
+fn main() -> Result<(), LhtError> {
+    // 1. A DHT substrate. DirectDht is a one-hop oracle; swap in
+    //    ChordDht::with_nodes(64, seed) for a routed ring — the index
+    //    code is identical (the paper's adaptability claim).
+    let dht = DirectDht::new();
+
+    // 2. The index handle. θ_split = 100 and D = 20 are the paper's
+    //    defaults.
+    let index = LhtIndex::new(&dht, LhtConfig::default())?;
+
+    // 3. Insert 10,000 uniform records.
+    let data = Dataset::generate(KeyDist::Uniform, 10_000, 42);
+    for (i, key) in data.iter().enumerate() {
+        index.insert(key, format!("record #{i}"))?;
+    }
+    let stats = index.stats();
+    println!("inserted {} records", stats.inserts);
+    println!(
+        "  splits: {}  (1 maintenance DHT-lookup each — Theorem 2)",
+        stats.splits
+    );
+    println!(
+        "  average α: {:.4}  (paper predicts ½ + 1/(2θ) = {:.4})",
+        stats.average_alpha().unwrap_or(0.0),
+        0.5 + 1.0 / (2.0 * index.config().theta_split as f64)
+    );
+
+    // 4. Exact-match query (an LHT lookup, Algorithm 2).
+    let probe = data.keys()[1234];
+    let hit = index.exact_match(probe)?;
+    println!(
+        "exact-match {probe}: {:?} in {} DHT-lookups (≈ log(D/2))",
+        hit.value, hit.cost.dht_lookups
+    );
+
+    // 5. Range query (Algorithms 3–4): near-optimal B + 3 lookups.
+    let range = KeyInterval::half_open(
+        KeyFraction::from_f64(0.25),
+        KeyFraction::from_f64(0.35),
+    );
+    let result = index.range(range)?;
+    println!(
+        "range [0.25, 0.35): {} records from {} buckets in {} lookups, {} parallel steps",
+        result.records.len(),
+        result.cost.buckets_visited,
+        result.cost.dht_lookups,
+        result.cost.steps
+    );
+
+    // 6. Min/max queries: one DHT-lookup each (Theorem 3).
+    let min = index.min()?;
+    let max = index.max()?;
+    println!(
+        "min = {} ({} lookup), max = {} ({} lookup)",
+        min.value.as_ref().map(|(k, _)| k.to_f64()).unwrap_or(f64::NAN),
+        min.cost.dht_lookups,
+        max.value.as_ref().map(|(k, _)| k.to_f64()).unwrap_or(f64::NAN),
+        max.cost.dht_lookups,
+    );
+
+    // 7. What did all of that cost the substrate?
+    let dht_stats = lht::Dht::stats(&dht);
+    println!(
+        "substrate totals: {} DHT-lookups ({} failed gets are part of the lookup algorithm)",
+        dht_stats.lookups(),
+        dht_stats.failed_gets
+    );
+    Ok(())
+}

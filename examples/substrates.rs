@@ -1,0 +1,61 @@
+//! The paper's portability claim, executed: the *same* LHT index code
+//! runs over three structurally different DHT substrates — a one-hop
+//! oracle, a Chord ring (consistent-hashing successor ring) and a
+//! Kademlia network (XOR-metric k-buckets) — and produces identical
+//! index-level costs, differing only in routing hops.
+//!
+//! ```sh
+//! cargo run -p lht --example substrates
+//! ```
+
+use lht::{
+    ChordDht, Dht, DirectDht, KademliaDht, KeyDist, KeyFraction, KeyInterval, LeafBucket,
+    LhtConfig, LhtError, LhtIndex,
+};
+use lht_workload::Dataset;
+
+/// Drives an identical workload through an index over any substrate
+/// and reports (index lookups, substrate hops).
+fn drive<D>(dht: D, label: &str) -> Result<(u64, u64), LhtError>
+where
+    D: Dht<Value = LeafBucket<u64>>,
+{
+    let ix = LhtIndex::new(&dht, LhtConfig::new(20, 20))?;
+    ix.dht().reset_stats();
+    let data = Dataset::generate(KeyDist::Uniform, 2_000, 77);
+    for (i, k) in data.iter().enumerate() {
+        ix.insert(k, i as u64)?;
+    }
+    for (i, k) in data.iter().enumerate().step_by(41) {
+        assert_eq!(ix.exact_match(k)?.value, Some(i as u64));
+    }
+    let q = KeyInterval::half_open(KeyFraction::from_f64(0.4), KeyFraction::from_f64(0.6));
+    let r = ix.range(q)?;
+    let stats = ix.dht().stats();
+    println!(
+        "{label:<22} {:>8} records in range, {:>7} DHT-lookups, {:>8} hops ({:.2} hops/lookup)",
+        r.records.len(),
+        stats.lookups(),
+        stats.hops,
+        stats.hops_per_lookup(),
+    );
+    Ok((stats.lookups(), stats.hops))
+}
+
+fn main() -> Result<(), LhtError> {
+    println!("same index, same workload, three substrates:\n");
+    let (l1, h1) = drive(DirectDht::new(), "one-hop oracle")?;
+    let (l2, h2) = drive(ChordDht::with_nodes(64, 7), "Chord (64 peers)")?;
+    let (l3, h3) = drive(KademliaDht::with_nodes(64, 7), "Kademlia (64 peers)")?;
+
+    assert_eq!(l1, l2, "index-level DHT-lookup counts are substrate-independent");
+    assert_eq!(l1, l3, "index-level DHT-lookup counts are substrate-independent");
+    println!(
+        "\nidentical index-level cost ({l1} DHT-lookups) on all three — the paper's\n\
+         footnote 5 in executable form; only physical hops differ (1.0 vs {:.2} vs {:.2}).",
+        h2 as f64 / l2 as f64,
+        h3 as f64 / l3 as f64,
+    );
+    let _ = h1;
+    Ok(())
+}

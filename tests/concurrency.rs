@@ -1,0 +1,154 @@
+//! Concurrency stress tests: the index handles are `Send + Sync`
+//! (clients of a distributed index naturally run in parallel), and
+//! concurrent operations through the same substrate must preserve
+//! every structural invariant and lose no acknowledged write.
+
+use std::sync::Arc;
+use std::thread;
+
+use lht::{
+    audit, ChordDht, DirectDht, KeyFraction, KeyInterval, LeafBucket, LhtConfig,
+    LhtIndex,
+};
+
+fn kf(x: f64) -> KeyFraction {
+    KeyFraction::from_f64(x)
+}
+
+/// Retries a read that may transiently fail while another client is
+/// mid-split (see `LhtIndex::lookup`'s error docs).
+fn retry_read<T>(mut f: impl FnMut() -> Result<T, lht::LhtError>) -> T {
+    for _ in 0..100 {
+        match f() {
+            Ok(v) => return v,
+            Err(lht::LhtError::LookupExhausted { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    panic!("read did not settle after 100 retries");
+}
+
+#[test]
+fn handles_are_send_sync() {
+    fn assert_bounds<T: Send + Sync>() {}
+    assert_bounds::<DirectDht<LeafBucket<u64>>>();
+    assert_bounds::<ChordDht<LeafBucket<u64>>>();
+    assert_bounds::<LhtIndex<DirectDht<LeafBucket<u64>>, u64>>();
+}
+
+#[test]
+fn concurrent_inserts_preserve_invariants_and_data() {
+    let dht = Arc::new(DirectDht::new());
+    let cfg = LhtConfig::new(8, 20);
+    // Bootstrap once before spawning clients.
+    let _boot: LhtIndex<_, u64> = LhtIndex::new(&*dht, cfg).unwrap();
+
+    let threads = 4;
+    let per_thread = 400u64;
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let dht = Arc::clone(&dht);
+        joins.push(thread::spawn(move || {
+            let ix: LhtIndex<_, u64> = LhtIndex::new(&*dht, cfg).unwrap();
+            for i in 0..per_thread {
+                let id = t * per_thread + i;
+                // Disjoint key stripes per thread.
+                let key = KeyFraction::from_bits(
+                    id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+                );
+                ix.insert(key, id).unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("client thread must not panic");
+    }
+
+    // Every acknowledged write is durable and the tree is consistent.
+    assert!(audit::check_tree(&dht, cfg).is_empty());
+    assert_eq!(audit::total_records(&dht), (threads * per_thread) as usize);
+    let ix: LhtIndex<_, u64> = LhtIndex::new(&*dht, cfg).unwrap();
+    for id in 0..threads * per_thread {
+        let key = KeyFraction::from_bits(id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        assert_eq!(ix.exact_match(key).unwrap().value, Some(id), "record {id}");
+    }
+}
+
+#[test]
+fn readers_run_against_concurrent_writers_without_wrong_answers() {
+    let dht = Arc::new(DirectDht::new());
+    let cfg = LhtConfig::new(8, 20);
+    let ix: LhtIndex<_, u64> = LhtIndex::new(&*dht, cfg).unwrap();
+    // Pre-populate a stable region [0, 0.5) that writers never touch.
+    for i in 0..500u64 {
+        ix.insert(kf((i as f64 + 0.5) / 1000.0), i).unwrap();
+    }
+
+    let writer_dht = Arc::clone(&dht);
+    let writer = thread::spawn(move || {
+        let ix: LhtIndex<_, u64> = LhtIndex::new(&*writer_dht, cfg).unwrap();
+        for i in 0..500u64 {
+            // Writers work in [0.5, 1.0) only.
+            ix.insert(kf(0.5 + (i as f64 + 0.5) / 1000.0), 10_000 + i)
+                .unwrap();
+        }
+    });
+
+    // Readers continuously query the stable region while the writer
+    // churns the other half of the key space.
+    let stable = KeyInterval::half_open(kf(0.0), kf(0.5));
+    for _ in 0..50 {
+        let r = ix.range(stable).unwrap();
+        assert_eq!(r.records.len(), 500, "stable region must read complete");
+        let min = ix.min().unwrap().value.unwrap();
+        assert_eq!(min.1, 0);
+    }
+    writer.join().expect("writer must not panic");
+    assert!(audit::check_tree(&dht, cfg).is_empty());
+    assert_eq!(audit::total_records(&dht), 1000);
+}
+
+#[test]
+fn concurrent_mixed_workload_over_chord() {
+    let dht = Arc::new(ChordDht::<LeafBucket<u64>>::with_nodes(16, 99));
+    let cfg = LhtConfig::new(8, 20);
+    let _boot: LhtIndex<_, u64> = LhtIndex::new(&*dht, cfg).unwrap();
+
+    let mut joins = Vec::new();
+    for t in 0..3u64 {
+        let dht = Arc::clone(&dht);
+        joins.push(thread::spawn(move || {
+            let ix: LhtIndex<_, u64> = LhtIndex::new(&*dht, cfg).unwrap();
+            for i in 0..200u64 {
+                let id = t * 1000 + i;
+                let key = KeyFraction::from_bits(id.wrapping_mul(0xD134_2543_DE82_EF95) | 1);
+                ix.insert(key, id).unwrap();
+                if i % 3 == 0 {
+                    // Reads racing other clients' splits may see a
+                    // transient LookupExhausted (the remote half of a
+                    // split not yet put); readers retry, as the
+                    // lookup docs specify.
+                    let value = retry_read(|| ix.exact_match(key).map(|h| h.value));
+                    assert_eq!(value, Some(id));
+                }
+                if i % 7 == 0 {
+                    let out = ix.remove(key).unwrap();
+                    assert_eq!(out.value, Some(id));
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("client thread must not panic");
+    }
+    // Cross-check survivors.
+    let ix: LhtIndex<_, u64> = LhtIndex::new(&*dht, cfg).unwrap();
+    for t in 0..3u64 {
+        for i in 0..200u64 {
+            let id = t * 1000 + i;
+            let key = KeyFraction::from_bits(id.wrapping_mul(0xD134_2543_DE82_EF95) | 1);
+            let expect = if i % 7 == 0 { None } else { Some(id) };
+            assert_eq!(ix.exact_match(key).unwrap().value, expect, "record {id}");
+        }
+    }
+}

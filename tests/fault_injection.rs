@@ -1,0 +1,137 @@
+//! Failure-injection integration tests: lost DHT entries and crashed
+//! peers must surface as clean errors (or be masked by replication),
+//! never as wrong answers or hangs.
+
+use lht::{
+    ChordConfig, ChordDht, DirectDht, KeyDist, KeyFraction, KeyInterval, LeafBucket,
+    LhtConfig, LhtError, LhtIndex,
+};
+use lht_workload::Dataset;
+
+fn kf(x: f64) -> KeyFraction {
+    KeyFraction::from_f64(x)
+}
+
+fn seeded(n: usize) -> (DirectDht<LeafBucket<u64>>, Dataset) {
+    let dht = DirectDht::new();
+    let data = Dataset::generate(KeyDist::Uniform, n, 61);
+    {
+        let ix = LhtIndex::new(&dht, LhtConfig::new(8, 20)).unwrap();
+        for (i, k) in data.iter().enumerate() {
+            ix.insert(k, i as u64).unwrap();
+        }
+    }
+    (dht, data)
+}
+
+#[test]
+fn lost_bucket_surfaces_as_error_not_wrong_answer() {
+    let (dht, data) = seeded(500);
+    let ix: LhtIndex<_, u64> = LhtIndex::new(&dht, LhtConfig::new(8, 20)).unwrap();
+
+    // Vaporize the bucket holding a known key.
+    let probe = data.keys()[250];
+    let victim_name = ix.lookup(probe).unwrap().name;
+    assert!(dht.inject_loss(&victim_name.dht_key()));
+
+    // Lookups of keys in the lost bucket now error (exhausted) — and
+    // every key NOT in the lost bucket still answers correctly.
+    match ix.lookup(probe) {
+        Err(LhtError::LookupExhausted { .. }) => {}
+        other => panic!("expected LookupExhausted, got {other:?}"),
+    }
+    let mut alive = 0;
+    for (i, k) in data.iter().enumerate() {
+        match ix.exact_match(k) {
+            Ok(hit) => {
+                assert_eq!(hit.value, Some(i as u64), "surviving key {i} wrong");
+                alive += 1;
+            }
+            Err(LhtError::LookupExhausted { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(alive > 400, "only the lost bucket's keys may fail, {alive} alive");
+}
+
+#[test]
+fn range_query_across_lost_bucket_errors_cleanly() {
+    let (dht, _) = seeded(500);
+    let ix: LhtIndex<_, u64> = LhtIndex::new(&dht, LhtConfig::new(8, 20)).unwrap();
+    let victim_name = ix.lookup(kf(0.5)).unwrap().name;
+    dht.inject_loss(&victim_name.dht_key());
+
+    let wide = KeyInterval::half_open(kf(0.05), kf(0.95));
+    match ix.range(wide) {
+        // Either a clean structural error...
+        Err(LhtError::MissingBucket { .. }) | Err(LhtError::LookupExhausted { .. }) => {}
+        // ...or (if the walk never needed the lost bucket's name) a
+        // result that is a subset of the truth. It must never panic
+        // or hang; reaching here is already the point.
+        Ok(_) => {}
+        Err(e) => panic!("unexpected error kind {e}"),
+    }
+}
+
+#[test]
+fn min_query_errors_when_root_bucket_lost() {
+    let (dht, _) = seeded(100);
+    let ix: LhtIndex<_, u64> = LhtIndex::new(&dht, LhtConfig::new(8, 20)).unwrap();
+    dht.inject_loss(&lht::Label::virtual_root().dht_key());
+    match ix.min() {
+        Err(LhtError::MissingBucket { .. }) => {}
+        other => panic!("expected MissingBucket, got {other:?}"),
+    }
+}
+
+#[test]
+fn unreplicated_chord_crash_loses_only_local_buckets() {
+    let dht: ChordDht<LeafBucket<u64>> = ChordDht::with_nodes(20, 71);
+    let ix = LhtIndex::new(&dht, LhtConfig::new(8, 20)).unwrap();
+    let data = Dataset::generate(KeyDist::Uniform, 800, 73);
+    for (i, k) in data.iter().enumerate() {
+        ix.insert(k, i as u64).unwrap();
+    }
+    let victim = dht.snapshot().node_ids[9];
+    dht.crash(&victim);
+    dht.stabilize(3);
+
+    let (mut ok, mut lost) = (0, 0);
+    for (i, k) in data.iter().enumerate() {
+        match ix.exact_match(k) {
+            Ok(hit) if hit.value == Some(i as u64) => ok += 1,
+            Ok(hit) if hit.value.is_none() => lost += 1,
+            Ok(_) => panic!("wrong value for surviving key"),
+            Err(LhtError::LookupExhausted { .. }) | Err(LhtError::MissingBucket { .. }) => {
+                lost += 1
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(ok > 0 && lost > 0, "a crash should lose some but not all (ok={ok}, lost={lost})");
+    assert!(ok > lost, "one crashed node out of 20 must not dominate");
+}
+
+#[test]
+fn replication_masks_the_same_crash() {
+    let cfg = ChordConfig {
+        replicas: 2,
+        ..ChordConfig::default()
+    };
+    let dht: ChordDht<LeafBucket<u64>> = ChordDht::with_config(20, 71, cfg);
+    let ix = LhtIndex::new(&dht, LhtConfig::new(8, 20)).unwrap();
+    let data = Dataset::generate(KeyDist::Uniform, 800, 73);
+    for (i, k) in data.iter().enumerate() {
+        ix.insert(k, i as u64).unwrap();
+    }
+    let victim = dht.snapshot().node_ids[9];
+    dht.crash(&victim);
+    dht.stabilize(3);
+    for (i, k) in data.iter().enumerate() {
+        assert_eq!(
+            ix.exact_match(k).unwrap().value,
+            Some(i as u64),
+            "replicated key {i} lost"
+        );
+    }
+}

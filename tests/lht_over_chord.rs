@@ -1,0 +1,147 @@
+//! End-to-end integration: the LHT index running over the routed
+//! Chord substrate, including churn while the index is live — the
+//! deployment shape of the paper's testbed (LHT over Bamboo).
+
+use lht::{
+    ChordConfig, ChordDht, Dht, KeyDist, KeyFraction, KeyInterval, LeafBucket, LhtConfig,
+    LhtIndex,
+};
+use lht_workload::Dataset;
+
+type Ring = ChordDht<LeafBucket<u64>>;
+
+fn kf(x: f64) -> KeyFraction {
+    KeyFraction::from_f64(x)
+}
+
+#[test]
+fn full_query_surface_over_chord() {
+    let dht: Ring = ChordDht::with_nodes(32, 41);
+    let ix = LhtIndex::new(&dht, LhtConfig::new(16, 20)).unwrap();
+    let data = Dataset::generate(KeyDist::Uniform, 2_000, 4);
+    for (i, k) in data.iter().enumerate() {
+        ix.insert(k, i as u64).unwrap();
+    }
+
+    // Exact matches.
+    for (i, k) in data.iter().enumerate().step_by(97) {
+        assert_eq!(ix.exact_match(k).unwrap().value, Some(i as u64));
+    }
+    // Range query equals brute force.
+    let q = KeyInterval::half_open(kf(0.3), kf(0.62));
+    let got: Vec<u64> = ix.range(q).unwrap().records.iter().map(|(_, v)| *v).collect();
+    let mut expect: Vec<(KeyFraction, u64)> = data
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| q.contains(*k))
+        .map(|(i, k)| (k, i as u64))
+        .collect();
+    expect.sort();
+    assert_eq!(got, expect.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+
+    // Min/max are single lookups even over the routed ring.
+    assert_eq!(ix.min().unwrap().cost.dht_lookups, 1);
+    assert_eq!(ix.max().unwrap().cost.dht_lookups, 1);
+
+    // Routing took O(log N) hops per lookup.
+    let hops = Dht::stats(&dht).hops_per_lookup();
+    assert!(
+        (1.0..=8.0).contains(&hops),
+        "expected O(log 32) hops per lookup, got {hops}"
+    );
+}
+
+#[test]
+fn index_survives_graceful_churn() {
+    let dht: Ring = ChordDht::with_nodes(24, 43);
+    let ix = LhtIndex::new(&dht, LhtConfig::new(8, 20)).unwrap();
+    let data = Dataset::generate(KeyDist::gaussian_paper(), 1_500, 5);
+
+    // Interleave inserts with membership changes.
+    for (i, k) in data.iter().enumerate() {
+        ix.insert(k, i as u64).unwrap();
+        match i {
+            300 => {
+                let victim = dht.snapshot().node_ids[7];
+                assert!(dht.leave(&victim));
+            }
+            600 => {
+                assert!(dht.join("churn:join-1").is_some());
+                dht.stabilize(1);
+            }
+            900 => {
+                let victim = dht.snapshot().node_ids[3];
+                assert!(dht.leave(&victim));
+                assert!(dht.join("churn:join-2").is_some());
+                dht.stabilize(2);
+            }
+            _ => {}
+        }
+    }
+    // Graceful churn hands data off: everything must still be there.
+    for (i, k) in data.iter().enumerate() {
+        assert_eq!(
+            ix.exact_match(k).unwrap().value,
+            Some(i as u64),
+            "record {i} lost across churn"
+        );
+    }
+    assert!(Dht::stats(&dht).keys_transferred > 0, "churn moved keys");
+}
+
+#[test]
+fn replicated_ring_survives_crashes_mid_workload() {
+    let cfg = ChordConfig {
+        replicas: 3,
+        ..ChordConfig::default()
+    };
+    let dht: Ring = ChordDht::with_config(24, 47, cfg);
+    let ix = LhtIndex::new(&dht, LhtConfig::new(8, 20)).unwrap();
+    let data = Dataset::generate(KeyDist::Uniform, 1_000, 6);
+    for (i, k) in data.iter().enumerate() {
+        ix.insert(k, i as u64).unwrap();
+    }
+    // Two crashes (no handoff) + stabilization.
+    for idx in [5usize, 11] {
+        let victim = dht.snapshot().node_ids[idx];
+        assert!(dht.crash(&victim));
+        dht.stabilize(3);
+    }
+    for (i, k) in data.iter().enumerate() {
+        assert_eq!(
+            ix.exact_match(k).unwrap().value,
+            Some(i as u64),
+            "replicated record {i} lost after crashes"
+        );
+    }
+    // Range queries still come back complete.
+    let q = KeyInterval::half_open(kf(0.1), kf(0.9));
+    let expect = data.iter().filter(|k| q.contains(*k)).count();
+    assert_eq!(ix.range(q).unwrap().records.len(), expect);
+}
+
+#[test]
+fn index_metrics_are_substrate_independent() {
+    // The paper's footnote 5: index-level measurements don't depend
+    // on the substrate. Run the same workload over the oracle and
+    // over Chord; splits, moved records and per-op DHT-lookup counts
+    // must agree exactly.
+    let data = Dataset::generate(KeyDist::Uniform, 800, 7);
+
+    let direct = lht::DirectDht::new();
+    let ix1 = LhtIndex::new(&direct, LhtConfig::new(8, 20)).unwrap();
+    let chord: Ring = ChordDht::with_nodes(16, 53);
+    let ix2 = LhtIndex::new(&chord, LhtConfig::new(8, 20)).unwrap();
+
+    let mut costs1 = Vec::new();
+    let mut costs2 = Vec::new();
+    for (i, k) in data.iter().enumerate() {
+        costs1.push(ix1.insert(k, i as u64).unwrap().cost.dht_lookups);
+        costs2.push(ix2.insert(k, i as u64).unwrap().cost.dht_lookups);
+    }
+    assert_eq!(costs1, costs2, "per-insert DHT-lookup counts must match");
+    let (s1, s2) = (ix1.stats(), ix2.stats());
+    assert_eq!(s1.splits, s2.splits);
+    assert_eq!(s1.records_moved, s2.records_moved);
+    assert_eq!(s1.maintenance_lookups, s2.maintenance_lookups);
+}

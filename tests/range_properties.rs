@@ -1,0 +1,147 @@
+//! Property-based integration tests: for arbitrary datasets,
+//! thresholds and query ranges, the distributed index must agree with
+//! a brute-force oracle and respect the paper's cost bounds.
+
+use proptest::prelude::*;
+
+use lht::{
+    audit, DirectDht, KeyFraction, KeyInterval, LeafBucket, LhtConfig, LhtIndex,
+};
+
+type TestDht = DirectDht<LeafBucket<u32>>;
+
+fn build_index(keys: &[u64], theta: usize) -> TestDht {
+    let dht = DirectDht::new();
+    let cfg = LhtConfig::new(theta, 24);
+    let ix = LhtIndex::new(&dht, cfg).unwrap();
+    for (i, bits) in keys.iter().enumerate() {
+        ix.insert(KeyFraction::from_bits(*bits), i as u32).unwrap();
+    }
+    dht
+}
+
+/// The oracle `B` of §6.3: how many leaves overlap the range.
+fn optimal_buckets(dht: &TestDht, range: &KeyInterval) -> u64 {
+    audit::leaf_labels(dht)
+        .into_iter()
+        .filter(|l| l.interval().overlaps(range))
+        .count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every inserted key is found by lookup, and its bucket's label
+    /// covers it.
+    #[test]
+    fn lookup_always_finds_covering_bucket(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..400),
+        theta in 2usize..12,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let dht = build_index(&keys, theta);
+        let ix: LhtIndex<_, u32> = LhtIndex::new(&dht, LhtConfig::new(theta, 24)).unwrap();
+        for bits in &keys {
+            let k = KeyFraction::from_bits(*bits);
+            let hit = ix.lookup(k).unwrap();
+            prop_assert!(hit.bucket.covers(k));
+            prop_assert!(hit.bucket.get(k).is_some());
+        }
+    }
+
+    /// Range queries return exactly the brute-force answer and stay
+    /// within the B + 3 bound of §6.3.
+    #[test]
+    fn range_is_exact_and_near_optimal(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..500),
+        theta in 2usize..12,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let dht = build_index(&keys, theta);
+        let ix: LhtIndex<_, u32> = LhtIndex::new(&dht, LhtConfig::new(theta, 24)).unwrap();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let range = KeyInterval::half_open(
+            KeyFraction::from_bits(lo), KeyFraction::from_bits(hi));
+        let result = ix.range(range).unwrap();
+
+        let mut expect: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| range.contains(KeyFraction::from_bits(*k)))
+            .collect();
+        expect.sort();
+        let got: Vec<u64> = result.records.iter().map(|(k, _)| k.bits()).collect();
+        prop_assert_eq!(got, expect);
+
+        if !range.is_empty() {
+            let b_opt = optimal_buckets(&dht, &range);
+            if b_opt >= 2 {
+                // §6.3's bound covers Cases 2 and 3 (B ≥ 2) only.
+                prop_assert!(
+                    result.cost.dht_lookups <= b_opt + 3,
+                    "range used {} lookups for B = {}", result.cost.dht_lookups, b_opt
+                );
+            } else {
+                // Case 1: one LCA probe plus a binary-search lookup
+                // of the lower bound, ≈ 1 + log(D/2).
+                prop_assert!(
+                    result.cost.dht_lookups <= 1 + 6,
+                    "single-bucket range used {} lookups", result.cost.dht_lookups
+                );
+            }
+        }
+    }
+
+    /// The whole tree stays structurally consistent (Theorem 1
+    /// placement, exact space partition, record containment) under
+    /// arbitrary interleavings of inserts and removes, and record
+    /// counts are conserved.
+    #[test]
+    fn tree_invariants_hold_under_mixed_workloads(
+        ops in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..400),
+        theta in 2usize..10,
+    ) {
+        let dht = DirectDht::new();
+        let cfg = LhtConfig::new(theta, 24);
+        let ix: LhtIndex<_, u32> = LhtIndex::new(&dht, cfg).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (i, (bits, is_insert)) in ops.iter().enumerate() {
+            // Bias towards re-touching earlier keys so removals hit.
+            let bits = if i % 3 == 0 { ops[i / 2].0 } else { *bits };
+            let k = KeyFraction::from_bits(bits);
+            if *is_insert {
+                ix.insert(k, i as u32).unwrap();
+                model.insert(bits, i as u32);
+            } else {
+                let out = ix.remove(k).unwrap();
+                prop_assert_eq!(out.value, model.remove(&bits), "remove {}", bits);
+            }
+        }
+        prop_assert!(audit::check_tree(&dht, cfg).is_empty());
+        prop_assert_eq!(audit::total_records(&dht), model.len());
+        // And the index agrees with the model afterwards.
+        for (bits, v) in &model {
+            prop_assert_eq!(
+                ix.exact_match(KeyFraction::from_bits(*bits)).unwrap().value,
+                Some(*v)
+            );
+        }
+    }
+
+    /// Min/max agree with the oracle on arbitrary data.
+    #[test]
+    fn min_max_agree_with_oracle(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..300),
+        theta in 2usize..10,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let dht = build_index(&keys, theta);
+        let ix: LhtIndex<_, u32> = LhtIndex::new(&dht, LhtConfig::new(theta, 24)).unwrap();
+        let min = ix.min().unwrap().value.unwrap().0;
+        let max = ix.max().unwrap().value.unwrap().0;
+        prop_assert_eq!(min.bits(), *keys.iter().min().unwrap());
+        prop_assert_eq!(max.bits(), *keys.iter().max().unwrap());
+    }
+}
