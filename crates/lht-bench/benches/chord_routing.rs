@@ -10,7 +10,8 @@ fn bench_routing(c: &mut Criterion) {
     for n in [16usize, 64, 256] {
         let dht: ChordDht<u64> = ChordDht::with_nodes(n, 99);
         for i in 0..500u64 {
-            dht.put(&DhtKey::from(format!("warm:{i}").as_str()), i).unwrap();
+            dht.put(&DhtKey::from(format!("warm:{i}").as_str()), i)
+                .unwrap();
         }
         let mut i = 0u64;
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

@@ -73,14 +73,7 @@ fn bench_queries(c: &mut Criterion) {
     });
     let mut r2 = RangeQueryGen::new(0.05, 19);
     g.bench_function("pht_sequential", |b| {
-        b.iter(|| {
-            black_box(
-                pht.range_sequential(r2.next_range())
-                    .unwrap()
-                    .records
-                    .len(),
-            )
-        })
+        b.iter(|| black_box(pht.range_sequential(r2.next_range()).unwrap().records.len()))
     });
     let mut r3 = RangeQueryGen::new(0.05, 19);
     g.bench_function("pht_parallel", |b| {

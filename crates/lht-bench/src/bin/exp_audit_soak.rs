@@ -1,0 +1,173 @@
+//! Differential-testing soak — drives the LHT index, the PHT
+//! baseline and a shadow oracle through one deterministic trace,
+//! diffing every answer and auditing every structural invariant
+//! (Theorem 1 bijectivity, partition coverage, record conservation,
+//! θ-occupancy, PHT trie/chain consistency, Chord ring
+//! well-formedness).
+//!
+//! ```sh
+//! cargo run --release -p lht-bench --bin exp_audit_soak -- \
+//!     [--substrate direct|chord|both] [--seed N] [--ops N] \
+//!     [--theta N] [--churn] [--nodes N] [--replicas N]
+//! ```
+//!
+//! Exits non-zero on the first divergence or invariant violation,
+//! printing the failing op and the one-line replay command.
+
+use lht::harness::{run_soak, SoakOptions, SoakReport, SubstrateKind};
+use lht_bench::Table;
+
+struct SoakArgs {
+    seed: u64,
+    ops: usize,
+    theta: usize,
+    churn: bool,
+    nodes: usize,
+    replicas: usize,
+    direct: bool,
+    chord: bool,
+}
+
+impl Default for SoakArgs {
+    fn default() -> Self {
+        SoakArgs {
+            seed: 1,
+            ops: 10_000,
+            theta: 4,
+            churn: false,
+            nodes: 16,
+            replicas: 2,
+            direct: true,
+            chord: true,
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: exp_audit_soak [--substrate direct|chord|both] [--seed N] \
+         [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N]"
+    );
+    eprintln!("  --substrate  which DHT to soak (default both)");
+    eprintln!("  --seed N     trace seed; the whole run replays from it (default 1)");
+    eprintln!("  --ops N      operations per soak (default 10000)");
+    eprintln!("  --theta N    LHT split threshold (default 4)");
+    eprintln!("  --churn      interleave ring join/leave/stabilize (chord only)");
+    eprintln!("  --nodes N    initial chord ring size (default 16)");
+    eprintln!("  --replicas N copies per key on chord (default 2)");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_args() -> SoakArgs {
+    let mut args = SoakArgs::default();
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("{what} needs an unsigned integer")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--substrate" => match it.next().as_deref() {
+                Some("direct") => (args.direct, args.chord) = (true, false),
+                Some("chord") => (args.direct, args.chord) = (false, true),
+                Some("both") => (args.direct, args.chord) = (true, true),
+                _ => usage("--substrate needs direct, chord or both"),
+            },
+            "--seed" => args.seed = num(&mut it, "--seed"),
+            "--ops" => args.ops = num(&mut it, "--ops") as usize,
+            "--theta" => args.theta = (num(&mut it, "--theta") as usize).max(2),
+            "--churn" => args.churn = true,
+            "--nodes" => args.nodes = (num(&mut it, "--nodes") as usize).max(1),
+            "--replicas" => args.replicas = (num(&mut it, "--replicas") as usize).max(1),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut runs: Vec<(SubstrateKind, bool)> = Vec::new();
+    if args.direct {
+        runs.push((SubstrateKind::Direct, false));
+    }
+    if args.chord {
+        runs.push((
+            SubstrateKind::Chord {
+                nodes: args.nodes,
+                replicas: args.replicas,
+            },
+            args.churn,
+        ));
+    }
+
+    let mut t = Table::new(
+        format!(
+            "audit soak — seed {}, {} ops, theta {}",
+            args.seed, args.ops, args.theta
+        ),
+        &[
+            "substrate",
+            "ops",
+            "mutations",
+            "queries",
+            "churn",
+            "audits",
+            "records",
+            "verdict",
+        ],
+    );
+    let mut failed = false;
+    for (substrate, churn) in runs {
+        let opts = SoakOptions {
+            seed: args.seed,
+            ops: args.ops,
+            theta: args.theta,
+            substrate,
+            mirror_pht: matches!(substrate, SubstrateKind::Direct),
+            churn,
+            audit_every: (args.ops / 10).max(1),
+            ..SoakOptions::default()
+        };
+        eprintln!("soaking {substrate} ({} ops)…", args.ops);
+        match run_soak(&opts) {
+            Ok(report) => push_report(&mut t, substrate, &report),
+            Err(failure) => {
+                failed = true;
+                eprintln!("{failure}");
+                t.push_row(vec![
+                    substrate.to_string(),
+                    failure.op_index.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "FAILED".into(),
+                ]);
+            }
+        }
+    }
+    print!("{}", t.render());
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn push_report(t: &mut Table, substrate: SubstrateKind, r: &SoakReport) {
+    t.push_row(vec![
+        substrate.to_string(),
+        r.applied.to_string(),
+        r.mutations.to_string(),
+        r.queries.to_string(),
+        r.churn_events.to_string(),
+        r.audits.to_string(),
+        r.final_records.to_string(),
+        "ok".into(),
+    ]);
+}

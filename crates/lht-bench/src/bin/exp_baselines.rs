@@ -24,7 +24,13 @@ fn main() {
         );
         let mut tm = Table::new(
             format!("E10 — replication/movement per record, {} data", dist.tag()),
-            &["n", "LHT moved/rec", "PHT moved/rec", "DST replicas/rec", "RST bcast/rec"],
+            &[
+                "n",
+                "LHT moved/rec",
+                "PHT moved/rec",
+                "DST replicas/rec",
+                "RST bcast/rec",
+            ],
         );
         let mut tq = Table::new(
             format!(

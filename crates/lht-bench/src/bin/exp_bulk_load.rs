@@ -18,7 +18,10 @@ fn main() {
         eprintln!("bulk load: {} data…", dist.tag());
         let rows = bulk::bulk_vs_incremental(dist, &sizes, 99);
         let mut t = Table::new(
-            format!("E13 — incremental vs bulk loading, {} data (θ=100)", dist.tag()),
+            format!(
+                "E13 — incremental vs bulk loading, {} data (θ=100)",
+                dist.tag()
+            ),
             &[
                 "n",
                 "incremental lookups",

@@ -20,7 +20,14 @@ fn main() {
 
     let mut t = Table::new(
         format!("E11 — exact-match availability after churn ({n} records, {peers} peers)"),
-        &["crash %", "replicas", "correct", "lost", "availability", "hops/lookup"],
+        &[
+            "crash %",
+            "replicas",
+            "correct",
+            "lost",
+            "availability",
+            "hops/lookup",
+        ],
     );
     for r in &rows {
         t.push_row(vec![

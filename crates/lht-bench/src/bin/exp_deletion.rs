@@ -18,7 +18,10 @@ fn main() {
         eprintln!("deletion drain: {} data, n = {n}…", dist.tag());
         let pts = deletion::drain(dist, n, 8, 99);
         let mut t = Table::new(
-            format!("E15 — cumulative merge maintenance while draining, {} data (θ=100)", dist.tag()),
+            format!(
+                "E15 — cumulative merge maintenance while draining, {} data (θ=100)",
+                dist.tag()
+            ),
             &[
                 "remaining",
                 "LHT merges",

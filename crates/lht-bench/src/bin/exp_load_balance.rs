@@ -11,7 +11,11 @@ use lht_bench::{write_csv, BenchOpts, Table};
 
 fn main() {
     let opts = BenchOpts::from_env();
-    let (n, peers) = if opts.full { (50_000, 64) } else { (10_000, 32) };
+    let (n, peers) = if opts.full {
+        (50_000, 64)
+    } else {
+        (10_000, 32)
+    };
 
     eprintln!("load balance: {n} records over {peers} Chord peers…");
     let rows = balance::storage_balance(n, peers, 4242);

@@ -16,7 +16,13 @@ fn main() {
     let sizes = opts.data_sizes();
     let mut t6a = Table::new(
         "Fig. 6a — average α vs data size (mean over trials)",
-        &["n", "uniform θ=40", "uniform θ=160", "gaussian θ=40", "gaussian θ=160"],
+        &[
+            "n",
+            "uniform θ=40",
+            "uniform θ=160",
+            "gaussian θ=40",
+            "gaussian θ=160",
+        ],
     );
     let mut cols: Vec<Vec<fig6::AlphaPoint>> = Vec::new();
     for dist in dists {

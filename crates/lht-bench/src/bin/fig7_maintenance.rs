@@ -18,7 +18,10 @@ fn main() {
         let pts = fig7::maintenance_vs_size(dist, &sizes, opts.trials);
 
         let mut t7a = Table::new(
-            format!("Fig. 7a — cumulative moved records, {} data (θ=100)", dist.tag()),
+            format!(
+                "Fig. 7a — cumulative moved records, {} data (θ=100)",
+                dist.tag()
+            ),
             &["n", "LHT", "PHT", "LHT/PHT"],
         );
         let mut t7b = Table::new(

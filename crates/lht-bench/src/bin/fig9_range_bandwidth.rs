@@ -44,7 +44,10 @@ fn main() {
         eprintln!("fig9b: {} data…", dist.tag());
         let pts = fig9_10::range_vs_span(dist, n, &spans, opts.trials);
         let mut t = Table::new(
-            format!("Fig. 9b — range bandwidth vs span, {} data (n = {n})", dist.tag()),
+            format!(
+                "Fig. 9b — range bandwidth vs span, {} data (n = {n})",
+                dist.tag()
+            ),
             &["span", "LHT", "PHT(seq)", "PHT(par)"],
         );
         for p in &pts {

@@ -56,50 +56,59 @@ pub struct BalanceComparison {
 /// Measures per-peer record loads for raw hashing vs LHT placement on
 /// a `peers`-node Chord ring with `n` records.
 pub fn storage_balance(n: usize, peers: usize, seed: u64) -> Vec<BalanceComparison> {
-    [KeyDist::Uniform, KeyDist::gaussian_paper(), KeyDist::Zipf { s: 1.0, bins: 256 }]
-        .into_iter()
-        .map(|dist| {
-            let data = Dataset::generate(dist, n, seed);
+    [
+        KeyDist::Uniform,
+        KeyDist::gaussian_paper(),
+        KeyDist::Zipf { s: 1.0, bins: 256 },
+    ]
+    .into_iter()
+    .map(|dist| {
+        let data = Dataset::generate(dist, n, seed);
 
-            // (a) raw DHT: each record under its own key.
-            let raw_dht: ChordDht<u64> = ChordDht::with_nodes(peers, seed);
-            for (i, k) in data.iter().enumerate() {
-                raw_dht
-                    .put(&DhtKey::from(format!("{}", k.bits()).as_str()), i as u64)
-                    .expect("ring is live");
-            }
-            let raw_loads = raw_dht.snapshot().keys_per_node;
+        // (a) raw DHT: each record under its own key.
+        let raw_dht: ChordDht<u64> = ChordDht::with_nodes(peers, seed);
+        for (i, k) in data.iter().enumerate() {
+            raw_dht
+                .put(&DhtKey::from(format!("{}", k.bits()).as_str()), i as u64)
+                .expect("ring is live");
+        }
+        let raw_loads = raw_dht.snapshot().keys_per_node;
 
-            // (b) LHT buckets placed by the naming function.
-            let lht_dht: ChordDht<LeafBucket<u64>> = ChordDht::with_nodes(peers, seed);
-            let ix = LhtIndex::new(&lht_dht, LhtConfig::new(100, 20)).expect("ring is live");
-            for (i, k) in data.iter().enumerate() {
-                ix.insert(k, i as u64).expect("ring is live");
+        // (b) LHT buckets placed by the naming function.
+        let lht_dht: ChordDht<LeafBucket<u64>> = ChordDht::with_nodes(peers, seed);
+        let ix = LhtIndex::new(&lht_dht, LhtConfig::new(100, 20)).expect("ring is live");
+        for (i, k) in data.iter().enumerate() {
+            ix.insert(k, i as u64).expect("ring is live");
+        }
+        // `keys_per_node` counts buckets; weight by *records* by
+        // walking the leaf chain and crediting each bucket's size
+        // to its owner peer.
+        let snap = lht_dht.snapshot();
+        let mut record_loads = vec![0usize; snap.node_ids.len()];
+        for key in collect_bucket_keys(&ix) {
+            if let Some(owner) = lht_dht.owner_of_key(&key) {
+                let idx = snap
+                    .node_ids
+                    .iter()
+                    .position(|id| *id == owner)
+                    .expect("owner is live");
+                let len = lht_dht
+                    .get(&key)
+                    .ok()
+                    .flatten()
+                    .map(|b| b.len())
+                    .unwrap_or(0);
+                record_loads[idx] += len;
             }
-            // `keys_per_node` counts buckets; weight by *records* by
-            // walking the leaf chain and crediting each bucket's size
-            // to its owner peer.
-            let snap = lht_dht.snapshot();
-            let mut record_loads = vec![0usize; snap.node_ids.len()];
-            for key in collect_bucket_keys(&ix) {
-                if let Some(owner) = lht_dht.owner_of_key(&key) {
-                    let idx = snap
-                        .node_ids
-                        .iter()
-                        .position(|id| *id == owner)
-                        .expect("owner is live");
-                    let len = lht_dht.get(&key).ok().flatten().map(|b| b.len()).unwrap_or(0);
-                    record_loads[idx] += len;
-                }
-            }
+        }
 
-            BalanceComparison {
-                dist: dist.tag(),
-                raw: metrics(&raw_loads, n),
-                lht: metrics(&record_loads, n),
-            }
-        })
-        .collect()
+        BalanceComparison {
+            dist: dist.tag(),
+            raw: metrics(&raw_loads, n),
+            lht: metrics(&record_loads, n),
+        }
+    })
+    .collect()
 }
 
 /// Enumerates the DHT keys of all live buckets by walking the leaf

@@ -173,10 +173,7 @@ mod tests {
     fn three_way_comparison_matches_section2() {
         let rows = compare(KeyDist::Uniform, &[4096], 0.1, 10);
         let row = &rows[0];
-        assert!(
-            section2_claims_hold(row),
-            "§2 ordering violated: {row:?}"
-        );
+        assert!(section2_claims_hold(row), "§2 ordering violated: {row:?}");
         // DST per-insert ≈ height + 1 lookups.
         assert!(row.insert_cost.dst >= 8.0);
         // LHT insert ≈ lookup (log D/2) + put + amortized split.

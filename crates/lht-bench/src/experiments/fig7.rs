@@ -40,11 +40,7 @@ impl MaintenancePoint {
 
 /// Runs the Fig. 7 experiment: one growth pass per trial, cumulative
 /// stats at each size.
-pub fn maintenance_vs_size(
-    dist: KeyDist,
-    sizes: &[usize],
-    trials: u64,
-) -> Vec<MaintenancePoint> {
+pub fn maintenance_vs_size(dist: KeyDist, sizes: &[usize], trials: u64) -> Vec<MaintenancePoint> {
     let cfg = LhtConfig::new(100, 24);
     let mut acc: Vec<[Vec<f64>; 4]> = (0..sizes.len()).map(|_| Default::default()).collect();
     for trial in 0..trials {

@@ -78,8 +78,7 @@ mod tests {
             assert!(p.lht >= 1.0 && p.lht <= 6.0, "LHT avg {}", p.lht);
             assert!(p.pht >= 1.0 && p.pht <= 6.0, "PHT avg {}", p.pht);
         }
-        let avg_saving: f64 =
-            pts.iter().map(LookupPoint::saving).sum::<f64>() / pts.len() as f64;
+        let avg_saving: f64 = pts.iter().map(LookupPoint::saving).sum::<f64>() / pts.len() as f64;
         assert!(
             avg_saving > 0.0,
             "LHT should save on average across sizes, got {avg_saving}"

@@ -105,20 +105,14 @@ fn measure(
 }
 
 /// Figs. 9a/10a: range cost against data size at a fixed span.
-pub fn range_vs_size(
-    dist: KeyDist,
-    sizes: &[usize],
-    span: f64,
-    trials: u64,
-) -> Vec<RangePoint> {
+pub fn range_vs_size(dist: KeyDist, sizes: &[usize], span: f64, trials: u64) -> Vec<RangePoint> {
     let cfg = LhtConfig::new(100, 20);
     let mut per_size: Vec<Samples> = sizes.iter().map(|_| Samples::new()).collect();
     for trial in 0..trials {
         let seed = 0x9_4000 + trial * 13 + dist.tag().len() as u64;
         let mut idx = 0usize;
         GrowthRun::run(dist, sizes, cfg, seed, |_n, lht, pht| {
-            measure(lht, pht, span, seed ^ 0xfeed, &mut per_size[idx])
-                .expect("consistent tree");
+            measure(lht, pht, span, seed ^ 0xfeed, &mut per_size[idx]).expect("consistent tree");
             idx += 1;
         });
     }
@@ -137,12 +131,7 @@ pub fn range_vs_size(
 }
 
 /// Figs. 9b/10b: range cost against span at a fixed data size.
-pub fn range_vs_span(
-    dist: KeyDist,
-    n: usize,
-    spans: &[f64],
-    trials: u64,
-) -> Vec<RangeSpanPoint> {
+pub fn range_vs_span(dist: KeyDist, n: usize, spans: &[f64], trials: u64) -> Vec<RangeSpanPoint> {
     let cfg = LhtConfig::new(100, 20);
     let mut per_span: Vec<Samples> = spans.iter().map(|_| Samples::new()).collect();
     for trial in 0..trials {
@@ -151,8 +140,7 @@ pub fn range_vs_span(
         let lht = run.lht();
         let pht = run.pht();
         for (i, span) in spans.iter().enumerate() {
-            measure(&lht, &pht, *span, seed ^ 0xfeed, &mut per_span[i])
-                .expect("consistent tree");
+            measure(&lht, &pht, *span, seed ^ 0xfeed, &mut per_span[i]).expect("consistent tree");
         }
     }
     spans

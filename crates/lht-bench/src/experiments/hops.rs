@@ -56,14 +56,12 @@ pub fn hops_over_chord(n: usize, ring_sizes: &[usize], probes: usize) -> Vec<Hop
             for k in &keys {
                 lht.lookup(*k).expect("consistent");
             }
-            let lht_lookup_hops =
-                (Dht::stats(&lht_dht) - before).hops as f64 / probes as f64;
+            let lht_lookup_hops = (Dht::stats(&lht_dht) - before).hops as f64 / probes as f64;
             let before = Dht::stats(&pht_dht);
             for k in &keys {
                 pht.lookup(*k).expect("consistent");
             }
-            let pht_lookup_hops =
-                (Dht::stats(&pht_dht) - before).hops as f64 / probes as f64;
+            let pht_lookup_hops = (Dht::stats(&pht_dht) - before).hops as f64 / probes as f64;
 
             // Range queries, measured one at a time so hop deltas are
             // attributable.

@@ -48,11 +48,7 @@ impl Dht for AnyDht {
         }
     }
 
-    fn update(
-        &self,
-        key: &DhtKey,
-        f: &mut dyn FnMut(&mut Option<Bucket>),
-    ) -> Result<(), DhtError> {
+    fn update(&self, key: &DhtKey, f: &mut dyn FnMut(&mut Option<Bucket>)) -> Result<(), DhtError> {
         match self {
             AnyDht::Direct(d) => d.update(key, f),
             AnyDht::Chord(d) => d.update(key, f),

@@ -23,10 +23,7 @@ fn main() {
             }
         },
     };
-    let seed = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xC0FFEE);
+    let seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE);
 
     let interactive = io::stdin().is_terminal();
     if interactive {

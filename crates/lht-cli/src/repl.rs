@@ -139,9 +139,11 @@ impl Repl {
                     self.index.max()?
                 };
                 Ok(match hit.value {
-                    Some((k, v)) =>
-
-                        format!("{:.6} -> {v:?} ({} DHT-lookup)", k.to_f64(), hit.cost.dht_lookups),
+                    Some((k, v)) => format!(
+                        "{:.6} -> {v:?} ({} DHT-lookup)",
+                        k.to_f64(),
+                        hit.cost.dht_lookups
+                    ),
                     None => "(empty index)".to_string(),
                 })
             }
@@ -281,7 +283,10 @@ mod tests {
             let out = r.eval("range 0.2 0.4");
             assert!(out.contains("records"), "{sub:?}: {out}");
             let stats = r.eval("stats");
-            assert!(!stats.contains("0.00/lookup"), "{sub:?} must route: {stats}");
+            assert!(
+                !stats.contains("0.00/lookup"),
+                "{sub:?} must route: {stats}"
+            );
         }
     }
 

@@ -49,15 +49,30 @@ pub enum AuditViolation {
     /// explain. Because each insertion causes at most one split
     /// (§5: "to avoid the cascading split"), a fully-skewed split can
     /// leave the insert-target bucket above `θ_split − 1` records
-    /// transiently; every further insertion splits it again, one
-    /// level deeper, so clustered keys can push a bucket at depth `d`
-    /// at most `max_depth − d` records past capacity before the depth
-    /// cap ends splitting. Anything beyond that bound is a bug.
+    /// transiently — but every record beyond capacity was added by an
+    /// insertion that also deepened the bucket one level. A leaf at
+    /// depth `d` can therefore sit at most `d` records past capacity
+    /// (keys sharing a prefix longer than `d`); anything beyond that
+    /// bound cannot have been produced by the algorithm and is a bug.
     OverfullBucket {
         /// The bucket's label.
         label: String,
         /// Its record count.
         len: usize,
+    },
+    /// Two buckets carry the same leaf label — Theorem 1's bijection
+    /// between leaf labels and names is violated, so one of them is
+    /// unreachable by lookup.
+    DuplicateLabel {
+        /// The duplicated leaf label.
+        label: String,
+    },
+    /// A leaf label deeper than the configured depth cap.
+    DepthExceeded {
+        /// The offending leaf label.
+        label: String,
+        /// The configured maximum depth.
+        max_depth: usize,
     },
 }
 
@@ -72,9 +87,9 @@ pub enum AuditViolation {
 ///    `[0, 1)` exactly (the space partition tree's fullness).
 /// 3. **Containment** — every record lies in its leaf's interval.
 /// 4. **Capacity** — no bucket below the depth limit exceeds
-///    `θ_split − 1` records by more than the transient overflow the
-///    one-split-per-insertion discipline permits (see
-///    [`AuditViolation::OverfullBucket`]).
+///    `θ_split − 1` records by more than one per level of depth it
+///    has gained — the transient overflow the one-split-per-insertion
+///    discipline permits (see [`AuditViolation::OverfullBucket`]).
 ///
 /// # Examples
 ///
@@ -91,17 +106,30 @@ pub enum AuditViolation {
 /// assert!(audit::check_tree(&dht, LhtConfig::new(4, 20)).is_empty());
 /// # Ok::<(), lht_core::LhtError>(())
 /// ```
-pub fn check_tree<V: Clone>(
-    dht: &DirectDht<LeafBucket<V>>,
+pub fn check_tree<V: Clone>(dht: &DirectDht<LeafBucket<V>>, cfg: LhtConfig) -> Vec<AuditViolation> {
+    check_entries(tree_entries(dht), cfg)
+}
+
+/// Checks the same invariants as [`check_tree`] over an explicit list
+/// of `(stored-at key, bucket)` pairs, so trees living on substrates
+/// without a free inspection interface (e.g. enumerated out of a
+/// simulated Chord ring's node stores) are held to the same standard.
+///
+/// In addition to the [`check_tree`] invariants, duplicate leaf
+/// labels in the entry list are reported as
+/// [`AuditViolation::DuplicateLabel`] (Theorem 1's bijectivity: on a
+/// keyed store duplicates are impossible, but an enumerated snapshot
+/// of a distributed system can contain them), and labels deeper than
+/// `cfg.max_depth` as [`AuditViolation::DepthExceeded`].
+pub fn check_entries<V: Clone>(
+    entries: impl IntoIterator<Item = (lht_dht::DhtKey, LeafBucket<V>)>,
     cfg: LhtConfig,
 ) -> Vec<AuditViolation> {
     let mut violations = Vec::new();
     let mut leaves: BTreeMap<u128, (Label, u128)> = BTreeMap::new(); // lo -> (label, hi)
+    let mut seen_labels: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
 
-    for key in dht.keys() {
-        let bucket = dht
-            .peek(&key, |b| b.cloned())
-            .expect("key just enumerated");
+    for (key, bucket) in entries {
         let label = bucket.label();
 
         // 1. Placement.
@@ -110,6 +138,22 @@ pub fn check_tree<V: Clone>(
             violations.push(AuditViolation::MisplacedBucket {
                 stored_at: key.to_string(),
                 expected: expected.to_string(),
+            });
+        }
+
+        // 1b. Bijectivity: a leaf label may appear at most once.
+        if !seen_labels.insert(label.to_string()) {
+            violations.push(AuditViolation::DuplicateLabel {
+                label: label.to_string(),
+            });
+            continue;
+        }
+
+        // 1c. Depth cap.
+        if label.len() > cfg.max_depth {
+            violations.push(AuditViolation::DepthExceeded {
+                label: label.to_string(),
+                max_depth: cfg.max_depth,
             });
         }
 
@@ -125,9 +169,9 @@ pub fn check_tree<V: Clone>(
 
         // 4. Capacity (buckets at the depth limit may overflow
         // freely; below it, only the bounded transient overflow of
-        // skewed one-split-per-insert growth is allowed).
-        let slack = cfg.max_depth.saturating_sub(label.len());
-        if label.len() < cfg.max_depth && bucket.len() > cfg.bucket_capacity() + slack {
+        // skewed one-split-per-insert growth is allowed — one excess
+        // record per level of depth the bucket has gained).
+        if label.len() < cfg.max_depth && bucket.len() > cfg.bucket_capacity() + label.len() {
             violations.push(AuditViolation::OverfullBucket {
                 label: label.to_string(),
                 len: bucket.len(),
@@ -165,6 +209,17 @@ pub fn check_tree<V: Clone>(
     violations
 }
 
+/// Enumerates `(stored-at key, bucket)` pairs out of a [`DirectDht`]
+/// (free oracle view).
+pub fn tree_entries<V: Clone>(
+    dht: &DirectDht<LeafBucket<V>>,
+) -> Vec<(lht_dht::DhtKey, LeafBucket<V>)> {
+    dht.keys()
+        .into_iter()
+        .filter_map(|k| dht.peek(&k, |b| b.cloned()).map(|b| (k, b)))
+        .collect()
+}
+
 /// Total number of records stored across all buckets (free oracle
 /// count, for conservation checks in tests).
 pub fn total_records<V: Clone>(dht: &DirectDht<LeafBucket<V>>) -> usize {
@@ -172,6 +227,20 @@ pub fn total_records<V: Clone>(dht: &DirectDht<LeafBucket<V>>) -> usize {
         .into_iter()
         .map(|k| dht.peek(&k, |b| b.map(|b| b.len()).unwrap_or(0)))
         .sum()
+}
+
+/// Every record in an enumerated tree snapshot, sorted by key —
+/// the materialized index contents, for differential comparison
+/// against a reference model.
+pub fn entry_records<V: Clone>(
+    entries: &[(lht_dht::DhtKey, LeafBucket<V>)],
+) -> Vec<(KeyFraction, V)> {
+    let mut records: Vec<(KeyFraction, V)> = entries
+        .iter()
+        .flat_map(|(_, b)| b.iter().map(|(k, v)| (k, v.clone())))
+        .collect();
+    records.sort_by_key(|(k, _)| *k);
+    records
 }
 
 /// All bucket labels currently stored, in interval order (free oracle
@@ -215,7 +284,8 @@ mod tests {
             if i % 50 == 0 {
                 assert!(
                     check_tree(&dht, cfg).is_empty(),
-                    "tree inconsistent after {i} inserts: {:?}", check_tree(&dht, cfg)
+                    "tree inconsistent after {i} inserts: {:?}",
+                    check_tree(&dht, cfg)
                 );
             }
         }
@@ -240,6 +310,30 @@ mod tests {
         }
         assert!(check_tree(&dht, cfg).is_empty());
         assert_eq!(total_records(&dht), 0);
+    }
+
+    /// Regression (found by the differential soak, seed 3): keys
+    /// sharing a prefix deeper than `max_depth` grow one bucket by
+    /// one record per insert while it deepens one level per insert —
+    /// legitimate one-split-per-insert behaviour the capacity audit
+    /// must accept, at every intermediate depth and at the cap.
+    #[test]
+    fn clustered_overflow_below_depth_cap_is_legal() {
+        let dht = DirectDht::new();
+        let cfg = LhtConfig::new(2, 24);
+        let ix = LhtIndex::new(&dht, cfg).unwrap();
+        // 40-bit shared prefix: indistinguishable within 24 levels.
+        let base: u64 = 0x5866_D800_0000_0000;
+        for i in 0..32u32 {
+            let key = KeyFraction::from_bits(base | u64::from(i));
+            ix.insert(key, i).unwrap();
+            let violations = check_tree(&dht, cfg);
+            assert!(
+                violations.is_empty(),
+                "audit rejected legal clustered growth after {i} inserts: {violations:?}"
+            );
+        }
+        assert_eq!(total_records(&dht), 32);
     }
 
     #[test]

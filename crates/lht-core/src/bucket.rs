@@ -107,7 +107,11 @@ impl<V> LeafBucket<V> {
     /// Panics in debug builds if `key` is outside this leaf's
     /// interval.
     pub fn insert(&mut self, key: KeyFraction, value: V) -> Option<V> {
-        debug_assert!(self.covers(key), "record {key:?} outside leaf {}", self.label);
+        debug_assert!(
+            self.covers(key),
+            "record {key:?} outside leaf {}",
+            self.label
+        );
         self.records.insert(key, value)
     }
 

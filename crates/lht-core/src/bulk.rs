@@ -150,8 +150,20 @@ mod tests {
             assert_eq!(bulk.exact_match(*k).unwrap().value, Some(i as u32));
         }
         let q = KeyInterval::half_open(kf(0.2), kf(0.7));
-        let a: Vec<u32> = bulk.range(q).unwrap().records.iter().map(|(_, v)| *v).collect();
-        let b: Vec<u32> = inc.range(q).unwrap().records.iter().map(|(_, v)| *v).collect();
+        let a: Vec<u32> = bulk
+            .range(q)
+            .unwrap()
+            .records
+            .iter()
+            .map(|(_, v)| *v)
+            .collect();
+        let b: Vec<u32> = inc
+            .range(q)
+            .unwrap()
+            .records
+            .iter()
+            .map(|(_, v)| *v)
+            .collect();
         assert_eq!(a, b);
         assert_eq!(bulk.min().unwrap().value, inc.min().unwrap().value);
         assert_eq!(bulk.max().unwrap().value, inc.max().unwrap().value);
@@ -175,9 +187,7 @@ mod tests {
 
         let bulk_dht = DirectDht::new();
         let bulk = LhtIndex::new(&bulk_dht, cfg).unwrap();
-        let outcome = bulk
-            .bulk_load(keys.iter().map(|k| (*k, ())))
-            .unwrap();
+        let outcome = bulk.bulk_load(keys.iter().map(|k| (*k, ()))).unwrap();
 
         let inc_dht = DirectDht::new();
         let inc = LhtIndex::new(&inc_dht, cfg).unwrap();

@@ -41,10 +41,7 @@ impl LhtConfig {
     /// `max_depth > 64` (data keys have 64 bits).
     pub fn new(theta_split: usize, max_depth: usize) -> LhtConfig {
         assert!(theta_split >= 2, "theta_split must be at least 2");
-        assert!(
-            (2..=64).contains(&max_depth),
-            "max_depth must be in 2..=64"
-        );
+        assert!((2..=64).contains(&max_depth), "max_depth must be in 2..=64");
         LhtConfig {
             theta_split,
             max_depth,

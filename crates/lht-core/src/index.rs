@@ -354,15 +354,14 @@ where
             let mut removed: Option<V> = None;
             let mut post: Option<LeafBucket<V>> = None;
             let mut stale = false;
-            self.dht.update(&hit.name.dht_key(), &mut |slot| {
-                match slot.as_mut() {
+            self.dht
+                .update(&hit.name.dht_key(), &mut |slot| match slot.as_mut() {
                     Some(bucket) if bucket.covers(key) => {
                         removed = bucket.remove(key);
                         post = Some(bucket.clone());
                     }
                     Some(_) | None => stale = true,
-                }
-            })?;
+                })?;
             cost += OpCost::sequential(1);
             if stale {
                 std::thread::yield_now();
@@ -573,11 +572,11 @@ where
                 Some(b) => b,
                 None => {
                     lookups += 1;
-                    self.dht
-                        .get(&name(&beta).dht_key())?
-                        .ok_or_else(|| LhtError::MissingBucket {
+                    self.dht.get(&name(&beta).dht_key())?.ok_or_else(|| {
+                        LhtError::MissingBucket {
                             key: name(&beta).to_string(),
-                        })?
+                        }
+                    })?
                 }
             };
         }
@@ -678,7 +677,11 @@ mod tests {
         }
         assert!(split_seen);
         let stats = ix.stats();
-        assert!(stats.splits >= 8, "expected many splits, got {}", stats.splits);
+        assert!(
+            stats.splits >= 8,
+            "expected many splits, got {}",
+            stats.splits
+        );
         assert_eq!(stats.maintenance_lookups, stats.splits);
         // Everything still findable after all the splits.
         for i in 0..32 {
@@ -774,7 +777,9 @@ mod tests {
         // Remaining records all still reachable.
         for i in (0..n).step_by(4) {
             assert_eq!(
-                ix.exact_match(kf((i as f64 + 0.5) / n as f64)).unwrap().value,
+                ix.exact_match(kf((i as f64 + 0.5) / n as f64))
+                    .unwrap()
+                    .value,
                 Some(i),
                 "record {i} lost by merging"
             );
@@ -819,8 +824,7 @@ mod tests {
     #[test]
     fn depth_limit_stops_splitting() {
         let dht = DirectDht::new();
-        let ix: LhtIndex<_, u32> =
-            LhtIndex::new(&dht, LhtConfig::new(2, 3)).unwrap();
+        let ix: LhtIndex<_, u32> = LhtIndex::new(&dht, LhtConfig::new(2, 3)).unwrap();
         // All keys in a tiny interval: depth would explode, but D = 3
         // caps it; buckets at depth 3 absorb overflow.
         for i in 0..20 {

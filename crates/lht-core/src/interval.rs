@@ -185,7 +185,10 @@ mod tests {
         assert!(KeyInterval::EMPTY.is_empty());
         assert!(!KeyInterval::EMPTY.contains(KeyFraction::ZERO));
         assert!(ki(0.5, 0.5).is_empty());
-        assert!(ki(0.6, 0.5).is_empty(), "inverted bounds normalize to empty");
+        assert!(
+            ki(0.6, 0.5).is_empty(),
+            "inverted bounds normalize to empty"
+        );
         assert!(KeyInterval::EMPTY.is_subset_of(&KeyInterval::EMPTY));
     }
 
@@ -209,7 +212,10 @@ mod tests {
     #[test]
     fn overlap_cases() {
         assert!(ki(0.0, 0.5).overlaps(&ki(0.4, 0.8)));
-        assert!(!ki(0.0, 0.5).overlaps(&ki(0.5, 0.8)), "touching is disjoint");
+        assert!(
+            !ki(0.0, 0.5).overlaps(&ki(0.5, 0.8)),
+            "touching is disjoint"
+        );
         assert!(!ki(0.0, 0.5).overlaps(&KeyInterval::EMPTY));
         assert!(ki(0.2, 0.3).overlaps(&ki(0.0, 1.0)));
     }
@@ -226,10 +232,7 @@ mod tests {
     fn intersection() {
         assert_eq!(ki(0.0, 0.5).intersect(&ki(0.3, 0.8)), ki(0.3, 0.5));
         assert!(ki(0.0, 0.3).intersect(&ki(0.5, 0.8)).is_empty());
-        assert_eq!(
-            KeyInterval::FULL.intersect(&ki(0.1, 0.2)),
-            ki(0.1, 0.2)
-        );
+        assert_eq!(KeyInterval::FULL.intersect(&ki(0.1, 0.2)), ki(0.1, 0.2));
     }
 
     #[test]

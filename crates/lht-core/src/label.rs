@@ -33,9 +33,7 @@ use crate::interval::KeyInterval;
 /// assert!(Label::root().is_prefix_of(&leaf));
 /// # Ok::<(), lht_core::LhtError>(())
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Label {
     bits: BitStr,
 }
@@ -283,16 +281,10 @@ mod tests {
 
     #[test]
     fn lowest_common_ancestor() {
-        assert_eq!(
-            l("#0100").lowest_common_ancestor(&l("#0111")),
-            l("#01")
-        );
+        assert_eq!(l("#0100").lowest_common_ancestor(&l("#0111")), l("#01"));
         assert_eq!(l("#0100").lowest_common_ancestor(&l("#0100")), l("#0100"));
         assert_eq!(l("#0100").lowest_common_ancestor(&l("#01")), l("#01"));
-        assert_eq!(
-            l("#00").lowest_common_ancestor(&l("#01")),
-            Label::root()
-        );
+        assert_eq!(l("#00").lowest_common_ancestor(&l("#01")), Label::root());
     }
 
     #[test]

@@ -208,10 +208,7 @@ mod tests {
 
     #[test]
     fn next_name_matches_paper_example() {
-        assert_eq!(
-            next_name(&l("#0011"), &l("#0011100")),
-            Some(l("#001110"))
-        );
+        assert_eq!(next_name(&l("#0011"), &l("#0011100")), Some(l("#001110")));
         // §5 lookup walk-through: f_nn(#011, #01110011001100) = #01110.
         assert_eq!(
             next_name(&l("#011"), &l("#01110011001100")),

@@ -82,11 +82,11 @@ where
                 Some(b) => b,
                 None => {
                     lookups += 1;
-                    self.dht()
-                        .get(&name(&beta).dht_key())?
-                        .ok_or_else(|| LhtError::MissingBucket {
+                    self.dht().get(&name(&beta).dht_key())?.ok_or_else(|| {
+                        LhtError::MissingBucket {
                             key: name(&beta).to_string(),
-                        })?
+                        }
+                    })?
                 }
             };
             let found = if upward {
@@ -123,7 +123,10 @@ mod tests {
         dht
     }
 
-    fn index(dht: &DirectDht<LeafBucket<u32>>, theta: usize) -> LhtIndex<&DirectDht<LeafBucket<u32>>, u32> {
+    fn index(
+        dht: &DirectDht<LeafBucket<u32>>,
+        theta: usize,
+    ) -> LhtIndex<&DirectDht<LeafBucket<u32>>, u32> {
         LhtIndex::new(dht, LhtConfig::new(theta, 20)).unwrap()
     }
 
@@ -169,12 +172,15 @@ mod tests {
         let ix = index(&dht, 8);
         let keys: Vec<KeyFraction> = (0..n).map(|i| kf((i as f64 + 0.5) / n as f64)).collect();
         for probe_i in 0..50 {
-            let probe = KeyFraction::from_bits(
-                (probe_i as u64).wrapping_mul(0x3777_1234_9abc_def1),
-            );
+            let probe =
+                KeyFraction::from_bits((probe_i as u64).wrapping_mul(0x3777_1234_9abc_def1));
             let succ = ix.successor(probe).unwrap().value.map(|(k, _)| k);
             let pred = ix.predecessor(probe).unwrap().value.map(|(k, _)| k);
-            assert_eq!(succ, keys.iter().copied().find(|k| *k >= probe), "succ {probe}");
+            assert_eq!(
+                succ,
+                keys.iter().copied().find(|k| *k >= probe),
+                "succ {probe}"
+            );
             assert_eq!(
                 pred,
                 keys.iter().copied().rev().find(|k| *k <= probe),

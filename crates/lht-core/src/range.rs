@@ -314,7 +314,10 @@ mod tests {
         (dht, keys)
     }
 
-    fn index(dht: &DirectDht<LeafBucket<u32>>, theta: usize) -> LhtIndex<&DirectDht<LeafBucket<u32>>, u32> {
+    fn index(
+        dht: &DirectDht<LeafBucket<u32>>,
+        theta: usize,
+    ) -> LhtIndex<&DirectDht<LeafBucket<u32>>, u32> {
         LhtIndex::new(dht, LhtConfig::new(theta, 20)).unwrap()
     }
 

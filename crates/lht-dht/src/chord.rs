@@ -42,6 +42,33 @@ impl Default for ChordConfig {
     }
 }
 
+/// A stored copy of a key: the value (or a tombstone recording its
+/// deletion) stamped with a ring-global write sequence number.
+///
+/// Replica copies drift out of date under churn — a node that drops
+/// out of a key's replica set keeps its old copy, and a graceful
+/// leaver hands its whole store to its successor. Sequence numbers
+/// let every transfer and synchronization pass reconcile copies
+/// newest-wins (as DHash-style replica maintenance does with version
+/// numbers), so a stale copy can never clobber newer data and a
+/// deleted key cannot be resurrected by an old surviving replica.
+#[derive(Clone, Debug)]
+struct Stored<V> {
+    seq: u64,
+    /// `None` is a tombstone: the key was deleted at this version.
+    value: Option<V>,
+}
+
+/// Merges `incoming` into `store` under newest-wins reconciliation.
+fn merge_copy<V>(store: &mut HashMap<DhtKey, Stored<V>>, key: DhtKey, incoming: Stored<V>) {
+    match store.get(&key) {
+        Some(existing) if existing.seq >= incoming.seq => {}
+        _ => {
+            store.insert(key, incoming);
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Node<V> {
     predecessor: Option<U160>,
@@ -50,7 +77,7 @@ struct Node<V> {
     successors: Vec<U160>,
     /// `fingers[i]` targets the owner of `id + 2^i`. May be stale.
     fingers: Vec<U160>,
-    store: HashMap<DhtKey, V>,
+    store: HashMap<DhtKey, Stored<V>>,
 }
 
 impl<V> Node<V> {
@@ -99,6 +126,8 @@ struct Ring<V> {
     nodes: BTreeMap<U160, Node<V>>,
     stats: DhtStats,
     rng: StdRng,
+    /// Ring-global write clock stamping every put/remove/update.
+    clock: u64,
 }
 
 /// A simulated Chord DHT.
@@ -163,6 +192,7 @@ impl<V> ChordDht<V> {
             nodes,
             stats: DhtStats::default(),
             rng: StdRng::seed_from_u64(seed),
+            clock: 0,
         };
         ring.rebuild_all_routing_state();
         ChordDht {
@@ -250,7 +280,11 @@ impl<V> ChordDht<V> {
         let succ_id = inner.owner_of(id); // next live node clockwise
         let moved = node.store.len() as u64;
         let succ = inner.nodes.get_mut(&succ_id).expect("successor exists");
-        succ.store.extend(node.store);
+        // Newest-wins merge: the leaver may hold stale replica copies
+        // of keys the successor owns at a newer version.
+        for (key, stored) in node.store {
+            merge_copy(&mut succ.store, key, stored);
+        }
         succ.predecessor = node.predecessor;
         inner.stats.keys_transferred += moved;
         if let Some(p) = node.predecessor {
@@ -282,7 +316,11 @@ impl<V> ChordDht<V> {
         let inner = self.inner.lock();
         RingSnapshot {
             node_ids: inner.nodes.keys().copied().collect(),
-            keys_per_node: inner.nodes.values().map(|n| n.store.len()).collect(),
+            keys_per_node: inner
+                .nodes
+                .values()
+                .map(|n| n.store.values().filter(|s| s.value.is_some()).count())
+                .collect(),
         }
     }
 
@@ -295,6 +333,175 @@ impl<V> ChordDht<V> {
         } else {
             Some(inner.owner_of(&key.hash()))
         }
+    }
+}
+
+/// A violated Chord-ring invariant found by
+/// [`ChordDht::audit_ring`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RingViolation {
+    /// A node's successor list contains a departed node.
+    DeadSuccessorEntry {
+        /// The node holding the stale entry.
+        node: U160,
+        /// The dead entry.
+        entry: U160,
+    },
+    /// A node's first successor is not the next live node clockwise.
+    WrongSuccessor {
+        /// The misrouted node.
+        node: U160,
+        /// What its successor list says.
+        got: U160,
+        /// The actual next live node.
+        expected: U160,
+    },
+    /// A node's predecessor pointer is dead or not the previous live
+    /// node counter-clockwise.
+    WrongPredecessor {
+        /// The node with the bad pointer.
+        node: U160,
+    },
+    /// A finger entry points somewhere other than the owner of its
+    /// target identifier.
+    StaleFinger {
+        /// The node holding the finger.
+        node: U160,
+        /// The finger index `i` (targeting `node + 2^i`).
+        index: usize,
+    },
+    /// A stored key's oracle owner holds no copy of it, so lookups
+    /// for it fail even though a replica survives elsewhere.
+    UnservableKey {
+        /// The key missing from its owner.
+        key: DhtKey,
+        /// The owner that should hold it.
+        owner: U160,
+    },
+}
+
+impl<V> ChordDht<V> {
+    /// Checks ring well-formedness: successor lists hold only live
+    /// nodes and start with the true clockwise successor, predecessor
+    /// pointers match the true counter-clockwise neighbor, fingers
+    /// point at the owners of their targets, and every stored key has
+    /// a copy at its current oracle owner.
+    ///
+    /// These are *converged-state* invariants: they are expected to
+    /// hold after [`stabilize`](ChordDht::stabilize) has run (≥ 2
+    /// rounds) following any churn, not in the transient window
+    /// between a join/leave/crash and repair. Returns all violations
+    /// found (empty = converged and consistent).
+    pub fn audit_ring(&self) -> Vec<RingViolation> {
+        let inner = self.inner.lock();
+        let mut violations = Vec::new();
+        let n = inner.nodes.len();
+        let ids: Vec<U160> = inner.nodes.keys().copied().collect();
+
+        for (pos, id) in ids.iter().enumerate() {
+            let node = &inner.nodes[id];
+
+            for entry in &node.successors {
+                if !inner.nodes.contains_key(entry) {
+                    violations.push(RingViolation::DeadSuccessorEntry {
+                        node: *id,
+                        entry: *entry,
+                    });
+                }
+            }
+
+            if n > 1 {
+                let expected_succ = inner.live_successor(id);
+                match node.successors.first() {
+                    Some(got) if *got == expected_succ => {}
+                    Some(got) => violations.push(RingViolation::WrongSuccessor {
+                        node: *id,
+                        got: *got,
+                        expected: expected_succ,
+                    }),
+                    None => violations.push(RingViolation::WrongSuccessor {
+                        node: *id,
+                        got: *id,
+                        expected: expected_succ,
+                    }),
+                }
+
+                let expected_pred = ids[(pos + n - 1) % n];
+                if node.predecessor != Some(expected_pred) {
+                    violations.push(RingViolation::WrongPredecessor { node: *id });
+                }
+            }
+
+            for (i, finger) in node.fingers.iter().enumerate() {
+                let target = id.wrapping_add(&U160::pow2(i as u32));
+                if *finger != inner.owner_of(&target) {
+                    violations.push(RingViolation::StaleFinger {
+                        node: *id,
+                        index: i,
+                    });
+                }
+            }
+        }
+
+        // Servability: for every key whose newest surviving version is
+        // live (not a tombstone), the oracle owner — the node a routed
+        // lookup lands on — must hold that newest version.
+        let mut newest: HashMap<&DhtKey, u64> = HashMap::new();
+        for node in inner.nodes.values() {
+            for (key, stored) in &node.store {
+                let e = newest.entry(key).or_insert(stored.seq);
+                *e = (*e).max(stored.seq);
+            }
+        }
+        let live_keys: Vec<(DhtKey, u64)> = newest
+            .into_iter()
+            .filter(|(key, seq)| {
+                inner.nodes.values().any(|n| {
+                    n.store
+                        .get(key)
+                        .is_some_and(|s| s.seq == *seq && s.value.is_some())
+                })
+            })
+            .map(|(key, seq)| (key.clone(), seq))
+            .collect();
+        for (key, seq) in live_keys {
+            let owner = inner.owner_of(&key.hash());
+            let served = inner.nodes[&owner]
+                .store
+                .get(&key)
+                .is_some_and(|s| s.seq >= seq && s.value.is_some());
+            if !served {
+                violations.push(RingViolation::UnservableKey { key, owner });
+            }
+        }
+
+        violations
+    }
+}
+
+impl<V: Clone> ChordDht<V> {
+    /// Enumerates every stored `(key, value)` pair as served by each
+    /// key's current oracle owner, one entry per distinct key
+    /// (replica copies are not repeated). Free oracle view for
+    /// whole-system audits of structures stored on the ring.
+    pub fn all_entries(&self) -> Vec<(DhtKey, V)> {
+        let inner = self.inner.lock();
+        // Newest surviving version of each key wins; keys whose newest
+        // version is a tombstone are deleted and do not appear.
+        let mut out: BTreeMap<DhtKey, &Stored<V>> = BTreeMap::new();
+        for node in inner.nodes.values() {
+            for (key, stored) in &node.store {
+                match out.get(key) {
+                    Some(best) if best.seq >= stored.seq => {}
+                    _ => {
+                        out.insert(key.clone(), stored);
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .filter_map(|(key, stored)| stored.value.clone().map(|v| (key, v)))
+            .collect()
     }
 }
 
@@ -358,12 +565,13 @@ impl<V> Ring<V> {
             let succ = self.first_live_successor_entry(id);
             let succ_pred = self.nodes[&succ].predecessor;
             let new_succ = match succ_pred {
-                Some(x) if self.nodes.contains_key(&x) && x != *id && {
-                    // x strictly between id and succ on the ring
-                    let d_x = id.distance_cw(&x);
-                    let d_s = id.distance_cw(&succ);
-                    d_x != lht_id::U160::ZERO && d_x < d_s
-                } =>
+                Some(x)
+                    if self.nodes.contains_key(&x) && x != *id && {
+                        // x strictly between id and succ on the ring
+                        let d_x = id.distance_cw(&x);
+                        let d_s = id.distance_cw(&succ);
+                        d_x != lht_id::U160::ZERO && d_x < d_s
+                    } =>
                 {
                     x
                 }
@@ -509,23 +717,27 @@ impl<V: Clone> Ring<V> {
         let ids: Vec<U160> = self.nodes.keys().copied().collect();
         let mut to_copy: Vec<(U160, DhtKey)> = Vec::new();
         for id in &ids {
-            for key in self.nodes[id].store.keys() {
+            for (key, stored) in &self.nodes[id].store {
                 let owner = self.owner_of(&key.hash());
-                if owner != *id && !self.nodes[&owner].store.contains_key(key) {
+                let owner_stale = self.nodes[&owner]
+                    .store
+                    .get(key)
+                    .is_none_or(|s| s.seq < stored.seq);
+                if owner != *id && owner_stale {
                     to_copy.push((*id, key.clone()));
                 }
             }
         }
         for (holder, key) in to_copy {
-            let Some(value) = self.nodes[&holder].store.get(&key).cloned() else {
+            let Some(stored) = self.nodes[&holder].store.get(&key).cloned() else {
                 continue;
             };
             let owner = self.owner_of(&key.hash());
-            self.nodes
-                .get_mut(&owner)
-                .expect("owner is live")
-                .store
-                .insert(key, value);
+            merge_copy(
+                &mut self.nodes.get_mut(&owner).expect("owner is live").store,
+                key,
+                stored,
+            );
             self.stats.keys_transferred += 1;
         }
     }
@@ -556,7 +768,10 @@ impl<V: Clone> Dht for ChordDht<V> {
         let (owner, hops) = inner.route(&key.hash())?;
         inner.stats.gets += 1;
         inner.stats.hops += hops;
-        let found = inner.nodes[&owner].store.get(key).cloned();
+        let found = inner.nodes[&owner]
+            .store
+            .get(key)
+            .and_then(|s| s.value.clone());
         if found.is_none() {
             inner.stats.failed_gets += 1;
         }
@@ -568,16 +783,20 @@ impl<V: Clone> Dht for ChordDht<V> {
         let (owner, hops) = inner.route(&key.hash())?;
         inner.stats.puts += 1;
         inner.stats.hops += hops;
+        inner.clock += 1;
+        let stored = Stored {
+            seq: inner.clock,
+            value: Some(value),
+        };
         let replicas = inner.replica_set(&owner);
         // One extra hop per replica write beyond the owner.
         inner.stats.hops += replicas.len() as u64 - 1;
         for r in replicas {
-            inner
-                .nodes
-                .get_mut(&r)
-                .expect("replica is live")
-                .store
-                .insert(key.clone(), value.clone());
+            merge_copy(
+                &mut inner.nodes.get_mut(&r).expect("replica is live").store,
+                key.clone(),
+                stored.clone(),
+            );
         }
         Ok(())
     }
@@ -587,19 +806,25 @@ impl<V: Clone> Dht for ChordDht<V> {
         let (owner, hops) = inner.route(&key.hash())?;
         inner.stats.removes += 1;
         inner.stats.hops += hops;
+        inner.clock += 1;
+        // Deletion writes a tombstone so stale replica copies cannot
+        // resurrect the key through later synchronization.
+        let stored: Stored<V> = Stored {
+            seq: inner.clock,
+            value: None,
+        };
         let replicas = inner.replica_set(&owner);
         inner.stats.hops += replicas.len() as u64 - 1;
-        let mut out = None;
+        let out = inner.nodes[&owner]
+            .store
+            .get(key)
+            .and_then(|s| s.value.clone());
         for r in replicas {
-            let removed = inner
-                .nodes
-                .get_mut(&r)
-                .expect("replica is live")
-                .store
-                .remove(key);
-            if r == owner {
-                out = removed;
-            }
+            merge_copy(
+                &mut inner.nodes.get_mut(&r).expect("replica is live").store,
+                key.clone(),
+                stored.clone(),
+            );
         }
         Ok(out)
     }
@@ -609,25 +834,24 @@ impl<V: Clone> Dht for ChordDht<V> {
         let (owner, hops) = inner.route(&key.hash())?;
         inner.stats.updates += 1;
         inner.stats.hops += hops;
-        let mut slot = inner
-            .nodes
-            .get_mut(&owner)
-            .expect("owner is live")
+        let mut slot = inner.nodes[&owner]
             .store
-            .remove(key);
+            .get(key)
+            .and_then(|s| s.value.clone());
         f(&mut slot);
+        inner.clock += 1;
+        let stored = Stored {
+            seq: inner.clock,
+            value: slot,
+        };
         let replicas = inner.replica_set(&owner);
         inner.stats.hops += replicas.len() as u64 - 1;
         for r in replicas {
-            let store = &mut inner.nodes.get_mut(&r).expect("replica is live").store;
-            match &slot {
-                Some(v) => {
-                    store.insert(key.clone(), v.clone());
-                }
-                None => {
-                    store.remove(key);
-                }
-            }
+            merge_copy(
+                &mut inner.nodes.get_mut(&r).expect("replica is live").store,
+                key.clone(),
+                stored.clone(),
+            );
         }
         Ok(())
     }
@@ -852,7 +1076,10 @@ mod tests {
         // Without virtual nodes, consistent hashing gives the largest
         // arc an O(log N / N) share — about Θ(log N) times the mean of
         // 100 here — so allow a generous but finite skew.
-        assert!(max < 1200, "max load {max} too skewed for consistent hashing");
+        assert!(
+            max < 1200,
+            "max load {max} too skewed for consistent hashing"
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod key;
 mod stats;
 mod traits;
 
-pub use chord::{ChordConfig, ChordDht, RingSnapshot};
+pub use chord::{ChordConfig, ChordDht, RingSnapshot, RingViolation};
 pub use direct::DirectDht;
 pub use error::DhtError;
 pub use key::DhtKey;

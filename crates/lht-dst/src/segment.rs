@@ -8,9 +8,7 @@ use std::fmt;
 
 /// A segment-tree node address: level `l` (0 = root) and index `i`
 /// within the level, covering `[i/2^l, (i+1)/2^l)`.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Segment {
     /// Tree level; 0 is the root.
     pub level: u8,
@@ -39,7 +37,11 @@ impl Segment {
     /// The segment containing `key` at `level`.
     pub fn containing(key: KeyFraction, level: u8) -> Segment {
         assert!(level <= 63);
-        let index = if level == 0 { 0 } else { key.bits() >> (64 - level as u32) };
+        let index = if level == 0 {
+            0
+        } else {
+            key.bits() >> (64 - level as u32)
+        };
         Segment { level, index }
     }
 

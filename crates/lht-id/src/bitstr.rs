@@ -28,9 +28,7 @@ use crate::KeyFraction;
 /// assert_eq!(a.to_string(), "0110");
 /// assert!(a.prefix(2).is_prefix_of(&a));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct BitStr {
     /// Bit `i` of the string is stored at u128 bit position `127 - i`.
     /// Invariant: all positions at or past `len` are zero.
@@ -144,7 +142,11 @@ impl BitStr {
     ///
     /// Panics if `i >= self.len()`.
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len(), "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len(),
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         self.bits & (1u128 << (127 - i as u32)) != 0
     }
 
@@ -172,7 +174,11 @@ impl BitStr {
     ///
     /// Panics if `n > self.len()`.
     pub fn prefix(&self, n: usize) -> BitStr {
-        assert!(n <= self.len(), "prefix of {n} bits from a {}-bit string", self.len);
+        assert!(
+            n <= self.len(),
+            "prefix of {n} bits from a {}-bit string",
+            self.len
+        );
         if n == 0 {
             return BitStr::EMPTY;
         }
@@ -347,7 +353,11 @@ mod tests {
     fn parse_display_round_trip() {
         for s in ["", "0", "1", "0110", "0101010101", "0000", "1111"] {
             let b = bs(s);
-            let rendered = if s.is_empty() { "ε".to_string() } else { s.to_string() };
+            let rendered = if s.is_empty() {
+                "ε".to_string()
+            } else {
+                s.to_string()
+            };
             assert_eq!(b.to_string(), rendered);
             assert_eq!(b.len(), s.len());
         }

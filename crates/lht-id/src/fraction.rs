@@ -24,9 +24,7 @@ use std::fmt;
 /// assert!(!half.bit(1));
 /// assert_eq!(half.to_f64(), 0.5);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct KeyFraction(u64);
 
 impl KeyFraction {
@@ -104,7 +102,12 @@ impl From<f64> for KeyFraction {
 
 impl fmt::Debug for KeyFraction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "KeyFraction({:.6} = {:#018x}/2^64)", self.to_f64(), self.0)
+        write!(
+            f,
+            "KeyFraction({:.6} = {:#018x}/2^64)",
+            self.to_f64(),
+            self.0
+        )
     }
 }
 

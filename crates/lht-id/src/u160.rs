@@ -21,9 +21,7 @@ use std::fmt;
 /// // Wrapping: MAX + 11 == 10.
 /// assert_eq!(b.wrapping_add(&U160::from_u64(11)), a);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct U160 {
     /// Big-endian limbs: `limbs[0]` holds the most significant 32 bits.
     limbs: [u32; 5],
@@ -275,7 +273,10 @@ mod tests {
     fn ring_distance() {
         let a = U160::from_u64(5);
         let b = U160::from_u64(2);
-        assert_eq!(a.distance_cw(&b), U160::MAX.wrapping_sub(&U160::from_u64(2)));
+        assert_eq!(
+            a.distance_cw(&b),
+            U160::MAX.wrapping_sub(&U160::from_u64(2))
+        );
         assert_eq!(b.distance_cw(&a), U160::from_u64(3));
         assert_eq!(a.distance_cw(&a), U160::ZERO);
     }
@@ -286,7 +287,10 @@ mod tests {
         let b = U160::from_u64(20);
         assert!(U160::from_u64(15).in_range(&a, &b));
         assert!(U160::from_u64(20).in_range(&a, &b), "upper bound inclusive");
-        assert!(!U160::from_u64(10).in_range(&a, &b), "lower bound exclusive");
+        assert!(
+            !U160::from_u64(10).in_range(&a, &b),
+            "lower bound exclusive"
+        );
         assert!(!U160::from_u64(25).in_range(&a, &b));
     }
 
@@ -351,6 +355,9 @@ mod tests {
             U160::from_u64(0xdeadbeef).to_hex(),
             format!("{}deadbeef", "0".repeat(32))
         );
-        assert_eq!(format!("{:x}", U160::from_u64(0xff)), U160::from_u64(0xff).to_hex());
+        assert_eq!(
+            format!("{:x}", U160::from_u64(0xff)),
+            U160::from_u64(0xff).to_hex()
+        );
     }
 }

@@ -164,7 +164,6 @@ impl<V> KademliaDht<V> {
         inner.nodes.remove(id);
         true
     }
-
 }
 
 impl<V: Clone> KademliaDht<V> {
@@ -184,7 +183,11 @@ impl<V: Clone> KademliaDht<V> {
             let h = key.hash();
             let closest = inner.k_closest_oracle(&h);
             // Fetch the value from any current holder.
-            let value = inner.nodes.values().find_map(|n| n.store.get(&key)).cloned();
+            let value = inner
+                .nodes
+                .values()
+                .find_map(|n| n.store.get(&key))
+                .cloned();
             let Some(value) = value else { continue };
             let target: HashSet<U160> = closest.iter().copied().collect();
             for (nid, node) in inner.nodes.iter_mut() {

@@ -44,7 +44,8 @@ pub enum PhtViolation {
         label: String,
     },
     /// A leaf holds more records than the split discipline can
-    /// explain (same transient-overflow slack as LHT's audit).
+    /// explain (same transient-overflow slack as LHT's audit: one
+    /// excess record per level of depth the leaf has gained).
     OverfullLeaf {
         /// The leaf's label.
         label: String,
@@ -55,10 +56,7 @@ pub enum PhtViolation {
 
 /// Checks every PHT structural invariant over the nodes stored in
 /// `dht`. Returns all violations (empty = consistent).
-pub fn check_trie<V: Clone>(
-    dht: &DirectDht<PhtNode<V>>,
-    cfg: LhtConfig,
-) -> Vec<PhtViolation> {
+pub fn check_trie<V: Clone>(dht: &DirectDht<PhtNode<V>>, cfg: LhtConfig) -> Vec<PhtViolation> {
     let mut violations = Vec::new();
     let mut nodes: BTreeMap<String, PhtNode<V>> = BTreeMap::new();
     let mut labels: BTreeMap<String, PhtLabel> = BTreeMap::new();
@@ -110,9 +108,8 @@ pub fn check_trie<V: Clone>(
                         break;
                     }
                 }
-                let slack = cfg.max_depth.saturating_sub(label.len());
                 if label.len() < cfg.max_depth
-                    && leaf.records.len() > cfg.bucket_capacity() + slack
+                    && leaf.records.len() > cfg.bucket_capacity() + label.len()
                 {
                     violations.push(PhtViolation::OverfullLeaf {
                         label: text.clone(),
@@ -156,6 +153,24 @@ pub fn check_trie<V: Clone>(
     }
 
     violations
+}
+
+/// Every record stored across all leaves, sorted by key — the
+/// materialized trie contents, for differential comparison against a
+/// reference model or against the LHT built from the same workload.
+pub fn all_records<V: Clone>(dht: &DirectDht<PhtNode<V>>) -> Vec<(lht_id::KeyFraction, V)> {
+    let mut records: Vec<(lht_id::KeyFraction, V)> = dht
+        .keys()
+        .into_iter()
+        .flat_map(|k| {
+            dht.peek(&k, |n| match n {
+                Some(PhtNode::Leaf(l)) => l.records.iter().map(|(k, v)| (*k, v.clone())).collect(),
+                _ => Vec::new(),
+            })
+        })
+        .collect();
+    records.sort_by_key(|(k, _)| *k);
+    records
 }
 
 /// Total records stored across all leaves (free oracle count).

@@ -287,10 +287,7 @@ where
     ///
     /// Propagates lookup errors and substrate failures.
     #[allow(clippy::type_complexity)]
-    pub fn remove(
-        &self,
-        key: KeyFraction,
-    ) -> Result<(Option<V>, bool, OpCost, OpCost), LhtError> {
+    pub fn remove(&self, key: KeyFraction) -> Result<(Option<V>, bool, OpCost, OpCost), LhtError> {
         let hit = self.lookup(key)?;
         let label = hit.leaf.label;
         let mut removed = None;
@@ -512,10 +509,7 @@ mod tests {
             let lin = ix.lookup_linear(k).unwrap();
             assert_eq!(bin.leaf.label, lin.leaf.label);
             // Linear pays depth + 1 gets.
-            assert_eq!(
-                lin.cost.dht_lookups,
-                lin.leaf.label.len() as u64 + 1
-            );
+            assert_eq!(lin.cost.dht_lookups, lin.leaf.label.len() as u64 + 1);
         }
     }
 

@@ -60,5 +60,5 @@ mod node;
 mod range;
 
 pub use index::{PhtIndex, PhtInsertOutcome, PhtLookupHit};
-pub use range::PhtRangeResult;
 pub use node::{PhtLabel, PhtLeaf, PhtNode};
+pub use range::PhtRangeResult;

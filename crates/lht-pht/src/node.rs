@@ -15,9 +15,7 @@ use std::fmt;
 /// key — the trait the LHT paper singles out as the source of PHT's
 /// maintenance cost (§8.2: "All the tree nodes (including the internal
 /// nodes) are mapped directly by its label").
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct PhtLabel {
     bits: BitStr,
 }

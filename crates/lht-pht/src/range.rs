@@ -168,7 +168,10 @@ mod tests {
         dht
     }
 
-    fn index(dht: &DirectDht<PhtNode<u32>>, theta: usize) -> PhtIndex<&DirectDht<PhtNode<u32>>, u32> {
+    fn index(
+        dht: &DirectDht<PhtNode<u32>>,
+        theta: usize,
+    ) -> PhtIndex<&DirectDht<PhtNode<u32>>, u32> {
         PhtIndex::new(dht, LhtConfig::new(theta, 20)).unwrap()
     }
 
@@ -243,7 +246,19 @@ mod tests {
     fn empty_range_is_free() {
         let dht = build(4, 32);
         let ix = index(&dht, 4);
-        assert_eq!(ix.range_sequential(KeyInterval::EMPTY).unwrap().cost.dht_lookups, 0);
-        assert_eq!(ix.range_parallel(KeyInterval::EMPTY).unwrap().cost.dht_lookups, 0);
+        assert_eq!(
+            ix.range_sequential(KeyInterval::EMPTY)
+                .unwrap()
+                .cost
+                .dht_lookups,
+            0
+        );
+        assert_eq!(
+            ix.range_parallel(KeyInterval::EMPTY)
+                .unwrap()
+                .cost
+                .dht_lookups,
+            0
+        );
     }
 }

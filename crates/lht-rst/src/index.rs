@@ -165,7 +165,9 @@ where
             let leaf = self.covering_leaf(key);
             lookups += 1;
             match self.dht.get(&leaf.dht_key())? {
-                Some(node) => return Ok((node.records.get(&key).cloned(), OpCost::sequential(lookups))),
+                Some(node) => {
+                    return Ok((node.records.get(&key).cloned(), OpCost::sequential(lookups)))
+                }
                 None => lookups += self.refresh()?, // stale replica
             }
         }
@@ -243,10 +245,8 @@ where
                     let moved = (left.records.len() + right.records.len() + 2) as u64;
                     let mut maintenance = 0u64;
                     // Both children move to new peers (2 puts)…
-                    for (child, mut node) in [
-                        (leaf.child(false), left),
-                        (leaf.child(true), right),
-                    ] {
+                    for (child, mut node) in [(leaf.child(false), left), (leaf.child(true), right)]
+                    {
                         node.structure = new_structure.clone();
                         self.dht.put(&child.dht_key(), node)?;
                         maintenance += 1;
@@ -417,7 +417,8 @@ mod tests {
         let before = rst2.leaf_count();
         // Client 1 splits a region by dense insertion.
         for i in 0..32 {
-            rst1.insert(KeyFraction::from_bits(1000 + i), i as u32).unwrap();
+            rst1.insert(KeyFraction::from_bits(1000 + i), i as u32)
+                .unwrap();
         }
         // Client 2's replica is stale now; queries must still answer.
         let (v, _) = rst2.exact_match(KeyFraction::from_bits(1005)).unwrap();

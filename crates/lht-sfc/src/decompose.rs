@@ -78,7 +78,11 @@ fn descend(
     if !rect.intersects_cell(qx, qy, size) {
         return;
     }
-    let z_lo = if level_size == 32 { 0 } else { prefix << (2 * level_size) };
+    let z_lo = if level_size == 32 {
+        0
+    } else {
+        prefix << (2 * level_size)
+    };
     let z_width = 1u128 << (2 * level_size);
     if rect.contains_cell(qx, qy, size) || level_size == 0 {
         emit(out, budget, z_lo, z_lo as u128 + z_width);
@@ -165,7 +169,13 @@ mod tests {
         // ranges; but the unit square [0, 2^31)² is exactly one.
         assert!(!r.is_empty());
         let q = decompose(&Rect::new(0, 1 << 31, 0, 1 << 31), 4);
-        assert_eq!(q, vec![ZRange { lo: 0, hi: 1u128 << 62 }]);
+        assert_eq!(
+            q,
+            vec![ZRange {
+                lo: 0,
+                hi: 1u128 << 62
+            }]
+        );
     }
 
     #[test]

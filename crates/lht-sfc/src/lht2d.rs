@@ -1,8 +1,6 @@
 //! 2-D box queries over a 1-D LHT index.
 
-use lht_core::{
-    KeyInterval, LeafBucket, LhtConfig, LhtError, LhtIndex, OpCost, RangeCost,
-};
+use lht_core::{KeyInterval, LeafBucket, LhtConfig, LhtError, LhtIndex, OpCost, RangeCost};
 use lht_dht::Dht;
 use lht_id::KeyFraction;
 

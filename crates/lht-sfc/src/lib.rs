@@ -37,4 +37,4 @@ mod morton;
 
 pub use decompose::{decompose, ZRange};
 pub use lht2d::{BoxQueryResult, Lht2d};
-pub use morton::{interleave, deinterleave, Point, Rect};
+pub use morton::{deinterleave, interleave, Point, Rect};

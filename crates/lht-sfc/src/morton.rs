@@ -145,12 +145,7 @@ mod tests {
     #[test]
     fn small_morton_codes() {
         // The canonical 4×4 Z pattern.
-        let expect: [[u64; 4]; 4] = [
-            [0, 1, 4, 5],
-            [2, 3, 6, 7],
-            [8, 9, 12, 13],
-            [10, 11, 14, 15],
-        ];
+        let expect: [[u64; 4]; 4] = [[0, 1, 4, 5], [2, 3, 6, 7], [8, 9, 12, 13], [10, 11, 14, 15]];
         for (y, row) in expect.iter().enumerate() {
             for (x, &z) in row.iter().enumerate() {
                 assert_eq!(interleave(x as u32, y as u32), z, "({x},{y})");

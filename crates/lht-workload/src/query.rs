@@ -107,7 +107,9 @@ mod tests {
     #[test]
     fn lower_bounds_spread_over_the_allowed_interval() {
         let mut gen = RangeQueryGen::new(0.5, 9);
-        let los: Vec<f64> = (0..200).map(|_| gen.next_range().lo_key().to_f64()).collect();
+        let los: Vec<f64> = (0..200)
+            .map(|_| gen.next_range().lo_key().to_f64())
+            .collect();
         assert!(los.iter().any(|l| *l < 0.1));
         assert!(los.iter().any(|l| *l > 0.4));
         assert!(los.iter().all(|l| *l <= 0.5));

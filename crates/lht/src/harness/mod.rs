@@ -1,0 +1,53 @@
+//! Cross-crate differential-testing and invariant-audit harness.
+//!
+//! The harness holds the whole workspace to one standard of
+//! correctness by driving three implementations of the same record
+//! store through one deterministic operation trace:
+//!
+//! 1. the **LHT index** under test, over either the one-hop
+//!    [`DirectDht`](crate::DirectDht) or a churning
+//!    [`ChordDht`](crate::ChordDht) ring;
+//! 2. the **PHT baseline** (Direct substrate only), mirroring every
+//!    mutation;
+//! 3. a local [`ShadowOracle`] — a plain `BTreeMap` whose semantics
+//!    are beyond suspicion.
+//!
+//! Every query answer is diffed against the oracle's the moment it is
+//! produced, range costs are checked against the paper's §6.3
+//! `B + 3` bound, and at a fixed cadence the whole system is audited:
+//! Theorem 1 bijectivity, interval-partition coverage of `[0, 1)`,
+//! record conservation against the oracle, θ-occupancy, PHT trie and
+//! chain consistency, and (between churn windows) Chord ring
+//! well-formedness.
+//!
+//! Failures abort with a [`DiffFailure`] carrying the op, the op's
+//! index in the trace, and a one-line CLI replay command — any soak
+//! is reproducible from its seed alone:
+//!
+//! ```text
+//! cargo run --release -p lht-bench --bin exp_audit_soak -- \
+//!     --substrate chord --seed 42 --ops 10000 --theta 4 --churn
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use lht::harness::{run_soak, SoakOptions, SubstrateKind};
+//!
+//! let report = run_soak(&SoakOptions {
+//!     seed: 7,
+//!     ops: 500,
+//!     substrate: SubstrateKind::Direct,
+//!     ..SoakOptions::default()
+//! })
+//! .expect("clean soak");
+//! assert_eq!(report.applied, 500);
+//! ```
+
+mod differ;
+mod oracle;
+mod trace;
+
+pub use differ::{run_soak, run_trace, DiffFailure, SoakOptions, SoakReport, SubstrateKind};
+pub use oracle::ShadowOracle;
+pub use trace::{generate, Op, Trace, TraceConfig};

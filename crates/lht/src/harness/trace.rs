@@ -1,0 +1,318 @@
+//! Deterministic operation traces.
+//!
+//! A [`Trace`] is the unit of replay: a seed plus the operation list
+//! generated from it. The generator is fully deterministic — the same
+//! [`TraceConfig`] always yields the same trace — so a failing soak is
+//! reproduced by a single seed, and [`Trace::to_line`] /
+//! [`Trace::parse_line`] serialize the exact operation stream for
+//! cases where the generator has changed since the failure was filed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One operation of a differential run.
+///
+/// Keys and values are raw bits; index ops interpret keys via
+/// [`KeyFraction::from_bits`](crate::KeyFraction::from_bits). Churn
+/// ops apply only on substrates with membership (the Chord ring) and
+/// are skipped elsewhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Upsert `key → value`.
+    Insert(u64, u32),
+    /// Remove `key`.
+    Remove(u64),
+    /// Exact-match `key`.
+    Lookup(u64),
+    /// Range query over the half-open `[lo, hi)` (by raw key bits).
+    Range(u64, u64),
+    /// Range query over `[lo, 2^64)` — exercises the top-of-space
+    /// boundary the half-open constructor cannot express.
+    RangeToEnd(u64),
+    /// Min query.
+    Min,
+    /// Max query.
+    Max,
+    /// A new node joins the ring (the number makes its name unique).
+    Join(u32),
+    /// The `n mod live-nodes`-th node leaves gracefully.
+    Leave(u32),
+    /// Run stabilization until routing state converges.
+    Stabilize,
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Insert(k, v) => write!(f, "i:{k}:{v}"),
+            Op::Remove(k) => write!(f, "r:{k}"),
+            Op::Lookup(k) => write!(f, "l:{k}"),
+            Op::Range(a, b) => write!(f, "q:{a}:{b}"),
+            Op::RangeToEnd(a) => write!(f, "qe:{a}"),
+            Op::Min => write!(f, "min"),
+            Op::Max => write!(f, "max"),
+            Op::Join(n) => write!(f, "join:{n}"),
+            Op::Leave(n) => write!(f, "leave:{n}"),
+            Op::Stabilize => write!(f, "stab"),
+        }
+    }
+}
+
+impl std::str::FromStr for Op {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Op, String> {
+        let mut parts = s.split(':');
+        let tag = parts.next().unwrap_or_default();
+        let mut num = |what: &str| -> Result<u64, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("op {s:?}: missing {what}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("op {s:?}: bad {what}: {e}"))
+        };
+        let op = match tag {
+            "i" => Op::Insert(num("key")?, num("value")? as u32),
+            "r" => Op::Remove(num("key")?),
+            "l" => Op::Lookup(num("key")?),
+            "q" => Op::Range(num("lo")?, num("hi")?),
+            "qe" => Op::RangeToEnd(num("lo")?),
+            "min" => Op::Min,
+            "max" => Op::Max,
+            "join" => Op::Join(num("ordinal")? as u32),
+            "leave" => Op::Leave(num("ordinal")? as u32),
+            "stab" => Op::Stabilize,
+            other => return Err(format!("unknown op tag {other:?}")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("op {s:?}: trailing fields"));
+        }
+        Ok(op)
+    }
+}
+
+/// Parameters of the deterministic trace generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Number of operations to generate.
+    pub len: usize,
+    /// Whether to interleave ring churn (join/leave/stabilize).
+    pub churn: bool,
+}
+
+/// A generated operation stream plus the seed it came from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// The generator seed.
+    pub seed: u64,
+    /// The operations, in application order.
+    pub ops: Vec<Op>,
+}
+
+impl Trace {
+    /// Serializes the trace to one line: `seed <s> ; <op> <op> …`.
+    pub fn to_line(&self) -> String {
+        let mut line = format!("seed {} ;", self.seed);
+        for op in &self.ops {
+            line.push(' ');
+            line.push_str(&op.to_string());
+        }
+        line
+    }
+
+    /// Parses a line produced by [`Trace::to_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token.
+    pub fn parse_line(line: &str) -> Result<Trace, String> {
+        let mut tokens = line.split_whitespace();
+        match (tokens.next(), tokens.next(), tokens.next()) {
+            (Some("seed"), Some(seed), Some(";")) => {
+                let seed = seed.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?;
+                let ops = tokens.map(str::parse).collect::<Result<Vec<Op>, _>>()?;
+                Ok(Trace { seed, ops })
+            }
+            _ => Err("expected `seed <u64> ; <ops…>`".to_string()),
+        }
+    }
+}
+
+/// Keys the generator gravitates towards: the partition-tree
+/// boundaries where off-by-one bugs live.
+const BOUNDARY_KEYS: [u64; 6] = [0, 1, 1 << 63, (1 << 63) - 1, u64::MAX - 1, u64::MAX];
+
+/// Generates the deterministic trace for `cfg`.
+///
+/// The stream interleaves mutations (inserts biased over removes so
+/// the tree both grows and shrinks through split/merge cycles),
+/// queries (lookups of known and unknown keys; ranges that are empty,
+/// narrow, leaf-straddling, deep-LCA and full-space; min/max), and —
+/// with `churn` — ring membership events followed eventually by
+/// stabilization. Key choice mixes fresh random keys, re-use of
+/// previously-touched keys (so removes and lookups hit), clustered
+/// keys sharing long prefixes (driving deep splits), and exact
+/// partition boundaries.
+pub fn generate(cfg: &TraceConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut ops = Vec::with_capacity(cfg.len);
+    let mut touched: Vec<u64> = Vec::new();
+    let mut join_counter: u32 = 0;
+    // A per-trace cluster prefix: keys agreeing on their top 40 bits.
+    let cluster_base: u64 = rng.gen::<u64>() & !0xFF_FFFF;
+
+    let pick_key = |rng: &mut StdRng, touched: &Vec<u64>| -> u64 {
+        match rng.gen_range(0u32..100) {
+            // Re-touch a known key.
+            0..=44 if !touched.is_empty() => touched[rng.gen_range(0..touched.len())],
+            // Partition boundaries.
+            45..=54 => BOUNDARY_KEYS[rng.gen_range(0..BOUNDARY_KEYS.len())],
+            // Clustered: long shared prefix, forcing deep splits.
+            55..=74 => cluster_base | (rng.gen::<u64>() & 0xFF_FFFF),
+            // Fresh uniform.
+            _ => rng.gen(),
+        }
+    };
+
+    let mut dirty_ring = false;
+    for _ in 0..cfg.len {
+        let roll = rng.gen_range(0u32..100);
+        let op = match roll {
+            0..=39 => {
+                let k = pick_key(&mut rng, &touched);
+                touched.push(k);
+                Op::Insert(k, rng.gen())
+            }
+            40..=59 => Op::Remove(pick_key(&mut rng, &touched)),
+            60..=71 => Op::Lookup(pick_key(&mut rng, &touched)),
+            72..=89 => {
+                let a = pick_key(&mut rng, &touched);
+                match rng.gen_range(0u32..6) {
+                    // Empty range.
+                    0 => Op::Range(a, a),
+                    // Narrow window around a known key.
+                    1 => Op::Range(a.saturating_sub(8), a.saturating_add(8)),
+                    // Deep-LCA: both bounds in one tiny cell.
+                    2 => {
+                        let b = a ^ (rng.gen::<u64>() & 0xFF);
+                        Op::Range(a.min(b), a.max(b))
+                    }
+                    // Closed at the top of the key space.
+                    3 => Op::RangeToEnd(a),
+                    // Arbitrary span.
+                    _ => {
+                        let b = pick_key(&mut rng, &touched);
+                        Op::Range(a.min(b), a.max(b))
+                    }
+                }
+            }
+            90..=92 => Op::Min,
+            93..=95 => Op::Max,
+            _ if cfg.churn => {
+                // Membership events; stabilize with the same odds so
+                // the ring repeatedly re-converges mid-trace.
+                match rng.gen_range(0u32..3) {
+                    0 => {
+                        join_counter += 1;
+                        dirty_ring = true;
+                        Op::Join(join_counter)
+                    }
+                    1 => {
+                        dirty_ring = true;
+                        Op::Leave(rng.gen::<u32>())
+                    }
+                    _ => {
+                        dirty_ring = false;
+                        Op::Stabilize
+                    }
+                }
+            }
+            _ => Op::Lookup(pick_key(&mut rng, &touched)),
+        };
+        ops.push(op);
+    }
+    // Leave the ring converged so end-of-run audits check the strict
+    // converged-state invariants.
+    if dirty_ring {
+        ops.push(Op::Stabilize);
+    }
+    Trace {
+        seed: cfg.seed,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TraceConfig {
+            seed: 99,
+            len: 500,
+            churn: true,
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = TraceConfig { seed: 100, ..cfg };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn traces_round_trip_through_text() {
+        let cfg = TraceConfig {
+            seed: 7,
+            len: 300,
+            churn: true,
+        };
+        let trace = generate(&cfg);
+        let line = trace.to_line();
+        assert_eq!(Trace::parse_line(&line).unwrap(), trace);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Trace::parse_line("nonsense").is_err());
+        assert!(Trace::parse_line("seed x ; i:1:2").is_err());
+        assert!(Trace::parse_line("seed 1 ; z:9").is_err());
+        assert!(Trace::parse_line("seed 1 ; i:1").is_err());
+        assert!(Trace::parse_line("seed 1 ; i:1:2:3").is_err());
+    }
+
+    #[test]
+    fn generated_mix_covers_all_op_kinds() {
+        let cfg = TraceConfig {
+            seed: 3,
+            len: 4000,
+            churn: true,
+        };
+        let trace = generate(&cfg);
+        let has = |f: &dyn Fn(&Op) -> bool| trace.ops.iter().any(f);
+        assert!(has(&|o| matches!(o, Op::Insert(..))));
+        assert!(has(&|o| matches!(o, Op::Remove(..))));
+        assert!(has(&|o| matches!(o, Op::Lookup(..))));
+        assert!(has(&|o| matches!(o, Op::Range(..))));
+        assert!(has(&|o| matches!(o, Op::RangeToEnd(..))));
+        assert!(has(&|o| matches!(o, Op::Min)));
+        assert!(has(&|o| matches!(o, Op::Max)));
+        assert!(has(&|o| matches!(o, Op::Join(..))));
+        assert!(has(&|o| matches!(o, Op::Leave(..))));
+        assert!(has(&|o| matches!(o, Op::Stabilize)));
+    }
+
+    #[test]
+    fn churnless_traces_have_no_membership_ops() {
+        let cfg = TraceConfig {
+            seed: 5,
+            len: 2000,
+            churn: false,
+        };
+        let trace = generate(&cfg);
+        assert!(!trace
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::Join(..) | Op::Leave(..) | Op::Stabilize)));
+    }
+}

@@ -38,6 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 pub use lht_core as core;
 pub use lht_cost as cost;
 pub use lht_dht as dht;
@@ -50,16 +52,15 @@ pub use lht_sfc as sfc;
 pub use lht_workload as workload;
 
 pub use lht_core::{
-    audit, naming, IndexStats, InsertOutcome, KeyInterval, LeafBucket, LhtConfig, LhtError,
-    LhtIndex, Label, LookupHit, MatchHit, MinMaxHit, OpCost, RangeCost, RangeResult,
-    RemoveOutcome,
+    audit, naming, IndexStats, InsertOutcome, KeyInterval, Label, LeafBucket, LhtConfig, LhtError,
+    LhtIndex, LookupHit, MatchHit, MinMaxHit, OpCost, RangeCost, RangeResult, RemoveOutcome,
 };
 pub use lht_cost::CostModel;
 pub use lht_dht::{ChordConfig, ChordDht, Dht, DhtError, DhtKey, DhtStats, DirectDht};
 pub use lht_dst::{DstConfig, DstIndex};
-pub use lht_rst::RstIndex;
 pub use lht_id::{BitStr, KeyFraction, U160};
 pub use lht_kad::{KademliaConfig, KademliaDht};
 pub use lht_pht::{PhtIndex, PhtRangeResult};
+pub use lht_rst::RstIndex;
 pub use lht_sfc::{Lht2d, Point, Rect};
 pub use lht_workload::{Dataset, KeyDist, LookupGen, RangeQueryGen};

@@ -7,9 +7,7 @@
 //! cargo run -p lht --example file_sharing
 //! ```
 
-use lht::{
-    ChordDht, Dht, KeyFraction, KeyInterval, LhtConfig, LhtError, LhtIndex,
-};
+use lht::{ChordDht, Dht, KeyFraction, KeyInterval, LhtConfig, LhtError, LhtIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,7 +57,13 @@ fn main() -> Result<(), LhtError> {
     );
 
     // Peers churn: some leave gracefully, new ones join.
-    let victims: Vec<_> = dht.snapshot().node_ids.into_iter().step_by(13).take(4).collect();
+    let victims: Vec<_> = dht
+        .snapshot()
+        .node_ids
+        .into_iter()
+        .step_by(13)
+        .take(4)
+        .collect();
     for v in &victims {
         dht.leave(v);
     }
@@ -80,7 +84,8 @@ fn main() -> Result<(), LhtError> {
     let result = index.range(query)?;
     let spent = dht.stats() - before;
     println!(
-        "\n\"MP3s published since Jan 1 2007\": {} files", result.records.len()
+        "\n\"MP3s published since Jan 1 2007\": {} files",
+        result.records.len()
     );
     println!(
         "  index cost: {} DHT-lookups over {} buckets, {} parallel steps",

@@ -6,7 +6,7 @@
 //! cargo run -p lht --example geo_query
 //! ```
 
-use lht::{DirectDht, LeafBucket, LhtConfig, LhtError, Lht2d, Point, Rect};
+use lht::{DirectDht, LeafBucket, Lht2d, LhtConfig, LhtError, Point, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

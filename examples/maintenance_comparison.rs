@@ -7,9 +7,7 @@
 //! cargo run -p lht --example maintenance_comparison
 //! ```
 
-use lht::{
-    CostModel, DirectDht, KeyDist, LhtConfig, LhtError, LhtIndex, PhtIndex,
-};
+use lht::{CostModel, DirectDht, KeyDist, LhtConfig, LhtError, LhtIndex, PhtIndex};
 use lht_workload::Dataset;
 
 fn main() -> Result<(), LhtError> {
@@ -30,11 +28,12 @@ fn main() -> Result<(), LhtError> {
 
         let ls = lht.stats();
         let ps = pht.stats();
-        println!("== {} data, n = {n}, θ = {} ==", dist.tag(), cfg.theta_split);
         println!(
-            "  {:22} {:>12} {:>12} {:>9}",
-            "", "LHT", "PHT", "LHT/PHT"
+            "== {} data, n = {n}, θ = {} ==",
+            dist.tag(),
+            cfg.theta_split
         );
+        println!("  {:22} {:>12} {:>12} {:>9}", "", "LHT", "PHT", "LHT/PHT");
         let rows = [
             ("splits", ls.splits as f64, ps.splits as f64),
             (

@@ -44,10 +44,7 @@ fn main() -> Result<(), LhtError> {
     );
 
     // 5. Range query (Algorithms 3–4): near-optimal B + 3 lookups.
-    let range = KeyInterval::half_open(
-        KeyFraction::from_f64(0.25),
-        KeyFraction::from_f64(0.35),
-    );
+    let range = KeyInterval::half_open(KeyFraction::from_f64(0.25), KeyFraction::from_f64(0.35));
     let result = index.range(range)?;
     println!(
         "range [0.25, 0.35): {} records from {} buckets in {} lookups, {} parallel steps",
@@ -62,9 +59,15 @@ fn main() -> Result<(), LhtError> {
     let max = index.max()?;
     println!(
         "min = {} ({} lookup), max = {} ({} lookup)",
-        min.value.as_ref().map(|(k, _)| k.to_f64()).unwrap_or(f64::NAN),
+        min.value
+            .as_ref()
+            .map(|(k, _)| k.to_f64())
+            .unwrap_or(f64::NAN),
         min.cost.dht_lookups,
-        max.value.as_ref().map(|(k, _)| k.to_f64()).unwrap_or(f64::NAN),
+        max.value
+            .as_ref()
+            .map(|(k, _)| k.to_f64())
+            .unwrap_or(f64::NAN),
         max.cost.dht_lookups,
     );
 

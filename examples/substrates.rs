@@ -48,8 +48,14 @@ fn main() -> Result<(), LhtError> {
     let (l2, h2) = drive(ChordDht::with_nodes(64, 7), "Chord (64 peers)")?;
     let (l3, h3) = drive(KademliaDht::with_nodes(64, 7), "Kademlia (64 peers)")?;
 
-    assert_eq!(l1, l2, "index-level DHT-lookup counts are substrate-independent");
-    assert_eq!(l1, l3, "index-level DHT-lookup counts are substrate-independent");
+    assert_eq!(
+        l1, l2,
+        "index-level DHT-lookup counts are substrate-independent"
+    );
+    assert_eq!(
+        l1, l3,
+        "index-level DHT-lookup counts are substrate-independent"
+    );
     println!(
         "\nidentical index-level cost ({l1} DHT-lookups) on all three — the paper's\n\
          footnote 5 in executable form; only physical hops differ (1.0 vs {:.2} vs {:.2}).",

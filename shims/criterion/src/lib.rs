@@ -1,0 +1,244 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal harness exposing the criterion API its
+//! benches use: [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`BatchSize`] and [`black_box`], plus the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — median of `sample_size`
+//! wall-clock samples after a short warm-up, printed as
+//! `name … time: [median]` — with none of criterion's statistics,
+//! HTML reports, or baseline comparisons. Good enough to smoke-test
+//! that benches run and to eyeball relative magnitudes offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stub of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (stub of `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id naming only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the
+/// shim beyond API compatibility).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, amortizing over enough iterations to make one
+    /// sample measurable.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let iters = self.iters_per_sample;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iters as u32);
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`, excluding
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = self.iters_per_sample;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / iters as u32);
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration pass: find an iteration count that makes one sample
+    // take roughly a millisecond, so cheap routines aren't all-noise.
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.samples.first().copied().unwrap_or(Duration::ZERO);
+    let target = Duration::from_millis(1);
+    let iters = if per_iter.is_zero() {
+        1000
+    } else {
+        (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64
+    };
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: iters,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    println!("{label:<40} time: [{median:?}]  ({sample_size} samples x {iters} iters)");
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_run_batched_and_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

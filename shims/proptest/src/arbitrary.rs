@@ -1,0 +1,111 @@
+//! `any::<T>()` — the canonical strategy per type, with edge-case
+//! biasing for integers.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Types with a canonical [`Strategy`], usable via [`any`].
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (bit-uniform with a slight bias
+/// towards edge values for integers, matching real proptest's habit
+/// of probing boundaries).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8 cases draw from the edge set.
+                if rng.rng().gen_range(0u32..8) == 0 {
+                    const EDGES: [$t; 6] =
+                        [0, 1, 2, <$t>::MAX, <$t>::MAX - 1, <$t>::MAX / 2 + 1];
+                    EDGES[rng.rng().gen_range(0..EDGES.len())]
+                } else {
+                    rng.rng().gen::<$t>()
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                if rng.rng().gen_range(0u32..8) == 0 {
+                    const EDGES: [$t; 6] = [0, 1, -1, <$t>::MAX, <$t>::MIN, <$t>::MIN + 1];
+                    EDGES[rng.rng().gen_range(0..EDGES.len())]
+                } else {
+                    rng.rng().gen::<$t>()
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.rng().gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spread over magnitudes.
+        let mantissa: f64 = rng.rng().gen();
+        let exp = rng.rng().gen_range(-60i32..60);
+        let sign = if rng.rng().gen::<bool>() { 1.0 } else { -1.0 };
+        sign * mantissa * (exp as f64).exp2()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated data debuggable.
+        rng.rng().gen_range(0x20u32..0x7f) as u8 as char
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_eventually_appear() {
+        let mut rng = TestRng::from_seed(11);
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            match u64::arbitrary(&mut rng) {
+                0 => saw_zero = true,
+                u64::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_zero && saw_max, "edge bias should surface 0 and MAX");
+    }
+}

@@ -1,0 +1,98 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(!size.is_empty(), "empty size range");
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.rng().gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<T>` with a cardinality drawn from `size`.
+///
+/// Duplicates drawn from `element` are retried; if the element domain
+/// is too collision-prone to reach the target, the set is returned at
+/// whatever size was reached once at least `size.start` distinct
+/// values exist.
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    assert!(!size.is_empty(), "empty size range");
+    HashSetStrategy { element, size }
+}
+
+/// Strategy returned by [`hash_set`].
+#[derive(Clone, Debug)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = rng.rng().gen_range(self.size.clone());
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        let budget = target * 20 + 100;
+        while out.len() < target && (attempts < budget || out.len() < self.size.start) {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..200 {
+            let v = vec(any::<u64>(), 1..40).generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_reaches_minimum() {
+        let mut rng = TestRng::from_seed(6);
+        for _ in 0..200 {
+            let s = hash_set(any::<u64>(), 1..400).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 400);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a self-contained property-testing engine exposing
+//! the `proptest` API subset its tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`prelude::any`] for the primitive types, numeric [`Range`]
+//!   strategies, regex-pattern `&str` strategies, tuples, and
+//!   [`collection::vec`] / [`collection::hash_set`],
+//! * `.proptest-regressions` seed persistence: failing cases append a
+//!   `cc <seed>` line next to the test's source file, and every
+//!   persisted seed is replayed before fresh random cases — the same
+//!   workflow as real proptest, so checked-in seed files keep
+//!   working.
+//!
+//! Differences from real proptest, by design: values regenerate
+//! deterministically from a 64-bit case seed instead of serialized
+//! shrink state (a persisted `cc` line's first 16 hex digits are the
+//! seed), and there is no shrinking — failures print the full
+//! generated inputs plus the replay seed instead. Set
+//! `PROPTEST_RNG_SEED` to pin the base seed of the random phase.
+//!
+//! [`Range`]: std::ops::Range
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// item expands to a `#[test]` that replays persisted regression
+/// seeds, then runs `config.cases` fresh random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            $crate::test_runner::run_cases(
+                ::std::file!(),
+                ::std::stringify!($name),
+                $config,
+                &mut |__rng: &mut $crate::test_runner::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    let __repr = {
+                        #[allow(unused_mut)]
+                        let mut __s = ::std::string::String::new();
+                        $({
+                            use ::std::fmt::Write as _;
+                            if !__s.is_empty() { __s.push_str(", "); }
+                            let _ = ::std::write!(
+                                __s, "{} = {:?}", ::std::stringify!($arg), &$arg);
+                        })*
+                        __s
+                    };
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), ::std::string::String> {
+                                $body
+                                #[allow(unreachable_code)]
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    (__repr, __outcome)
+                },
+            );
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with the generated inputs and replay seed) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            ::std::stringify!($left), ::std::stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: `{:?}`\n right: `{:?}`",
+            ::std::stringify!($left), ::std::stringify!($right),
+            ::std::format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Asserts two expressions differ inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            ::std::stringify!($left), ::std::stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`: {}\n  both: `{:?}`",
+            ::std::stringify!($left), ::std::stringify!($right),
+            ::std::format!($($fmt)*), l
+        );
+    }};
+}
+
+/// Skips the current case when `cond` is false. (The shim counts the
+/// case as passed rather than drawing a replacement.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

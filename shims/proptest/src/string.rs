@@ -1,0 +1,150 @@
+//! Tiny regex-subset string generator backing `&str` strategies.
+//!
+//! Supports exactly the pattern language the workspace's tests use:
+//! literal characters, character classes with ranges (`[a-z0_]`), and
+//! `{m}` / `{m,n}` repetition on the preceding atom, plus `?`, `*`,
+//! `+` with a small default repetition cap. Anything else panics with
+//! a clear message, so a future test using fancier syntax fails loudly
+//! rather than silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Class(chars) => {
+                out.push(chars[rng.rng().gen_range(0..chars.len())]);
+            }
+        }
+    }
+}
+
+/// Generates one random string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on regex syntax outside the supported subset.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut class = Vec::new();
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        lo => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars
+                                    .next()
+                                    .unwrap_or_else(|| panic!("dangling range in {pattern:?}"));
+                                assert!(hi != ']' && lo <= hi, "bad class range in {pattern:?}");
+                                class.extend(lo..=hi);
+                            } else {
+                                class.push(lo);
+                            }
+                        }
+                    }
+                }
+                assert!(!class.is_empty(), "empty class in {pattern:?}");
+                Atom::Class(class)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+            ),
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?}")
+            }
+            lit => Atom::Literal(lit),
+        };
+
+        // Optional repetition suffix on the atom just parsed.
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let parse = |s: &str| {
+                    s.parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad repetition {spec:?} in {pattern:?}"))
+                };
+                match spec.split_once(',') {
+                    Some((m, n)) => (parse(m), parse(n)),
+                    None => (parse(&spec), parse(&spec)),
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(lo <= hi, "inverted repetition in {pattern:?}");
+        let count = if lo == hi {
+            lo
+        } else {
+            rng.rng().gen_range(lo..hi + 1)
+        };
+        for _ in 0..count {
+            atom.emit(rng, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_generate_matching_strings() {
+        let mut rng = TestRng::from_seed(17);
+        for _ in 0..300 {
+            let s = generate_from_pattern("0[01]{0,40}", &mut rng);
+            assert!(s.starts_with('0') && s.len() <= 41);
+            assert!(s.chars().all(|c| c == '0' || c == '1'));
+
+            let t = generate_from_pattern("[a-z]{0,8}", &mut rng);
+            assert!(t.len() <= 8);
+            assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+
+            let u = generate_from_pattern("[01]{1,64}", &mut rng);
+            assert!((1..=64).contains(&u.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn unsupported_syntax_panics() {
+        let mut rng = TestRng::from_seed(1);
+        generate_from_pattern("(ab)+", &mut rng);
+    }
+}

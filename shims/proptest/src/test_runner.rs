@@ -1,0 +1,299 @@
+//! Case runner: regression-seed replay, random exploration, and
+//! `.proptest-regressions` persistence.
+
+use std::any::Any;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-block configuration (the `ProptestConfig` of real proptest).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of fresh random cases to run after persisted seeds.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+/// The RNG handed to strategies. Wraps the deterministic [`StdRng`]
+/// so a failing case is fully described by one `u64` seed.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds the generator for one case from its seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// The underlying RNG (for strategy implementations).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// One case's verdict: the pretty-printed inputs, and the body result
+/// (outer `Err` = panic payload, inner `Err` = `prop_assert!` message).
+type CaseOutcome = (String, Result<Result<(), String>, Box<dyn Any + Send>>);
+
+/// Drives one property test: replays every persisted seed from the
+/// source file's `.proptest-regressions`, then runs `config.cases`
+/// fresh cases. On failure, appends a `cc` seed line (when the
+/// regression file location is resolvable) and panics with the seed,
+/// the generated inputs, and the failure message.
+pub fn run_cases(
+    source_file: &str,
+    test_name: &str,
+    config: Config,
+    case: &mut dyn FnMut(&mut TestRng) -> CaseOutcome,
+) {
+    let regressions = regression_file_for(source_file);
+
+    if let Some(path) = regressions.as_deref() {
+        for seed in read_persisted_seeds(path) {
+            let (repr, outcome) = case(&mut TestRng::from_seed(seed));
+            if let Some(message) = failure_message(outcome) {
+                panic!(
+                    "{test_name}: persisted regression seed {seed:#018x} \
+                     (from {path}) still fails\ninputs: {repr}\n{message}",
+                    path = path.display(),
+                );
+            }
+        }
+    }
+
+    let base = base_seed(test_name);
+    for i in 0..config.cases {
+        let seed = mix(base, i as u64);
+        let (repr, outcome) = case(&mut TestRng::from_seed(seed));
+        if let Some(message) = failure_message(outcome) {
+            let persisted = regressions
+                .as_deref()
+                .map(|p| persist_seed(p, seed, &repr))
+                .unwrap_or(false);
+            panic!(
+                "{test_name}: case {i} failed (seed {seed:#018x}{note})\n\
+                 inputs: {repr}\n{message}\n\
+                 Replay: the seed was derived deterministically; rerun replays it \
+                 from the regression file{maybe_not}.",
+                note = if persisted { ", persisted" } else { "" },
+                maybe_not = if persisted {
+                    ""
+                } else {
+                    " — persistence unavailable, re-run with \
+                     PROPTEST_RNG_SEED to reproduce"
+                },
+            );
+        }
+    }
+}
+
+/// Extracts a printable failure message, or `None` if the case passed.
+fn failure_message(outcome: Result<Result<(), String>, Box<dyn Any + Send>>) -> Option<String> {
+    match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(assertion)) => Some(assertion),
+        Err(payload) => Some(format!("body panicked: {}", panic_text(&payload))),
+    }
+}
+
+fn panic_text(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    }
+}
+
+/// SplitMix64-style mixing of the base seed and case index.
+fn mix(base: u64, i: u64) -> u64 {
+    let mut z = base ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Base seed for the random phase: `PROPTEST_RNG_SEED` when set
+/// (reproducible CI), otherwise wall-clock entropy.
+fn base_seed(test_name: &str) -> u64 {
+    let name_hash = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    match std::env::var("PROPTEST_RNG_SEED") {
+        Ok(v) => {
+            let explicit = v
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_RNG_SEED={v:?} is not a u64"));
+            explicit ^ name_hash
+        }
+        Err(_) => {
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            nanos ^ name_hash
+        }
+    }
+}
+
+/// Resolves the `.proptest-regressions` file next to `source_file`.
+///
+/// `file!()` paths are relative to the directory `rustc` was invoked
+/// from (the workspace root under cargo), while tests run with the
+/// *package* root as cwd — so the source is searched for upwards from
+/// the cwd.
+fn regression_file_for(source_file: &str) -> Option<PathBuf> {
+    let src = resolve_source(source_file)?;
+    Some(src.with_extension("proptest-regressions"))
+}
+
+fn resolve_source(source_file: &str) -> Option<PathBuf> {
+    let raw = Path::new(source_file);
+    if raw.is_absolute() {
+        return raw.exists().then(|| raw.to_path_buf());
+    }
+    let cwd = std::env::current_dir().ok()?;
+    let mut dir: Option<&Path> = Some(&cwd);
+    for _ in 0..6 {
+        let d = dir?;
+        let candidate = d.join(raw);
+        if candidate.exists() {
+            return Some(candidate);
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Parses `cc <hex>` lines: the first 16 hex digits are the case seed.
+fn read_persisted_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if token.len() < 16 {
+                return None;
+            }
+            u64::from_str_radix(&token[..16], 16).ok()
+        })
+        .collect()
+}
+
+const PERSISTENCE_HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+/// Appends a failing seed to the regression file. Returns whether the
+/// write succeeded.
+fn persist_seed(path: &Path, seed: u64, repr: &str) -> bool {
+    let mut text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => PERSISTENCE_HEADER.to_string(),
+    };
+    // 64 hex digits to match proptest's line shape; only the first 16
+    // (the seed) are read back.
+    let mut line = String::new();
+    let _ = write!(line, "cc {seed:016x}");
+    let echo = mix(seed, 0xa5a5);
+    for i in 0..3u64 {
+        let _ = write!(line, "{:016x}", mix(echo, i));
+    }
+    let repr_one_line = repr.replace('\n', " ");
+    let _ = writeln!(line, " # shrinks to {repr_one_line}");
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&line);
+    fs::write(path, text).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persisted_seed_lines_round_trip() {
+        let dir = std::env::temp_dir().join("proptest-shim-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.proptest-regressions");
+        let _ = fs::remove_file(&path);
+        assert!(persist_seed(&path, 0xb943_9598_64a1_d3f0, "keys = {0}"));
+        let seeds = read_persisted_seeds(&path);
+        assert_eq!(seeds, vec![0xb943_9598_64a1_d3f0]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reads_real_proptest_format() {
+        let dir = std::env::temp_dir().join("proptest-shim-test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("real.proptest-regressions");
+        fs::write(
+            &path,
+            "# comment\ncc b943959864a1d3f04a695ea918b7f50d44cca385e860397fe8e455b711a77fac # shrinks to keys = {0}\n",
+        )
+        .unwrap();
+        assert_eq!(read_persisted_seeds(&path), vec![0xb943_9598_64a1_d3f0]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mix_spreads_indices() {
+        let a = mix(1, 0);
+        let b = mix(1, 1);
+        assert_ne!(a, b);
+        assert_ne!(mix(2, 0), a);
+    }
+
+    #[test]
+    fn run_cases_passes_green_bodies_and_reports_failures() {
+        run_cases(
+            "no/such/file.rs",
+            "green",
+            Config::with_cases(5),
+            &mut |rng| {
+                let v = rng.rng_u64();
+                (format!("v = {v}"), Ok(Ok(())))
+            },
+        );
+        let result = std::panic::catch_unwind(|| {
+            run_cases("no/such/file.rs", "red", Config::with_cases(3), &mut |_| {
+                ("x = 1".to_string(), Ok(Err("boom".to_string())))
+            });
+        });
+        assert!(result.is_err(), "failing case must panic the test");
+    }
+
+    impl TestRng {
+        fn rng_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.0.next_u64()
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no network access, and the workspace
+//! only ever *derives* `Serialize`/`Deserialize` — nothing in the
+//! dependency tree drives an actual serializer. This shim keeps every
+//! `#[derive(Serialize, Deserialize)]` site and every potential
+//! `T: Serialize` bound compiling by declaring the two traits as
+//! markers with blanket impls; the re-exported derive macros (from
+//! the `serde_derive` shim) expand to nothing.
+//!
+//! Swapping back to real serde is a one-line change in the workspace
+//! `Cargo.toml` once a registry is reachable — no source edits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for
+/// every type so derived impls are unnecessary.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for
+/// every sized type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Minimal `serde::de` namespace so `serde::de::DeserializeOwned`
+/// paths resolve.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Minimal `serde::ser` namespace so `serde::ser::Serialize` paths
+/// resolve.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,24 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public
+//! types but never serializes through them (no `serde_json` or other
+//! format crate is in the dependency tree). The sibling `serde` shim
+//! gives both traits blanket impls, so these derives can expand to
+//! nothing: the attribute stays valid at every `#[derive(...)]` site
+//! while adding zero generated code.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: the `serde` shim's blanket impl
+/// already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: the `serde` shim's blanket impl
+/// already covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

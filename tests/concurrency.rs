@@ -6,10 +6,7 @@
 use std::sync::Arc;
 use std::thread;
 
-use lht::{
-    audit, ChordDht, DirectDht, KeyFraction, KeyInterval, LeafBucket, LhtConfig,
-    LhtIndex,
-};
+use lht::{audit, ChordDht, DirectDht, KeyFraction, KeyInterval, LeafBucket, LhtConfig, LhtIndex};
 
 fn kf(x: f64) -> KeyFraction {
     KeyFraction::from_f64(x)
@@ -53,9 +50,7 @@ fn concurrent_inserts_preserve_invariants_and_data() {
             for i in 0..per_thread {
                 let id = t * per_thread + i;
                 // Disjoint key stripes per thread.
-                let key = KeyFraction::from_bits(
-                    id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
-                );
+                let key = KeyFraction::from_bits(id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
                 ix.insert(key, id).unwrap();
             }
         }));

@@ -1,0 +1,146 @@
+//! End-to-end exercise of the differential-testing harness: long
+//! soaks over both substrates, trace replay, and — crucially — proof
+//! that the harness detects injected faults instead of vacuously
+//! passing.
+
+use lht::harness::{generate, run_soak, run_trace, SoakOptions, SubstrateKind, Trace, TraceConfig};
+
+/// 10k ops over the one-hop DHT with the PHT baseline mirroring every
+/// mutation: every query diffed against the oracle, audits every 500
+/// ops, range costs held to the paper's B + 3 bound.
+#[test]
+fn soak_direct_with_pht_mirror() {
+    let opts = SoakOptions {
+        seed: 2008,
+        ops: 10_000,
+        theta: 4,
+        substrate: SubstrateKind::Direct,
+        audit_every: 500,
+        mirror_pht: true,
+        ..SoakOptions::default()
+    };
+    let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(report.applied, 10_000);
+    assert!(report.mutations > 3_000, "trace should be mutation-heavy");
+    assert!(report.queries > 2_000, "trace should be query-heavy");
+    assert!(report.audits >= 20);
+}
+
+/// A tighter θ forces much deeper trees and far more split/merge
+/// traffic for the same record count.
+#[test]
+fn soak_direct_minimum_theta() {
+    let opts = SoakOptions {
+        seed: 77,
+        ops: 10_000,
+        theta: 2,
+        substrate: SubstrateKind::Direct,
+        audit_every: 1_000,
+        mirror_pht: false,
+        ..SoakOptions::default()
+    };
+    let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(report.applied, 10_000);
+}
+
+/// 10k ops over a 16-node Chord ring with live membership churn:
+/// nodes join and leave mid-soak, keys migrate, and converged-state
+/// audits additionally verify ring well-formedness (successors,
+/// predecessors, fingers, key placement).
+#[test]
+fn soak_chord_with_churn() {
+    let opts = SoakOptions {
+        seed: 2008,
+        ops: 10_000,
+        theta: 4,
+        substrate: SubstrateKind::Chord {
+            nodes: 16,
+            replicas: 2,
+        },
+        audit_every: 1_000,
+        mirror_pht: false,
+        churn: true,
+        ..SoakOptions::default()
+    };
+    let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.applied >= 10_000);
+    assert!(report.churn_events > 0, "churn trace must move nodes");
+}
+
+/// The same seed replayed through trace serialization produces the
+/// identical run — the one-line replay a failure report prints really
+/// does reproduce the failure's operation stream.
+#[test]
+fn serialized_trace_replays_identically() {
+    let opts = SoakOptions {
+        seed: 424_242,
+        ops: 2_000,
+        theta: 3,
+        substrate: SubstrateKind::Direct,
+        audit_every: 500,
+        mirror_pht: false,
+        ..SoakOptions::default()
+    };
+    let trace = generate(&TraceConfig {
+        seed: opts.seed,
+        len: opts.ops,
+        churn: opts.churn,
+    });
+    let reparsed = Trace::parse_line(&trace.to_line()).expect("round trip");
+    assert_eq!(reparsed, trace);
+    let direct = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
+    let replayed = run_trace(&reparsed, &opts).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(direct, replayed);
+}
+
+/// Destroying one leaf bucket mid-soak MUST make the harness fail,
+/// and the failure must carry the replay line. A harness that stays
+/// green here would be worthless.
+#[test]
+fn harness_detects_injected_bucket_loss() {
+    let opts = SoakOptions {
+        seed: 9,
+        ops: 3_000,
+        theta: 4,
+        substrate: SubstrateKind::Direct,
+        audit_every: 100,
+        mirror_pht: false,
+        inject_loss_at: Some(1_500),
+        ..SoakOptions::default()
+    };
+    let failure = run_soak(&opts).expect_err("sabotaged soak must fail");
+    assert!(
+        failure.op_index >= 1_500 || failure.op_index == usize::MAX,
+        "failure at op {} predates the sabotage at 1500",
+        failure.op_index
+    );
+    assert!(
+        failure.replay.contains("--seed 9"),
+        "replay line must pin the seed: {}",
+        failure.replay
+    );
+    assert!(
+        failure.replay.contains("exp_audit_soak"),
+        "replay line must name the soak binary: {}",
+        failure.replay
+    );
+}
+
+/// The exact same sabotage is caught quickly even when audits are
+/// rare: the per-op differential checks (lookups, ranges, min/max vs
+/// the oracle) catch the loss on their own.
+#[test]
+fn per_op_diffs_detect_loss_without_audits() {
+    let opts = SoakOptions {
+        seed: 9,
+        ops: 3_000,
+        theta: 4,
+        substrate: SubstrateKind::Direct,
+        audit_every: 0, // end-of-run audit only
+        mirror_pht: false,
+        inject_loss_at: Some(1_500),
+        ..SoakOptions::default()
+    };
+    let failure = run_soak(&opts).expect_err("sabotaged soak must fail");
+    assert!(failure.op_index >= 1_500 || failure.op_index == usize::MAX);
+}

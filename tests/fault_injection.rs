@@ -3,8 +3,8 @@
 //! never as wrong answers or hangs.
 
 use lht::{
-    ChordConfig, ChordDht, DirectDht, KeyDist, KeyFraction, KeyInterval, LeafBucket,
-    LhtConfig, LhtError, LhtIndex,
+    ChordConfig, ChordDht, DirectDht, KeyDist, KeyFraction, KeyInterval, LeafBucket, LhtConfig,
+    LhtError, LhtIndex,
 };
 use lht_workload::Dataset;
 
@@ -51,7 +51,10 @@ fn lost_bucket_surfaces_as_error_not_wrong_answer() {
             Err(e) => panic!("unexpected error {e}"),
         }
     }
-    assert!(alive > 400, "only the lost bucket's keys may fail, {alive} alive");
+    assert!(
+        alive > 400,
+        "only the lost bucket's keys may fail, {alive} alive"
+    );
 }
 
 #[test]
@@ -108,7 +111,10 @@ fn unreplicated_chord_crash_loses_only_local_buckets() {
             Err(e) => panic!("unexpected error {e}"),
         }
     }
-    assert!(ok > 0 && lost > 0, "a crash should lose some but not all (ok={ok}, lost={lost})");
+    assert!(
+        ok > 0 && lost > 0,
+        "a crash should lose some but not all (ok={ok}, lost={lost})"
+    );
     assert!(ok > lost, "one crashed node out of 20 must not dominate");
 }
 

@@ -3,8 +3,7 @@
 //! deployment shape of the paper's testbed (LHT over Bamboo).
 
 use lht::{
-    ChordConfig, ChordDht, Dht, KeyDist, KeyFraction, KeyInterval, LeafBucket, LhtConfig,
-    LhtIndex,
+    ChordConfig, ChordDht, Dht, KeyDist, KeyFraction, KeyInterval, LeafBucket, LhtConfig, LhtIndex,
 };
 use lht_workload::Dataset;
 
@@ -29,7 +28,13 @@ fn full_query_surface_over_chord() {
     }
     // Range query equals brute force.
     let q = KeyInterval::half_open(kf(0.3), kf(0.62));
-    let got: Vec<u64> = ix.range(q).unwrap().records.iter().map(|(_, v)| *v).collect();
+    let got: Vec<u64> = ix
+        .range(q)
+        .unwrap()
+        .records
+        .iter()
+        .map(|(_, v)| *v)
+        .collect();
     let mut expect: Vec<(KeyFraction, u64)> = data
         .iter()
         .enumerate()

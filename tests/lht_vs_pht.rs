@@ -54,7 +54,13 @@ fn identical_answers_on_all_query_types() {
         let mut gen = RangeQueryGen::new(0.07, 5);
         for _ in 0..20 {
             let q = gen.next_range();
-            let a: Vec<u64> = lht.range(q).unwrap().records.iter().map(|(_, v)| *v).collect();
+            let a: Vec<u64> = lht
+                .range(q)
+                .unwrap()
+                .records
+                .iter()
+                .map(|(_, v)| *v)
+                .collect();
             let b: Vec<u64> = pht
                 .range_sequential(q)
                 .unwrap()
@@ -175,7 +181,10 @@ fn range_cost_shapes_match_section9() {
     // Fig. 10: PHT(sequential) latency is an order of magnitude
     // worse; LHT is the most time-efficient.
     assert!(seq_lat > 5 * par_lat, "seq {seq_lat} vs par {par_lat}");
-    assert!(lht_lat <= par_lat, "LHT latency {lht_lat} vs PHT(par) {par_lat}");
+    assert!(
+        lht_lat <= par_lat,
+        "LHT latency {lht_lat} vs PHT(par) {par_lat}"
+    );
 }
 
 #[test]

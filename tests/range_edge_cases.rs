@@ -1,0 +1,163 @@
+//! Deterministic range-query edge cases, including the exact shrunken
+//! counterexample persisted in `range_properties.proptest-regressions`.
+//!
+//! These pin down boundary behaviour that random exploration only hits
+//! occasionally: singleton trees whose range LCA is far deeper than any
+//! leaf, empty and reversed bounds, and ranges ending exactly at the
+//! top of the key space.
+
+use lht::{audit, DirectDht, KeyFraction, KeyInterval, LeafBucket, LhtConfig, LhtIndex};
+
+type TestDht = DirectDht<LeafBucket<u32>>;
+
+fn build_index(keys: &[u64], theta: usize) -> TestDht {
+    let dht = DirectDht::new();
+    let cfg = LhtConfig::new(theta, 24);
+    let ix = LhtIndex::new(&dht, cfg).unwrap();
+    for (i, bits) in keys.iter().enumerate() {
+        ix.insert(KeyFraction::from_bits(*bits), i as u32).unwrap();
+    }
+    dht
+}
+
+fn index_of(dht: &TestDht, theta: usize) -> LhtIndex<&TestDht, u32> {
+    LhtIndex::new(dht, LhtConfig::new(theta, 24)).unwrap()
+}
+
+fn interval(lo: u64, hi: u64) -> KeyInterval {
+    KeyInterval::half_open(KeyFraction::from_bits(lo), KeyFraction::from_bits(hi))
+}
+
+/// Brute-force range oracle over the raw key list.
+fn oracle(keys: &[u64], range: &KeyInterval) -> Vec<u64> {
+    let mut hits: Vec<u64> = keys
+        .iter()
+        .copied()
+        .filter(|k| range.contains(KeyFraction::from_bits(*k)))
+        .collect();
+    hits.sort_unstable();
+    hits
+}
+
+fn assert_range_matches(keys: &[u64], theta: usize, range: KeyInterval) -> u64 {
+    let dht = build_index(keys, theta);
+    let ix = index_of(&dht, theta);
+    let result = ix.range(range).unwrap();
+    let got: Vec<u64> = result.records.iter().map(|(k, _)| k.bits()).collect();
+    assert_eq!(got, oracle(keys, &range), "range {range:?} over {keys:?}");
+    result.cost.dht_lookups
+}
+
+/// The persisted proptest counterexample: a singleton tree holding only
+/// key 0 (θ = 2), queried with a narrow range around 0.53 whose LCA
+/// label is ~50 bits deep — far below the tree's only leaf, `#0`.
+/// Must return nothing, and must respect the Case-1 cost bound of
+/// 1 LCA probe + a binary-search lookup (≤ 6 probes at D = 24).
+#[test]
+fn regression_singleton_tree_deep_lca() {
+    let keys = [0u64];
+    let (a, b) = (9880897582450868224u64, 9808839988412940288u64);
+    let lookups = assert_range_matches(&keys, 2, interval(a.min(b), a.max(b)));
+    assert!(
+        lookups <= 1 + 6,
+        "single-bucket range used {lookups} lookups"
+    );
+}
+
+/// Same shape with the range *containing* the singleton's key.
+#[test]
+fn regression_singleton_tree_hit() {
+    let keys = [0u64];
+    let lookups = assert_range_matches(&keys, 2, interval(0, 9880897582450868224));
+    assert!(lookups <= 1 + 6, "range used {lookups} lookups");
+}
+
+/// An empty range (`a == b`) returns nothing at zero-ish cost on any
+/// tree shape.
+#[test]
+fn empty_range_a_equals_b() {
+    for keys in [&[0u64, 1, 2][..], &[u64::MAX, 1 << 63, 42]] {
+        for a in [0u64, 1 << 63, u64::MAX] {
+            let dht = build_index(keys, 2);
+            let ix = index_of(&dht, 2);
+            let result = ix.range(interval(a, a)).unwrap();
+            assert!(result.records.is_empty(), "a == b = {a} must be empty");
+        }
+    }
+}
+
+/// Reversed bounds normalize to the empty interval (half_open contract)
+/// and the query engine returns nothing rather than panicking.
+#[test]
+fn reversed_bounds_are_empty() {
+    let dht = build_index(&[5, 10, 1 << 62], 3);
+    let ix = index_of(&dht, 3);
+    let rev = interval(u64::MAX, 0);
+    assert!(rev.is_empty());
+    let result = ix.range(rev).unwrap();
+    assert!(result.records.is_empty());
+}
+
+/// A range ending exactly at the top of the key space (`hi` numerator
+/// = 1 << 64) must include `u64::MAX` and everything down to `lo`.
+#[test]
+fn range_ending_at_top_of_key_space() {
+    let keys = [0u64, 1 << 63, u64::MAX - 1, u64::MAX];
+    let dht = build_index(&keys, 2);
+    let ix = index_of(&dht, 2);
+    let range = KeyInterval::from_key_to_end(KeyFraction::from_bits(1 << 63));
+    assert_eq!(range.hi_raw(), 1u128 << 64);
+    let result = ix.range(range).unwrap();
+    let got: Vec<u64> = result.records.iter().map(|(k, _)| k.bits()).collect();
+    assert_eq!(got, vec![1 << 63, u64::MAX - 1, u64::MAX]);
+}
+
+/// Full-space query returns every record exactly once.
+#[test]
+fn full_space_range() {
+    let keys = [0u64, 1, 2, 1 << 20, 1 << 40, 1 << 63, u64::MAX];
+    let dht = build_index(&keys, 2);
+    let ix = index_of(&dht, 2);
+    let range = KeyInterval::from_key_to_end(KeyFraction::from_bits(0));
+    let result = ix.range(range).unwrap();
+    let got: Vec<u64> = result.records.iter().map(|(k, _)| k.bits()).collect();
+    assert_eq!(got, oracle(&keys, &range));
+}
+
+/// LCA deeper than every leaf, on a multi-leaf tree: keys clustered at
+/// the bottom of the space force shallow leaves, while the queried
+/// range's endpoints share a ~60-bit prefix.
+#[test]
+fn deep_lca_on_multi_leaf_tree() {
+    let keys: Vec<u64> = (0..32u64).collect();
+    let lo = 0xABCD_EF01_2345_6000u64;
+    let hi = lo + 16;
+    for theta in [2usize, 3, 8] {
+        assert_range_matches(&keys, theta, interval(lo, hi));
+    }
+}
+
+/// Narrow ranges straddling a leaf boundary still return the exact
+/// answer (Case 3: both LCA children overlap the range).
+#[test]
+fn narrow_range_straddling_leaf_boundary() {
+    let keys: Vec<u64> = (0..64u64).map(|i| i << 58).collect();
+    let mid = 1u64 << 63;
+    for theta in [2usize, 5] {
+        assert_range_matches(&keys, theta, interval(mid - 3, mid + 3));
+    }
+}
+
+/// The tree stays audit-clean after the singleton-regression workload,
+/// and the range result is stable when re-queried.
+#[test]
+fn regression_tree_audit_clean() {
+    let dht = build_index(&[0u64], 2);
+    let cfg = LhtConfig::new(2, 24);
+    assert!(audit::check_tree(&dht, cfg).is_empty());
+    let ix = index_of(&dht, 2);
+    let range = interval(9808839988412940288, 9880897582450868224);
+    let first = ix.range(range).unwrap();
+    let second = ix.range(range).unwrap();
+    assert_eq!(first.records, second.records);
+}

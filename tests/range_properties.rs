@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 
-use lht::{
-    audit, DirectDht, KeyFraction, KeyInterval, LeafBucket, LhtConfig, LhtIndex,
-};
+use lht::{audit, DirectDht, KeyFraction, KeyInterval, LeafBucket, LhtConfig, LhtIndex};
 
 type TestDht = DirectDht<LeafBucket<u32>>;
 

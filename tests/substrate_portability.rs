@@ -3,8 +3,8 @@
 //! index-level costs and answers.
 
 use lht::{
-    ChordDht, Dht, DirectDht, DstConfig, DstIndex, KademliaDht, KeyDist, KeyFraction,
-    KeyInterval, LeafBucket, LhtConfig, LhtIndex,
+    ChordDht, Dht, DirectDht, DstConfig, DstIndex, KademliaDht, KeyDist, KeyFraction, KeyInterval,
+    LeafBucket, LhtConfig, LhtIndex,
 };
 use lht_dst::DstNode;
 use lht_workload::{Dataset, RangeQueryGen};
