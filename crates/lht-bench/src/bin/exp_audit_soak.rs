@@ -1,20 +1,25 @@
-//! Differential-testing soak — drives the LHT index, the PHT
-//! baseline and a shadow oracle through one deterministic trace,
-//! diffing every answer and auditing every structural invariant
-//! (Theorem 1 bijectivity, partition coverage, record conservation,
-//! θ-occupancy, PHT trie/chain consistency, Chord ring
-//! well-formedness).
+//! Differential-testing soak — drives the index under test (LHT or
+//! PHT), the mirrored PHT baseline and a shadow oracle through one
+//! deterministic trace, diffing every answer and auditing every
+//! structural invariant (Theorem 1 bijectivity, partition coverage,
+//! record conservation, θ-occupancy, PHT trie/chain consistency,
+//! Chord ring well-formedness).
 //!
 //! ```sh
 //! cargo run --release -p lht-bench --bin exp_audit_soak -- \
-//!     [--substrate direct|chord|both] [--seed N] [--ops N] \
-//!     [--theta N] [--churn] [--nodes N] [--replicas N]
+//!     [--substrate direct|chord|both] [--index lht|pht] [--seed N] \
+//!     [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N] \
+//!     [--drop P] [--net-seed N] [--mloss P]
 //! ```
 //!
 //! Exits non-zero on the first divergence or invariant violation,
-//! printing the failing op and the one-line replay command.
+//! printing the failing op and the one-line replay command. The
+//! `--drop/--net-seed/--mloss` flags replay chaos-test failures: they
+//! wrap the substrate in the seeded lossy network the failing soak
+//! ran under.
 
-use lht::harness::{run_soak, SoakOptions, SoakReport, SubstrateKind};
+use lht::harness::{run_soak, IndexKind, SoakOptions, SoakReport, SubstrateKind};
+use lht::NetProfile;
 use lht_bench::Table;
 
 struct SoakArgs {
@@ -26,6 +31,10 @@ struct SoakArgs {
     replicas: usize,
     direct: bool,
     chord: bool,
+    index: IndexKind,
+    drop_prob: f64,
+    net_seed: u64,
+    maintenance_loss: f64,
 }
 
 impl Default for SoakArgs {
@@ -39,6 +48,10 @@ impl Default for SoakArgs {
             replicas: 2,
             direct: true,
             chord: true,
+            index: IndexKind::Lht,
+            drop_prob: 0.0,
+            net_seed: 1,
+            maintenance_loss: 0.0,
         }
     }
 }
@@ -48,16 +61,21 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: exp_audit_soak [--substrate direct|chord|both] [--seed N] \
-         [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N]"
+        "usage: exp_audit_soak [--substrate direct|chord|both] [--index lht|pht] \
+         [--seed N] [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N] \
+         [--drop P] [--net-seed N] [--mloss P]"
     );
     eprintln!("  --substrate  which DHT to soak (default both)");
+    eprintln!("  --index      which index scheme is primary (default lht)");
     eprintln!("  --seed N     trace seed; the whole run replays from it (default 1)");
     eprintln!("  --ops N      operations per soak (default 10000)");
     eprintln!("  --theta N    LHT split threshold (default 4)");
     eprintln!("  --churn      interleave ring join/leave/stabilize (chord only)");
     eprintln!("  --nodes N    initial chord ring size (default 16)");
     eprintln!("  --replicas N copies per key on chord (default 2)");
+    eprintln!("  --drop P     per-RPC drop probability of the lossy network (default 0 = off)");
+    eprintln!("  --net-seed N fault-layer seed (default 1)");
+    eprintln!("  --mloss P    chord maintenance-RPC loss probability (default 0)");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -69,6 +87,12 @@ fn parse_args() -> SoakArgs {
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| usage(&format!("{what} needs an unsigned integer")))
     };
+    let prob = |it: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .filter(|p| (0.0..=1.0).contains(p))
+            .unwrap_or_else(|| usage(&format!("{what} needs a probability in [0, 1]")))
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--substrate" => match it.next().as_deref() {
@@ -77,12 +101,20 @@ fn parse_args() -> SoakArgs {
                 Some("both") => (args.direct, args.chord) = (true, true),
                 _ => usage("--substrate needs direct, chord or both"),
             },
+            "--index" => match it.next().as_deref() {
+                Some("lht") => args.index = IndexKind::Lht,
+                Some("pht") => args.index = IndexKind::Pht,
+                _ => usage("--index needs lht or pht"),
+            },
             "--seed" => args.seed = num(&mut it, "--seed"),
             "--ops" => args.ops = num(&mut it, "--ops") as usize,
             "--theta" => args.theta = (num(&mut it, "--theta") as usize).max(2),
             "--churn" => args.churn = true,
             "--nodes" => args.nodes = (num(&mut it, "--nodes") as usize).max(1),
             "--replicas" => args.replicas = (num(&mut it, "--replicas") as usize).max(1),
+            "--drop" => args.drop_prob = prob(&mut it, "--drop"),
+            "--net-seed" => args.net_seed = num(&mut it, "--net-seed"),
+            "--mloss" => args.maintenance_loss = prob(&mut it, "--mloss"),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -105,11 +137,16 @@ fn main() {
             args.churn,
         ));
     }
+    let net = if args.drop_prob > 0.0 {
+        Some(NetProfile::lossy(args.net_seed, args.drop_prob))
+    } else {
+        None
+    };
 
     let mut t = Table::new(
         format!(
-            "audit soak — seed {}, {} ops, theta {}",
-            args.seed, args.ops, args.theta
+            "audit soak — {}, seed {}, {} ops, theta {}, drop {}",
+            args.index, args.seed, args.ops, args.theta, args.drop_prob
         ),
         &[
             "substrate",
@@ -119,6 +156,8 @@ fn main() {
             "churn",
             "audits",
             "records",
+            "drops",
+            "retries",
             "verdict",
         ],
     );
@@ -129,12 +168,18 @@ fn main() {
             ops: args.ops,
             theta: args.theta,
             substrate,
-            mirror_pht: matches!(substrate, SubstrateKind::Direct),
+            index: args.index,
+            mirror_pht: matches!(substrate, SubstrateKind::Direct) && args.index == IndexKind::Lht,
             churn,
+            net,
+            maintenance_loss: args.maintenance_loss,
             audit_every: (args.ops / 10).max(1),
             ..SoakOptions::default()
         };
-        eprintln!("soaking {substrate} ({} ops)…", args.ops);
+        eprintln!(
+            "soaking {} over {substrate} ({} ops)…",
+            args.index, args.ops
+        );
         match run_soak(&opts) {
             Ok(report) => push_report(&mut t, substrate, &report),
             Err(failure) => {
@@ -143,6 +188,8 @@ fn main() {
                 t.push_row(vec![
                     substrate.to_string(),
                     failure.op_index.to_string(),
+                    "-".into(),
+                    "-".into(),
                     "-".into(),
                     "-".into(),
                     "-".into(),
@@ -168,6 +215,8 @@ fn push_report(t: &mut Table, substrate: SubstrateKind, r: &SoakReport) {
         r.churn_events.to_string(),
         r.audits.to_string(),
         r.final_records.to_string(),
+        (r.drops + r.timeouts).to_string(),
+        r.retries.to_string(),
         "ok".into(),
     ]);
 }

@@ -2,7 +2,7 @@
 
 use parking_lot::Mutex;
 
-use lht_dht::{Dht, DhtKey};
+use lht_dht::{Dht, DhtError, DhtKey};
 use lht_id::KeyFraction;
 
 use crate::naming::{left_neighbor, name, next_name, right_neighbor};
@@ -303,8 +303,10 @@ where
             let mut did_split = false;
             if let Some((remote_key, remote, moved_units)) = split_put {
                 // Algorithm 1 line 11: DHT-put(λ, rb) — the split's
-                // one and only DHT-lookup.
-                self.dht.put(&remote_key, remote)?;
+                // one and only DHT-lookup. The local half already
+                // committed, so ride out transient delivery failures
+                // rather than strand the remote half's records.
+                retry_transient(|| self.dht.put(&remote_key, remote.clone()))?;
                 maintenance = OpCost::sequential(1);
                 did_split = true;
                 let mut stats = self.stats.lock();
@@ -453,7 +455,9 @@ where
         let moving = match taken {
             Some(b) if b.label() == mover_label => b,
             Some(other) => {
-                self.dht.put(&parent.dht_key(), other)?;
+                // Restore what we took; the entry is already out of
+                // the DHT, so a transient failure must not strand it.
+                retry_transient(|| self.dht.put(&parent.dht_key(), other.clone()))?;
                 return Ok((false, OpCost::sequential(lookups + 1)));
             }
             None => return Ok((false, OpCost::sequential(lookups))),
@@ -465,17 +469,22 @@ where
         // meanwhile, restore the mover and abort.
         let mut merged_ok = false;
         let moving_for_restore = moving.clone();
-        self.dht.update(&keep_name.dht_key(), &mut |slot| {
-            if let Some(kept) = slot.as_mut() {
-                if kept.label() == keep_label {
-                    kept.merge_sibling(moving.clone());
-                    merged_ok = true;
+        // Phase 1 already removed the mover, so phase 2 (and any
+        // restore) must ride out transient delivery failures — giving
+        // up here would lose the mover's records.
+        retry_transient(|| {
+            self.dht.update(&keep_name.dht_key(), &mut |slot| {
+                if let Some(kept) = slot.as_mut() {
+                    if kept.label() == keep_label {
+                        kept.merge_sibling(moving.clone());
+                        merged_ok = true;
+                    }
                 }
-            }
+            })
         })?;
         lookups += 1;
         if !merged_ok {
-            self.dht.put(&parent.dht_key(), moving_for_restore)?;
+            retry_transient(|| self.dht.put(&parent.dht_key(), moving_for_restore.clone()))?;
             return Ok((false, OpCost::sequential(lookups + 1)));
         }
 
@@ -596,6 +605,30 @@ const CONTENTION_RETRIES: u32 = 64;
 /// `θ_split − 1` data records).
 fn capacity_for_merge(cfg: LhtConfig) -> usize {
     cfg.bucket_capacity()
+}
+
+/// Attempt budget for [`retry_transient`].
+const TRANSIENT_RETRIES: u32 = 8;
+
+/// Retries `f` through transient delivery failures
+/// ([`DhtError::is_transient`]: drops and timeouts on a lossy
+/// substrate). Delivery failures are request-path only — the rejected
+/// operation never reached the store — so re-sending is always safe.
+///
+/// Used at the multi-write maintenance steps (the split's remote put,
+/// the merge's transfer and restore puts) where giving up after an
+/// earlier write has landed would strand records. Single-write
+/// operations instead lean on the caller wrapping the substrate in
+/// [`RetriedDht`](lht_dht::RetriedDht).
+pub fn retry_transient<T>(mut f: impl FnMut() -> Result<T, DhtError>) -> Result<T, DhtError> {
+    let mut last = None;
+    for _ in 0..TRANSIENT_RETRIES {
+        match f() {
+            Err(e) if e.is_transient() => last = Some(e),
+            other => return other,
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
 }
 
 #[cfg(test)]

@@ -77,7 +77,9 @@ pub use bulk::BulkLoadOutcome;
 pub use config::LhtConfig;
 pub use cost::{IndexStats, OpCost, RangeCost};
 pub use error::LhtError;
-pub use index::{InsertOutcome, LhtIndex, LookupHit, MatchHit, MinMaxHit, RemoveOutcome};
+pub use index::{
+    retry_transient, InsertOutcome, LhtIndex, LookupHit, MatchHit, MinMaxHit, RemoveOutcome,
+};
 pub use interval::KeyInterval;
 pub use label::Label;
 pub use range::RangeResult;

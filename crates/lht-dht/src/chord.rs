@@ -16,10 +16,10 @@ use std::collections::{BTreeMap, HashMap};
 
 use lht_id::{sha1, U160};
 
-use crate::{Dht, DhtError, DhtKey, DhtStats};
+use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats};
 
 /// Configuration for a [`ChordDht`] ring.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ChordConfig {
     /// Length of each node's successor list (Chord's `r`); larger
     /// lists survive more simultaneous failures.
@@ -30,6 +30,14 @@ pub struct ChordConfig {
     /// are placed on the owner's immediate successors, so a crashed
     /// owner's keys survive on the node that inherits its range.
     pub replicas: usize,
+    /// Probability each *maintenance* RPC is lost: a node's whole
+    /// stabilize round, or one key-synchronization transfer. Lost
+    /// maintenance is retried by the next round — repair is delayed,
+    /// never wrong — modelling stabilization under the same lossy
+    /// network [`FaultyDht`](crate::FaultyDht) applies to operations.
+    /// Draws come from the ring's seeded RNG only when the
+    /// probability is positive, so existing seeds replay unchanged.
+    pub maintenance_loss: f64,
 }
 
 impl Default for ChordConfig {
@@ -38,6 +46,7 @@ impl Default for ChordConfig {
             successor_list_len: 4,
             max_hops: 512,
             replicas: 1,
+            maintenance_loss: 0.0,
         }
     }
 }
@@ -554,10 +563,23 @@ impl<V> Ring<V> {
             .collect()
     }
 
+    /// Whether one maintenance RPC is lost to the simulated network
+    /// (drawing from the ring RNG only under a lossy configuration,
+    /// so loss-free seeds replay unchanged).
+    fn maintenance_lost(&mut self) -> bool {
+        self.cfg.maintenance_loss > 0.0 && self.rng.gen_bool(self.cfg.maintenance_loss)
+    }
+
     fn stabilize_round(&mut self) {
         let ids: Vec<U160> = self.nodes.keys().copied().collect();
         for id in &ids {
             if !self.nodes.contains_key(id) {
+                continue;
+            }
+            // This node's stabilize/notify exchange is lost this
+            // round; its routing state stays stale until a later
+            // round gets through.
+            if self.maintenance_lost() {
                 continue;
             }
             // stabilize(): confirm the successor, adopting its
@@ -729,6 +751,11 @@ impl<V: Clone> Ring<V> {
             }
         }
         for (holder, key) in to_copy {
+            // The transfer RPC is lost; the copy stays where it is and
+            // is offered again on the next synchronization pass.
+            if self.maintenance_lost() {
+                continue;
+            }
             let Some(stored) = self.nodes[&holder].store.get(&key).cloned() else {
                 continue;
             };
@@ -766,23 +793,22 @@ impl<V: Clone> Dht for ChordDht<V> {
     fn get(&self, key: &DhtKey) -> Result<Option<V>, DhtError> {
         let mut inner = self.inner.lock();
         let (owner, hops) = inner.route(&key.hash())?;
-        inner.stats.gets += 1;
-        inner.stats.hops += hops;
         let found = inner.nodes[&owner]
             .store
             .get(key)
             .and_then(|s| s.value.clone());
-        if found.is_none() {
-            inner.stats.failed_gets += 1;
-        }
+        inner.stats.record_op(
+            DhtOp::Get {
+                found: found.is_some(),
+            },
+            hops,
+        );
         Ok(found)
     }
 
     fn put(&self, key: &DhtKey, value: V) -> Result<(), DhtError> {
         let mut inner = self.inner.lock();
         let (owner, hops) = inner.route(&key.hash())?;
-        inner.stats.puts += 1;
-        inner.stats.hops += hops;
         inner.clock += 1;
         let stored = Stored {
             seq: inner.clock,
@@ -790,7 +816,9 @@ impl<V: Clone> Dht for ChordDht<V> {
         };
         let replicas = inner.replica_set(&owner);
         // One extra hop per replica write beyond the owner.
-        inner.stats.hops += replicas.len() as u64 - 1;
+        inner
+            .stats
+            .record_op(DhtOp::Put, hops + replicas.len() as u64 - 1);
         for r in replicas {
             merge_copy(
                 &mut inner.nodes.get_mut(&r).expect("replica is live").store,
@@ -804,8 +832,6 @@ impl<V: Clone> Dht for ChordDht<V> {
     fn remove(&self, key: &DhtKey) -> Result<Option<V>, DhtError> {
         let mut inner = self.inner.lock();
         let (owner, hops) = inner.route(&key.hash())?;
-        inner.stats.removes += 1;
-        inner.stats.hops += hops;
         inner.clock += 1;
         // Deletion writes a tombstone so stale replica copies cannot
         // resurrect the key through later synchronization.
@@ -814,7 +840,9 @@ impl<V: Clone> Dht for ChordDht<V> {
             value: None,
         };
         let replicas = inner.replica_set(&owner);
-        inner.stats.hops += replicas.len() as u64 - 1;
+        inner
+            .stats
+            .record_op(DhtOp::Remove, hops + replicas.len() as u64 - 1);
         let out = inner.nodes[&owner]
             .store
             .get(key)
@@ -832,8 +860,6 @@ impl<V: Clone> Dht for ChordDht<V> {
     fn update(&self, key: &DhtKey, f: &mut dyn FnMut(&mut Option<V>)) -> Result<(), DhtError> {
         let mut inner = self.inner.lock();
         let (owner, hops) = inner.route(&key.hash())?;
-        inner.stats.updates += 1;
-        inner.stats.hops += hops;
         let mut slot = inner.nodes[&owner]
             .store
             .get(key)
@@ -845,7 +871,9 @@ impl<V: Clone> Dht for ChordDht<V> {
             value: slot,
         };
         let replicas = inner.replica_set(&owner);
-        inner.stats.hops += replicas.len() as u64 - 1;
+        inner
+            .stats
+            .record_op(DhtOp::Update, hops + replicas.len() as u64 - 1);
         for r in replicas {
             merge_copy(
                 &mut inner.nodes.get_mut(&r).expect("replica is live").store,
@@ -1079,6 +1107,64 @@ mod tests {
         assert!(
             max < 1200,
             "max load {max} too skewed for consistent hashing"
+        );
+    }
+
+    #[test]
+    fn maintenance_loss_delays_repair_but_never_corrupts() {
+        let cfg = ChordConfig {
+            replicas: 3,
+            maintenance_loss: 0.5,
+            ..ChordConfig::default()
+        };
+        let dht: ChordDht<u64> = ChordDht::with_config(24, 41, cfg);
+        for i in 0..200u64 {
+            dht.put(&k(&format!("key:{i}")), i).unwrap();
+        }
+        // Churn with half of all maintenance RPCs lost: repeated
+        // stabilization must still converge — lost rounds are retried,
+        // and a lost transfer leaves the copy where it was, so no pass
+        // can install stale data.
+        let ids = dht.snapshot().node_ids;
+        for victim in ids.iter().step_by(7).take(3) {
+            dht.crash(victim);
+        }
+        assert!(dht.join("node:fresh").is_some());
+        for _ in 0..12 {
+            dht.stabilize(2);
+        }
+        for i in 0..200u64 {
+            assert_eq!(
+                dht.get(&k(&format!("key:{i}"))).unwrap(),
+                Some(i),
+                "key {i} wrong after lossy maintenance converged"
+            );
+        }
+        assert!(dht.audit_ring().is_empty(), "ring invariants violated");
+    }
+
+    #[test]
+    fn zero_maintenance_loss_leaves_seed_stream_unchanged() {
+        // The lossy path must not draw from the ring RNG when the
+        // probability is zero: two rings with the same seed, one
+        // configured before and one after the field existed, route
+        // identically.
+        let a: ChordDht<u64> = ChordDht::with_nodes(16, 77);
+        let b: ChordDht<u64> = ChordDht::with_config(16, 77, ChordConfig::default());
+        for i in 0..50u64 {
+            a.put(&k(&format!("key:{i}")), i).unwrap();
+            b.put(&k(&format!("key:{i}")), i).unwrap();
+        }
+        a.stabilize(2);
+        b.stabilize(2);
+        for i in 0..50u64 {
+            assert_eq!(a.get(&k(&format!("key:{i}"))).unwrap(), Some(i));
+            assert_eq!(b.get(&k(&format!("key:{i}"))).unwrap(), Some(i));
+        }
+        assert_eq!(
+            a.stats(),
+            b.stats(),
+            "identical seeds must replay identically"
         );
     }
 

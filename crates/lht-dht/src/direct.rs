@@ -3,7 +3,7 @@
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
-use crate::{Dht, DhtError, DhtKey, DhtStats};
+use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats};
 
 /// A one-hop DHT oracle: a single consistent-hash partition backed by
 /// a hash map, with every operation costing exactly one lookup and one
@@ -96,34 +96,32 @@ impl<V: Clone> Dht for DirectDht<V> {
 
     fn get(&self, key: &DhtKey) -> Result<Option<V>, DhtError> {
         let mut inner = self.inner.lock();
-        inner.stats.gets += 1;
-        inner.stats.hops += 1;
         let found = inner.store.get(key).cloned();
-        if found.is_none() {
-            inner.stats.failed_gets += 1;
-        }
+        inner.stats.record_op(
+            DhtOp::Get {
+                found: found.is_some(),
+            },
+            1,
+        );
         Ok(found)
     }
 
     fn put(&self, key: &DhtKey, value: V) -> Result<(), DhtError> {
         let mut inner = self.inner.lock();
-        inner.stats.puts += 1;
-        inner.stats.hops += 1;
+        inner.stats.record_op(DhtOp::Put, 1);
         inner.store.insert(key.clone(), value);
         Ok(())
     }
 
     fn remove(&self, key: &DhtKey) -> Result<Option<V>, DhtError> {
         let mut inner = self.inner.lock();
-        inner.stats.removes += 1;
-        inner.stats.hops += 1;
+        inner.stats.record_op(DhtOp::Remove, 1);
         Ok(inner.store.remove(key))
     }
 
     fn update(&self, key: &DhtKey, f: &mut dyn FnMut(&mut Option<V>)) -> Result<(), DhtError> {
         let mut inner = self.inner.lock();
-        inner.stats.updates += 1;
-        inner.stats.hops += 1;
+        inner.stats.record_op(DhtOp::Update, 1);
         // Take the slot out, let the owner-side closure mutate it, and
         // restore it if still occupied.
         let mut slot = inner.store.remove(key);

@@ -19,6 +19,39 @@ pub enum DhtError {
         /// Number of hops attempted before giving up.
         hops: u64,
     },
+    /// The simulated network dropped the request in flight
+    /// ([`FaultyDht`](crate::FaultyDht)); the sender waited out the
+    /// full timeout before concluding loss. The operation was **not**
+    /// applied — drops happen on the request path, before the owner
+    /// sees anything — so retrying is always safe.
+    Dropped {
+        /// Simulated milliseconds waited before giving up.
+        waited_ms: u64,
+    },
+    /// The request's simulated latency exceeded the timeout
+    /// threshold, so the sender gave up waiting
+    /// ([`FaultyDht`](crate::FaultyDht)). As with [`Dropped`], the
+    /// operation was not applied.
+    ///
+    /// [`Dropped`]: DhtError::Dropped
+    Timeout {
+        /// Simulated milliseconds waited before giving up.
+        waited_ms: u64,
+    },
+}
+
+impl DhtError {
+    /// Whether this error is a transient delivery failure a retry can
+    /// mask ([`Dropped`]/[`Timeout`]), as opposed to a structural
+    /// substrate failure (empty ring, routing breakdown) retrying
+    /// cannot fix. Retry layers and retry-aware index call sites
+    /// re-attempt exactly these.
+    ///
+    /// [`Dropped`]: DhtError::Dropped
+    /// [`Timeout`]: DhtError::Timeout
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DhtError::Dropped { .. } | DhtError::Timeout { .. })
+    }
 }
 
 impl fmt::Display for DhtError {
@@ -27,6 +60,12 @@ impl fmt::Display for DhtError {
             DhtError::EmptyRing => f.write_str("ring has no live nodes"),
             DhtError::RoutingFailed { hops } => {
                 write!(f, "routing failed to converge after {hops} hops")
+            }
+            DhtError::Dropped { waited_ms } => {
+                write!(f, "request dropped by the network ({waited_ms} ms waited)")
+            }
+            DhtError::Timeout { waited_ms } => {
+                write!(f, "request timed out after {waited_ms} ms")
             }
         }
     }
@@ -45,6 +84,22 @@ mod tests {
             DhtError::RoutingFailed { hops: 7 }.to_string(),
             "routing failed to converge after 7 hops"
         );
+        assert_eq!(
+            DhtError::Dropped { waited_ms: 250 }.to_string(),
+            "request dropped by the network (250 ms waited)"
+        );
+        assert_eq!(
+            DhtError::Timeout { waited_ms: 250 }.to_string(),
+            "request timed out after 250 ms"
+        );
+    }
+
+    #[test]
+    fn only_delivery_failures_are_transient() {
+        assert!(DhtError::Dropped { waited_ms: 1 }.is_transient());
+        assert!(DhtError::Timeout { waited_ms: 1 }.is_transient());
+        assert!(!DhtError::EmptyRing.is_transient());
+        assert!(!DhtError::RoutingFailed { hops: 9 }.is_transient());
     }
 
     #[test]

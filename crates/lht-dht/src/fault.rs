@@ -1,0 +1,476 @@
+//! Message-level fault injection: a seeded lossy-network model
+//! wrapped around any [`Dht`] substrate.
+//!
+//! The paper evaluates LHT over Bamboo on a real LAN (§9) where RPCs
+//! drop, stall and time out; the simulators in this crate are
+//! perfect-delivery by default. [`FaultyDht`] closes that gap: it
+//! intercepts every operation, consults a deterministic [`NetProfile`]
+//! (drop probability, latency distribution, timeout threshold, an
+//! optional brown-out window) and either charges the drawn latency
+//! and delegates to the wrapped substrate, or fails the attempt with
+//! [`DhtError::Dropped`] / [`DhtError::Timeout`] after charging the
+//! full timeout wait.
+//!
+//! Faults happen strictly on the *request path*: a dropped or
+//! timed-out operation never reaches the inner substrate, so no state
+//! changes and retrying is always safe. (Response-path loss — the
+//! operation applied but the acknowledgement lost — is deliberately
+//! not modelled; it would make non-idempotent operations ambiguous
+//! and the differential oracle unsound.)
+//!
+//! Everything is deterministic from [`NetProfile::seed`]: the same
+//! profile over the same operation sequence produces the same faults,
+//! so a failing chaos run replays exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use lht_dht::{Dht, DhtKey, DirectDht, FaultyDht, NetProfile};
+//!
+//! let inner: DirectDht<u32> = DirectDht::new();
+//! let lossy = FaultyDht::new(&inner, NetProfile::lossy(42, 0.5));
+//! let mut delivered = 0;
+//! for i in 0..20u32 {
+//!     if lossy.put(&DhtKey::from(format!("k{i}")), i).is_ok() {
+//!         delivered += 1;
+//!     }
+//! }
+//! let s = lossy.stats();
+//! assert_eq!(delivered, s.puts);
+//! assert!(s.drops > 0, "half the attempts drop");
+//! ```
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Dht, DhtError, DhtKey, DhtStats};
+
+/// Simulated per-RPC latency distribution, in milliseconds.
+///
+/// Latency is `base_ms` + uniform jitter in `[0, jitter_ms]`, plus —
+/// with probability `tail_prob` — a tail spike of `tail_ms` (the
+/// long-tail stragglers that dominate DHT latency in deployment
+/// studies). A drawn latency above the profile's timeout threshold
+/// surfaces as [`DhtError::Timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencyProfile {
+    /// Fixed floor every RPC pays.
+    pub base_ms: u64,
+    /// Uniform jitter added on top, drawn from `[0, jitter_ms]`.
+    pub jitter_ms: u64,
+    /// Probability of a tail-latency spike.
+    pub tail_prob: f64,
+    /// Extra delay a tail spike adds.
+    pub tail_ms: u64,
+}
+
+impl LatencyProfile {
+    /// A zero-latency profile: every RPC is instantaneous and draws
+    /// nothing from the RNG (so wrapping with this profile and
+    /// `drop_prob = 0` is byte-identical to the bare substrate).
+    pub const ZERO: LatencyProfile = LatencyProfile {
+        base_ms: 0,
+        jitter_ms: 0,
+        tail_prob: 0.0,
+        tail_ms: 0,
+    };
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        let mut ms = self.base_ms;
+        if self.jitter_ms > 0 {
+            ms += rng.gen_range(0..self.jitter_ms + 1);
+        }
+        if self.tail_prob > 0.0 && rng.gen_bool(self.tail_prob) {
+            ms += self.tail_ms;
+        }
+        ms
+    }
+}
+
+impl Default for LatencyProfile {
+    /// LAN-flavoured defaults: 10 ms floor, up to 20 ms jitter, and a
+    /// 1% chance of a 300 ms straggler (which exceeds the default
+    /// 250 ms timeout, so tails surface as timeouts).
+    fn default() -> Self {
+        LatencyProfile {
+            base_ms: 10,
+            jitter_ms: 20,
+            tail_prob: 0.01,
+            tail_ms: 300,
+        }
+    }
+}
+
+/// A window of elevated drop probability over part of the keyspace —
+/// the "brown-out" of a struggling node or rack: requests for keys it
+/// owns mostly vanish for a while, then recover.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Brownout {
+    /// First RPC index (0-based, counted across the wrapper's
+    /// lifetime) the brown-out affects.
+    pub from_rpc: u64,
+    /// First RPC index after the window ends.
+    pub until_rpc: u64,
+    /// Drop probability inside the window for affected keys
+    /// (replaces the baseline probability when higher).
+    pub drop_prob: f64,
+    /// Fraction of the keyspace affected: keys whose 160-bit ring
+    /// hash falls in the lowest `keyspace_frac` of the identifier
+    /// space — a contiguous ring arc, i.e. one node neighbourhood.
+    pub keyspace_frac: f64,
+}
+
+impl Brownout {
+    fn covers(&self, rpc: u64, key: &DhtKey) -> bool {
+        if rpc < self.from_rpc || rpc >= self.until_rpc {
+            return false;
+        }
+        // Position of the key on the ring as a fraction of the
+        // space, from the top 64 bits of its 160-bit hash.
+        let bytes = key.hash().to_be_bytes();
+        let mut top = [0u8; 8];
+        top.copy_from_slice(&bytes[..8]);
+        let pos = u64::from_be_bytes(top) as f64 / (u64::MAX as f64);
+        pos < self.keyspace_frac
+    }
+}
+
+/// A deterministic lossy-network model: what fraction of RPCs drop,
+/// how long delivery takes, when the sender gives up, and an optional
+/// [`Brownout`] window.
+///
+/// All randomness derives from `seed`, independently of the wrapped
+/// substrate's own RNG, so fault sequences replay exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetProfile {
+    /// Seed for all fault draws (drop decisions, latency, jitter).
+    pub seed: u64,
+    /// Baseline probability each RPC attempt is dropped in flight.
+    pub drop_prob: f64,
+    /// Per-RPC latency distribution.
+    pub latency: LatencyProfile,
+    /// Timeout threshold: an attempt whose drawn latency exceeds
+    /// this, or which was dropped, costs exactly this much simulated
+    /// wait before the error surfaces.
+    pub timeout_ms: u64,
+    /// Optional brown-out window of elevated loss.
+    pub brownout: Option<Brownout>,
+}
+
+impl NetProfile {
+    /// A perfect network: no drops, zero latency, nothing drawn from
+    /// the RNG. Wrapping any substrate with this profile is
+    /// byte-identical to using the substrate bare (the transparency
+    /// property the retry test-suite pins).
+    pub fn reliable(seed: u64) -> NetProfile {
+        NetProfile {
+            seed,
+            drop_prob: 0.0,
+            latency: LatencyProfile::ZERO,
+            timeout_ms: 250,
+            brownout: None,
+        }
+    }
+
+    /// A lossy LAN: the given drop probability with the default
+    /// latency distribution and a 250 ms timeout.
+    pub fn lossy(seed: u64, drop_prob: f64) -> NetProfile {
+        NetProfile {
+            seed,
+            drop_prob,
+            latency: LatencyProfile::default(),
+            timeout_ms: 250,
+            brownout: None,
+        }
+    }
+
+    fn effective_drop(&self, rpc: u64, key: &DhtKey) -> f64 {
+        match &self.brownout {
+            Some(b) if b.covers(rpc, key) => self.drop_prob.max(b.drop_prob),
+            _ => self.drop_prob,
+        }
+    }
+}
+
+impl Default for NetProfile {
+    /// [`NetProfile::lossy`] with seed 1 and a 10% drop rate — the
+    /// chaos suite's standard adversary.
+    fn default() -> Self {
+        NetProfile::lossy(1, 0.10)
+    }
+}
+
+struct FaultState {
+    rng: StdRng,
+    /// RPC attempts admitted or faulted (drives brown-out windows).
+    rpcs: u64,
+    /// Fault-layer counters merged into the inner substrate's stats:
+    /// only `drops`, `timeouts` and `latency_ms` are ever non-zero.
+    faults: DhtStats,
+}
+
+/// A fault-injecting adapter wrapping any [`Dht`] substrate with the
+/// lossy-network model of a [`NetProfile`].
+///
+/// Every operation first passes the network: it may be dropped
+/// ([`DhtError::Dropped`]) or time out ([`DhtError::Timeout`]) —
+/// charging the full timeout wait into [`DhtStats::latency_ms`] and
+/// bumping `drops`/`timeouts` — or it is delivered, charging its
+/// drawn latency and delegating to the inner substrate. Failed
+/// attempts never reach the inner substrate and never count as
+/// DHT-lookups (the choke-point invariant of [`DhtStats`]).
+///
+/// Layer [`RetriedDht`](crate::RetriedDht) on top to mask these
+/// transient failures with seeded-backoff retries.
+pub struct FaultyDht<D> {
+    inner: D,
+    profile: NetProfile,
+    state: Mutex<FaultState>,
+}
+
+impl<D> std::fmt::Debug for FaultyDht<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyDht")
+            .field("profile", &self.profile)
+            .field("rpcs", &self.state.lock().rpcs)
+            .finish()
+    }
+}
+
+impl<D> FaultyDht<D> {
+    /// Wraps `inner` with the fault model of `profile`.
+    pub fn new(inner: D, profile: NetProfile) -> FaultyDht<D> {
+        FaultyDht {
+            inner,
+            profile,
+            state: Mutex::new(FaultState {
+                rng: StdRng::seed_from_u64(profile.seed),
+                rpcs: 0,
+                faults: DhtStats::default(),
+            }),
+        }
+    }
+
+    /// The wrapped substrate (for oracle inspection in tests and
+    /// harnesses; using it directly bypasses the fault layer).
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Unwraps, returning the inner substrate.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// The fault model in force.
+    pub fn profile(&self) -> NetProfile {
+        self.profile
+    }
+
+    /// Total RPC attempts seen (delivered + dropped + timed out).
+    pub fn rpcs(&self) -> u64 {
+        self.state.lock().rpcs
+    }
+
+    /// Decides the fate of one RPC attempt for `key`: `Err` if the
+    /// network ate it (fault counters charged), `Ok` if delivered
+    /// (latency charged).
+    fn admit(&self, key: &DhtKey) -> Result<(), DhtError> {
+        let mut st = self.state.lock();
+        let rpc = st.rpcs;
+        st.rpcs += 1;
+        let p = self.profile.effective_drop(rpc, key);
+        if p > 0.0 && st.rng.gen_bool(p) {
+            let waited_ms = self.profile.timeout_ms;
+            st.faults.record_failed_attempt(waited_ms, false);
+            return Err(DhtError::Dropped { waited_ms });
+        }
+        let latency = self.profile.latency.sample(&mut st.rng);
+        if latency > self.profile.timeout_ms {
+            let waited_ms = self.profile.timeout_ms;
+            st.faults.record_failed_attempt(waited_ms, true);
+            return Err(DhtError::Timeout { waited_ms });
+        }
+        st.faults.latency_ms += latency;
+        Ok(())
+    }
+}
+
+impl<D: Dht> Dht for FaultyDht<D> {
+    type Value = D::Value;
+
+    fn get(&self, key: &DhtKey) -> Result<Option<Self::Value>, DhtError> {
+        self.admit(key)?;
+        self.inner.get(key)
+    }
+
+    fn put(&self, key: &DhtKey, value: Self::Value) -> Result<(), DhtError> {
+        self.admit(key)?;
+        self.inner.put(key, value)
+    }
+
+    fn remove(&self, key: &DhtKey) -> Result<Option<Self::Value>, DhtError> {
+        self.admit(key)?;
+        self.inner.remove(key)
+    }
+
+    fn update(
+        &self,
+        key: &DhtKey,
+        f: &mut dyn FnMut(&mut Option<Self::Value>),
+    ) -> Result<(), DhtError> {
+        self.admit(key)?;
+        self.inner.update(key, f)
+    }
+
+    fn stats(&self) -> DhtStats {
+        self.inner.stats() + self.state.lock().faults
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+        self.state.lock().faults = DhtStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectDht;
+
+    fn k(s: &str) -> DhtKey {
+        DhtKey::from(s)
+    }
+
+    #[test]
+    fn reliable_profile_is_transparent() {
+        let bare: DirectDht<u32> = DirectDht::new();
+        let wrapped = FaultyDht::new(DirectDht::<u32>::new(), NetProfile::reliable(7));
+        for i in 0..50u32 {
+            let key = k(&format!("k{i}"));
+            bare.put(&key, i).unwrap();
+            wrapped.put(&key, i).unwrap();
+            assert_eq!(bare.get(&key).unwrap(), wrapped.get(&key).unwrap());
+        }
+        assert_eq!(bare.stats(), wrapped.stats(), "stats byte-identical at p=0");
+    }
+
+    #[test]
+    fn drops_are_request_path_only() {
+        // With p = 1 nothing ever reaches the inner substrate.
+        let dht = FaultyDht::new(DirectDht::<u32>::new(), NetProfile::lossy(3, 1.0));
+        for i in 0..10u32 {
+            match dht.put(&k("x"), i) {
+                Err(DhtError::Dropped { waited_ms }) => assert_eq!(waited_ms, 250),
+                other => panic!("expected Dropped, got {other:?}"),
+            }
+        }
+        assert!(dht.inner().is_empty(), "no state change on drop");
+        let s = dht.stats();
+        assert_eq!(s.drops, 10);
+        assert_eq!(s.lookups(), 0, "failed attempts are not lookups");
+        assert_eq!(s.latency_ms, 10 * 250, "each drop charges the timeout");
+    }
+
+    #[test]
+    fn fault_sequence_is_deterministic() {
+        let run = || {
+            let dht = FaultyDht::new(DirectDht::<u32>::new(), NetProfile::lossy(99, 0.4));
+            (0..200u32)
+                .map(|i| dht.put(&k(&format!("k{i}")), i).is_ok())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latency_tail_surfaces_as_timeout() {
+        let profile = NetProfile {
+            seed: 5,
+            drop_prob: 0.0,
+            latency: LatencyProfile {
+                base_ms: 10,
+                jitter_ms: 0,
+                tail_prob: 1.0,
+                tail_ms: 400,
+            },
+            timeout_ms: 250,
+            brownout: None,
+        };
+        let dht = FaultyDht::new(DirectDht::<u32>::new(), profile);
+        match dht.get(&k("a")) {
+            Err(DhtError::Timeout { waited_ms }) => assert_eq!(waited_ms, 250),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        let s = dht.stats();
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.gets, 0);
+    }
+
+    #[test]
+    fn brownout_elevates_loss_only_in_window_and_arc() {
+        let profile = NetProfile {
+            seed: 11,
+            drop_prob: 0.0,
+            latency: LatencyProfile::ZERO,
+            timeout_ms: 250,
+            brownout: Some(Brownout {
+                from_rpc: 0,
+                until_rpc: u64::MAX,
+                drop_prob: 1.0,
+                keyspace_frac: 0.5,
+            }),
+        };
+        let dht = FaultyDht::new(DirectDht::<u32>::new(), profile);
+        let (mut dropped, mut delivered) = (0, 0);
+        for i in 0..200u32 {
+            match dht.put(&k(&format!("k{i}")), i) {
+                Ok(()) => delivered += 1,
+                Err(DhtError::Dropped { .. }) => dropped += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        // Half the keyspace always drops, the other half never does.
+        assert!(dropped > 60 && delivered > 60, "{dropped}/{delivered}");
+
+        // Outside the window the same keys all deliver.
+        let healthy = NetProfile {
+            brownout: Some(Brownout {
+                from_rpc: 1_000_000,
+                until_rpc: 2_000_000,
+                drop_prob: 1.0,
+                keyspace_frac: 0.5,
+            }),
+            ..profile
+        };
+        let dht = FaultyDht::new(DirectDht::<u32>::new(), healthy);
+        for i in 0..200u32 {
+            dht.put(&k(&format!("k{i}")), i).unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_merge_inner_and_fault_counters() {
+        let dht = FaultyDht::new(DirectDht::<u32>::new(), NetProfile::lossy(21, 0.3));
+        let mut ok = 0;
+        for i in 0..100u32 {
+            if dht.put(&k(&format!("k{i}")), i).is_ok() {
+                ok += 1;
+            }
+        }
+        let s = dht.stats();
+        assert_eq!(s.puts, ok);
+        assert_eq!(s.puts + s.drops + s.timeouts, 100);
+        assert!(s.latency_ms > 0);
+        dht.reset_stats();
+        assert_eq!(dht.stats(), DhtStats::default());
+    }
+
+    #[test]
+    fn faulty_is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<FaultyDht<DirectDht<u64>>>();
+    }
+}

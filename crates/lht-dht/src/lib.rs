@@ -20,6 +20,13 @@
 //! index layers diff around operations to attribute costs the way the
 //! paper's cost model (§8) does.
 //!
+//! Delivery is perfect by default. To study behaviour on a lossy
+//! network — the conditions of the paper's LAN deployment (§9) —
+//! wrap any substrate in [`FaultyDht`] (seeded drops, latency,
+//! timeouts, brown-outs per a [`NetProfile`]) and layer
+//! [`RetriedDht`] (bounded attempts, seeded exponential backoff per a
+//! [`RetryPolicy`]) on top to mask the transient failures.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,13 +45,17 @@
 mod chord;
 mod direct;
 mod error;
+mod fault;
 mod key;
+mod retry;
 mod stats;
 mod traits;
 
 pub use chord::{ChordConfig, ChordDht, RingSnapshot, RingViolation};
 pub use direct::DirectDht;
 pub use error::DhtError;
+pub use fault::{Brownout, FaultyDht, LatencyProfile, NetProfile};
 pub use key::DhtKey;
-pub use stats::DhtStats;
+pub use retry::{Backoffs, RetriedDht, RetryPolicy};
+pub use stats::{DhtOp, DhtStats};
 pub use traits::Dht;

@@ -1,7 +1,24 @@
 //! Cost accounting for DHT operations.
 
 use serde::{Deserialize, Serialize};
-use std::ops::Sub;
+use std::ops::{Add, Sub};
+
+/// The kind of a completed DHT operation, for [`DhtStats::record_op`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DhtOp {
+    /// A `get`; `found` records whether a value was present.
+    Get {
+        /// Whether the lookup found a value (a *failed get* counts
+        /// the operation but also bumps `failed_gets`).
+        found: bool,
+    },
+    /// A `put`.
+    Put,
+    /// A `remove`.
+    Remove,
+    /// An `update` (execute-at-owner).
+    Update,
+}
 
 /// Cumulative operation counters for a DHT instance.
 ///
@@ -15,6 +32,25 @@ use std::ops::Sub;
 /// one DHT-lookup", §4). `hops` additionally records the physical
 /// routing hops a substrate took, which is 1 per operation on the
 /// one-hop oracle and `O(log N)` on Chord.
+///
+/// # The accounting choke point
+///
+/// All operation/hop accounting funnels through [`record_op`]
+/// (completed logical operations), [`record_failed_attempt`] (RPC
+/// attempts lost to the simulated network) and [`record_retry`]
+/// (re-sent attempts and their backoff waits). The invariant this
+/// enforces: **a failed or retried delivery attempt never counts as a
+/// DHT-lookup** — it shows up in `drops`/`timeouts`/`retries` and in
+/// `hops`/`latency_ms`, but not in the [`lookups`] denominator. A
+/// retried `get` therefore *honestly inflates* [`hops_per_lookup`]
+/// (extra hops over one logical lookup) instead of silently hiding
+/// the inflation behind a double-counted denominator.
+///
+/// [`record_op`]: DhtStats::record_op
+/// [`record_failed_attempt`]: DhtStats::record_failed_attempt
+/// [`record_retry`]: DhtStats::record_retry
+/// [`lookups`]: DhtStats::lookups
+/// [`hops_per_lookup`]: DhtStats::hops_per_lookup
 ///
 /// Snapshots are cheap [`Copy`] values; subtract two snapshots to get
 /// the cost of the operations in between:
@@ -46,10 +82,59 @@ pub struct DhtStats {
     pub hops: u64,
     /// Keys transferred between nodes by churn (join/leave handoff).
     pub keys_transferred: u64,
+    /// RPC attempts dropped in flight by an injected network fault.
+    pub drops: u64,
+    /// RPC attempts whose simulated latency exceeded the timeout.
+    pub timeouts: u64,
+    /// Attempts re-sent by a retry layer (first attempts not counted).
+    pub retries: u64,
+    /// Simulated wall-clock milliseconds spent waiting: successful
+    /// RPC latency, full timeout waits for dropped/timed-out
+    /// attempts, and retry backoff delays.
+    pub latency_ms: u64,
 }
 
 impl DhtStats {
-    /// Total DHT-lookups: every operation routes once.
+    /// Records one completed logical operation and the physical hops
+    /// it took. This is the only path that increments the operation
+    /// counters entering [`lookups`](DhtStats::lookups).
+    pub fn record_op(&mut self, op: DhtOp, hops: u64) {
+        match op {
+            DhtOp::Get { found } => {
+                self.gets += 1;
+                if !found {
+                    self.failed_gets += 1;
+                }
+            }
+            DhtOp::Put => self.puts += 1,
+            DhtOp::Remove => self.removes += 1,
+            DhtOp::Update => self.updates += 1,
+        }
+        self.hops += hops;
+    }
+
+    /// Records an RPC attempt lost to the simulated network after
+    /// waiting `waited_ms` (the timeout threshold): a timeout if
+    /// `timed_out`, otherwise a drop. Never counts a DHT-lookup.
+    pub fn record_failed_attempt(&mut self, waited_ms: u64, timed_out: bool) {
+        if timed_out {
+            self.timeouts += 1;
+        } else {
+            self.drops += 1;
+        }
+        self.latency_ms += waited_ms;
+    }
+
+    /// Records one re-sent attempt and the backoff delay that
+    /// preceded it. Never counts a DHT-lookup.
+    pub fn record_retry(&mut self, backoff_ms: u64) {
+        self.retries += 1;
+        self.latency_ms += backoff_ms;
+    }
+
+    /// Total DHT-lookups: every *logical* operation routes once.
+    /// Failed/retried delivery attempts are excluded by construction
+    /// (see the choke-point invariant above).
     pub fn lookups(&self) -> u64 {
         self.gets + self.puts + self.removes + self.updates
     }
@@ -61,6 +146,18 @@ impl DhtStats {
             0.0
         } else {
             self.hops as f64 / l as f64
+        }
+    }
+
+    /// Mean simulated latency per lookup (ms), or 0.0 when no
+    /// lookups happened. Includes timeout waits and backoff delays,
+    /// so retries inflate it the way a client would experience.
+    pub fn latency_per_lookup(&self) -> f64 {
+        let l = self.lookups();
+        if l == 0 {
+            0.0
+        } else {
+            self.latency_ms as f64 / l as f64
         }
     }
 }
@@ -77,6 +174,30 @@ impl Sub for DhtStats {
             updates: self.updates - rhs.updates,
             hops: self.hops - rhs.hops,
             keys_transferred: self.keys_transferred - rhs.keys_transferred,
+            drops: self.drops - rhs.drops,
+            timeouts: self.timeouts - rhs.timeouts,
+            retries: self.retries - rhs.retries,
+            latency_ms: self.latency_ms - rhs.latency_ms,
+        }
+    }
+}
+
+impl Add for DhtStats {
+    type Output = DhtStats;
+
+    fn add(self, rhs: DhtStats) -> DhtStats {
+        DhtStats {
+            gets: self.gets + rhs.gets,
+            failed_gets: self.failed_gets + rhs.failed_gets,
+            puts: self.puts + rhs.puts,
+            removes: self.removes + rhs.removes,
+            updates: self.updates + rhs.updates,
+            hops: self.hops + rhs.hops,
+            keys_transferred: self.keys_transferred + rhs.keys_transferred,
+            drops: self.drops + rhs.drops,
+            timeouts: self.timeouts + rhs.timeouts,
+            retries: self.retries + rhs.retries,
+            latency_ms: self.latency_ms + rhs.latency_ms,
         }
     }
 }
@@ -94,7 +215,7 @@ mod tests {
             removes: 1,
             updates: 4,
             hops: 30,
-            keys_transferred: 0,
+            ..DhtStats::default()
         };
         assert_eq!(s.lookups(), 10);
         assert_eq!(s.hops_per_lookup(), 3.0);
@@ -103,6 +224,41 @@ mod tests {
     #[test]
     fn zero_lookups_zero_rate() {
         assert_eq!(DhtStats::default().hops_per_lookup(), 0.0);
+        assert_eq!(DhtStats::default().latency_per_lookup(), 0.0);
+    }
+
+    #[test]
+    fn record_op_routes_to_matching_counter() {
+        let mut s = DhtStats::default();
+        s.record_op(DhtOp::Get { found: true }, 3);
+        s.record_op(DhtOp::Get { found: false }, 2);
+        s.record_op(DhtOp::Put, 4);
+        s.record_op(DhtOp::Remove, 1);
+        s.record_op(DhtOp::Update, 5);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.failed_gets, 1);
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.removes, 1);
+        assert_eq!(s.updates, 1);
+        assert_eq!(s.hops, 15);
+        assert_eq!(s.lookups(), 5);
+    }
+
+    #[test]
+    fn failed_attempts_and_retries_never_count_lookups() {
+        let mut s = DhtStats::default();
+        s.record_failed_attempt(250, false);
+        s.record_failed_attempt(250, true);
+        s.record_retry(40);
+        assert_eq!(s.lookups(), 0, "attempts must not enter the denominator");
+        assert_eq!(s.drops, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.latency_ms, 540);
+        // One logical op on top: the rate divides by 1, not by 4.
+        s.record_op(DhtOp::Get { found: true }, 6);
+        assert_eq!(s.hops_per_lookup(), 6.0);
+        assert_eq!(s.latency_per_lookup(), 540.0);
     }
 
     #[test]
@@ -115,6 +271,10 @@ mod tests {
             updates: 2,
             hops: 50,
             keys_transferred: 7,
+            drops: 4,
+            timeouts: 3,
+            retries: 5,
+            latency_ms: 900,
         };
         let b = DhtStats {
             gets: 1,
@@ -124,6 +284,10 @@ mod tests {
             updates: 1,
             hops: 10,
             keys_transferred: 2,
+            drops: 1,
+            timeouts: 1,
+            retries: 2,
+            latency_ms: 300,
         };
         let d = a - b;
         assert_eq!(d.gets, 4);
@@ -133,5 +297,10 @@ mod tests {
         assert_eq!(d.updates, 1);
         assert_eq!(d.hops, 40);
         assert_eq!(d.keys_transferred, 5);
+        assert_eq!(d.drops, 3);
+        assert_eq!(d.timeouts, 2);
+        assert_eq!(d.retries, 3);
+        assert_eq!(d.latency_ms, 600);
+        assert_eq!(a, b + d, "addition inverts subtraction");
     }
 }

@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use lht_dht::{Dht, DhtError, DhtKey, DhtStats};
+use lht_dht::{Dht, DhtError, DhtKey, DhtOp, DhtStats};
 use lht_id::{sha1, U160};
 
 /// Configuration for a [`KademliaDht`].
@@ -350,27 +350,28 @@ impl<V: Clone> Dht for KademliaDht<V> {
     fn get(&self, key: &DhtKey) -> Result<Option<V>, DhtError> {
         let mut inner = self.inner.lock();
         let (found, hops) = inner.route(&key.hash())?;
-        inner.stats.gets += 1;
-        inner.stats.hops += hops;
         let k = inner.cfg.k;
         let hit = found
             .iter()
             .take(k)
             .find_map(|n| inner.nodes[n].store.get(key).cloned());
-        if hit.is_none() {
-            inner.stats.failed_gets += 1;
-        }
+        inner.stats.record_op(
+            DhtOp::Get {
+                found: hit.is_some(),
+            },
+            hops,
+        );
         Ok(hit)
     }
 
     fn put(&self, key: &DhtKey, value: V) -> Result<(), DhtError> {
         let mut inner = self.inner.lock();
         let (found, hops) = inner.route(&key.hash())?;
-        inner.stats.puts += 1;
-        inner.stats.hops += hops;
         let k = inner.cfg.k;
         let targets: Vec<U160> = found.into_iter().take(k).collect();
-        inner.stats.hops += targets.len().saturating_sub(1) as u64;
+        inner
+            .stats
+            .record_op(DhtOp::Put, hops + targets.len().saturating_sub(1) as u64);
         for t in targets {
             inner
                 .nodes
@@ -385,11 +386,11 @@ impl<V: Clone> Dht for KademliaDht<V> {
     fn remove(&self, key: &DhtKey) -> Result<Option<V>, DhtError> {
         let mut inner = self.inner.lock();
         let (found, hops) = inner.route(&key.hash())?;
-        inner.stats.removes += 1;
-        inner.stats.hops += hops;
         let k = inner.cfg.k;
         let targets: Vec<U160> = found.into_iter().take(k).collect();
-        inner.stats.hops += targets.len().saturating_sub(1) as u64;
+        inner
+            .stats
+            .record_op(DhtOp::Remove, hops + targets.len().saturating_sub(1) as u64);
         let mut out: Option<V> = None;
         for t in targets {
             let removed = inner
@@ -408,11 +409,11 @@ impl<V: Clone> Dht for KademliaDht<V> {
     fn update(&self, key: &DhtKey, f: &mut dyn FnMut(&mut Option<V>)) -> Result<(), DhtError> {
         let mut inner = self.inner.lock();
         let (found, hops) = inner.route(&key.hash())?;
-        inner.stats.updates += 1;
-        inner.stats.hops += hops;
         let k = inner.cfg.k;
         let targets: Vec<U160> = found.into_iter().take(k).collect();
-        inner.stats.hops += targets.len().saturating_sub(1) as u64;
+        inner
+            .stats
+            .record_op(DhtOp::Update, hops + targets.len().saturating_sub(1) as u64);
         // The closest replica holding the key is canonical; fall back
         // to the closest node for fresh inserts.
         let canonical = targets

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use lht_core::LhtConfig;
-use lht_dht::DirectDht;
+use lht_dht::{DhtKey, DirectDht};
 
 use crate::{PhtLabel, PhtNode};
 
@@ -57,12 +57,31 @@ pub enum PhtViolation {
 /// Checks every PHT structural invariant over the nodes stored in
 /// `dht`. Returns all violations (empty = consistent).
 pub fn check_trie<V: Clone>(dht: &DirectDht<PhtNode<V>>, cfg: LhtConfig) -> Vec<PhtViolation> {
+    check_trie_entries(
+        dht.keys()
+            .into_iter()
+            .map(|key| {
+                let node = dht.peek(&key, |n| n.cloned()).expect("just enumerated");
+                (key, node)
+            })
+            .collect(),
+        cfg,
+    )
+}
+
+/// [`check_trie`] over an already-materialized `(key, node)` dump —
+/// the form any substrate can supply (e.g.
+/// [`ChordDht::all_entries`](lht_dht::ChordDht::all_entries)), so
+/// Chord-backed tries are held to the same invariants as the oracle.
+pub fn check_trie_entries<V: Clone>(
+    entries: Vec<(DhtKey, PhtNode<V>)>,
+    cfg: LhtConfig,
+) -> Vec<PhtViolation> {
     let mut violations = Vec::new();
     let mut nodes: BTreeMap<String, PhtNode<V>> = BTreeMap::new();
     let mut labels: BTreeMap<String, PhtLabel> = BTreeMap::new();
 
-    for key in dht.keys() {
-        let node = dht.peek(&key, |n| n.cloned()).expect("just enumerated");
+    for (key, node) in entries {
         let text = key.to_string();
         let bits = text.trim_start_matches('^');
         let label = PhtLabel::from_bits(bits.parse().expect("trie keys are bit strings"));
@@ -159,14 +178,27 @@ pub fn check_trie<V: Clone>(dht: &DirectDht<PhtNode<V>>, cfg: LhtConfig) -> Vec<
 /// materialized trie contents, for differential comparison against a
 /// reference model or against the LHT built from the same workload.
 pub fn all_records<V: Clone>(dht: &DirectDht<PhtNode<V>>) -> Vec<(lht_id::KeyFraction, V)> {
-    let mut records: Vec<(lht_id::KeyFraction, V)> = dht
-        .keys()
-        .into_iter()
-        .flat_map(|k| {
-            dht.peek(&k, |n| match n {
-                Some(PhtNode::Leaf(l)) => l.records.iter().map(|(k, v)| (*k, v.clone())).collect(),
-                _ => Vec::new(),
+    records_from_entries(
+        dht.keys()
+            .into_iter()
+            .map(|key| {
+                let node = dht.peek(&key, |n| n.cloned()).expect("just enumerated");
+                (key, node)
             })
+            .collect(),
+    )
+}
+
+/// [`all_records`] over an already-materialized `(key, node)` dump,
+/// for substrates other than the oracle.
+pub fn records_from_entries<V: Clone>(
+    entries: Vec<(DhtKey, PhtNode<V>)>,
+) -> Vec<(lht_id::KeyFraction, V)> {
+    let mut records: Vec<(lht_id::KeyFraction, V)> = entries
+        .into_iter()
+        .flat_map(|(_, n)| match n {
+            PhtNode::Leaf(l) => l.records.into_iter().collect(),
+            PhtNode::Internal => Vec::new(),
         })
         .collect();
     records.sort_by_key(|(k, _)| *k);

@@ -2,7 +2,7 @@
 
 use parking_lot::Mutex;
 
-use lht_core::{IndexStats, LhtConfig, LhtError, OpCost};
+use lht_core::{retry_transient, IndexStats, LhtConfig, LhtError, MinMaxHit, OpCost};
 use lht_dht::Dht;
 use lht_id::KeyFraction;
 
@@ -242,23 +242,34 @@ where
             let next = right.next;
             let (left_label, right_label) = (left.label, right.label);
             // 2 DHT-puts: both renamed children move to other peers.
-            self.dht.put(&left_label.dht_key(), PhtNode::Leaf(left))?;
-            self.dht.put(&right_label.dht_key(), PhtNode::Leaf(right))?;
+            // The old leaf is already re-marked internal, so each step
+            // of this multi-write sequence rides out transient
+            // delivery failures rather than strand the trie half-split
+            // (delivery failures are request-path only; re-sending is
+            // safe).
+            let left = PhtNode::Leaf(left);
+            let right = PhtNode::Leaf(right);
+            retry_transient(|| self.dht.put(&left_label.dht_key(), left.clone()))?;
+            retry_transient(|| self.dht.put(&right_label.dht_key(), right.clone()))?;
             let mut lookups = 2u64;
             // 2 link updates on the neighboring leaves.
             if let Some(p) = prev {
-                self.dht.update(&p.dht_key(), &mut |slot| {
-                    if let Some(leaf) = slot.as_mut().and_then(|n| n.as_leaf_mut()) {
-                        leaf.next = Some(left_label);
-                    }
+                retry_transient(|| {
+                    self.dht.update(&p.dht_key(), &mut |slot| {
+                        if let Some(leaf) = slot.as_mut().and_then(|n| n.as_leaf_mut()) {
+                            leaf.next = Some(left_label);
+                        }
+                    })
                 })?;
                 lookups += 1;
             }
             if let Some(n) = next {
-                self.dht.update(&n.dht_key(), &mut |slot| {
-                    if let Some(leaf) = slot.as_mut().and_then(|n| n.as_leaf_mut()) {
-                        leaf.prev = Some(right_label);
-                    }
+                retry_transient(|| {
+                    self.dht.update(&n.dht_key(), &mut |slot| {
+                        if let Some(leaf) = slot.as_mut().and_then(|n| n.as_leaf_mut()) {
+                            leaf.prev = Some(right_label);
+                        }
+                    })
                 })?;
                 lookups += 1;
             }
@@ -320,6 +331,75 @@ where
         Ok((removed, did_merge, cost, maintenance))
     }
 
+    /// Min query: a PHT lookup of key `0` reaches the leftmost leaf,
+    /// whose smallest record is the minimum. Empty leaves (possible
+    /// after deletions) are skipped by walking the B+ `next` links —
+    /// one more DHT-get per hop. PHT has no constant-lookup extreme
+    /// queries; this costs a full `log D` lookup — LHT's Theorem 3
+    /// comparison point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`lookup`](Self::lookup) errors and substrate
+    /// failures; [`LhtError::MissingBucket`] if a leaf link dangles.
+    pub fn min(&self) -> Result<MinMaxHit<V>, LhtError> {
+        self.extreme(true)
+    }
+
+    /// Max query: the mirror of [`min`](Self::min) — a lookup of the
+    /// largest key reaches the rightmost leaf and empty leaves are
+    /// skipped through `prev` links.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`min`](Self::min).
+    pub fn max(&self) -> Result<MinMaxHit<V>, LhtError> {
+        self.extreme(false)
+    }
+
+    fn extreme(&self, smallest: bool) -> Result<MinMaxHit<V>, LhtError> {
+        let edge_key = if smallest {
+            KeyFraction::ZERO
+        } else {
+            KeyFraction::MAX
+        };
+        let hit = self.lookup(edge_key)?;
+        let mut lookups = hit.cost.dht_lookups;
+        let mut leaf = hit.leaf;
+        loop {
+            let record = if smallest {
+                leaf.records.iter().next()
+            } else {
+                leaf.records.iter().next_back()
+            };
+            if let Some((k, v)) = record {
+                return Ok(MinMaxHit {
+                    value: Some((*k, v.clone())),
+                    cost: OpCost::sequential(lookups),
+                });
+            }
+            // Empty leaf: continue along the chain towards the middle
+            // of the key space.
+            let step = if smallest { leaf.next } else { leaf.prev };
+            let Some(next_label) = step else {
+                // Ran off the far end: the index holds no records.
+                return Ok(MinMaxHit {
+                    value: None,
+                    cost: OpCost::sequential(lookups),
+                });
+            };
+            lookups += 1;
+            leaf = match self.dht.get(&next_label.dht_key())? {
+                Some(PhtNode::Leaf(l)) => l,
+                _ => {
+                    return Err(LhtError::MissingBucket {
+                        key: next_label.to_string(),
+                    })
+                }
+            };
+        }
+    }
+
     fn try_merge(&self, leaf: &PhtLeaf<V>) -> Result<(bool, OpCost), LhtError> {
         let label = leaf.label;
         let Some(sibling_label) = label.sibling() else {
@@ -349,27 +429,36 @@ where
         let moved_units = merged.records.len() as u64 + 1;
 
         // Parent becomes the merged leaf (1), children removed (2),
-        // neighbor links rewired (≤2).
+        // neighbor links rewired (≤2). Once the parent flips to a
+        // leaf the multi-write sequence must complete, so every step
+        // rides out transient delivery failures (request-path only;
+        // re-sending is safe).
         let merged_clone_src = merged.clone();
-        self.dht.update(&parent.dht_key(), &mut |slot| {
-            *slot = Some(PhtNode::Leaf(merged_clone_src.clone()));
+        retry_transient(|| {
+            self.dht.update(&parent.dht_key(), &mut |slot| {
+                *slot = Some(PhtNode::Leaf(merged_clone_src.clone()));
+            })
         })?;
-        self.dht.remove(&label.dht_key())?;
-        self.dht.remove(&sibling_label.dht_key())?;
+        retry_transient(|| self.dht.remove(&label.dht_key()))?;
+        retry_transient(|| self.dht.remove(&sibling_label.dht_key()))?;
         lookups += 3;
         if let Some(p) = merged.prev {
-            self.dht.update(&p.dht_key(), &mut |slot| {
-                if let Some(l) = slot.as_mut().and_then(|n| n.as_leaf_mut()) {
-                    l.next = Some(parent);
-                }
+            retry_transient(|| {
+                self.dht.update(&p.dht_key(), &mut |slot| {
+                    if let Some(l) = slot.as_mut().and_then(|n| n.as_leaf_mut()) {
+                        l.next = Some(parent);
+                    }
+                })
             })?;
             lookups += 1;
         }
         if let Some(n) = merged.next {
-            self.dht.update(&n.dht_key(), &mut |slot| {
-                if let Some(l) = slot.as_mut().and_then(|n| n.as_leaf_mut()) {
-                    l.prev = Some(parent);
-                }
+            retry_transient(|| {
+                self.dht.update(&n.dht_key(), &mut |slot| {
+                    if let Some(l) = slot.as_mut().and_then(|n| n.as_leaf_mut()) {
+                        l.prev = Some(parent);
+                    }
+                })
             })?;
             lookups += 1;
         }
@@ -548,6 +637,38 @@ mod tests {
                 Some(i)
             );
         }
+    }
+
+    #[test]
+    fn min_max_find_the_extremes() {
+        let dht = DirectDht::new();
+        let ix = new_index(&dht, 4);
+        assert_eq!(ix.min().unwrap().value, None, "empty index has no min");
+        assert_eq!(ix.max().unwrap().value, None, "empty index has no max");
+        for i in 0..128 {
+            ix.insert(kf((i as f64 + 0.5) / 128.0), i).unwrap();
+        }
+        let (min_k, min_v) = ix.min().unwrap().value.unwrap();
+        assert_eq!((min_k, min_v), (kf(0.5 / 128.0), 0));
+        let (max_k, max_v) = ix.max().unwrap().value.unwrap();
+        assert_eq!((max_k, max_v), (kf(127.5 / 128.0), 127));
+    }
+
+    #[test]
+    fn min_max_skip_emptied_leaves() {
+        let dht = DirectDht::new();
+        let ix = new_index(&dht, 4);
+        for i in 0..64 {
+            ix.insert(kf((i as f64 + 0.5) / 64.0), i).unwrap();
+        }
+        // Hollow out both edges of the key space; the walks must skip
+        // any leaves deletion emptied (merges may or may not have
+        // collapsed them) and land on the surviving middle records.
+        for i in (0..20).chain(44..64) {
+            ix.remove(kf((i as f64 + 0.5) / 64.0)).unwrap();
+        }
+        assert_eq!(ix.min().unwrap().value.unwrap().1, 20);
+        assert_eq!(ix.max().unwrap().value.unwrap().1, 43);
     }
 
     #[test]

@@ -2,9 +2,17 @@
 //! index, the shadow oracle, and (optionally) the PHT baseline,
 //! diffing answers after every operation and running whole-system
 //! invariant audits at a fixed cadence.
+//!
+//! Either index scheme can be the primary under test
+//! ([`SoakOptions::index`]), over either substrate, and the substrate
+//! can be wrapped in a lossy network ([`SoakOptions::net`]) with a
+//! retry stack on top — the chaos matrix exercises every cell.
 
-use lht_core::{audit, KeyInterval, LeafBucket, LhtConfig, LhtIndex};
-use lht_dht::{ChordConfig, ChordDht, Dht, DirectDht};
+use lht_core::{audit, KeyInterval, LeafBucket, LhtConfig, LhtError, LhtIndex};
+use lht_dht::{
+    ChordConfig, ChordDht, Dht, DhtKey, DhtStats, DirectDht, FaultyDht, NetProfile, RetriedDht,
+    RetryPolicy,
+};
 use lht_id::KeyFraction;
 use lht_pht::{audit as pht_audit, PhtIndex, PhtNode};
 
@@ -37,8 +45,28 @@ impl std::fmt::Display for SubstrateKind {
     }
 }
 
-/// Parameters of one differential soak.
+/// Which index scheme a soak holds against the oracle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// The LHT index under test (range cost-bound checks enabled).
+    Lht,
+    /// The PHT baseline as the primary — it must satisfy the same
+    /// differential contract, so a divergence localizes to the scheme
+    /// rather than the harness.
+    Pht,
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexKind::Lht => write!(f, "lht"),
+            IndexKind::Pht => write!(f, "pht"),
+        }
+    }
+}
+
+/// Parameters of one differential soak.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SoakOptions {
     /// Trace seed: the whole run is reproducible from this value.
     pub seed: u64,
@@ -50,15 +78,28 @@ pub struct SoakOptions {
     pub max_depth: usize,
     /// The substrate to run over.
     pub substrate: SubstrateKind,
+    /// The index scheme under test.
+    pub index: IndexKind,
     /// Run the whole-system audit every this many operations
     /// (and always once at the end).
     pub audit_every: usize,
     /// Mirror every mutation into a PHT baseline and diff its answers
-    /// too (Direct substrate only; ignored on Chord).
+    /// too (Direct substrate, LHT primary, no fault layer only;
+    /// ignored otherwise).
     pub mirror_pht: bool,
     /// Interleave ring churn ops into the trace (applied on Chord;
     /// skipped on Direct).
     pub churn: bool,
+    /// Wrap the substrate in a lossy network: every index-issued RPC
+    /// goes through a [`FaultyDht`] with this profile, masked by a
+    /// [`RetriedDht`] running [`SoakOptions::retry`]. The differential
+    /// contract is unchanged — retries must fully absorb the loss.
+    pub net: Option<NetProfile>,
+    /// Retry stack configuration (used only when `net` is set).
+    pub retry: RetryPolicy,
+    /// Probability each Chord maintenance RPC (stabilize round /
+    /// key-sync transfer) is lost; 0 everywhere else.
+    pub maintenance_loss: f64,
     /// Sabotage: silently destroy one stored leaf bucket after this
     /// many ops (Direct substrate only). The soak MUST then fail —
     /// this is how tests prove the harness detects re-introduced
@@ -74,9 +115,13 @@ impl Default for SoakOptions {
             theta: 4,
             max_depth: 24,
             substrate: SubstrateKind::Direct,
+            index: IndexKind::Lht,
             audit_every: 1_000,
             mirror_pht: true,
             churn: false,
+            net: None,
+            retry: RetryPolicy::default(),
+            maintenance_loss: 0.0,
             inject_loss_at: None,
         }
     }
@@ -86,11 +131,21 @@ impl SoakOptions {
     /// The one-line `exp_audit_soak` invocation reproducing this run.
     pub fn replay_line(&self) -> String {
         let churn = if self.churn { " --churn" } else { "" };
-        format!(
+        let mut line = format!(
             "cargo run --release -p lht-bench --bin exp_audit_soak -- \
-             --substrate {} --seed {} --ops {} --theta {}{churn}",
-            self.substrate, self.seed, self.ops, self.theta
-        )
+             --substrate {} --index {} --seed {} --ops {} --theta {}{churn}",
+            self.substrate, self.index, self.seed, self.ops, self.theta
+        );
+        if let Some(net) = &self.net {
+            line.push_str(&format!(
+                " --drop {} --net-seed {}",
+                net.drop_prob, net.seed
+            ));
+        }
+        if self.maintenance_loss > 0.0 {
+            line.push_str(&format!(" --mloss {}", self.maintenance_loss));
+        }
+        line
     }
 }
 
@@ -109,6 +164,13 @@ pub struct SoakReport {
     pub audits: usize,
     /// Records in the index (== oracle) at the end.
     pub final_records: usize,
+    /// Simulated request-path drops the fault layer injected (0
+    /// without [`SoakOptions::net`]).
+    pub drops: u64,
+    /// Simulated timeouts the fault layer injected.
+    pub timeouts: u64,
+    /// Retry attempts the retry stack spent masking them.
+    pub retries: u64,
 }
 
 /// A divergence between the index and the oracle, or a failed audit.
@@ -142,6 +204,96 @@ impl std::fmt::Display for DiffFailure {
 
 impl std::error::Error for DiffFailure {}
 
+/// The index scheme under test, behind one differential surface. Both
+/// implementations answer the same queries, so the drive loop and the
+/// oracle never care which scheme is running.
+trait IndexDriver {
+    fn insert(&self, key: KeyFraction, value: u32) -> Result<(), LhtError>;
+    fn remove(&self, key: KeyFraction) -> Result<Option<u32>, LhtError>;
+    fn exact(&self, key: KeyFraction) -> Result<Option<u32>, LhtError>;
+    /// Records in the interval plus the query's DHT-lookup count.
+    #[allow(clippy::type_complexity)]
+    fn range(&self, range: KeyInterval) -> Result<(Vec<(u64, u32)>, u64), LhtError>;
+    fn extreme(&self, smallest: bool) -> Result<Option<(u64, u32)>, LhtError>;
+    /// Substrate stats as the index sees them — through the fault and
+    /// retry layers when present, so drops/timeouts/retries show up.
+    fn dht_stats(&self) -> DhtStats;
+}
+
+struct LhtDriver<'a, D: Dht<Value = LeafBucket<u32>>> {
+    ix: &'a LhtIndex<D, u32>,
+}
+
+impl<D: Dht<Value = LeafBucket<u32>>> IndexDriver for LhtDriver<'_, D> {
+    fn insert(&self, key: KeyFraction, value: u32) -> Result<(), LhtError> {
+        self.ix.insert(key, value).map(|_| ())
+    }
+
+    fn remove(&self, key: KeyFraction) -> Result<Option<u32>, LhtError> {
+        self.ix.remove(key).map(|out| out.value)
+    }
+
+    fn exact(&self, key: KeyFraction) -> Result<Option<u32>, LhtError> {
+        self.ix.exact_match(key).map(|hit| hit.value)
+    }
+
+    fn range(&self, range: KeyInterval) -> Result<(Vec<(u64, u32)>, u64), LhtError> {
+        let result = self.ix.range(range)?;
+        let records = result.records.iter().map(|(k, v)| (k.bits(), *v)).collect();
+        Ok((records, result.cost.dht_lookups))
+    }
+
+    fn extreme(&self, smallest: bool) -> Result<Option<(u64, u32)>, LhtError> {
+        let hit = if smallest {
+            self.ix.min()?
+        } else {
+            self.ix.max()?
+        };
+        Ok(hit.value.map(|(k, v)| (k.bits(), v)))
+    }
+
+    fn dht_stats(&self) -> DhtStats {
+        self.ix.dht().stats()
+    }
+}
+
+struct PhtDriver<'a, D: Dht<Value = PhtNode<u32>>> {
+    ix: &'a PhtIndex<D, u32>,
+}
+
+impl<D: Dht<Value = PhtNode<u32>>> IndexDriver for PhtDriver<'_, D> {
+    fn insert(&self, key: KeyFraction, value: u32) -> Result<(), LhtError> {
+        self.ix.insert(key, value).map(|_| ())
+    }
+
+    fn remove(&self, key: KeyFraction) -> Result<Option<u32>, LhtError> {
+        self.ix.remove(key).map(|(value, ..)| value)
+    }
+
+    fn exact(&self, key: KeyFraction) -> Result<Option<u32>, LhtError> {
+        self.ix.exact_match(key).map(|(value, _)| value)
+    }
+
+    fn range(&self, range: KeyInterval) -> Result<(Vec<(u64, u32)>, u64), LhtError> {
+        let result = self.ix.range_sequential(range)?;
+        let records = result.records.iter().map(|(k, v)| (k.bits(), *v)).collect();
+        Ok((records, result.cost.dht_lookups))
+    }
+
+    fn extreme(&self, smallest: bool) -> Result<Option<(u64, u32)>, LhtError> {
+        let hit = if smallest {
+            self.ix.min()?
+        } else {
+            self.ix.max()?
+        };
+        Ok(hit.value.map(|(k, v)| (k.bits(), v)))
+    }
+
+    fn dht_stats(&self) -> DhtStats {
+        self.ix.dht().stats()
+    }
+}
+
 /// Substrate-specific behaviour plugged into the generic drive loop.
 trait SoakEnv {
     /// Applies a churn op. Returns whether it did anything, or a
@@ -154,7 +306,7 @@ trait SoakEnv {
     fn mirror(&mut self, op: &Op, oracle: &ShadowOracle) -> Result<(), String>;
 
     /// The optimal bucket count `B` for a range (None = bound checks
-    /// disabled on this substrate).
+    /// disabled on this substrate/index).
     fn optimal_buckets(&self, range: &KeyInterval) -> Option<u64>;
 
     /// Runs the whole-system audit; `converged` is false inside a
@@ -164,6 +316,35 @@ trait SoakEnv {
     /// Destroys one stored leaf bucket behind the oracle's back
     /// (fault-injection support). Returns whether anything was lost.
     fn sabotage(&mut self) -> bool;
+
+    /// Runs one round of delayed-maintenance repair (Chord:
+    /// stabilization + key sync). Returns whether the substrate has a
+    /// repair mechanism at all; the drive loop only calls this under
+    /// lossy maintenance, where a query may transiently fail or miss
+    /// until a repair pass lands.
+    fn repair(&mut self) -> bool;
+}
+
+/// Runs `attempt`; on failure asks the env to repair delayed
+/// maintenance and re-runs, up to `budget` repair rounds. This models
+/// the client a low-maintenance index actually has: under lossy
+/// maintenance an operation may transiently fail (typed error) or
+/// miss (routed owner not yet synced), but once repair catches up the
+/// answer must agree with the oracle exactly — a disagreement that
+/// survives repair is a real divergence.
+fn attempt_with_repair<E: SoakEnv>(
+    env: &mut E,
+    budget: u32,
+    mut attempt: impl FnMut() -> Result<(), String>,
+) -> Result<(), String> {
+    let mut last = attempt();
+    for _ in 0..budget {
+        if last.is_ok() || !env.repair() {
+            break;
+        }
+        last = attempt();
+    }
+    last
 }
 
 /// Runs the soak described by `opts`. `Ok` means every operation
@@ -191,33 +372,116 @@ pub fn run_soak(opts: &SoakOptions) -> Result<SoakReport, Box<DiffFailure>> {
 pub fn run_trace(trace: &Trace, opts: &SoakOptions) -> Result<SoakReport, Box<DiffFailure>> {
     let cfg = LhtConfig::new(opts.theta, opts.max_depth);
     match opts.substrate {
-        SubstrateKind::Direct => {
-            let dht: DirectDht<LeafBucket<u32>> = DirectDht::new();
-            let ix = LhtIndex::new(&dht, cfg).map_err(|e| setup_failure(opts, e))?;
-            let pht_dht: DirectDht<PhtNode<u32>> = DirectDht::new();
-            let pht = if opts.mirror_pht {
-                Some(PhtIndex::new(&pht_dht, cfg).map_err(|e| setup_failure(opts, e))?)
-            } else {
-                None
-            };
-            let mut env = DirectEnv {
-                dht: &dht,
-                pht_dht: &pht_dht,
-                pht,
-                cfg,
-            };
-            drive(&ix, trace, opts, &mut env)
-        }
+        SubstrateKind::Direct => match opts.index {
+            IndexKind::Lht => {
+                let dht: DirectDht<LeafBucket<u32>> = DirectDht::new();
+                let pht_dht: DirectDht<PhtNode<u32>> = DirectDht::new();
+                // Mirroring diffs a second whole index per op; under a
+                // fault layer the run is about the primary's
+                // degradation, so the mirror stays off.
+                let mirror = if opts.mirror_pht && opts.net.is_none() {
+                    Some(PhtMirror {
+                        dht: &pht_dht,
+                        ix: PhtIndex::new(&pht_dht, cfg).map_err(|e| setup_failure(opts, e))?,
+                    })
+                } else {
+                    None
+                };
+                let mut env = DirectEnv {
+                    dht: &dht,
+                    cfg,
+                    audit_entries: lht_entry_audit,
+                    optimal: Some(lht_optimal_buckets),
+                    mirror,
+                };
+                match opts.net {
+                    None => {
+                        let ix = LhtIndex::new(&dht, cfg).map_err(|e| setup_failure(opts, e))?;
+                        drive(&LhtDriver { ix: &ix }, trace, opts, &mut env)
+                    }
+                    Some(net) => {
+                        let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
+                        let ix = LhtIndex::new(lossy, cfg).map_err(|e| setup_failure(opts, e))?;
+                        drive(&LhtDriver { ix: &ix }, trace, opts, &mut env)
+                    }
+                }
+            }
+            IndexKind::Pht => {
+                let dht: DirectDht<PhtNode<u32>> = DirectDht::new();
+                let mut env = DirectEnv {
+                    dht: &dht,
+                    cfg,
+                    audit_entries: pht_entry_audit,
+                    optimal: None,
+                    mirror: None,
+                };
+                match opts.net {
+                    None => {
+                        let ix = PhtIndex::new(&dht, cfg).map_err(|e| setup_failure(opts, e))?;
+                        drive(&PhtDriver { ix: &ix }, trace, opts, &mut env)
+                    }
+                    Some(net) => {
+                        let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
+                        let ix = PhtIndex::new(lossy, cfg).map_err(|e| setup_failure(opts, e))?;
+                        drive(&PhtDriver { ix: &ix }, trace, opts, &mut env)
+                    }
+                }
+            }
+        },
         SubstrateKind::Chord { nodes, replicas } => {
             let chord_cfg = ChordConfig {
                 replicas,
+                maintenance_loss: opts.maintenance_loss,
                 ..ChordConfig::default()
             };
-            let dht: ChordDht<LeafBucket<u32>> =
-                ChordDht::with_config(nodes, opts.seed ^ 0x5eed, chord_cfg);
-            let ix = LhtIndex::new(&dht, cfg).map_err(|e| setup_failure(opts, e))?;
-            let mut env = ChordEnv { dht: &dht, cfg };
-            drive(&ix, trace, opts, &mut env)
+            match opts.index {
+                IndexKind::Lht => {
+                    let dht: ChordDht<LeafBucket<u32>> =
+                        ChordDht::with_config(nodes, opts.seed ^ 0x5eed, chord_cfg);
+                    let mut env = ChordEnv {
+                        dht: &dht,
+                        cfg,
+                        audit_entries: lht_entry_audit,
+                        lossy_maintenance: opts.maintenance_loss > 0.0,
+                    };
+                    match opts.net {
+                        None => {
+                            let ix =
+                                LhtIndex::new(&dht, cfg).map_err(|e| setup_failure(opts, e))?;
+                            drive(&LhtDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                        Some(net) => {
+                            let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
+                            let ix =
+                                LhtIndex::new(lossy, cfg).map_err(|e| setup_failure(opts, e))?;
+                            drive(&LhtDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                    }
+                }
+                IndexKind::Pht => {
+                    let dht: ChordDht<PhtNode<u32>> =
+                        ChordDht::with_config(nodes, opts.seed ^ 0x5eed, chord_cfg);
+                    let mut env = ChordEnv {
+                        dht: &dht,
+                        cfg,
+                        audit_entries: pht_entry_audit,
+                        lossy_maintenance: opts.maintenance_loss > 0.0,
+                    };
+                    match opts.net {
+                        None => {
+                            let ix =
+                                PhtIndex::new(&dht, cfg).map_err(|e| setup_failure(opts, e))?;
+                            drive(&PhtDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                        Some(net) => {
+                            let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
+                            let ix =
+                                PhtIndex::new(lossy, cfg).map_err(|e| setup_failure(opts, e))?;
+                            drive(&PhtDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -239,19 +503,22 @@ fn lookup_bound(max_depth: usize) -> u64 {
     ceil_log2 + 1
 }
 
-fn drive<D, E>(
-    ix: &LhtIndex<D, u32>,
+fn drive<I, E>(
+    ix: &I,
     trace: &Trace,
     opts: &SoakOptions,
     env: &mut E,
 ) -> Result<SoakReport, Box<DiffFailure>>
 where
-    D: Dht<Value = LeafBucket<u32>>,
+    I: IndexDriver,
     E: SoakEnv,
 {
     let mut oracle = ShadowOracle::new();
     let mut report = SoakReport::default();
     let mut converged = true;
+    // Delayed repair is only in play when maintenance RPCs can be
+    // lost; everywhere else every attempt is final (budget 0).
+    let repair_budget: u32 = if opts.maintenance_loss > 0.0 { 5 } else { 0 };
 
     let fail = |i: usize, op: &Op, detail: String| -> Box<DiffFailure> {
         Box::new(DiffFailure {
@@ -272,37 +539,51 @@ where
 
         match op {
             Op::Insert(k, v) => {
-                ix.insert(KeyFraction::from_bits(*k), *v)
-                    .map_err(|e| fail(i, op, format!("insert failed: {e}")))?;
+                attempt_with_repair(env, repair_budget, || {
+                    ix.insert(KeyFraction::from_bits(*k), *v)
+                        .map_err(|e| format!("insert failed: {e}"))
+                })
+                .map_err(|d| fail(i, op, d))?;
                 oracle.insert(*k, *v);
                 report.mutations += 1;
             }
             Op::Remove(k) => {
-                let out = ix
-                    .remove(KeyFraction::from_bits(*k))
-                    .map_err(|e| fail(i, op, format!("remove failed: {e}")))?;
+                // The oracle mutates exactly once; re-attempts after a
+                // repair are held to the same captured expectation (an
+                // unserved key removes nothing on the first try, then
+                // surfaces once repair lands the copy at its owner).
+                // An attempt that *errored* has indeterminate effect —
+                // the record may already be gone when the error struck
+                // mid-merge — so a re-attempt after an error accepts
+                // `None` too, the idempotent-delete semantics a real
+                // client uses when re-issuing a failed delete.
                 let expect = oracle.remove(*k);
-                if out.value != expect {
-                    return Err(fail(
-                        i,
-                        op,
-                        format!("remove returned {:?}, oracle says {:?}", out.value, expect),
-                    ));
-                }
+                let mut errored = false;
+                attempt_with_repair(env, repair_budget, || {
+                    let value = ix.remove(KeyFraction::from_bits(*k)).map_err(|e| {
+                        errored = true;
+                        format!("remove failed: {e}")
+                    })?;
+                    if value != expect && !(errored && value.is_none()) {
+                        return Err(format!("remove returned {value:?}, oracle says {expect:?}"));
+                    }
+                    Ok(())
+                })
+                .map_err(|d| fail(i, op, d))?;
                 report.mutations += 1;
             }
             Op::Lookup(k) => {
-                let hit = ix
-                    .exact_match(KeyFraction::from_bits(*k))
-                    .map_err(|e| fail(i, op, format!("lookup failed: {e}")))?;
                 let expect = oracle.get(*k);
-                if hit.value != expect {
-                    return Err(fail(
-                        i,
-                        op,
-                        format!("lookup returned {:?}, oracle says {:?}", hit.value, expect),
-                    ));
-                }
+                attempt_with_repair(env, repair_budget, || {
+                    let value = ix
+                        .exact(KeyFraction::from_bits(*k))
+                        .map_err(|e| format!("lookup failed: {e}"))?;
+                    if value != expect {
+                        return Err(format!("lookup returned {value:?}, oracle says {expect:?}"));
+                    }
+                    Ok(())
+                })
+                .map_err(|d| fail(i, op, d))?;
                 report.queries += 1;
             }
             Op::Range(..) | Op::RangeToEnd(..) => {
@@ -320,67 +601,61 @@ where
                     ),
                     _ => unreachable!("outer match arm"),
                 };
-                let result = ix
-                    .range(range)
-                    .map_err(|e| fail(i, op, format!("range failed: {e}")))?;
-                let got: Vec<(u64, u32)> =
-                    result.records.iter().map(|(k, v)| (k.bits(), *v)).collect();
-                if got != expect {
-                    return Err(fail(
-                        i,
-                        op,
-                        format!(
+                // Precomputed: `env` is lent to the repair loop below.
+                let b_opt = env.optimal_buckets(&range);
+                attempt_with_repair(env, repair_budget, || {
+                    let (got, dht_lookups) =
+                        ix.range(range).map_err(|e| format!("range failed: {e}"))?;
+                    if got != expect {
+                        return Err(format!(
                             "range returned {} records, oracle says {} \
                              (first divergence: {:?} vs {:?})",
                             got.len(),
                             expect.len(),
                             got.iter().find(|g| !expect.contains(g)),
                             expect.iter().find(|e| !got.contains(e)),
-                        ),
-                    ));
-                }
-                if !range.is_empty() {
-                    if let Some(b_opt) = env.optimal_buckets(&range) {
-                        let bound = if b_opt >= 2 {
-                            b_opt + 3
-                        } else {
-                            1 + lookup_bound(opts.max_depth)
-                        };
-                        if result.cost.dht_lookups > bound {
-                            return Err(fail(
-                                i,
-                                op,
-                                format!(
-                                    "range used {} DHT-lookups for B = {b_opt} \
-                                     (bound {bound})",
-                                    result.cost.dht_lookups
-                                ),
-                            ));
+                        ));
+                    }
+                    // The B + 3 bound is LHT's (§6.3, Algorithms 3/4);
+                    // retries may inflate hops and latency but never
+                    // the index-level DHT-lookup count, so the bound
+                    // holds on a lossy substrate too.
+                    if !range.is_empty() && opts.index == IndexKind::Lht {
+                        if let Some(b_opt) = b_opt {
+                            let bound = if b_opt >= 2 {
+                                b_opt + 3
+                            } else {
+                                1 + lookup_bound(opts.max_depth)
+                            };
+                            if dht_lookups > bound {
+                                return Err(format!(
+                                    "range used {dht_lookups} DHT-lookups for B = {b_opt} \
+                                     (bound {bound})"
+                                ));
+                            }
                         }
                     }
-                }
+                    Ok(())
+                })
+                .map_err(|d| fail(i, op, d))?;
                 report.queries += 1;
             }
             Op::Min | Op::Max => {
-                let hit = if matches!(op, Op::Min) {
-                    ix.min()
-                } else {
-                    ix.max()
-                }
-                .map_err(|e| fail(i, op, format!("min/max failed: {e}")))?;
-                let got = hit.value.map(|(k, v)| (k.bits(), v));
                 let expect = if matches!(op, Op::Min) {
                     oracle.min()
                 } else {
                     oracle.max()
                 };
-                if got != expect {
-                    return Err(fail(
-                        i,
-                        op,
-                        format!("extreme returned {got:?}, oracle says {expect:?}"),
-                    ));
-                }
+                attempt_with_repair(env, repair_budget, || {
+                    let got = ix
+                        .extreme(matches!(op, Op::Min))
+                        .map_err(|e| format!("min/max failed: {e}"))?;
+                    if got != expect {
+                        return Err(format!("extreme returned {got:?}, oracle says {expect:?}"));
+                    }
+                    Ok(())
+                })
+                .map_err(|d| fail(i, op, d))?;
                 report.queries += 1;
             }
             Op::Join(..) | Op::Leave(..) => {
@@ -417,27 +692,109 @@ where
     }
     report.audits += 1;
     report.final_records = oracle.len();
+    let stats = ix.dht_stats();
+    report.drops = stats.drops;
+    report.timeouts = stats.timeouts;
+    report.retries = stats.retries;
     Ok(report)
 }
 
-/// Direct-substrate environment: free inspection enables the full
-/// audit, PHT mirroring and range cost-bound checks.
-struct DirectEnv<'a> {
-    dht: &'a DirectDht<LeafBucket<u32>>,
-    pht_dht: &'a DirectDht<PhtNode<u32>>,
-    pht: Option<PhtIndex<&'a DirectDht<PhtNode<u32>>, u32>>,
+/// Index-specific invariant checking over a materialized `(key,
+/// value)` dump of the substrate, plus record conservation against
+/// the oracle's `expect` snapshot. Plugged into the envs as a fn
+/// pointer so one env type serves both index schemes.
+type EntryAudit<V> = fn(Vec<(DhtKey, V)>, LhtConfig, &[(u64, u32)]) -> Vec<String>;
+
+fn lht_entry_audit(
+    entries: Vec<(DhtKey, LeafBucket<u32>)>,
     cfg: LhtConfig,
+    expect: &[(u64, u32)],
+) -> Vec<String> {
+    let records: Vec<(u64, u32)> = audit::entry_records(&entries)
+        .into_iter()
+        .map(|(k, v)| (k.bits(), v))
+        .collect();
+    let mut out: Vec<String> = audit::check_entries(entries, cfg)
+        .into_iter()
+        .map(|v| format!("lht: {v:?}"))
+        .collect();
+    if records != expect {
+        out.push(format!(
+            "lht: materialized {} records, oracle holds {}",
+            records.len(),
+            expect.len()
+        ));
+    }
+    out
 }
 
-impl SoakEnv for DirectEnv<'_> {
+fn pht_entry_audit(
+    entries: Vec<(DhtKey, PhtNode<u32>)>,
+    cfg: LhtConfig,
+    expect: &[(u64, u32)],
+) -> Vec<String> {
+    let mut out: Vec<String> = pht_audit::check_trie_entries(entries.clone(), cfg)
+        .into_iter()
+        .map(|v| format!("pht: {v:?}"))
+        .collect();
+    let records: Vec<(u64, u32)> = pht_audit::records_from_entries(entries)
+        .into_iter()
+        .map(|(k, v)| (k.bits(), v))
+        .collect();
+    if records != expect {
+        out.push(format!(
+            "pht: materialized {} records, oracle holds {}",
+            records.len(),
+            expect.len()
+        ));
+    }
+    out
+}
+
+/// Free enumeration of the oracle substrate's whole store.
+fn direct_entries<V: Clone>(dht: &DirectDht<V>) -> Vec<(DhtKey, V)> {
+    dht.keys()
+        .into_iter()
+        .map(|key| {
+            let value = dht.peek(&key, |v| v.cloned()).expect("just enumerated");
+            (key, value)
+        })
+        .collect()
+}
+
+fn lht_optimal_buckets(dht: &DirectDht<LeafBucket<u32>>, range: &KeyInterval) -> u64 {
+    audit::leaf_labels(dht)
+        .into_iter()
+        .filter(|l| l.interval().overlaps(range))
+        .count() as u64
+}
+
+/// A PHT baseline mirrored alongside an LHT-primary Direct soak.
+struct PhtMirror<'a> {
+    dht: &'a DirectDht<PhtNode<u32>>,
+    ix: PhtIndex<&'a DirectDht<PhtNode<u32>>, u32>,
+}
+
+/// Direct-substrate environment: free inspection enables the full
+/// audit, PHT mirroring (LHT primary) and range cost-bound checks.
+struct DirectEnv<'a, V: Clone> {
+    dht: &'a DirectDht<V>,
+    cfg: LhtConfig,
+    audit_entries: EntryAudit<V>,
+    optimal: Option<fn(&DirectDht<V>, &KeyInterval) -> u64>,
+    mirror: Option<PhtMirror<'a>>,
+}
+
+impl<V: Clone> SoakEnv for DirectEnv<'_, V> {
     fn churn(&mut self, _op: &Op) -> Result<bool, String> {
         Ok(false) // no membership on the one-hop oracle
     }
 
     fn mirror(&mut self, op: &Op, oracle: &ShadowOracle) -> Result<(), String> {
-        let Some(pht) = &self.pht else {
+        let Some(mirror) = &self.mirror else {
             return Ok(());
         };
+        let pht = &mirror.ix;
         match op {
             Op::Insert(k, v) => {
                 pht.insert(KeyFraction::from_bits(*k), *v)
@@ -488,54 +845,22 @@ impl SoakEnv for DirectEnv<'_> {
     }
 
     fn optimal_buckets(&self, range: &KeyInterval) -> Option<u64> {
-        Some(
-            audit::leaf_labels(self.dht)
-                .into_iter()
-                .filter(|l| l.interval().overlaps(range))
-                .count() as u64,
-        )
+        self.optimal.map(|f| f(self.dht, range))
     }
 
     fn audit(&mut self, oracle: &ShadowOracle, _converged: bool) -> Vec<String> {
-        let mut out: Vec<String> = audit::check_tree(self.dht, self.cfg)
-            .into_iter()
-            .map(|v| format!("lht: {v:?}"))
-            .collect();
-        // Record conservation: the materialized tree IS the oracle.
-        let entries = audit::tree_entries(self.dht);
-        let records: Vec<(u64, u32)> = audit::entry_records(&entries)
-            .into_iter()
-            .map(|(k, v)| (k.bits(), v))
-            .collect();
         let expect: Vec<(u64, u32)> = oracle
             .snapshot()
             .into_iter()
             .map(|(k, v)| (k.bits(), v))
             .collect();
-        if records != expect {
-            out.push(format!(
-                "lht: materialized {} records, oracle holds {}",
-                records.len(),
-                expect.len()
+        let mut out = (self.audit_entries)(direct_entries(self.dht), self.cfg, &expect);
+        if let Some(mirror) = &self.mirror {
+            out.extend(pht_entry_audit(
+                direct_entries(mirror.dht),
+                self.cfg,
+                &expect,
             ));
-        }
-        if self.pht.is_some() {
-            out.extend(
-                pht_audit::check_trie(self.pht_dht, self.cfg)
-                    .into_iter()
-                    .map(|v| format!("pht: {v:?}")),
-            );
-            let pht_records: Vec<(u64, u32)> = pht_audit::all_records(self.pht_dht)
-                .into_iter()
-                .map(|(k, v)| (k.bits(), v))
-                .collect();
-            if pht_records != expect {
-                out.push(format!(
-                    "pht: materialized {} records, oracle holds {}",
-                    pht_records.len(),
-                    expect.len()
-                ));
-            }
         }
         out
     }
@@ -547,16 +872,24 @@ impl SoakEnv for DirectEnv<'_> {
             None => false,
         }
     }
+
+    fn repair(&mut self) -> bool {
+        false // the one-hop oracle has no maintenance to catch up on
+    }
 }
 
 /// Chord-substrate environment: audits go through the ring's oracle
 /// enumeration, and churn ops actually move nodes.
-struct ChordEnv<'a> {
-    dht: &'a ChordDht<LeafBucket<u32>>,
+struct ChordEnv<'a, V: Clone> {
+    dht: &'a ChordDht<V>,
     cfg: LhtConfig,
+    audit_entries: EntryAudit<V>,
+    /// Whether maintenance RPCs can be lost — the strict audits then
+    /// let repeated repair catch up before judging placement.
+    lossy_maintenance: bool,
 }
 
-impl SoakEnv for ChordEnv<'_> {
+impl<V: Clone> SoakEnv for ChordEnv<'_, V> {
     fn churn(&mut self, op: &Op) -> Result<bool, String> {
         // Membership events run one immediate stabilization round —
         // the standing assumption (paper §3, and the seed suite's
@@ -610,39 +943,40 @@ impl SoakEnv for ChordEnv<'_> {
         if !converged {
             return Vec::new();
         }
-        let entries = self.dht.all_entries();
-        let mut out: Vec<String> = audit::check_entries(entries.clone(), self.cfg)
-            .into_iter()
-            .map(|v| format!("lht: {v:?}"))
-            .collect();
-        let records: Vec<(u64, u32)> = audit::entry_records(&entries)
-            .into_iter()
-            .map(|(k, v)| (k.bits(), v))
-            .collect();
+        // Under lossy maintenance a single sync pass may have dropped
+        // transfers, leaving keys transiently unservable even at a
+        // converged point. The low-maintenance claim is that repeated
+        // repair heals everything — so give it bounded extra passes,
+        // then hold the strict audits unconditionally.
+        if self.lossy_maintenance {
+            for _ in 0..4 {
+                if self.dht.audit_ring().is_empty() {
+                    break;
+                }
+                self.dht.stabilize(2);
+            }
+        }
         let expect: Vec<(u64, u32)> = oracle
             .snapshot()
             .into_iter()
             .map(|(k, v)| (k.bits(), v))
             .collect();
-        if records != expect {
-            out.push(format!(
-                "lht: ring holds {} records, oracle holds {}",
-                records.len(),
-                expect.len()
-            ));
-        }
-        if converged {
-            out.extend(
-                self.dht
-                    .audit_ring()
-                    .into_iter()
-                    .map(|v| format!("ring: {v:?}")),
-            );
-        }
+        let mut out = (self.audit_entries)(self.dht.all_entries(), self.cfg, &expect);
+        out.extend(
+            self.dht
+                .audit_ring()
+                .into_iter()
+                .map(|v| format!("ring: {v:?}")),
+        );
         out
     }
 
     fn sabotage(&mut self) -> bool {
         false // fault injection is a Direct-substrate feature
+    }
+
+    fn repair(&mut self) -> bool {
+        self.dht.stabilize(2);
+        true
     }
 }

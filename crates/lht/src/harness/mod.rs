@@ -48,6 +48,8 @@ mod differ;
 mod oracle;
 mod trace;
 
-pub use differ::{run_soak, run_trace, DiffFailure, SoakOptions, SoakReport, SubstrateKind};
+pub use differ::{
+    run_soak, run_trace, DiffFailure, IndexKind, SoakOptions, SoakReport, SubstrateKind,
+};
 pub use oracle::ShadowOracle;
 pub use trace::{generate, Op, Trace, TraceConfig};

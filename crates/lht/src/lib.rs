@@ -56,7 +56,10 @@ pub use lht_core::{
     LhtIndex, LookupHit, MatchHit, MinMaxHit, OpCost, RangeCost, RangeResult, RemoveOutcome,
 };
 pub use lht_cost::CostModel;
-pub use lht_dht::{ChordConfig, ChordDht, Dht, DhtError, DhtKey, DhtStats, DirectDht};
+pub use lht_dht::{
+    Brownout, ChordConfig, ChordDht, Dht, DhtError, DhtKey, DhtOp, DhtStats, DirectDht, FaultyDht,
+    LatencyProfile, NetProfile, RetriedDht, RetryPolicy,
+};
 pub use lht_dst::{DstConfig, DstIndex};
 pub use lht_id::{BitStr, KeyFraction, U160};
 pub use lht_kad::{KademliaConfig, KademliaDht};

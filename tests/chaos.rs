@@ -1,0 +1,192 @@
+//! Chaos matrix: every {substrate} × {fault mode} × {index scheme}
+//! cell runs a seeded 5k-op soak through the differential harness
+//! with the fault layer live — 10% per-RPC loss, ring churn, or both
+//! at once — and must come out with zero oracle divergences and zero
+//! panics. Faults may slow the system down (retries, timeout waits,
+//! delayed repair); they must never change an answer.
+//!
+//! Every cell is reproducible from its seed alone; a failure's
+//! replay line is an `exp_audit_soak` invocation carrying the
+//! `--drop/--net-seed/--mloss` flags that rebuild the same lossy
+//! network.
+
+use lht::harness::{run_soak, IndexKind, SoakOptions, SoakReport, SubstrateKind};
+use lht::{NetProfile, RetryPolicy};
+
+const OPS: usize = 5_000;
+const DROP: f64 = 0.10;
+const MAINTENANCE_LOSS: f64 = 0.15;
+
+const CHORD: SubstrateKind = SubstrateKind::Chord {
+    nodes: 16,
+    replicas: 2,
+};
+
+/// Which faults a cell injects.
+#[derive(Clone, Copy)]
+enum Faults {
+    LossOnly,
+    ChurnOnly,
+    LossAndChurn,
+}
+
+/// Runs one cell of the matrix and applies the assertions every cell
+/// shares: the soak completes, answers never diverge from the oracle
+/// (`run_soak` returning `Ok` is exactly that claim), and when loss
+/// is injected the fault layer really fired — a cell that saw zero
+/// drops would be vacuous.
+fn soak_cell(substrate: SubstrateKind, index: IndexKind, faults: Faults, seed: u64) -> SoakReport {
+    let (net, churn) = match faults {
+        Faults::LossOnly => (Some(NetProfile::lossy(seed ^ 0xbad, DROP)), false),
+        Faults::ChurnOnly => (None, true),
+        Faults::LossAndChurn => (Some(NetProfile::lossy(seed ^ 0xbad, DROP)), true),
+    };
+    let maintenance_loss = match (substrate, faults) {
+        (SubstrateKind::Chord { .. }, Faults::ChurnOnly | Faults::LossAndChurn) => MAINTENANCE_LOSS,
+        _ => 0.0,
+    };
+    let opts = SoakOptions {
+        seed,
+        ops: OPS,
+        theta: 4,
+        substrate,
+        index,
+        audit_every: 500,
+        mirror_pht: false,
+        churn,
+        net,
+        retry: RetryPolicy::default(),
+        maintenance_loss,
+        ..SoakOptions::default()
+    };
+    let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
+    assert!(
+        report.applied >= OPS,
+        "soak stopped early: {} of {OPS} ops",
+        report.applied
+    );
+    if net.is_some() {
+        assert!(
+            report.drops + report.timeouts > 0,
+            "10% loss injected but no attempt was ever dropped — fault layer inert"
+        );
+        assert!(
+            report.retries > 0,
+            "attempts were lost but nothing was retried — retry layer inert"
+        );
+    }
+    if churn && matches!(substrate, SubstrateKind::Chord { .. }) {
+        assert!(report.churn_events > 0, "churn trace must move nodes");
+    }
+    report
+}
+
+// ---- DirectDht (churn ops are no-ops on the one-hop oracle, so its
+// ---- churn cells degrade to clean soaks — kept for matrix symmetry).
+
+#[test]
+fn direct_loss_lht() {
+    soak_cell(
+        SubstrateKind::Direct,
+        IndexKind::Lht,
+        Faults::LossOnly,
+        0xc0,
+    );
+}
+
+#[test]
+fn direct_loss_pht() {
+    soak_cell(
+        SubstrateKind::Direct,
+        IndexKind::Pht,
+        Faults::LossOnly,
+        0xc1,
+    );
+}
+
+#[test]
+fn direct_churn_lht() {
+    soak_cell(
+        SubstrateKind::Direct,
+        IndexKind::Lht,
+        Faults::ChurnOnly,
+        0xc2,
+    );
+}
+
+#[test]
+fn direct_churn_pht() {
+    soak_cell(
+        SubstrateKind::Direct,
+        IndexKind::Pht,
+        Faults::ChurnOnly,
+        0xc3,
+    );
+}
+
+#[test]
+fn direct_loss_and_churn_lht() {
+    soak_cell(
+        SubstrateKind::Direct,
+        IndexKind::Lht,
+        Faults::LossAndChurn,
+        0xc4,
+    );
+}
+
+#[test]
+fn direct_loss_and_churn_pht() {
+    soak_cell(
+        SubstrateKind::Direct,
+        IndexKind::Pht,
+        Faults::LossAndChurn,
+        0xc5,
+    );
+}
+
+// ---- ChordDht: the headline cells. Loss hits every index-issued
+// ---- RPC; churn moves nodes while maintenance RPCs are themselves
+// ---- being lost at 15%.
+
+#[test]
+fn chord_loss_lht() {
+    soak_cell(CHORD, IndexKind::Lht, Faults::LossOnly, 0xd0);
+}
+
+#[test]
+fn chord_loss_pht() {
+    soak_cell(CHORD, IndexKind::Pht, Faults::LossOnly, 0xd1);
+}
+
+#[test]
+fn chord_churn_lht() {
+    soak_cell(CHORD, IndexKind::Lht, Faults::ChurnOnly, 0xd2);
+}
+
+#[test]
+fn chord_churn_pht() {
+    soak_cell(CHORD, IndexKind::Pht, Faults::ChurnOnly, 0xd3);
+}
+
+#[test]
+fn chord_loss_and_churn_lht() {
+    soak_cell(CHORD, IndexKind::Lht, Faults::LossAndChurn, 0xd4);
+}
+
+#[test]
+fn chord_loss_and_churn_pht() {
+    soak_cell(CHORD, IndexKind::Pht, Faults::LossAndChurn, 0xd5);
+}
+
+/// The acceptance-criteria soak, pinned exactly: 5k ops on
+/// `FaultyDht<ChordDht>` at 10% drop, zero divergences, and the
+/// report's fault counters prove the loss was real and absorbed.
+#[test]
+fn chord_ten_percent_drop_soak_is_clean() {
+    let report = soak_cell(CHORD, IndexKind::Lht, Faults::LossOnly, 2008);
+    assert!(
+        report.drops + report.timeouts > 100,
+        "a 5k-op soak at 10% loss should lose hundreds of attempts, saw {}",
+        report.drops + report.timeouts
+    );
+}

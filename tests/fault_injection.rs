@@ -3,8 +3,8 @@
 //! never as wrong answers or hangs.
 
 use lht::{
-    ChordConfig, ChordDht, DirectDht, KeyDist, KeyFraction, KeyInterval, LeafBucket, LhtConfig,
-    LhtError, LhtIndex,
+    audit, ChordConfig, ChordDht, Dht, DirectDht, FaultyDht, KeyDist, KeyFraction, KeyInterval,
+    LeafBucket, LhtConfig, LhtError, LhtIndex, NetProfile, RetriedDht, RetryPolicy,
 };
 use lht_workload::Dataset;
 
@@ -116,6 +116,128 @@ fn unreplicated_chord_crash_loses_only_local_buckets() {
         "a crash should lose some but not all (ok={ok}, lost={lost})"
     );
     assert!(ok > lost, "one crashed node out of 20 must not dominate");
+}
+
+/// Wraps a seeded store in the lossy-network + retry stack the chaos
+/// suite uses: 20% of RPC attempts drop, the default policy masks
+/// them.
+fn lossy_view(
+    dht: &DirectDht<LeafBucket<u64>>,
+    seed: u64,
+) -> LhtIndex<RetriedDht<FaultyDht<&DirectDht<LeafBucket<u64>>>>, u64> {
+    let stack = RetriedDht::new(
+        FaultyDht::new(dht, NetProfile::lossy(seed, 0.20)),
+        RetryPolicy::default(),
+    );
+    LhtIndex::new(stack, LhtConfig::new(8, 20)).unwrap()
+}
+
+/// Theorem 3 under injected loss: min/max through a 20%-drop network
+/// still answer exactly, and — because retries re-send attempts
+/// without re-descending — still cost the theorem's single
+/// DHT-lookup.
+#[test]
+fn min_max_survive_injected_loss_at_theorem_3_cost() {
+    let (dht, data) = seeded(500);
+    let ix = lossy_view(&dht, 1301);
+
+    let mut keys = data.keys().to_vec();
+    keys.sort();
+    let expect_min = keys[0];
+    let expect_max = *keys.last().unwrap();
+
+    for round in 0..20 {
+        let min = ix.min().unwrap();
+        assert_eq!(
+            min.value.as_ref().unwrap().0,
+            expect_min,
+            "round {round}: min diverged under loss"
+        );
+        assert_eq!(
+            min.cost.dht_lookups, 1,
+            "Theorem 3: min is one DHT-lookup, retries notwithstanding"
+        );
+        let max = ix.max().unwrap();
+        assert_eq!(
+            max.value.as_ref().unwrap().0,
+            expect_max,
+            "round {round}: max diverged under loss"
+        );
+        assert_eq!(
+            max.cost.dht_lookups, 1,
+            "Theorem 3: max is one DHT-lookup, retries notwithstanding"
+        );
+    }
+    let stats = ix.dht().stats();
+    assert!(
+        stats.drops + stats.timeouts > 0,
+        "the 20% loss never fired — test is vacuous"
+    );
+    assert!(stats.retries > 0, "drops happened but nothing retried");
+}
+
+/// Algorithms 3/4 under injected loss: when retries succeed, range
+/// queries answer exactly and their *index-level* DHT-lookup count
+/// still respects the §6.3 `B + 3` bound — loss inflates hops and
+/// latency, never the lookup count the theorem bounds.
+#[test]
+fn range_cost_bound_holds_under_injected_loss() {
+    let (dht, data) = seeded(600);
+    let ix = lossy_view(&dht, 1303);
+
+    let windows = [
+        (0.02, 0.11),
+        (0.10, 0.35),
+        (0.25, 0.26),
+        (0.40, 0.90),
+        (0.00, 1.00),
+    ];
+    for &(lo, hi) in &windows {
+        let range = KeyInterval::half_open(kf(lo), kf(hi));
+        let result = ix.range(range).unwrap();
+
+        let mut expect: Vec<KeyFraction> = data
+            .keys()
+            .iter()
+            .copied()
+            .filter(|k| range.contains(*k))
+            .collect();
+        expect.sort();
+        let got: Vec<KeyFraction> = result.records.iter().map(|(k, _)| *k).collect();
+        assert_eq!(got, expect, "range [{lo}, {hi}) diverged under loss");
+
+        // B from the ground truth (bypassing the fault layer).
+        let buckets = audit::leaf_labels(&dht)
+            .into_iter()
+            .filter(|l| l.interval().overlaps(&range))
+            .count() as u64;
+        if buckets >= 2 {
+            assert!(
+                result.cost.dht_lookups <= buckets + 3,
+                "range [{lo}, {hi}): {} DHT-lookups for B = {buckets}",
+                result.cost.dht_lookups
+            );
+        }
+    }
+    let stats = ix.dht().stats();
+    assert!(
+        stats.drops + stats.timeouts > 0,
+        "the 20% loss never fired — test is vacuous"
+    );
+}
+
+/// Exact matches through the same lossy stack: every key answers
+/// correctly — the retry layer turns a 20% per-attempt loss into
+/// exactly-once logical delivery.
+#[test]
+fn exact_matches_all_answer_through_loss() {
+    let (dht, data) = seeded(400);
+    let ix = lossy_view(&dht, 1307);
+    for (i, k) in data.iter().enumerate() {
+        assert_eq!(ix.exact_match(k).unwrap().value, Some(i as u64));
+    }
+    let stats = ix.dht().stats();
+    assert!(stats.retries > 0, "loss was never exercised");
 }
 
 #[test]

@@ -1,0 +1,160 @@
+//! Property suite for the fault/retry stack: the wrappers must be
+//! invisible on a perfect network, bounded in how hard they try on a
+//! broken one, and deterministic in when they wait. Failing seeds
+//! persist to `tests/retry_properties.proptest-regressions`, next to
+//! the range suite's regressions.
+
+use proptest::prelude::*;
+
+use lht::{Dht, DhtKey, DhtStats, DirectDht, FaultyDht, NetProfile, RetriedDht, RetryPolicy};
+
+/// One generated operation against a `DirectDht<u32>`. Keys collide
+/// on purpose (64 slots) so puts overwrite, removes hit, and updates
+/// see existing values.
+#[derive(Clone, Copy, Debug)]
+enum OpCode {
+    Put,
+    Get,
+    Remove,
+    Update,
+}
+
+fn decode(sel: u8) -> OpCode {
+    match sel % 4 {
+        0 => OpCode::Put,
+        1 => OpCode::Get,
+        2 => OpCode::Remove,
+        _ => OpCode::Update,
+    }
+}
+
+fn key(slot: u8) -> DhtKey {
+    DhtKey::from(format!("k{}", slot % 64))
+}
+
+/// Applies one op, returning a comparable transcript entry.
+fn apply(dht: &impl Dht<Value = u32>, op: OpCode, slot: u8, val: u32) -> String {
+    match op {
+        OpCode::Put => format!("{:?}", dht.put(&key(slot), val)),
+        OpCode::Get => format!("{:?}", dht.get(&key(slot))),
+        OpCode::Remove => format!("{:?}", dht.remove(&key(slot))),
+        OpCode::Update => {
+            let r = dht.update(&key(slot), &mut |v| {
+                *v = Some(v.unwrap_or(0).wrapping_add(val));
+            });
+            format!("{r:?}")
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transparency: at p = 0 with zero latency, the full
+    /// `RetriedDht<FaultyDht<_>>` stack is byte-identical to the bare
+    /// substrate — same results for every operation, same final
+    /// values, same stats to the last counter.
+    #[test]
+    fn reliable_stack_is_byte_identical_to_bare_substrate(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>()), 1..150),
+        net_seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+    ) {
+        let bare: DirectDht<u32> = DirectDht::new();
+        let wrapped = RetriedDht::new(
+            FaultyDht::new(DirectDht::<u32>::new(), NetProfile::reliable(net_seed)),
+            RetryPolicy { seed: policy_seed, ..RetryPolicy::default() },
+        );
+        for &(sel, slot, val) in &ops {
+            let op = decode(sel);
+            let a = apply(&bare, op, slot, val);
+            let b = apply(&wrapped, op, slot, val);
+            prop_assert_eq!(a, b, "op {:?} diverged", op);
+        }
+        for slot in 0..64u8 {
+            prop_assert_eq!(
+                bare.get(&key(slot)).unwrap(),
+                wrapped.get(&key(slot)).unwrap()
+            );
+        }
+        prop_assert_eq!(bare.stats(), wrapped.stats());
+        let s = wrapped.stats();
+        prop_assert_eq!(s.drops, 0);
+        prop_assert_eq!(s.timeouts, 0);
+        prop_assert_eq!(s.retries, 0);
+        prop_assert_eq!(s.latency_ms, 0);
+    }
+
+    /// Bounded effort: whatever the loss rate and seeds, one logical
+    /// operation never issues more than `max_attempts` delivery
+    /// attempts, and retries stay one below that.
+    #[test]
+    fn attempts_per_op_never_exceed_max_attempts(
+        drop_prob in 0.0f64..1.0,
+        max_attempts in 1u32..12,
+        net_seed in any::<u64>(),
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..60),
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            deadline_ms: u64::MAX, // isolate the attempt bound from the budget
+            ..RetryPolicy::default()
+        };
+        let dht = RetriedDht::new(
+            FaultyDht::new(DirectDht::<u32>::new(), NetProfile::lossy(net_seed, drop_prob)),
+            policy,
+        );
+        let mut before = DhtStats::default();
+        for (i, &(sel, slot)) in ops.iter().enumerate() {
+            let _ = apply(&dht, decode(sel), slot, i as u32);
+            let d = dht.stats() - before;
+            before = dht.stats();
+            let attempts = d.drops + d.timeouts + d.lookups();
+            prop_assert!(
+                attempts <= max_attempts as u64,
+                "op {i}: {attempts} attempts > max_attempts {max_attempts}"
+            );
+            prop_assert!(
+                d.retries <= (max_attempts - 1) as u64,
+                "op {i}: {} retries with max_attempts {max_attempts}", d.retries
+            );
+            prop_assert!(
+                d.lookups() <= 1,
+                "op {i}: one logical op counted {} lookups", d.lookups()
+            );
+        }
+    }
+
+    /// The backoff schedule: deterministic per (policy, op index),
+    /// non-decreasing, and capped at 1.5 × the configured ceiling
+    /// (cap plus up to half jitter) — so a deadline computation can
+    /// rely on it.
+    #[test]
+    fn backoff_delays_are_deterministic_monotone_and_capped(
+        base in 0u64..1_000,
+        cap in 0u64..2_000,
+        seed in any::<u64>(),
+        op_index in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            base_backoff_ms: base,
+            max_backoff_ms: cap,
+            seed,
+            ..RetryPolicy::default()
+        };
+        let a: Vec<u64> = policy.backoffs(op_index).take(16).collect();
+        let b: Vec<u64> = policy.backoffs(op_index).take(16).collect();
+        prop_assert_eq!(&a, &b, "same op index must replay the same delays");
+        prop_assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "delays must be non-decreasing: {:?}", a
+        );
+        // The first delay draws from the raw base (which may exceed
+        // the cap); every later step is clamped to the cap.
+        let ceiling = base.max(cap);
+        prop_assert!(
+            a.iter().all(|&d| d <= ceiling + ceiling / 2),
+            "delay exceeds 1.5x ceiling {}: {:?}", ceiling, a
+        );
+    }
+}
