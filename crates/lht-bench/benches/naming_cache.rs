@@ -1,0 +1,104 @@
+//! Micro-benchmark for the memoized naming layer: resolving a label
+//! to its DHT key through [`NamingCache`] versus re-deriving (and
+//! re-hashing) it from scratch on every use.
+//!
+//! Beyond wall-clock timings, the benchmark *asserts* the cache's
+//! reason to exist: on a repeated-lookup workload it must spend at
+//! least 5x fewer SHA-1 compressions than the uncached path. The
+//! compression counter is process-global; that is safe here because
+//! benchmarks run on a single thread.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lht_core::{Label, NamingCache};
+use lht_id::sha1_compressions;
+
+/// `n` distinct labels of the shapes a real query mix produces.
+fn labels(n: usize) -> Vec<Label> {
+    (0..n)
+        .map(|i| format!("#0{:010b}", i).parse().unwrap())
+        .collect()
+}
+
+/// The headline claim, checked every run: repeated lookups through the
+/// cache compress at least 5x less than re-hashing every time.
+fn assert_compression_saving() {
+    let ls = labels(64);
+    let reps = 100u64;
+
+    let before = sha1_compressions();
+    for _ in 0..reps {
+        for l in &ls {
+            black_box(l.dht_key().hash());
+        }
+    }
+    let uncached = sha1_compressions() - before;
+
+    let cache = NamingCache::new(1024);
+    let before = sha1_compressions();
+    for _ in 0..reps {
+        for l in &ls {
+            black_box(cache.resolve(l).hash());
+        }
+    }
+    let cached = sha1_compressions() - before;
+
+    assert!(
+        cached * 5 <= uncached,
+        "naming cache must save >= 5x SHA-1 compressions on repeated \
+         lookups: cached {cached} vs uncached {uncached}"
+    );
+    println!(
+        "naming_cache: {uncached} uncached vs {cached} cached SHA-1 \
+         compressions over {} resolutions ({}x saving)",
+        reps * ls.len() as u64,
+        uncached / cached.max(1),
+    );
+}
+
+fn bench_naming_cache(c: &mut Criterion) {
+    assert_compression_saving();
+
+    let ls = labels(64);
+    c.bench_function("naming_cache/dht_key_fresh", |b| {
+        b.iter(|| {
+            for l in &ls {
+                black_box(black_box(l).dht_key().hash());
+            }
+        })
+    });
+
+    let warm = NamingCache::new(1024);
+    for l in &ls {
+        warm.resolve(l);
+    }
+    c.bench_function("naming_cache/resolve_hot", |b| {
+        b.iter(|| {
+            for l in &ls {
+                black_box(warm.resolve(black_box(l)).hash());
+            }
+        })
+    });
+
+    c.bench_function("naming_cache/resolve_cold", |b| {
+        b.iter(|| {
+            let cache = NamingCache::new(1024);
+            for l in &ls {
+                black_box(cache.resolve(black_box(l)).hash());
+            }
+        })
+    });
+
+    // Thrashing regime: a capacity far below the working set keeps the
+    // LRU machinery honest about its constant factors.
+    let tiny = NamingCache::new(8);
+    c.bench_function("naming_cache/resolve_thrash", |b| {
+        b.iter(|| {
+            for l in &ls {
+                black_box(tiny.resolve(black_box(l)).hash());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_naming_cache);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Benchmark snapshot — a single JSON artifact (`BENCH_lht.json`)
+//! capturing the repo's headline performance numbers so regressions
+//! are visible in review diffs:
+//!
+//! * average DHT-lookups and routing hops per LHT lookup over a Chord
+//!   ring (paper Fig. 8 territory),
+//! * range-query bandwidth (lookups) vs wall-clock rounds with batched
+//!   execution,
+//! * raw SHA-1 throughput of the vendored implementation,
+//! * naming-cache hit rate and SHA-1 compression saving on a repeated
+//!   lookup workload (asserted >= 5x — the cache's contract).
+//!
+//! ```sh
+//! cargo run --release -p lht-bench --bin exp_bench_snapshot -- \
+//!     [--smoke] [--keys N] [--seed N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lht::{
+    ChordDht, Dht, DirectDht, KeyFraction, KeyInterval, Label, LeafBucket, LhtConfig, LhtIndex,
+    NamingCache,
+};
+use lht_id::{sha1, sha1_compressions};
+
+struct Args {
+    smoke: bool,
+    keys: usize,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            smoke: false,
+            keys: 4096,
+            seed: 23,
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: exp_bench_snapshot [--smoke] [--keys N] [--seed N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("{what} needs an unsigned integer")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--keys" => args.keys = (num(&mut it, "--keys") as usize).max(64),
+            "--seed" => args.seed = num(&mut it, "--seed"),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if args.smoke {
+        args.keys = args.keys.min(512);
+    }
+    args
+}
+
+/// Lookup cost over a 32-node Chord ring: average DHT-lookups (gets)
+/// and routing hops per exact-match query.
+fn chord_lookup(args: &Args) -> (f64, f64) {
+    let dht: ChordDht<LeafBucket<u32>> = ChordDht::with_nodes(32, args.seed);
+    let ix = LhtIndex::new(&dht, LhtConfig::new(8, 20)).expect("fresh index");
+    let key = |i: usize| KeyFraction::from_f64((i as f64 + 0.5) / args.keys as f64);
+    for i in 0..args.keys {
+        ix.insert(key(i), i as u32).expect("chord insert");
+    }
+    dht.reset_stats();
+    let mut gets = 0u64;
+    let mut probes = 0u64;
+    for i in (0..args.keys).step_by((args.keys / 256).max(1)) {
+        gets += ix.lookup(key(i)).expect("lookup").cost.dht_lookups;
+        probes += 1;
+    }
+    (gets as f64 / probes as f64, dht.stats().hops_per_lookup())
+}
+
+/// Range bandwidth vs batched rounds on a direct substrate.
+fn range_rounds(args: &Args) -> (u64, u64, u64) {
+    let dht: DirectDht<LeafBucket<u32>> = DirectDht::new();
+    let ix = LhtIndex::new(&dht, LhtConfig::new(8, 20)).expect("fresh index");
+    let key = |i: usize| KeyFraction::from_f64((i as f64 + 0.5) / args.keys as f64);
+    for i in 0..args.keys {
+        ix.insert(key(i), i as u32).expect("insert");
+    }
+    dht.reset_stats();
+    let mut lookups = 0u64;
+    let mut steps = 0u64;
+    for i in 0..8 {
+        let lo = i as f64 / 16.0;
+        let q = KeyInterval::half_open(KeyFraction::from_f64(lo), KeyFraction::from_f64(lo + 0.25));
+        let r = ix.range(q).expect("range");
+        lookups += r.cost.dht_lookups;
+        steps += r.cost.steps;
+    }
+    (lookups, steps, dht.stats().rounds)
+}
+
+/// Raw SHA-1 throughput in MB/s over a 64 KiB buffer.
+fn sha1_throughput(smoke: bool) -> f64 {
+    let buf = vec![0xabu8; 64 * 1024];
+    let reps: u32 = if smoke { 64 } else { 512 };
+    // Warm up, then time.
+    let _ = sha1(&buf);
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(sha1(std::hint::black_box(&buf)));
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (buf.len() as f64 * reps as f64) / secs / 1e6
+}
+
+/// Naming-cache behaviour on a repeated-lookup workload: hit rate and
+/// the SHA-1 compression saving factor (asserted >= 5x).
+fn naming_cache_saving() -> (f64, f64) {
+    let labels: Vec<Label> = (0..64)
+        .map(|i| format!("#0{:010b}", i).parse().unwrap())
+        .collect();
+    let reps = 100u64;
+
+    let before = sha1_compressions();
+    for _ in 0..reps {
+        for l in &labels {
+            std::hint::black_box(l.dht_key().hash());
+        }
+    }
+    let uncached = sha1_compressions() - before;
+
+    let cache = NamingCache::new(1024);
+    let before = sha1_compressions();
+    for _ in 0..reps {
+        for l in &labels {
+            std::hint::black_box(cache.resolve(l).hash());
+        }
+    }
+    let cached = sha1_compressions() - before;
+
+    let saving = uncached as f64 / cached.max(1) as f64;
+    assert!(
+        cached * 5 <= uncached,
+        "naming cache must save >= 5x SHA-1 compressions \
+         (cached {cached} vs uncached {uncached})"
+    );
+    (cache.stats().hit_rate(), saving)
+}
+
+fn main() {
+    let args = parse_args();
+
+    eprintln!("measuring chord lookup cost ({} keys)…", args.keys);
+    let (gets_per_lookup, hops_per_lookup) = chord_lookup(&args);
+    eprintln!("measuring range rounds…");
+    let (range_lookups, range_steps, range_rounds) = range_rounds(&args);
+    eprintln!("measuring sha1 throughput…");
+    let throughput = sha1_throughput(args.smoke);
+    eprintln!("measuring naming cache…");
+    let (hit_rate, saving) = naming_cache_saving();
+
+    // The index-level step accounting and the substrate's round
+    // accounting must agree on a loss-free direct substrate.
+    assert!(
+        range_rounds <= range_steps,
+        "substrate rounds {range_rounds} exceed index steps {range_steps}"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"keys\": {},", args.keys);
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"lookup_gets_avg\": {gets_per_lookup:.3},");
+    let _ = writeln!(json, "  \"chord_hops_per_lookup\": {hops_per_lookup:.3},");
+    let _ = writeln!(json, "  \"range_dht_lookups\": {range_lookups},");
+    let _ = writeln!(json, "  \"range_steps\": {range_steps},");
+    let _ = writeln!(json, "  \"range_rounds\": {range_rounds},");
+    let _ = writeln!(json, "  \"sha1_throughput_mb_s\": {throughput:.1},");
+    let _ = writeln!(json, "  \"naming_cache_hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(json, "  \"naming_cache_sha1_saving_x\": {saving:.1}");
+    json.push_str("}\n");
+
+    print!("{json}");
+    if let Err(e) = std::fs::write("BENCH_lht.json", &json) {
+        eprintln!("failed to write BENCH_lht.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote BENCH_lht.json");
+}

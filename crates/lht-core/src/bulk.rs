@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use lht_dht::Dht;
+use lht_dht::{Dht, DhtKey};
 use lht_id::KeyFraction;
 
 use crate::naming::name;
@@ -25,7 +25,9 @@ pub struct BulkLoadOutcome {
     pub leaves: u64,
     /// Records loaded.
     pub records: u64,
-    /// Total cost: one emptiness check plus one DHT-put per leaf.
+    /// Total cost: one emptiness check plus one DHT-put per leaf. The
+    /// puts are independent and ship as a single batched round, so
+    /// `cost.steps` is 2 regardless of leaf count.
     pub cost: OpCost,
 }
 
@@ -59,7 +61,7 @@ where
     ) -> Result<BulkLoadOutcome, LhtError> {
         // Fresh-index check: the root bucket must be the sole, empty
         // leaf (1 DHT-get).
-        let root_key = Label::virtual_root().dht_key();
+        let root_key = self.named_key(&Label::virtual_root());
         match self.dht().get(&root_key)? {
             Some(b) if b.label() == Label::root() && b.is_empty() => {}
             Some(_) | None => {
@@ -78,14 +80,23 @@ where
         let mut buckets: Vec<LeafBucket<V>> = Vec::new();
         build_tree(Label::root(), pairs, capacity, max_depth, &mut buckets);
 
-        let leaves = buckets.len() as u64;
-        for bucket in buckets {
-            self.dht().put(&name(&bucket.label()).dht_key(), bucket)?;
+        // Ship every leaf in one batched round: the puts target
+        // distinct names, so no ordering between them is needed.
+        let entries: Vec<(DhtKey, LeafBucket<V>)> = buckets
+            .into_iter()
+            .map(|bucket| (self.named_key(&name(&bucket.label())), bucket))
+            .collect();
+        let leaves = entries.len() as u64;
+        for shipped in self.dht().multi_put(entries) {
+            shipped?;
         }
         Ok(BulkLoadOutcome {
             leaves,
             records: n,
-            cost: OpCost::sequential(leaves + 1),
+            cost: OpCost {
+                dht_lookups: leaves + 1,
+                steps: 2,
+            },
         })
     }
 }

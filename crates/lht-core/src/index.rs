@@ -5,7 +5,9 @@ use parking_lot::Mutex;
 use lht_dht::{Dht, DhtError, DhtKey};
 use lht_id::KeyFraction;
 
-use crate::naming::{left_neighbor, name, next_name, right_neighbor};
+use crate::naming::{
+    left_neighbor, name, next_name, right_neighbor, NamingCache, NamingCacheStats,
+};
 use crate::{IndexStats, Label, LeafBucket, LhtConfig, LhtError, OpCost};
 
 /// The result of an LHT lookup (Algorithm 2): the covering leaf
@@ -87,6 +89,7 @@ where
     dht: D,
     cfg: LhtConfig,
     stats: Mutex<IndexStats>,
+    names: NamingCache,
 }
 
 impl<D, V> LhtIndex<D, V>
@@ -106,9 +109,10 @@ where
             dht,
             cfg,
             stats: Mutex::new(IndexStats::default()),
+            names: NamingCache::new(NAMING_CACHE_CAPACITY),
         };
         // Bootstrap: a brand-new LHT is the single leaf #0, named #.
-        let root_key = Label::virtual_root().dht_key();
+        let root_key = index.named_key(&Label::virtual_root());
         let mut existed = false;
         index.dht.update(&root_key, &mut |slot| {
             existed = slot.is_some();
@@ -140,6 +144,21 @@ where
         *self.stats.lock() = IndexStats::default();
     }
 
+    /// Resolves a label to its DHT key through the handle's shared
+    /// naming cache: the SHA-1 of each distinct label string is
+    /// computed at most once per index handle (until evicted), so hot
+    /// labels — the root, the binary-search pivots, range frontiers —
+    /// cost a map probe instead of a digest.
+    pub(crate) fn named_key(&self, label: &Label) -> DhtKey {
+        self.names.resolve(label)
+    }
+
+    /// Statistics of the label → DHT-key naming cache (hits, misses,
+    /// evictions, occupancy).
+    pub fn naming_cache_stats(&self) -> NamingCacheStats {
+        self.names.stats()
+    }
+
     /// LHT lookup (Algorithm 2): finds the leaf bucket covering `key`
     /// by binary search over the candidate prefix lengths of the
     /// search string `μ(key, D)`, probing each candidate's *name* and
@@ -167,7 +186,7 @@ where
             let x = mu.prefix(mid);
             let nm = name(&x);
             gets += 1;
-            match self.dht.get(&nm.dht_key())? {
+            match self.dht.get(&self.named_key(&nm))? {
                 None => {
                     // Failed get: the tree is shallower here. Every
                     // prefix strictly between f_n(x) and x shares the
@@ -260,9 +279,9 @@ where
             };
             cost += hit.cost;
 
-            let mut split_put: Option<(DhtKey, LeafBucket<V>, u64)> = None;
+            let mut split_put: Option<(Label, LeafBucket<V>, u64)> = None;
             let mut stale = false;
-            self.dht.update(&hit.name.dht_key(), &mut |slot| {
+            self.dht.update(&self.named_key(&hit.name), &mut |slot| {
                 // The bucket may have been split (relabeled) or merged
                 // away by another client since our lookup.
                 let Some(bucket) = slot.as_mut() else {
@@ -288,7 +307,7 @@ where
                     } else {
                         bucket.insert(key, v);
                     }
-                    split_put = Some((old_label.dht_key(), remote, out.moved_units));
+                    split_put = Some((old_label, remote, out.moved_units));
                 } else {
                     bucket.insert(key, v);
                 }
@@ -301,11 +320,12 @@ where
 
             let mut maintenance = OpCost::ZERO;
             let mut did_split = false;
-            if let Some((remote_key, remote, moved_units)) = split_put {
+            if let Some((remote_label, remote, moved_units)) = split_put {
                 // Algorithm 1 line 11: DHT-put(λ, rb) — the split's
                 // one and only DHT-lookup. The local half already
                 // committed, so ride out transient delivery failures
                 // rather than strand the remote half's records.
+                let remote_key = self.named_key(&remote_label);
                 retry_transient(|| self.dht.put(&remote_key, remote.clone()))?;
                 maintenance = OpCost::sequential(1);
                 did_split = true;
@@ -356,14 +376,16 @@ where
             let mut removed: Option<V> = None;
             let mut post: Option<LeafBucket<V>> = None;
             let mut stale = false;
-            self.dht
-                .update(&hit.name.dht_key(), &mut |slot| match slot.as_mut() {
+            self.dht.update(
+                &self.named_key(&hit.name),
+                &mut |slot| match slot.as_mut() {
                     Some(bucket) if bucket.covers(key) => {
                         removed = bucket.remove(key);
                         post = Some(bucket.clone());
                     }
                     Some(_) | None => stale = true,
-                })?;
+                },
+            )?;
             cost += OpCost::sequential(1);
             if stale {
                 std::thread::yield_now();
@@ -417,7 +439,7 @@ where
         // would be stored under f_n(sibling). 1 DHT-get.
         let probe_name = name(&sibling_label);
         let mut lookups = 1u64;
-        let Some(sibling) = self.dht.get(&probe_name.dht_key())? else {
+        let Some(sibling) = self.dht.get(&self.named_key(&probe_name))? else {
             return Ok((false, OpCost::sequential(lookups)));
         };
         if sibling.label() != sibling_label {
@@ -450,14 +472,15 @@ where
         // snapshot would drop records concurrently inserted into the
         // mover). A concurrent structural change means the entry is
         // gone or relabeled: abort (and restore if relabeled).
-        let taken = self.dht.remove(&parent.dht_key())?;
+        let parent_key = self.named_key(&parent);
+        let taken = self.dht.remove(&parent_key)?;
         lookups += 1;
         let moving = match taken {
             Some(b) if b.label() == mover_label => b,
             Some(other) => {
                 // Restore what we took; the entry is already out of
                 // the DHT, so a transient failure must not strand it.
-                retry_transient(|| self.dht.put(&parent.dht_key(), other.clone()))?;
+                retry_transient(|| self.dht.put(&parent_key, other.clone()))?;
                 return Ok((false, OpCost::sequential(lookups + 1)));
             }
             None => return Ok((false, OpCost::sequential(lookups))),
@@ -472,8 +495,9 @@ where
         // Phase 1 already removed the mover, so phase 2 (and any
         // restore) must ride out transient delivery failures — giving
         // up here would lose the mover's records.
+        let keep_key = self.named_key(&keep_name);
         retry_transient(|| {
-            self.dht.update(&keep_name.dht_key(), &mut |slot| {
+            self.dht.update(&keep_key, &mut |slot| {
                 if let Some(kept) = slot.as_mut() {
                     if kept.label() == keep_label {
                         kept.merge_sibling(moving.clone());
@@ -484,7 +508,7 @@ where
         })?;
         lookups += 1;
         if !merged_ok {
-            retry_transient(|| self.dht.put(&parent.dht_key(), moving_for_restore.clone()))?;
+            retry_transient(|| self.dht.put(&parent_key, moving_for_restore.clone()))?;
             return Ok((false, OpCost::sequential(lookups + 1)));
         }
 
@@ -500,7 +524,8 @@ where
     ///
     /// If that leaf happens to be empty (possible after deletions),
     /// the walk continues through right neighbors until a record is
-    /// found — each step one more DHT-lookup.
+    /// found — each step one batched round of two speculative
+    /// DHT-lookups (the neighbor's two candidate names).
     ///
     /// # Errors
     ///
@@ -530,13 +555,15 @@ where
             Label::root() // rightmost leaf #01* is named #0
         };
         let mut lookups = 1u64;
-        let mut bucket = match self.dht.get(&first_name.dht_key())? {
+        let mut steps = 1u64;
+        let mut bucket = match self.dht.get(&self.named_key(&first_name))? {
             Some(b) => b,
             None if !smallest => {
                 // Single-leaf tree: the only bucket lives at #.
                 lookups += 1;
+                steps += 1;
                 self.dht
-                    .get(&Label::virtual_root().dht_key())?
+                    .get(&self.named_key(&Label::virtual_root()))?
                     .ok_or_else(|| LhtError::MissingBucket {
                         key: "#".to_string(),
                     })?
@@ -556,7 +583,10 @@ where
             if let Some((k, v)) = record {
                 return Ok(MinMaxHit {
                     value: Some((k, v.clone())),
-                    cost: OpCost::sequential(lookups),
+                    cost: OpCost {
+                        dht_lookups: lookups,
+                        steps,
+                    },
                 });
             }
             // Empty bucket: continue towards the middle of the key
@@ -570,27 +600,38 @@ where
                 // Reached the far spine: the index is empty.
                 return Ok(MinMaxHit {
                     value: None,
-                    cost: OpCost::sequential(lookups),
+                    cost: OpCost {
+                        dht_lookups: lookups,
+                        steps,
+                    },
                 });
             }
             // The near-edge leaf of τ_β is named β itself (leftmost
             // leaf for a right neighbor, rightmost for a left one);
-            // if β is a leaf the name is f_n(β) instead.
-            lookups += 1;
-            bucket = match self.dht.get(&beta.dht_key())? {
+            // if β is a leaf the name is f_n(β) instead. Probe both
+            // candidates speculatively in one batched round.
+            lookups += 2;
+            steps += 1;
+            let keys = [self.named_key(&beta), self.named_key(&name(&beta))];
+            let mut got = self.dht.multi_get(&keys);
+            let at_fallback = got.pop().expect("two results for two keys")?;
+            let at_beta = got.pop().expect("two results for two keys")?;
+            bucket = match at_beta {
                 Some(b) => b,
-                None => {
-                    lookups += 1;
-                    self.dht.get(&name(&beta).dht_key())?.ok_or_else(|| {
-                        LhtError::MissingBucket {
-                            key: name(&beta).to_string(),
-                        }
-                    })?
-                }
+                None => at_fallback.ok_or_else(|| LhtError::MissingBucket {
+                    key: name(&beta).to_string(),
+                })?,
             };
         }
     }
 }
+
+/// Capacity of the per-handle label → DHT-key naming cache. Sized for
+/// the working set of a deep tree walk: a depth-20 index has at most
+/// ~20 hot spine labels per active query plus the binary-search
+/// pivots, so 4096 distinct labels covers many concurrent access
+/// patterns while bounding memory to a few hundred KiB.
+const NAMING_CACHE_CAPACITY: usize = 4096;
 
 /// Retry budget for mutating operations racing concurrent structural
 /// changes (see [`LhtIndex::insert`]'s concurrency note). Generous:

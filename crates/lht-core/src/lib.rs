@@ -82,4 +82,5 @@ pub use index::{
 };
 pub use interval::KeyInterval;
 pub use label::Label;
+pub use naming::{NamingCache, NamingCacheStats};
 pub use range::RangeResult;

@@ -14,8 +14,16 @@
 //!   (Definition 3): from a node label, the label of its nearest
 //!   right/left *branch node*, letting a leaf bucket walk its local
 //!   tree during range queries with zero extra state.
+//!
+//! The module also hosts the [`NamingCache`]: an LRU memo of
+//! `Label → DhtKey` resolutions shared by an index's lookup binary
+//! search and range expansion, so the SHA-1 placement hash behind a
+//! label is computed once per label rather than once per probe.
 
 use crate::Label;
+use lht_dht::DhtKey;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
 
 /// The naming function `f_n` (Definition 1): strips the label's entire
 /// trailing run of equal bits.
@@ -165,6 +173,166 @@ pub fn left_neighbor(x: &Label) -> Label {
     debug_assert_eq!(bits.last(), Some(true));
     bits.pop();
     Label::from_bits(bits.child(false))
+}
+
+/// Hit/miss counters of a [`NamingCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NamingCacheStats {
+    /// Resolutions answered from the cache (no SHA-1 run).
+    pub hits: u64,
+    /// Resolutions that rendered the label and hashed it.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Labels currently cached.
+    pub len: u64,
+}
+
+impl NamingCacheStats {
+    /// Fraction of resolutions served from the cache, or 0.0 when
+    /// nothing was resolved yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheSlot {
+    key: DhtKey,
+    /// Stamp of the slot's entry in the recency index.
+    stamp: u64,
+}
+
+struct CacheInner {
+    map: HashMap<Label, CacheSlot>,
+    /// Recency index: stamp → label, oldest first. Stamps are unique
+    /// (one per resolution), so this is a faithful LRU queue.
+    lru: BTreeMap<u64, Label>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// An LRU-memoized `Label → DhtKey` resolver.
+///
+/// Every DHT probe an index issues starts by rendering a tree label
+/// into its textual DHT key and hashing that key onto the ring —
+/// a SHA-1 pass per probe. But the label working set is tiny and
+/// wildly re-used: a lookup's binary search re-probes prefixes of
+/// earlier search strings, range expansion re-visits sibling names,
+/// and every retry re-resolves the same label. The cache memoizes the
+/// rendered key *with its ring digest already computed* (an eagerly
+/// warmed [`DhtKey`] clone carries the digest along), so SHA-1 runs
+/// once per distinct label per index instead of once per probe.
+///
+/// Resolution is O(log capacity); eviction is strict LRU. The cache
+/// is shared behind `&self` (a mutex guards the few-word state), and
+/// determinism is untouched — caching changes *when* hashes are
+/// computed, never their values.
+///
+/// # Examples
+///
+/// ```
+/// use lht_core::naming::NamingCache;
+/// use lht_core::Label;
+///
+/// let cache = NamingCache::new(1024);
+/// let label: Label = "#0110".parse()?;
+/// let a = cache.resolve(&label);
+/// let b = cache.resolve(&label); // served from the cache
+/// assert_eq!(a, b);
+/// assert_eq!(a, label.dht_key());
+/// let s = cache.stats();
+/// assert_eq!((s.hits, s.misses), (1, 1));
+/// # Ok::<(), lht_core::LhtError>(())
+/// ```
+pub struct NamingCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for NamingCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NamingCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl NamingCache {
+    /// Creates a cache holding at most `capacity` labels (min 1).
+    pub fn new(capacity: usize) -> NamingCache {
+        NamingCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resolves `label` to its DHT key, hashing it onto the ring only
+    /// on a cache miss. The returned key always carries its ring
+    /// digest, so downstream layers never re-run SHA-1 for it either.
+    pub fn resolve(&self, label: &Label) -> DhtKey {
+        let mut guard = self.inner.lock();
+        let st = &mut *guard;
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some(slot) = st.map.get_mut(label) {
+            st.hits += 1;
+            st.lru.remove(&slot.stamp);
+            slot.stamp = tick;
+            st.lru.insert(tick, *label);
+            return slot.key.clone();
+        }
+        st.misses += 1;
+        let key = label.dht_key();
+        // Warm the digest before cloning: a clone taken *after*
+        // hashing carries the digest, one taken before would re-hash.
+        key.hash();
+        if st.map.len() >= self.capacity {
+            if let Some((_, victim)) = st.lru.pop_first() {
+                st.map.remove(&victim);
+                st.evictions += 1;
+            }
+        }
+        st.map.insert(
+            *label,
+            CacheSlot {
+                key: key.clone(),
+                stamp: tick,
+            },
+        );
+        st.lru.insert(tick, *label);
+        key
+    }
+
+    /// A snapshot of the hit/miss counters.
+    pub fn stats(&self) -> NamingCacheStats {
+        let st = self.inner.lock();
+        NamingCacheStats {
+            hits: st.hits,
+            misses: st.misses,
+            evictions: st.evictions,
+            len: st.map.len() as u64,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -430,5 +598,63 @@ mod tests {
     struct KeyIntervalTop;
     impl KeyIntervalTop {
         const TOP: u128 = 1u128 << 64;
+    }
+
+    #[test]
+    fn cache_resolves_to_the_same_key_as_direct_rendering() {
+        let cache = NamingCache::new(64);
+        for s in ["#0", "#01", "#0110", "#00000", "#01111"] {
+            let label: Label = s.parse().unwrap();
+            assert_eq!(cache.resolve(&label), label.dht_key());
+            // Second resolution is a hit and identical.
+            assert_eq!(cache.resolve(&label), label.dht_key());
+        }
+        let st = cache.stats();
+        assert_eq!(st.misses, 5);
+        assert_eq!(st.hits, 5);
+        assert_eq!(st.len, 5);
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_first() {
+        let cache = NamingCache::new(2);
+        let a: Label = "#00".parse().unwrap();
+        let b: Label = "#01".parse().unwrap();
+        let c: Label = "#010".parse().unwrap();
+        cache.resolve(&a); // miss
+        cache.resolve(&b); // miss
+        cache.resolve(&a); // hit: a is now more recent than b
+        cache.resolve(&c); // miss: evicts b, not a
+        assert_eq!(cache.stats().evictions, 1);
+        cache.resolve(&a); // still cached
+        let st = cache.stats();
+        assert_eq!(st.hits, 2);
+        assert_eq!(st.misses, 3);
+        cache.resolve(&b); // was evicted: a fresh miss
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn cached_keys_carry_their_ring_digest() {
+        // The resolver hashes eagerly, so clones handed out later
+        // must agree with a from-scratch digest.
+        let cache = NamingCache::new(8);
+        let label: Label = "#0110".parse().unwrap();
+        let warm = cache.resolve(&label);
+        let cold = label.dht_key();
+        assert_eq!(warm.hash(), cold.hash());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache = NamingCache::new(0);
+        let a: Label = "#00".parse().unwrap();
+        let b: Label = "#01".parse().unwrap();
+        assert_eq!(cache.resolve(&a), a.dht_key());
+        assert_eq!(cache.resolve(&b), b.dht_key());
+        assert_eq!(cache.capacity(), 1);
+        assert_eq!(cache.stats().len, 1);
     }
 }

@@ -1,15 +1,17 @@
 //! Range queries (paper §6, Algorithms 3 and 4).
 //!
-//! The engine materializes the paper's recursive forwarding as an
-//! explicit task queue so that both §9.4 measurements fall out
-//! naturally: **bandwidth** is the number of DHT-lookups issued, and
-//! **latency** is the number of *parallel steps* — the depth of the
-//! forwarding DAG, with all lookups issued by one bucket in the same
-//! round counting as a single step.
+//! The engine materializes the paper's recursive forwarding as a
+//! **level-synchronous frontier** so that both §9.4 measurements fall
+//! out naturally: **bandwidth** is the number of DHT-lookups issued,
+//! and **latency** is the number of *parallel steps* — the depth of
+//! the forwarding DAG. All tasks sharing a step are issued to the
+//! substrate as one [`Dht::multi_get`] batch, so on a round-capable
+//! substrate the query's wall-clock rounds equal its step count
+//! instead of its lookup count.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
-use lht_dht::Dht;
+use lht_dht::{Dht, DhtKey};
 use lht_id::KeyFraction;
 
 use crate::naming::{left_neighbor, name, right_neighbor};
@@ -39,6 +41,15 @@ struct Task {
     recover_bound: Option<KeyFraction>,
     subrange: KeyInterval,
     step: u64,
+}
+
+/// Pending tasks grouped by forwarding step. `pop_first` always yields
+/// the lowest unprocessed step, and expansion only ever enqueues at
+/// *later* steps, so each step's tasks can be issued as one batch.
+type Frontier = BTreeMap<u64, Vec<Task>>;
+
+fn enqueue(frontier: &mut Frontier, task: Task) {
+    frontier.entry(task.step).or_default().push(task);
 }
 
 impl<D, V> LhtIndex<D, V>
@@ -79,12 +90,12 @@ where
         let hi_path = Label::search_string(range.max_key(), d);
         let lca = lo_path.lowest_common_ancestor(&hi_path);
 
-        let mut queue: VecDeque<Task> = VecDeque::new();
+        let mut frontier = Frontier::new();
 
         // Alg. 4 line 2: DHT-lookup(f_n(LCA)).
         cost.dht_lookups += 1;
         cost.steps = 1;
-        match self.dht().get(&name(&lca).dht_key())? {
+        match self.dht().get(&self.named_key(&name(&lca)))? {
             None => {
                 // Case 1: the whole range lies in one leaf; fall back
                 // to an exact-match-style lookup of the lower bound
@@ -96,7 +107,7 @@ where
             }
             Some(bucket) if bucket.interval().overlaps(&range) => {
                 // Case 2: simple case from this bucket.
-                self.expand(&bucket, range, 1, &mut queue, &mut records, &mut cost);
+                self.expand(&bucket, range, 1, &mut frontier, &mut records, &mut cost);
             }
             Some(_) => {
                 // Case 3: forward to both children of the LCA
@@ -111,60 +122,77 @@ where
                     } else {
                         sub.max_key()
                     };
-                    queue.push_back(Task {
-                        target: child,
-                        fallback: Some(name(&child)),
-                        recover_bound: Some(recover),
-                        subrange: sub,
-                        step: 2,
-                    });
+                    enqueue(
+                        &mut frontier,
+                        Task {
+                            target: child,
+                            fallback: Some(name(&child)),
+                            recover_bound: Some(recover),
+                            subrange: sub,
+                            step: 2,
+                        },
+                    );
                 }
             }
         }
 
-        while let Some(task) = queue.pop_front() {
-            cost.dht_lookups += 1;
-            cost.steps = cost.steps.max(task.step);
-            match self.dht().get(&task.target.dht_key())? {
-                Some(bucket) if bucket.interval().overlaps(&task.subrange) => {
-                    self.expand(
-                        &bucket,
-                        task.subrange,
-                        task.step,
-                        &mut queue,
-                        &mut records,
-                        &mut cost,
-                    );
-                }
-                Some(_) | None if task.fallback.is_some() => {
-                    // Failed get — the target label is itself a leaf,
-                    // stored under its name (Alg. 3 lines 15–17).
-                    queue.push_back(Task {
-                        target: task.fallback.expect("checked above"),
-                        fallback: None,
-                        recover_bound: task.recover_bound,
-                        subrange: task.subrange,
-                        step: task.step + 1,
-                    });
-                }
-                Some(_) | None => {
-                    if let Some(bound) = task.recover_bound {
-                        // Defensive recovery: binary-search the bound.
-                        let hit = self.lookup(bound)?;
-                        cost.dht_lookups += hit.cost.dht_lookups;
-                        cost.steps = cost.steps.max(task.step + hit.cost.steps);
+        // Level-synchronous drain: every task at the current step is
+        // issued as one multi_get round; their expansions land at
+        // step + 1 (or later, on the recovery path) and form the next
+        // round's batch.
+        while let Some((step, tasks)) = frontier.pop_first() {
+            cost.dht_lookups += tasks.len() as u64;
+            cost.steps = cost.steps.max(step);
+            let keys: Vec<DhtKey> = tasks
+                .iter()
+                .map(|task| self.named_key(&task.target))
+                .collect();
+            let round = self.dht().multi_get(&keys);
+            for (task, fetched) in tasks.into_iter().zip(round) {
+                match fetched? {
+                    Some(bucket) if bucket.interval().overlaps(&task.subrange) => {
                         self.expand(
-                            &hit.bucket,
+                            &bucket,
                             task.subrange,
-                            task.step + hit.cost.steps,
-                            &mut queue,
+                            task.step,
+                            &mut frontier,
                             &mut records,
                             &mut cost,
                         );
-                    } else {
-                        return Err(LhtError::MissingBucket {
-                            key: task.target.to_string(),
-                        });
+                    }
+                    _ if task.fallback.is_some() => {
+                        // Failed get — the target label is itself a leaf,
+                        // stored under its name (Alg. 3 lines 15–17).
+                        enqueue(
+                            &mut frontier,
+                            Task {
+                                target: task.fallback.expect("checked above"),
+                                fallback: None,
+                                recover_bound: task.recover_bound,
+                                subrange: task.subrange,
+                                step: task.step + 1,
+                            },
+                        );
+                    }
+                    _ => {
+                        if let Some(bound) = task.recover_bound {
+                            // Defensive recovery: binary-search the bound.
+                            let hit = self.lookup(bound)?;
+                            cost.dht_lookups += hit.cost.dht_lookups;
+                            cost.steps = cost.steps.max(task.step + hit.cost.steps);
+                            self.expand(
+                                &hit.bucket,
+                                task.subrange,
+                                task.step + hit.cost.steps,
+                                &mut frontier,
+                                &mut records,
+                                &mut cost,
+                            );
+                        } else {
+                            return Err(LhtError::MissingBucket {
+                                key: task.target.to_string(),
+                            });
+                        }
                     }
                 }
             }
@@ -185,7 +213,7 @@ where
         bucket: &LeafBucket<V>,
         subrange: KeyInterval,
         step: u64,
-        queue: &mut VecDeque<Task>,
+        frontier: &mut Frontier,
         records: &mut BTreeMap<KeyFraction, V>,
         cost: &mut RangeCost,
     ) {
@@ -209,26 +237,32 @@ where
                     // τ_β fully inside: enter at its far (right) edge —
                     // the leaf named f_n(β) (Alg. 3 line 11) — which
                     // walks back leftwards over inv.
-                    queue.push_back(Task {
-                        target: name(&beta),
-                        fallback: None,
-                        recover_bound: Some(inv.max_key()),
-                        subrange: inv,
-                        step: step + 1,
-                    });
+                    enqueue(
+                        frontier,
+                        Task {
+                            target: name(&beta),
+                            fallback: None,
+                            recover_bound: Some(inv.max_key()),
+                            subrange: inv,
+                            step: step + 1,
+                        },
+                    );
                 } else {
                     // Last, partially-covered subtree: enter at the
                     // near (left) edge — the leaf named β (Alg. 3
                     // line 14), falling back to f_n(β) if β is itself
                     // a leaf (line 17).
                     let sub = inv.intersect(&subrange);
-                    queue.push_back(Task {
-                        target: beta,
-                        fallback: Some(name(&beta)),
-                        recover_bound: Some(sub.lo_key()),
-                        subrange: sub,
-                        step: step + 1,
-                    });
+                    enqueue(
+                        frontier,
+                        Task {
+                            target: beta,
+                            fallback: Some(name(&beta)),
+                            recover_bound: Some(sub.lo_key()),
+                            subrange: sub,
+                            step: step + 1,
+                        },
+                    );
                     break;
                 }
             }
@@ -250,24 +284,30 @@ where
                 if inv.lo_raw() >= subrange.lo_raw() {
                     // Fully inside: enter at the far (left) edge leaf,
                     // named f_n(β); it walks back rightwards.
-                    queue.push_back(Task {
-                        target: name(&beta),
-                        fallback: None,
-                        recover_bound: Some(inv.lo_key()),
-                        subrange: inv,
-                        step: step + 1,
-                    });
+                    enqueue(
+                        frontier,
+                        Task {
+                            target: name(&beta),
+                            fallback: None,
+                            recover_bound: Some(inv.lo_key()),
+                            subrange: inv,
+                            step: step + 1,
+                        },
+                    );
                 } else {
                     // Partially covered: enter at the near (right)
                     // edge leaf, named β.
                     let sub = inv.intersect(&subrange);
-                    queue.push_back(Task {
-                        target: beta,
-                        fallback: Some(name(&beta)),
-                        recover_bound: Some(sub.max_key()),
-                        subrange: sub,
-                        step: step + 1,
-                    });
+                    enqueue(
+                        frontier,
+                        Task {
+                            target: beta,
+                            fallback: Some(name(&beta)),
+                            recover_bound: Some(sub.max_key()),
+                            subrange: sub,
+                            step: step + 1,
+                        },
+                    );
                     break;
                 }
             }

@@ -660,15 +660,29 @@ impl<V> Ring<V> {
         self.live_successor(id)
     }
 
-    /// Iterative Chord lookup of the owner of identifier `h`, started
-    /// from a random initiator. Returns `(owner, hops)`.
-    fn route(&mut self, h: &U160) -> Result<(U160, u64), DhtError> {
+    /// Draws a random live initiator, as a client joining the overlay
+    /// at an arbitrary node would.
+    fn draw_initiator(&mut self) -> Result<U160, DhtError> {
         if self.nodes.is_empty() {
             return Err(DhtError::EmptyRing);
         }
         let ids: Vec<U160> = self.nodes.keys().copied().collect();
-        let start = ids[self.rng.gen_range(0..ids.len())];
-        let mut cur = start;
+        Ok(ids[self.rng.gen_range(0..ids.len())])
+    }
+
+    /// Iterative Chord lookup of the owner of identifier `h`, started
+    /// from a random initiator. Returns `(owner, hops)`.
+    fn route(&mut self, h: &U160) -> Result<(U160, u64), DhtError> {
+        let start = self.draw_initiator()?;
+        self.route_from(&start, h)
+    }
+
+    /// Iterative Chord lookup of the owner of `h` from a fixed
+    /// initiator. Batched rounds share one initiator across all their
+    /// finger walks — the round is issued by one client — while each
+    /// walk still routes (and is charged hops) independently.
+    fn route_from(&self, start: &U160, h: &U160) -> Result<(U160, u64), DhtError> {
+        let mut cur = *start;
         let mut hops: u64 = 0;
         loop {
             if hops > self.cfg.max_hops {
@@ -882,6 +896,70 @@ impl<V: Clone> Dht for ChordDht<V> {
             );
         }
         Ok(())
+    }
+
+    fn multi_get(&self, keys: &[DhtKey]) -> Vec<Result<Option<V>, DhtError>> {
+        let mut inner = self.inner.lock();
+        let start = match inner.draw_initiator() {
+            Ok(s) => s,
+            Err(e) => return keys.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let mut out = Vec::with_capacity(keys.len());
+        let mut ops = Vec::with_capacity(keys.len());
+        for key in keys {
+            match inner.route_from(&start, &key.hash()) {
+                Ok((owner, hops)) => {
+                    let found = inner.nodes[&owner]
+                        .store
+                        .get(key)
+                        .and_then(|s| s.value.clone());
+                    ops.push((
+                        DhtOp::Get {
+                            found: found.is_some(),
+                        },
+                        hops,
+                    ));
+                    out.push(Ok(found));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        inner.stats.record_batch(ops);
+        out
+    }
+
+    fn multi_put(&self, entries: Vec<(DhtKey, V)>) -> Vec<Result<(), DhtError>> {
+        let mut inner = self.inner.lock();
+        let start = match inner.draw_initiator() {
+            Ok(s) => s,
+            Err(e) => return entries.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let mut out = Vec::with_capacity(entries.len());
+        let mut ops = Vec::with_capacity(entries.len());
+        for (key, value) in entries {
+            match inner.route_from(&start, &key.hash()) {
+                Ok((owner, hops)) => {
+                    inner.clock += 1;
+                    let stored = Stored {
+                        seq: inner.clock,
+                        value: Some(value),
+                    };
+                    let replicas = inner.replica_set(&owner);
+                    ops.push((DhtOp::Put, hops + replicas.len() as u64 - 1));
+                    for r in replicas {
+                        merge_copy(
+                            &mut inner.nodes.get_mut(&r).expect("replica is live").store,
+                            key.clone(),
+                            stored.clone(),
+                        );
+                    }
+                    out.push(Ok(()));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        inner.stats.record_batch(ops);
+        out
     }
 
     fn stats(&self) -> DhtStats {

@@ -132,6 +132,36 @@ impl<V: Clone> Dht for DirectDht<V> {
         Ok(())
     }
 
+    fn multi_get(&self, keys: &[DhtKey]) -> Vec<Result<Option<V>, DhtError>> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::with_capacity(keys.len());
+        let mut ops = Vec::with_capacity(keys.len());
+        for key in keys {
+            let found = inner.store.get(key).cloned();
+            ops.push((
+                DhtOp::Get {
+                    found: found.is_some(),
+                },
+                1,
+            ));
+            out.push(Ok(found));
+        }
+        inner.stats.record_batch(ops);
+        out
+    }
+
+    fn multi_put(&self, entries: Vec<(DhtKey, V)>) -> Vec<Result<(), DhtError>> {
+        let mut inner = self.inner.lock();
+        let n = entries.len();
+        let mut ops = Vec::with_capacity(n);
+        for (key, value) in entries {
+            inner.store.insert(key, value);
+            ops.push((DhtOp::Put, 1));
+        }
+        inner.stats.record_batch(ops);
+        vec![Ok(()); n]
+    }
+
     fn stats(&self) -> DhtStats {
         self.inner.lock().stats
     }
@@ -215,6 +245,28 @@ mod tests {
         assert_eq!(s.lookups(), 5);
         assert_eq!(s.hops, 5);
         assert_eq!(s.hops_per_lookup(), 1.0);
+    }
+
+    #[test]
+    fn batches_charge_one_round() {
+        let dht: DirectDht<u32> = DirectDht::new();
+        for r in dht.multi_put(vec![(k("a"), 1), (k("b"), 2)]) {
+            r.unwrap();
+        }
+        let got: Vec<_> = dht
+            .multi_get(&[k("a"), k("b"), k("c")])
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got, vec![Some(1), Some(2), None]);
+        let s = dht.stats();
+        // Bandwidth view: all five ops counted individually.
+        assert_eq!(s.lookups(), 5);
+        assert_eq!(s.hops, 5);
+        assert_eq!(s.failed_gets, 1);
+        // Parallel view: two rounds, one hop of critical path each.
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.round_hops, 2);
     }
 
     #[test]

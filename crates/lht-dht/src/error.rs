@@ -52,6 +52,20 @@ impl DhtError {
     pub fn is_transient(&self) -> bool {
         matches!(self, DhtError::Dropped { .. } | DhtError::Timeout { .. })
     }
+
+    /// Simulated milliseconds the sender waited before this failure
+    /// surfaced — the timeout budget for [`Dropped`]/[`Timeout`], 0
+    /// for structural failures that fail fast. Retry layers charge
+    /// this against the per-op deadline.
+    ///
+    /// [`Dropped`]: DhtError::Dropped
+    /// [`Timeout`]: DhtError::Timeout
+    pub fn waited_ms(&self) -> u64 {
+        match self {
+            DhtError::Dropped { waited_ms } | DhtError::Timeout { waited_ms } => *waited_ms,
+            _ => 0,
+        }
+    }
 }
 
 impl fmt::Display for DhtError {

@@ -274,27 +274,72 @@ impl<D> FaultyDht<D> {
         self.state.lock().rpcs
     }
 
-    /// Decides the fate of one RPC attempt for `key`: `Err` if the
-    /// network ate it (fault counters charged), `Ok` if delivered
-    /// (latency charged).
-    fn admit(&self, key: &DhtKey) -> Result<(), DhtError> {
-        let mut st = self.state.lock();
+    /// Decides the fate of one RPC attempt for `key` and charges the
+    /// per-attempt (sum + histogram) counters: `Err` if the network
+    /// ate it, `Ok(latency)` if delivered. Round (critical-path)
+    /// latency is *not* charged here — the caller charges one round
+    /// wait per round, which for a batch is the max over its
+    /// attempts. A zero drawn latency charges nothing, keeping a
+    /// reliable zero-latency profile byte-transparent.
+    fn admit_one(profile: &NetProfile, st: &mut FaultState, key: &DhtKey) -> Result<u64, DhtError> {
         let rpc = st.rpcs;
         st.rpcs += 1;
-        let p = self.profile.effective_drop(rpc, key);
+        let p = profile.effective_drop(rpc, key);
         if p > 0.0 && st.rng.gen_bool(p) {
-            let waited_ms = self.profile.timeout_ms;
+            let waited_ms = profile.timeout_ms;
             st.faults.record_failed_attempt(waited_ms, false);
             return Err(DhtError::Dropped { waited_ms });
         }
-        let latency = self.profile.latency.sample(&mut st.rng);
-        if latency > self.profile.timeout_ms {
-            let waited_ms = self.profile.timeout_ms;
+        let latency = profile.latency.sample(&mut st.rng);
+        if latency > profile.timeout_ms {
+            let waited_ms = profile.timeout_ms;
             st.faults.record_failed_attempt(waited_ms, true);
             return Err(DhtError::Timeout { waited_ms });
         }
-        st.faults.latency_ms += latency;
+        if latency > 0 {
+            st.faults.record_delivery(latency);
+        }
+        Ok(latency)
+    }
+
+    /// Single-op admission: a one-attempt round, so the attempt's
+    /// wait (delivery latency or full timeout) is also the round's
+    /// critical-path wait.
+    fn admit(&self, key: &DhtKey) -> Result<(), DhtError> {
+        let mut st = self.state.lock();
+        let wait = match Self::admit_one(&self.profile, &mut st, key) {
+            Ok(latency) => latency,
+            Err(e) => {
+                st.faults.record_round_latency(e.waited_ms());
+                return Err(e);
+            }
+        };
+        st.faults.record_round_latency(wait);
         Ok(())
+    }
+
+    /// Batch admission: every attempt draws its fate independently
+    /// (in batch order, so fault sequences stay replayable), the sum
+    /// counters charge each wait, and the round charges only the max
+    /// wait — all attempts of a round are in flight concurrently.
+    /// Returns one fate per key: `Ok(())` means admitted.
+    fn admit_round<'a>(&self, keys: impl Iterator<Item = &'a DhtKey>) -> Vec<Result<(), DhtError>> {
+        let mut st = self.state.lock();
+        let mut max_wait = 0u64;
+        let fates: Vec<Result<(), DhtError>> = keys
+            .map(|key| match Self::admit_one(&self.profile, &mut st, key) {
+                Ok(latency) => {
+                    max_wait = max_wait.max(latency);
+                    Ok(())
+                }
+                Err(e) => {
+                    max_wait = max_wait.max(e.waited_ms());
+                    Err(e)
+                }
+            })
+            .collect();
+        st.faults.record_round_latency(max_wait);
+        fates
     }
 }
 
@@ -323,6 +368,49 @@ impl<D: Dht> Dht for FaultyDht<D> {
     ) -> Result<(), DhtError> {
         self.admit(key)?;
         self.inner.update(key, f)
+    }
+
+    fn multi_get(&self, keys: &[DhtKey]) -> Vec<Result<Option<Self::Value>, DhtError>> {
+        let fates = self.admit_round(keys.iter());
+        // Deliver the admitted subset as one (smaller) round on the
+        // inner substrate; dropped round-mates fail independently.
+        let admitted: Vec<DhtKey> = keys
+            .iter()
+            .zip(&fates)
+            .filter(|(_, fate)| fate.is_ok())
+            .map(|(key, _)| key.clone())
+            .collect();
+        let mut delivered = self.inner.multi_get(&admitted).into_iter();
+        fates
+            .into_iter()
+            .map(|fate| match fate {
+                Ok(()) => delivered.next().expect("one result per admitted key"),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    fn multi_put(&self, entries: Vec<(DhtKey, Self::Value)>) -> Vec<Result<(), DhtError>> {
+        let fates = self.admit_round(entries.iter().map(|(key, _)| key));
+        let mut admitted = Vec::new();
+        let mut slots: Vec<Option<Result<(), DhtError>>> = Vec::with_capacity(entries.len());
+        for (entry, fate) in entries.into_iter().zip(fates) {
+            match fate {
+                Ok(()) => {
+                    admitted.push(entry);
+                    slots.push(None);
+                }
+                Err(e) => slots.push(Some(Err(e))),
+            }
+        }
+        let mut delivered = self.inner.multi_put(admitted).into_iter();
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some(failed) => failed,
+                None => delivered.next().expect("one result per admitted entry"),
+            })
+            .collect()
     }
 
     fn stats(&self) -> DhtStats {
@@ -466,6 +554,46 @@ mod tests {
         assert!(s.latency_ms > 0);
         dht.reset_stats();
         assert_eq!(dht.stats(), DhtStats::default());
+    }
+
+    #[test]
+    fn reliable_profile_is_transparent_for_batches() {
+        let bare: DirectDht<u32> = DirectDht::new();
+        let wrapped = FaultyDht::new(DirectDht::<u32>::new(), NetProfile::reliable(7));
+        let entries: Vec<_> = (0..20u32).map(|i| (k(&format!("k{i}")), i)).collect();
+        for r in bare.multi_put(entries.clone()) {
+            r.unwrap();
+        }
+        for r in wrapped.multi_put(entries) {
+            r.unwrap();
+        }
+        let keys: Vec<_> = (0..25u32).map(|i| k(&format!("k{i}"))).collect();
+        let a: Vec<_> = bare.multi_get(&keys).into_iter().collect();
+        let b: Vec<_> = wrapped.multi_get(&keys).into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(bare.stats(), wrapped.stats(), "stats byte-identical at p=0");
+    }
+
+    #[test]
+    fn batch_drops_are_per_op_and_round_latency_is_max() {
+        let dht = FaultyDht::new(DirectDht::<u32>::new(), NetProfile::lossy(21, 0.3));
+        let entries: Vec<_> = (0..50u32).map(|i| (k(&format!("k{i}")), i)).collect();
+        let fates = dht.multi_put(entries);
+        let ok = fates.iter().filter(|r| r.is_ok()).count();
+        assert!(ok > 0 && ok < 50, "mixed fates within one batch: {ok}");
+        // Drops are per-op: exactly the admitted subset landed.
+        assert_eq!(dht.inner().len(), ok);
+        let s = dht.stats();
+        assert_eq!(s.puts as usize, ok);
+        assert_eq!(s.lookups() as usize, ok, "dropped ops are not lookups");
+        // The admitted subset is one round on the inner substrate, and
+        // the round's critical-path wait is the max attempt wait —
+        // bounded by the timeout, far below the 50 summed waits.
+        assert_eq!(s.rounds, 1);
+        assert!(s.round_latency_ms <= dht.profile().timeout_ms);
+        assert!(s.round_latency_ms < s.latency_ms);
+        // Every attempt (delivered or dropped) left a histogram sample.
+        assert_eq!(s.latency_hist.samples(), 50);
     }
 
     #[test]

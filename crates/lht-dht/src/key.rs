@@ -2,7 +2,10 @@
 
 use lht_id::{sha1, U160};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 /// A DHT key `κ` — the name under which a value is stored on the ring.
 ///
@@ -10,6 +13,13 @@ use std::fmt;
 /// DHT key produced by the naming function; the DHT maps the key to the
 /// peer responsible for `hash(κ)`. Keys here are arbitrary byte strings
 /// (index layers use the textual label rendering, e.g. `"#0110"`).
+///
+/// The ring position is memoized: the first call to [`DhtKey::hash`]
+/// runs SHA-1 and caches the digest, so routing a key through several
+/// layers (fault injection, replication, per-replica placement) hashes
+/// it at most once. Cloning a key carries an already-computed digest
+/// along. Equality, ordering and `Hash` look only at the bytes — the
+/// cache is invisible.
 ///
 /// # Examples
 ///
@@ -21,36 +31,84 @@ use std::fmt;
 /// // `hash` is the consistent-hash position on the 160-bit ring.
 /// let _ring_position = k.hash();
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct DhtKey(Vec<u8>);
+#[derive(Serialize, Deserialize)]
+pub struct DhtKey {
+    bytes: Vec<u8>,
+    /// Lazily computed SHA-1 of `bytes`. Never exposed; rebuilt on
+    /// demand, so skipping it in `Clone`/`Eq`/`Hash` is sound.
+    ring: OnceLock<U160>,
+}
 
 impl DhtKey {
     /// Creates a key from raw bytes.
     pub fn new(bytes: impl Into<Vec<u8>>) -> DhtKey {
-        DhtKey(bytes.into())
+        DhtKey {
+            bytes: bytes.into(),
+            ring: OnceLock::new(),
+        }
     }
 
     /// The key's byte content.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        &self.bytes
     }
 
     /// The key's consistent-hash position on the identifier ring
-    /// (SHA-1, as in Chord/Bamboo).
+    /// (SHA-1, as in Chord/Bamboo), computed on first use and cached
+    /// for the lifetime of this key and any clones taken afterwards.
     pub fn hash(&self) -> U160 {
-        sha1(&self.0)
+        *self.ring.get_or_init(|| sha1(&self.bytes))
+    }
+}
+
+impl Clone for DhtKey {
+    fn clone(&self) -> DhtKey {
+        let ring = OnceLock::new();
+        if let Some(h) = self.ring.get() {
+            let _ = ring.set(*h);
+        }
+        DhtKey {
+            bytes: self.bytes.clone(),
+            ring,
+        }
+    }
+}
+
+impl PartialEq for DhtKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for DhtKey {}
+
+impl PartialOrd for DhtKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DhtKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bytes.cmp(&other.bytes)
+    }
+}
+
+impl Hash for DhtKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.bytes.hash(state);
     }
 }
 
 impl From<&str> for DhtKey {
     fn from(s: &str) -> Self {
-        DhtKey(s.as_bytes().to_vec())
+        DhtKey::new(s.as_bytes().to_vec())
     }
 }
 
 impl From<String> for DhtKey {
     fn from(s: String) -> Self {
-        DhtKey(s.into_bytes())
+        DhtKey::new(s.into_bytes())
     }
 }
 
@@ -62,9 +120,9 @@ impl fmt::Debug for DhtKey {
 
 impl fmt::Display for DhtKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match std::str::from_utf8(&self.0) {
+        match std::str::from_utf8(&self.bytes) {
             Ok(s) => f.write_str(s),
-            Err(_) => write!(f, "0x{}", hex(&self.0)),
+            Err(_) => write!(f, "0x{}", hex(&self.bytes)),
         }
     }
 }
@@ -87,6 +145,18 @@ mod tests {
     fn hash_is_sha1_of_bytes() {
         assert_eq!(DhtKey::from("#0").hash(), sha1(b"#0"));
         assert_ne!(DhtKey::from("#0").hash(), DhtKey::from("#1").hash());
+    }
+
+    #[test]
+    fn hash_is_memoized_and_clones_carry_it() {
+        let k = DhtKey::from("#0110");
+        let first = k.hash();
+        assert_eq!(k.hash(), first);
+        // A clone taken after hashing carries the digest; equality and
+        // ordering ignore the cache entirely.
+        let c = k.clone();
+        assert_eq!(c, k);
+        assert_eq!(c.hash(), first);
     }
 
     #[test]

@@ -57,5 +57,5 @@ pub use error::DhtError;
 pub use fault::{Brownout, FaultyDht, LatencyProfile, NetProfile};
 pub use key::DhtKey;
 pub use retry::{Backoffs, RetriedDht, RetryPolicy};
-pub use stats::{DhtOp, DhtStats};
+pub use stats::{DhtOp, DhtStats, LatencyHistogram};
 pub use traits::Dht;

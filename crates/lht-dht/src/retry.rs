@@ -204,7 +204,10 @@ impl<D: Dht> RetriedDht<D> {
             if attempt_no > 0 {
                 let delay = backoffs.next().unwrap_or(0);
                 waited_ms = waited_ms.saturating_add(delay);
-                self.state.lock().extra.record_retry(delay);
+                let mut st = self.state.lock();
+                st.extra.record_retry(delay);
+                // A lone op's backoff is its own critical path.
+                st.extra.record_round_latency(delay);
             }
             let before = self.inner.stats();
             match attempt(&self.inner) {
@@ -223,6 +226,76 @@ impl<D: Dht> RetriedDht<D> {
             }
         }
         Err(last_err.expect("loop ran at least one attempt"))
+    }
+
+    /// Runs one logical *batch*: issues the whole batch, then
+    /// re-sends only the transiently-failed subset each retry round
+    /// (successes and structural errors are final). Each op keeps its
+    /// own jitter stream, deadline budget and attempt count, exactly
+    /// as if retried alone; what batching changes is the wall clock —
+    /// pending ops back off concurrently, so each retry round's
+    /// critical path is the *max* backoff rather than the sum.
+    ///
+    /// `issue(indices)` executes one round for the ops at `indices`
+    /// (into the original batch) and returns one result per index.
+    fn run_batch<T>(
+        &self,
+        batch_len: usize,
+        mut issue: impl FnMut(&D, &[usize]) -> Vec<Result<T, DhtError>>,
+    ) -> Vec<Result<T, DhtError>> {
+        if batch_len == 0 {
+            return Vec::new();
+        }
+        let first_op = {
+            let mut st = self.state.lock();
+            let i = st.ops;
+            st.ops += batch_len as u64;
+            i
+        };
+        let mut backoffs: Vec<Backoffs> = (0..batch_len)
+            .map(|i| self.policy.backoffs(first_op + i as u64))
+            .collect();
+        let mut waited_ms = vec![0u64; batch_len];
+        let mut results: Vec<Option<Result<T, DhtError>>> = (0..batch_len).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..batch_len).collect();
+        let max_attempts = self.policy.max_attempts.max(1);
+        for attempt_no in 0..max_attempts {
+            if attempt_no > 0 {
+                let mut st = self.state.lock();
+                let mut max_delay = 0u64;
+                for &i in &pending {
+                    let delay = backoffs[i].next().unwrap_or(0);
+                    waited_ms[i] = waited_ms[i].saturating_add(delay);
+                    st.extra.record_retry(delay);
+                    max_delay = max_delay.max(delay);
+                }
+                st.extra.record_round_latency(max_delay);
+            }
+            let round = issue(&self.inner, &pending);
+            debug_assert_eq!(round.len(), pending.len());
+            let mut still = Vec::new();
+            for (&i, res) in pending.iter().zip(round) {
+                match res {
+                    Err(e) if e.is_transient() => {
+                        waited_ms[i] = waited_ms[i].saturating_add(e.waited_ms());
+                        if attempt_no + 1 < max_attempts && waited_ms[i] < self.policy.deadline_ms {
+                            still.push(i);
+                        } else {
+                            results[i] = Some(Err(e));
+                        }
+                    }
+                    settled => results[i] = Some(settled),
+                }
+            }
+            pending = still;
+            if pending.is_empty() {
+                break;
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every op settled within max_attempts"))
+            .collect()
     }
 }
 
@@ -252,6 +325,23 @@ where
         // Safe to re-send: a dropped attempt never ran `f` (faults
         // are request-path only), so `f` executes at most once.
         self.run(|d| d.update(key, f))
+    }
+
+    fn multi_get(&self, keys: &[DhtKey]) -> Vec<Result<Option<Self::Value>, DhtError>> {
+        self.run_batch(keys.len(), |d, indices| {
+            let round: Vec<DhtKey> = indices.iter().map(|&i| keys[i].clone()).collect();
+            d.multi_get(&round)
+        })
+    }
+
+    fn multi_put(&self, entries: Vec<(DhtKey, Self::Value)>) -> Vec<Result<(), DhtError>> {
+        self.run_batch(entries.len(), |d, indices| {
+            // Re-sends clone only the still-pending subset; faults are
+            // request-path only, so re-sending a put is safe.
+            let round: Vec<(DhtKey, Self::Value)> =
+                indices.iter().map(|&i| entries[i].clone()).collect();
+            d.multi_put(round)
+        })
     }
 
     fn stats(&self) -> DhtStats {
@@ -335,6 +425,33 @@ mod tests {
         assert_eq!(s.hops_per_lookup(), 1.0, "no silent inflation");
         // Latency: two timeout waits plus two backoff delays.
         assert!(s.latency_ms >= 2 * 250, "timeout waits charged");
+    }
+
+    #[test]
+    fn batch_retries_only_the_failed_subset() {
+        let dht = lossy_stack(17, 0.3, RetryPolicy::default());
+        let entries: Vec<_> = (0..100u32).map(|i| (k(&format!("k{i}")), i)).collect();
+        for r in dht.multi_put(entries) {
+            r.unwrap();
+        }
+        let keys: Vec<_> = (0..100u32).map(|i| k(&format!("k{i}"))).collect();
+        for (i, r) in dht.multi_get(&keys).into_iter().enumerate() {
+            assert_eq!(r.unwrap(), Some(i as u32), "all values masked through loss");
+        }
+        let s = dht.stats();
+        assert_eq!(s.puts, 100, "each put is one logical lookup");
+        assert_eq!(s.gets, 100);
+        assert!(s.drops > 0, "the loss was really there");
+        assert!(s.retries >= s.drops, "every drop was retried");
+        // Only the failed subset re-issues: each retry round is one
+        // (shrinking) batch, so the round count stays far below the
+        // 200 one-op rounds sequential execution would charge.
+        assert!(
+            s.rounds >= 2 && s.rounds <= 20,
+            "expected a handful of shrinking rounds, got {}",
+            s.rounds
+        );
+        assert!(s.round_latency_ms < s.latency_ms, "parallel beats serial");
     }
 
     #[test]

@@ -20,6 +20,129 @@ pub enum DhtOp {
     Update,
 }
 
+/// Number of log₂ latency buckets. Bucket `b` holds samples in
+/// `[2^(b-1), 2^b)` ms (bucket 0 holds exact zeros); the last bucket
+/// absorbs everything at or above `2^(BUCKETS-2)` ms (~4.4 minutes),
+/// far beyond any simulated timeout.
+const BUCKETS: usize = 20;
+
+/// A fixed-size log₂ histogram of per-attempt RPC waits (simulated
+/// milliseconds), cheap enough to live inside the [`Copy`]
+/// [`DhtStats`] snapshot.
+///
+/// Mean latency hides tail spikes — the paper's Fig. 10 argument is
+/// about *worst-case chains* of sequential round trips — so the fault
+/// layer feeds every attempt's wait (successful delivery latency or a
+/// full timeout wait) in here, and [`p50`]/[`p99`] read conservative
+/// upper-bound percentiles back out. Bucketing costs one
+/// `leading_zeros`; percentile error is at most 2× (one binary order
+/// of magnitude), which is ample for comparing latency *profiles*.
+///
+/// [`p50`]: LatencyHistogram::p50
+/// [`p99`]: LatencyHistogram::p99
+///
+/// # Examples
+///
+/// ```
+/// use lht_dht::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::default();
+/// for _ in 0..95 {
+///     h.record(10); // fast path
+/// }
+/// for _ in 0..5 {
+///     h.record(5_000); // 5% tail spikes
+/// }
+/// assert!(h.p50() < 20);
+/// assert!(h.p99() >= 5_000);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn bucket(ms: u64) -> usize {
+        if ms == 0 {
+            0
+        } else {
+            ((64 - ms.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Upper bound (inclusive) of a bucket, used as the reported
+    /// percentile value so estimates err high, never low.
+    fn upper_bound(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            (1u64 << bucket) - 1
+        }
+    }
+
+    /// Records one wait of `ms` simulated milliseconds.
+    pub fn record(&mut self, ms: u64) {
+        self.counts[Self::bucket(ms)] += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a conservative upper bound
+    /// in milliseconds, or 0 when no samples were recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.samples();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::upper_bound(b);
+            }
+        }
+        Self::upper_bound(BUCKETS - 1)
+    }
+
+    /// Median per-attempt wait (upper bound, ms).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile per-attempt wait (upper bound, ms).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl Sub for LatencyHistogram {
+    type Output = LatencyHistogram;
+
+    fn sub(self, rhs: LatencyHistogram) -> LatencyHistogram {
+        let mut counts = [0u64; BUCKETS];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = self.counts[i] - rhs.counts[i];
+        }
+        LatencyHistogram { counts }
+    }
+}
+
+impl Add for LatencyHistogram {
+    type Output = LatencyHistogram;
+
+    fn add(self, rhs: LatencyHistogram) -> LatencyHistogram {
+        let mut counts = [0u64; BUCKETS];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = self.counts[i] + rhs.counts[i];
+        }
+        LatencyHistogram { counts }
+    }
+}
+
 /// Cumulative operation counters for a DHT instance.
 ///
 /// The paper's cost model (§8.1) charges `ȷ` units per DHT-lookup and
@@ -35,18 +158,34 @@ pub enum DhtOp {
 ///
 /// # The accounting choke point
 ///
-/// All operation/hop accounting funnels through [`record_op`]
-/// (completed logical operations), [`record_failed_attempt`] (RPC
-/// attempts lost to the simulated network) and [`record_retry`]
-/// (re-sent attempts and their backoff waits). The invariant this
-/// enforces: **a failed or retried delivery attempt never counts as a
-/// DHT-lookup** — it shows up in `drops`/`timeouts`/`retries` and in
-/// `hops`/`latency_ms`, but not in the [`lookups`] denominator. A
-/// retried `get` therefore *honestly inflates* [`hops_per_lookup`]
-/// (extra hops over one logical lookup) instead of silently hiding
-/// the inflation behind a double-counted denominator.
+/// All operation/hop accounting funnels through [`record_op`] /
+/// [`record_batch`] (completed logical operations),
+/// [`record_failed_attempt`] (RPC attempts lost to the simulated
+/// network) and [`record_retry`] (re-sent attempts and their backoff
+/// waits). The invariant this enforces: **a failed or retried
+/// delivery attempt never counts as a DHT-lookup** — it shows up in
+/// `drops`/`timeouts`/`retries` and in `hops`/`latency_ms`, but not
+/// in the [`lookups`] denominator. A retried `get` therefore
+/// *honestly inflates* [`hops_per_lookup`] (extra hops over one
+/// logical lookup) instead of silently hiding the inflation behind a
+/// double-counted denominator.
+///
+/// # Rounds: the parallelism model
+///
+/// Alongside the *sum* counters (bandwidth), `DhtStats` keeps *round*
+/// counters (parallel wall-clock). A round is one synchronized batch
+/// of concurrently issued operations: a batch of `k` ops recorded via
+/// [`record_batch`] counts `k` lookups and `sum(hops)` bandwidth but
+/// only **one round** charging **max(hops)** to `round_hops` — the
+/// critical path a client waiting on the whole round experiences.
+/// Single operations are one-op rounds, so for a purely sequential
+/// workload `rounds == lookups()` and `round_hops == hops`; batching
+/// strictly shrinks the round side while leaving the sums intact.
+/// `round_latency_ms` is maintained by the fault/retry layers the
+/// same way (max wait per round vs. summed waits in `latency_ms`).
 ///
 /// [`record_op`]: DhtStats::record_op
+/// [`record_batch`]: DhtStats::record_batch
 /// [`record_failed_attempt`]: DhtStats::record_failed_attempt
 /// [`record_retry`]: DhtStats::record_retry
 /// [`lookups`]: DhtStats::lookups
@@ -64,6 +203,7 @@ pub enum DhtOp {
 /// dht.get(&DhtKey::from("a"))?;
 /// let cost = dht.stats() - before;
 /// assert_eq!(cost.lookups(), 2);
+/// assert_eq!(cost.rounds, 2); // sequential ops are one-op rounds
 /// # Ok::<(), lht_dht::DhtError>(())
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -78,7 +218,8 @@ pub struct DhtStats {
     pub removes: u64,
     /// Number of `update` (execute-at-owner) operations.
     pub updates: u64,
-    /// Physical routing hops across all operations.
+    /// Physical routing hops across all operations (bandwidth view:
+    /// every op's hops are summed, batched or not).
     pub hops: u64,
     /// Keys transferred between nodes by churn (join/leave handoff).
     pub keys_transferred: u64,
@@ -90,15 +231,26 @@ pub struct DhtStats {
     pub retries: u64,
     /// Simulated wall-clock milliseconds spent waiting: successful
     /// RPC latency, full timeout waits for dropped/timed-out
-    /// attempts, and retry backoff delays.
+    /// attempts, and retry backoff delays. This is the *sequential*
+    /// (sum) view; see `round_latency_ms` for the parallel one.
     pub latency_ms: u64,
+    /// Number of execution rounds: batches count once, single ops are
+    /// one-op rounds. Always `<= lookups()`.
+    pub rounds: u64,
+    /// Critical-path hops: each round contributes the max hops of its
+    /// ops. Always `<= hops`.
+    pub round_hops: u64,
+    /// Critical-path simulated latency: each round contributes the
+    /// max wait of its attempts (fault delivery latency, timeout
+    /// waits, retry backoffs). Always `<= latency_ms`; equal for
+    /// purely sequential execution.
+    pub round_latency_ms: u64,
+    /// Log₂ histogram of per-attempt RPC waits, for p50/p99.
+    pub latency_hist: LatencyHistogram,
 }
 
 impl DhtStats {
-    /// Records one completed logical operation and the physical hops
-    /// it took. This is the only path that increments the operation
-    /// counters entering [`lookups`](DhtStats::lookups).
-    pub fn record_op(&mut self, op: DhtOp, hops: u64) {
+    fn tally_op(&mut self, op: DhtOp, hops: u64) {
         match op {
             DhtOp::Get { found } => {
                 self.gets += 1;
@@ -113,9 +265,58 @@ impl DhtStats {
         self.hops += hops;
     }
 
+    /// Records one completed logical operation and the physical hops
+    /// it took, as a one-op round. This is the only single-op path
+    /// that increments the operation counters entering
+    /// [`lookups`](DhtStats::lookups).
+    pub fn record_op(&mut self, op: DhtOp, hops: u64) {
+        self.tally_op(op, hops);
+        self.rounds += 1;
+        self.round_hops += hops;
+    }
+
+    /// Records a batch of concurrently executed operations as a
+    /// single round: every op enters the sum counters (`lookups`,
+    /// `hops`) individually, while the round side charges one round
+    /// at the *max* hops — the batch's critical path. An empty batch
+    /// records nothing.
+    pub fn record_batch<I>(&mut self, ops: I)
+    where
+        I: IntoIterator<Item = (DhtOp, u64)>,
+    {
+        let mut max_hops = 0u64;
+        let mut any = false;
+        for (op, hops) in ops {
+            any = true;
+            max_hops = max_hops.max(hops);
+            self.tally_op(op, hops);
+        }
+        if any {
+            self.rounds += 1;
+            self.round_hops += max_hops;
+        }
+    }
+
+    /// Records the simulated delivery latency of one successful RPC
+    /// attempt into the sum counter and the percentile histogram.
+    /// Round latency is charged separately (per round, at the max)
+    /// via [`record_round_latency`](DhtStats::record_round_latency).
+    pub fn record_delivery(&mut self, latency_ms: u64) {
+        self.latency_ms += latency_ms;
+        self.latency_hist.record(latency_ms);
+    }
+
+    /// Charges `ms` to the critical-path latency. Fault/retry layers
+    /// call this once per round with the max wait of the round (which
+    /// for a single op is just that op's wait).
+    pub fn record_round_latency(&mut self, ms: u64) {
+        self.round_latency_ms += ms;
+    }
+
     /// Records an RPC attempt lost to the simulated network after
     /// waiting `waited_ms` (the timeout threshold): a timeout if
-    /// `timed_out`, otherwise a drop. Never counts a DHT-lookup.
+    /// `timed_out`, otherwise a drop. The wait enters the sum latency
+    /// and the percentile histogram. Never counts a DHT-lookup.
     pub fn record_failed_attempt(&mut self, waited_ms: u64, timed_out: bool) {
         if timed_out {
             self.timeouts += 1;
@@ -123,6 +324,7 @@ impl DhtStats {
             self.drops += 1;
         }
         self.latency_ms += waited_ms;
+        self.latency_hist.record(waited_ms);
     }
 
     /// Records one re-sent attempt and the backoff delay that
@@ -160,6 +362,16 @@ impl DhtStats {
             self.latency_ms as f64 / l as f64
         }
     }
+
+    /// Median per-attempt RPC wait (upper bound, ms).
+    pub fn latency_p50(&self) -> u64 {
+        self.latency_hist.p50()
+    }
+
+    /// 99th-percentile per-attempt RPC wait (upper bound, ms).
+    pub fn latency_p99(&self) -> u64 {
+        self.latency_hist.p99()
+    }
 }
 
 impl Sub for DhtStats {
@@ -178,6 +390,10 @@ impl Sub for DhtStats {
             timeouts: self.timeouts - rhs.timeouts,
             retries: self.retries - rhs.retries,
             latency_ms: self.latency_ms - rhs.latency_ms,
+            rounds: self.rounds - rhs.rounds,
+            round_hops: self.round_hops - rhs.round_hops,
+            round_latency_ms: self.round_latency_ms - rhs.round_latency_ms,
+            latency_hist: self.latency_hist - rhs.latency_hist,
         }
     }
 }
@@ -198,6 +414,10 @@ impl Add for DhtStats {
             timeouts: self.timeouts + rhs.timeouts,
             retries: self.retries + rhs.retries,
             latency_ms: self.latency_ms + rhs.latency_ms,
+            rounds: self.rounds + rhs.rounds,
+            round_hops: self.round_hops + rhs.round_hops,
+            round_latency_ms: self.round_latency_ms + rhs.round_latency_ms,
+            latency_hist: self.latency_hist + rhs.latency_hist,
         }
     }
 }
@@ -225,6 +445,8 @@ mod tests {
     fn zero_lookups_zero_rate() {
         assert_eq!(DhtStats::default().hops_per_lookup(), 0.0);
         assert_eq!(DhtStats::default().latency_per_lookup(), 0.0);
+        assert_eq!(DhtStats::default().latency_p50(), 0);
+        assert_eq!(DhtStats::default().latency_p99(), 0);
     }
 
     #[test]
@@ -242,6 +464,49 @@ mod tests {
         assert_eq!(s.updates, 1);
         assert_eq!(s.hops, 15);
         assert_eq!(s.lookups(), 5);
+        // Sequential ops are one-op rounds: the round view collapses
+        // to the sum view.
+        assert_eq!(s.rounds, 5);
+        assert_eq!(s.round_hops, 15);
+    }
+
+    #[test]
+    fn batch_charges_one_round_at_max_hops() {
+        let mut s = DhtStats::default();
+        s.record_batch([
+            (DhtOp::Get { found: true }, 3),
+            (DhtOp::Get { found: false }, 7),
+            (DhtOp::Put, 2),
+        ]);
+        // Bandwidth view: every op counted, hops summed.
+        assert_eq!(s.lookups(), 3);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.failed_gets, 1);
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.hops, 12);
+        // Parallel view: one round at the critical path.
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.round_hops, 7);
+    }
+
+    #[test]
+    fn empty_batch_records_nothing() {
+        let mut s = DhtStats::default();
+        s.record_batch(std::iter::empty());
+        assert_eq!(s, DhtStats::default());
+    }
+
+    #[test]
+    fn rounds_never_exceed_lookups() {
+        let mut s = DhtStats::default();
+        s.record_op(DhtOp::Put, 4);
+        s.record_batch((0..8).map(|i| (DhtOp::Get { found: true }, i)));
+        s.record_batch([(DhtOp::Remove, 9)]);
+        assert_eq!(s.lookups(), 10);
+        assert_eq!(s.rounds, 3);
+        assert!(s.rounds <= s.lookups());
+        assert!(s.round_hops <= s.hops);
+        assert_eq!(s.round_hops, 4 + 7 + 9);
     }
 
     #[test]
@@ -262,6 +527,54 @@ mod tests {
     }
 
     #[test]
+    fn histogram_buckets_are_log2_with_upper_bound_readout() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.quantile(0.0), 0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        // 4 samples in buckets {0:1, 1:1, 2:2}; the median (rank 2)
+        // lands in bucket 1, reported as its upper bound 1.
+        assert_eq!(h.samples(), 4);
+        assert_eq!(h.p50(), 1);
+        // rank ceil(0.99*4)=4 lands in bucket 2, upper bound 3.
+        assert_eq!(h.p99(), 3);
+    }
+
+    #[test]
+    fn percentiles_split_fast_path_from_tail() {
+        let mut s = DhtStats::default();
+        for _ in 0..980 {
+            s.record_delivery(12); // LAN-ish fast path
+        }
+        for _ in 0..20 {
+            s.record_failed_attempt(4_000, true); // 2% tail timeouts
+        }
+        let p50 = s.latency_p50();
+        let p99 = s.latency_p99();
+        assert!((12..24).contains(&p50), "p50 ~ fast path, got {p50}");
+        assert!(p99 >= 4_000, "p99 must surface the tail, got {p99}");
+        // The mean alone would smear the tail across everything:
+        // 1000 attempts, 0 lookups -> use raw sums to see it.
+        assert_eq!(s.latency_ms, 980 * 12 + 20 * 4_000);
+    }
+
+    #[test]
+    fn percentiles_survive_snapshot_subtraction() {
+        let mut before = DhtStats::default();
+        before.record_delivery(8);
+        let mut after = before;
+        for _ in 0..99 {
+            after.record_delivery(100);
+        }
+        let diff = after - before;
+        assert_eq!(diff.latency_hist.samples(), 99);
+        assert!(diff.latency_p50() >= 100);
+        assert_eq!(after, before + diff, "addition inverts subtraction");
+    }
+
+    #[test]
     fn subtraction_diffs_fieldwise() {
         let a = DhtStats {
             gets: 5,
@@ -275,6 +588,10 @@ mod tests {
             timeouts: 3,
             retries: 5,
             latency_ms: 900,
+            rounds: 9,
+            round_hops: 30,
+            round_latency_ms: 500,
+            latency_hist: LatencyHistogram::default(),
         };
         let b = DhtStats {
             gets: 1,
@@ -288,6 +605,10 @@ mod tests {
             timeouts: 1,
             retries: 2,
             latency_ms: 300,
+            rounds: 4,
+            round_hops: 8,
+            round_latency_ms: 200,
+            latency_hist: LatencyHistogram::default(),
         };
         let d = a - b;
         assert_eq!(d.gets, 4);
@@ -301,6 +622,9 @@ mod tests {
         assert_eq!(d.timeouts, 2);
         assert_eq!(d.retries, 3);
         assert_eq!(d.latency_ms, 600);
+        assert_eq!(d.rounds, 5);
+        assert_eq!(d.round_hops, 22);
+        assert_eq!(d.round_latency_ms, 300);
         assert_eq!(a, b + d, "addition inverts subtraction");
     }
 }

@@ -73,6 +73,43 @@ pub trait Dht {
         f: &mut dyn FnMut(&mut Option<Self::Value>),
     ) -> Result<(), DhtError>;
 
+    /// Fetches every key in `keys` as one concurrent batch (a
+    /// *round*), returning one result per key in order.
+    ///
+    /// The default implementation is a sequential loop over
+    /// [`get`](Dht::get), so third-party substrates keep working
+    /// unchanged — they simply execute the round one op at a time
+    /// (each op its own round in the stats). Native implementations
+    /// execute the whole batch against a single routing state and
+    /// record it via [`DhtStats::record_batch`], charging `k` lookups
+    /// and summed hops (bandwidth) but only one round at max hops
+    /// (parallel wall-clock).
+    ///
+    /// Errors are per-op: one key failing (e.g. dropped by a fault
+    /// layer) must not poison its round-mates.
+    fn multi_get(&self, keys: &[DhtKey]) -> Vec<Result<Option<Self::Value>, DhtError>> {
+        keys.iter().map(|key| self.get(key)).collect()
+    }
+
+    /// Stores every `(key, value)` pair in `entries` as one
+    /// concurrent batch, returning one result per entry in order.
+    ///
+    /// Default implementation: sequential loop over
+    /// [`put`](Dht::put). Same round semantics as
+    /// [`multi_get`](Dht::multi_get).
+    ///
+    /// Ops within a batch are *concurrent*: if the same key appears
+    /// twice, the settled order is unspecified (a retry layer may
+    /// re-send a dropped earlier entry after a later one landed).
+    /// Callers that care — bulk loaders, frontier expansions — batch
+    /// distinct keys only.
+    fn multi_put(&self, entries: Vec<(DhtKey, Self::Value)>) -> Vec<Result<(), DhtError>> {
+        entries
+            .into_iter()
+            .map(|(key, value)| self.put(&key, value))
+            .collect()
+    }
+
     /// A snapshot of the cumulative operation counters.
     fn stats(&self) -> DhtStats;
 
@@ -101,6 +138,14 @@ impl<D: Dht + ?Sized> Dht for &D {
         f: &mut dyn FnMut(&mut Option<Self::Value>),
     ) -> Result<(), DhtError> {
         (**self).update(key, f)
+    }
+
+    fn multi_get(&self, keys: &[DhtKey]) -> Vec<Result<Option<Self::Value>, DhtError>> {
+        (**self).multi_get(keys)
+    }
+
+    fn multi_put(&self, entries: Vec<(DhtKey, Self::Value)>) -> Vec<Result<(), DhtError>> {
+        (**self).multi_put(entries)
     }
 
     fn stats(&self) -> DhtStats {

@@ -38,5 +38,5 @@ mod u160;
 
 pub use bitstr::{BitStr, ParseBitStrError};
 pub use fraction::KeyFraction;
-pub use sha1::{sha1, Sha1};
+pub use sha1::{sha1, sha1_compressions, Sha1};
 pub use u160::U160;

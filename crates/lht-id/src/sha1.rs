@@ -8,6 +8,36 @@
 //! cryptographic weaknesses are irrelevant to the reproduction.
 
 use crate::U160;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of SHA-1 compression-function invocations.
+///
+/// Placement hashing is the dominant CPU cost of an over-DHT index, so
+/// the workspace instruments the single choke point every digest goes
+/// through ([`Sha1::process_block`]) with a relaxed atomic counter.
+/// Benchmarks diff [`sha1_compressions`] around a workload to measure
+/// how many compressions a cache (e.g. the naming cache in `lht-core`)
+/// avoids.
+static COMPRESSIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the number of SHA-1 compression-function invocations since
+/// process start, across all threads.
+///
+/// The counter is monotone and never reset; measure a workload by
+/// diffing two reads.
+///
+/// # Examples
+///
+/// ```
+/// use lht_id::{sha1, sha1_compressions};
+///
+/// let before = sha1_compressions();
+/// sha1(b"short input"); // one padded block -> one compression
+/// assert_eq!(sha1_compressions() - before, 1);
+/// ```
+pub fn sha1_compressions() -> u64 {
+    COMPRESSIONS.load(Ordering::Relaxed)
+}
 
 /// Streaming SHA-1 hasher.
 ///
@@ -106,6 +136,7 @@ impl Sha1 {
     }
 
     fn process_block(&mut self, block: &[u8; 64]) {
+        COMPRESSIONS.fetch_add(1, Ordering::Relaxed);
         let mut w = [0u32; 80];
         for (i, word) in w.iter_mut().take(16).enumerate() {
             let o = i * 4;

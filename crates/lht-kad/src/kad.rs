@@ -266,10 +266,28 @@ impl<V> Net<V> {
     /// probe). When `advertise` is set, probed nodes insert that id
     /// into their buckets (used by joins).
     fn iterative_find(&mut self, target: &U160, advertise: Option<U160>) -> (Vec<U160>, u64) {
+        let start = self.draw_initiator();
+        self.iterative_find_from(&start, target, advertise)
+    }
+
+    /// Draws a random live node to act as the querying client.
+    fn draw_initiator(&mut self) -> U160 {
         let ids: Vec<U160> = self.nodes.keys().copied().collect();
         debug_assert!(!ids.is_empty());
-        let start = ids[self.rng.gen_range(0..ids.len())];
+        ids[self.rng.gen_range(0..ids.len())]
+    }
 
+    /// [`iterative_find`](Self::iterative_find) from a fixed starting
+    /// node. Batched rounds share one initiator across their lookups
+    /// — one client issues the whole round — while each lookup still
+    /// probes (and is charged hops) independently.
+    fn iterative_find_from(
+        &mut self,
+        start: &U160,
+        target: &U160,
+        advertise: Option<U160>,
+    ) -> (Vec<U160>, u64) {
+        let start = *start;
         let mut shortlist: Vec<U160> = self.node_closest(&start, target);
         if !shortlist.contains(&start) {
             shortlist.push(start);
@@ -337,6 +355,19 @@ impl<V> Net<V> {
             return Err(DhtError::EmptyRing);
         }
         let (found, hops) = self.iterative_find(h, None);
+        if hops > self.cfg.max_hops {
+            return Err(DhtError::RoutingFailed { hops });
+        }
+        Ok((found, hops))
+    }
+
+    /// [`route`](Self::route) from a fixed initiator, for batched
+    /// rounds.
+    fn route_from(&mut self, start: &U160, h: &U160) -> Result<(Vec<U160>, u64), DhtError> {
+        if self.nodes.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        let (found, hops) = self.iterative_find_from(start, h, None);
         if hops > self.cfg.max_hops {
             return Err(DhtError::RoutingFailed { hops });
         }
@@ -443,6 +474,68 @@ impl<V: Clone> Dht for KademliaDht<V> {
             }
         }
         Ok(())
+    }
+
+    fn multi_get(&self, keys: &[DhtKey]) -> Vec<Result<Option<V>, DhtError>> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            return keys.iter().map(|_| Err(DhtError::EmptyRing)).collect();
+        }
+        let start = inner.draw_initiator();
+        let k = inner.cfg.k;
+        let mut out = Vec::with_capacity(keys.len());
+        let mut ops = Vec::with_capacity(keys.len());
+        for key in keys {
+            match inner.route_from(&start, &key.hash()) {
+                Ok((found, hops)) => {
+                    let hit = found
+                        .iter()
+                        .take(k)
+                        .find_map(|n| inner.nodes[n].store.get(key).cloned());
+                    ops.push((
+                        DhtOp::Get {
+                            found: hit.is_some(),
+                        },
+                        hops,
+                    ));
+                    out.push(Ok(hit));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        inner.stats.record_batch(ops);
+        out
+    }
+
+    fn multi_put(&self, entries: Vec<(DhtKey, V)>) -> Vec<Result<(), DhtError>> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            return entries.iter().map(|_| Err(DhtError::EmptyRing)).collect();
+        }
+        let start = inner.draw_initiator();
+        let k = inner.cfg.k;
+        let mut out = Vec::with_capacity(entries.len());
+        let mut ops = Vec::with_capacity(entries.len());
+        for (key, value) in entries {
+            match inner.route_from(&start, &key.hash()) {
+                Ok((found, hops)) => {
+                    let targets: Vec<U160> = found.into_iter().take(k).collect();
+                    ops.push((DhtOp::Put, hops + targets.len().saturating_sub(1) as u64));
+                    for t in targets {
+                        inner
+                            .nodes
+                            .get_mut(&t)
+                            .expect("found nodes are alive")
+                            .store
+                            .insert(key.clone(), value.clone());
+                    }
+                    out.push(Ok(()));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        inner.stats.record_batch(ops);
+        out
     }
 
     fn stats(&self) -> DhtStats {

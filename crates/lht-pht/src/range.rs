@@ -1,10 +1,10 @@
 //! PHT range queries: the sequential and parallel algorithms
 //! (the paper's refs. \[16\] and \[4\]).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 use lht_core::{KeyInterval, LhtError, RangeCost};
-use lht_dht::Dht;
+use lht_dht::{Dht, DhtKey};
 use lht_id::{BitStr, KeyFraction};
 
 use crate::{PhtIndex, PhtLabel, PhtNode};
@@ -87,6 +87,11 @@ where
     /// *internal* node visited on the way down (roughly doubling the
     /// leaf count) — the "highest bandwidth" line of Fig. 9.
     ///
+    /// The fan-out is issued level by level: all nodes at one trie
+    /// depth form a single [`Dht::multi_get`] batch, so on a
+    /// round-capable substrate the query takes one round per level
+    /// instead of one per node.
+    ///
     /// # Errors
     ///
     /// Propagates lookup errors and substrate failures.
@@ -104,39 +109,46 @@ where
         let hi_bits = BitStr::from_key_prefix(range.max_key(), d);
         let lca = PhtLabel::from_bits(lo_bits.prefix(lo_bits.common_prefix_len(&hi_bits)));
 
-        let mut queue: VecDeque<(PhtLabel, u64)> = VecDeque::new();
-        queue.push_back((lca, 1));
-        while let Some((label, step)) = queue.pop_front() {
-            cost.dht_lookups += 1;
+        let mut wave: Vec<PhtLabel> = vec![lca];
+        let mut step = 1u64;
+        while !wave.is_empty() {
+            cost.dht_lookups += wave.len() as u64;
             cost.steps = cost.steps.max(step);
-            match self.dht().get(&label.dht_key())? {
-                Some(PhtNode::Leaf(leaf)) => {
-                    cost.buckets_visited += 1;
-                    for (k, v) in leaf.records_in(&range) {
-                        records.insert(k, v.clone());
+            let keys: Vec<DhtKey> = wave.iter().map(|label| label.dht_key()).collect();
+            let round = self.dht().multi_get(&keys);
+            let mut next: Vec<PhtLabel> = Vec::new();
+            for (label, fetched) in wave.into_iter().zip(round) {
+                match fetched? {
+                    Some(PhtNode::Leaf(leaf)) => {
+                        cost.buckets_visited += 1;
+                        for (k, v) in leaf.records_in(&range) {
+                            records.insert(k, v.clone());
+                        }
                     }
-                }
-                Some(PhtNode::Internal) => {
-                    for bit in [false, true] {
-                        let child = label.child(bit);
-                        if child.interval().overlaps(&range) {
-                            queue.push_back((child, step + 1));
+                    Some(PhtNode::Internal) => {
+                        for bit in [false, true] {
+                            let child = label.child(bit);
+                            if child.interval().overlaps(&range) {
+                                next.push(child);
+                            }
+                        }
+                    }
+                    None => {
+                        // The covering node lies *above* the LCA depth
+                        // (the trie is shallower here): the leaf found by
+                        // a regular lookup covers the whole range.
+                        let hit = self.lookup(range.lo_key())?;
+                        cost.dht_lookups += hit.cost.dht_lookups;
+                        cost.steps = cost.steps.max(step + hit.cost.steps);
+                        cost.buckets_visited += 1;
+                        for (k, v) in hit.leaf.records_in(&range) {
+                            records.insert(k, v.clone());
                         }
                     }
                 }
-                None => {
-                    // The covering node lies *above* the LCA depth
-                    // (the trie is shallower here): the leaf found by
-                    // a regular lookup covers the whole range.
-                    let hit = self.lookup(range.lo_key())?;
-                    cost.dht_lookups += hit.cost.dht_lookups;
-                    cost.steps = cost.steps.max(step + hit.cost.steps);
-                    cost.buckets_visited += 1;
-                    for (k, v) in hit.leaf.records_in(&range) {
-                        records.insert(k, v.clone());
-                    }
-                }
             }
+            wave = next;
+            step += 1;
         }
         Ok(PhtRangeResult {
             records: records.into_iter().collect(),

@@ -53,12 +53,13 @@ pub use lht_workload as workload;
 
 pub use lht_core::{
     audit, naming, IndexStats, InsertOutcome, KeyInterval, Label, LeafBucket, LhtConfig, LhtError,
-    LhtIndex, LookupHit, MatchHit, MinMaxHit, OpCost, RangeCost, RangeResult, RemoveOutcome,
+    LhtIndex, LookupHit, MatchHit, MinMaxHit, NamingCache, NamingCacheStats, OpCost, RangeCost,
+    RangeResult, RemoveOutcome,
 };
 pub use lht_cost::CostModel;
 pub use lht_dht::{
     Brownout, ChordConfig, ChordDht, Dht, DhtError, DhtKey, DhtOp, DhtStats, DirectDht, FaultyDht,
-    LatencyProfile, NetProfile, RetriedDht, RetryPolicy,
+    LatencyHistogram, LatencyProfile, NetProfile, RetriedDht, RetryPolicy,
 };
 pub use lht_dst::{DstConfig, DstIndex};
 pub use lht_id::{BitStr, KeyFraction, U160};
