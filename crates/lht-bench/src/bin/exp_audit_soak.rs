@@ -7,7 +7,7 @@
 //!
 //! ```sh
 //! cargo run --release -p lht-bench --bin exp_audit_soak -- \
-//!     [--substrate direct|chord|both] [--index lht|pht] [--seed N] \
+//!     [--substrate direct|chord|both] [--index lht|pht|dst|rst] [--seed N] \
 //!     [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N] \
 //!     [--drop P] [--net-seed N] [--mloss P]
 //! ```
@@ -61,7 +61,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: exp_audit_soak [--substrate direct|chord|both] [--index lht|pht] \
+        "usage: exp_audit_soak [--substrate direct|chord|both] [--index lht|pht|dst|rst] \
          [--seed N] [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N] \
          [--drop P] [--net-seed N] [--mloss P]"
     );
@@ -104,7 +104,9 @@ fn parse_args() -> SoakArgs {
             "--index" => match it.next().as_deref() {
                 Some("lht") => args.index = IndexKind::Lht,
                 Some("pht") => args.index = IndexKind::Pht,
-                _ => usage("--index needs lht or pht"),
+                Some("dst") => args.index = IndexKind::Dst,
+                Some("rst") => args.index = IndexKind::Rst,
+                _ => usage("--index needs lht, pht, dst or rst"),
             },
             "--seed" => args.seed = num(&mut it, "--seed"),
             "--ops" => args.ops = num(&mut it, "--ops") as usize,

@@ -1,5 +1,8 @@
 //! Runtime-selectable substrate.
 
+#[cfg(test)]
+use std::cell::Cell;
+
 use lht_core::LeafBucket;
 use lht_dht::{ChordDht, Dht, DhtError, DhtKey, DhtStats, DirectDht};
 use lht_kad::KademliaDht;
@@ -19,6 +22,28 @@ pub enum AnyDht {
     Chord(ChordDht<Bucket>),
     /// Kademlia network.
     Kad(KademliaDht<Bucket>),
+    /// A Chord ring whose next few gets transiently answer "not
+    /// found" — a test double for the window where index entries are
+    /// mid-migration (churn, delayed key sync) and lookups exhaust.
+    #[cfg(test)]
+    Flaky {
+        /// The healthy ring that answers once the fault window drains.
+        inner: ChordDht<Bucket>,
+        /// How many further gets still answer `Ok(None)`.
+        fail_gets: Cell<u32>,
+    },
+}
+
+#[cfg(test)]
+impl AnyDht {
+    /// Arms the [`AnyDht::Flaky`] fault window so the next `n` gets
+    /// answer `Ok(None)`; returns the previously remaining count.
+    pub(crate) fn fail_next_gets(&self, n: u32) -> u32 {
+        match self {
+            AnyDht::Flaky { fail_gets, .. } => fail_gets.replace(n),
+            _ => panic!("fail_next_gets on a non-flaky substrate"),
+        }
+    }
 }
 
 impl Dht for AnyDht {
@@ -29,6 +54,15 @@ impl Dht for AnyDht {
             AnyDht::Direct(d) => d.get(key),
             AnyDht::Chord(d) => d.get(key),
             AnyDht::Kad(d) => d.get(key),
+            #[cfg(test)]
+            AnyDht::Flaky { inner, fail_gets } => {
+                if fail_gets.get() > 0 {
+                    fail_gets.set(fail_gets.get() - 1);
+                    Ok(None)
+                } else {
+                    inner.get(key)
+                }
+            }
         }
     }
 
@@ -37,6 +71,8 @@ impl Dht for AnyDht {
             AnyDht::Direct(d) => d.put(key, value),
             AnyDht::Chord(d) => d.put(key, value),
             AnyDht::Kad(d) => d.put(key, value),
+            #[cfg(test)]
+            AnyDht::Flaky { inner, .. } => inner.put(key, value),
         }
     }
 
@@ -45,6 +81,8 @@ impl Dht for AnyDht {
             AnyDht::Direct(d) => d.remove(key),
             AnyDht::Chord(d) => d.remove(key),
             AnyDht::Kad(d) => d.remove(key),
+            #[cfg(test)]
+            AnyDht::Flaky { inner, .. } => inner.remove(key),
         }
     }
 
@@ -53,6 +91,8 @@ impl Dht for AnyDht {
             AnyDht::Direct(d) => d.update(key, f),
             AnyDht::Chord(d) => d.update(key, f),
             AnyDht::Kad(d) => d.update(key, f),
+            #[cfg(test)]
+            AnyDht::Flaky { inner, .. } => inner.update(key, f),
         }
     }
 
@@ -61,6 +101,8 @@ impl Dht for AnyDht {
             AnyDht::Direct(d) => Dht::stats(d),
             AnyDht::Chord(d) => Dht::stats(d),
             AnyDht::Kad(d) => Dht::stats(d),
+            #[cfg(test)]
+            AnyDht::Flaky { inner, .. } => Dht::stats(inner),
         }
     }
 
@@ -69,6 +111,8 @@ impl Dht for AnyDht {
             AnyDht::Direct(d) => d.reset_stats(),
             AnyDht::Chord(d) => d.reset_stats(),
             AnyDht::Kad(d) => d.reset_stats(),
+            #[cfg(test)]
+            AnyDht::Flaky { inner, .. } => inner.reset_stats(),
         }
     }
 }

@@ -41,6 +41,30 @@ pub struct Repl {
     loads: u64,
 }
 
+/// How many times a read-only query is re-issued after a transient
+/// error before the error is surfaced to the user.
+const READ_RETRIES: u32 = 3;
+
+/// Bounded retry for read-only queries. A routed substrate can
+/// transiently answer [`LhtError::LookupExhausted`] or
+/// [`LhtError::MissingBucket`] while keys are mid-migration (churn,
+/// delayed key sync); the query is pure, so re-issuing is safe and
+/// usually lands once routing settles. Mutations are *not* routed
+/// through here — re-running one could double-apply it, and the
+/// substrate-level retry stack already masks lost RPCs.
+fn retry_reads<T>(mut op: impl FnMut() -> Result<T, LhtError>) -> Result<T, LhtError> {
+    let mut last = op();
+    for _ in 0..READ_RETRIES {
+        match &last {
+            Err(LhtError::LookupExhausted { .. }) | Err(LhtError::MissingBucket { .. }) => {
+                last = op();
+            }
+            _ => break,
+        }
+    }
+    last
+}
+
 const HELP: &str = "\
 commands:
   insert <key 0..1> <value…>   store a record
@@ -64,6 +88,18 @@ impl Repl {
             Substrate::Chord => AnyDht::Chord(ChordDht::with_nodes(32, seed)),
             Substrate::Kad => AnyDht::Kad(KademliaDht::with_nodes(32, seed)),
         };
+        let index = LhtIndex::new(dht, LhtConfig::new(20, 20)).expect("fresh substrate");
+        Repl {
+            index,
+            seed,
+            loads: 0,
+        }
+    }
+
+    /// Test-only: a session over an explicitly constructed substrate
+    /// (e.g. the flaky Chord double used by the retry-path tests).
+    #[cfg(test)]
+    pub(crate) fn with_dht(dht: AnyDht, seed: u64) -> Repl {
         let index = LhtIndex::new(dht, LhtConfig::new(20, 20)).expect("fresh substrate");
         Repl {
             index,
@@ -98,7 +134,8 @@ impl Repl {
                 ))
             }
             ("get", [key]) => {
-                let hit = self.index.exact_match(parse_key(key)?)?;
+                let key = parse_key(key)?;
+                let hit = retry_reads(|| self.index.exact_match(key))?;
                 Ok(match hit.value {
                     Some(v) => format!("{v:?} ({} DHT-lookups)", hit.cost.dht_lookups),
                     None => format!("(not found; {} DHT-lookups)", hit.cost.dht_lookups),
@@ -116,7 +153,7 @@ impl Repl {
             }
             ("range", [lo, hi]) => {
                 let range = KeyInterval::half_open(parse_key(lo)?, parse_key(hi)?);
-                let r = self.index.range(range)?;
+                let r = retry_reads(|| self.index.range(range))?;
                 let mut out = format!(
                     "{} records from {} buckets ({} DHT-lookups, {} parallel steps)\n",
                     r.records.len(),
@@ -133,11 +170,13 @@ impl Repl {
                 Ok(out.trim_end().to_string())
             }
             ("min", _) | ("max", _) => {
-                let hit = if cmd == "min" {
-                    self.index.min()?
-                } else {
-                    self.index.max()?
-                };
+                let hit = retry_reads(|| {
+                    if cmd == "min" {
+                        self.index.min()
+                    } else {
+                        self.index.max()
+                    }
+                })?;
                 Ok(match hit.value {
                     Some((k, v)) => format!(
                         "{:.6} -> {v:?} ({} DHT-lookup)",
@@ -149,11 +188,13 @@ impl Repl {
             }
             ("succ", [key]) | ("pred", [key]) => {
                 let k = parse_key(key)?;
-                let hit = if cmd == "succ" {
-                    self.index.successor(k)?
-                } else {
-                    self.index.predecessor(k)?
-                };
+                let hit = retry_reads(|| {
+                    if cmd == "succ" {
+                        self.index.successor(k)
+                    } else {
+                        self.index.predecessor(k)
+                    }
+                })?;
                 Ok(match hit.value {
                     Some((k, v)) => format!("{:.6} -> {v:?}", k.to_f64()),
                     None => "(none)".to_string(),
@@ -288,6 +329,127 @@ mod tests {
                 "{sub:?} must route: {stats}"
             );
         }
+    }
+
+    /// Inserts 30 records at i/40 for i in 1..=30 — past θ = 20, so
+    /// the tree has split and `#0` names a real rightmost leaf.
+    fn seed_tree(r: &mut Repl) {
+        for i in 1..=30u32 {
+            let out = r.eval(&format!("insert {} v{i}", f64::from(i) / 40.0));
+            assert!(out.starts_with("ok"), "{out}");
+        }
+    }
+
+    fn flaky_chord_repl() -> Repl {
+        let dht = AnyDht::Flaky {
+            inner: ChordDht::with_nodes(32, 7),
+            fail_gets: std::cell::Cell::new(0),
+        };
+        let mut r = Repl::with_dht(dht, 7);
+        seed_tree(&mut r);
+        r
+    }
+
+    #[test]
+    fn range_and_extremes_on_chord() {
+        let mut r = Repl::new(Substrate::Chord, 7);
+        seed_tree(&mut r);
+        // Keys i/40 in [0.2, 0.5) are i = 8..=19: twelve records.
+        let out = r.eval("range 0.2 0.5");
+        assert!(out.contains("12 records"), "{out}");
+        // Theorem 3 holds over the routed substrate too: one
+        // index-level lookup per extreme.
+        let min = r.eval("min");
+        assert!(min.contains("0.025000 -> \"v1\" (1 DHT-lookup)"), "{min}");
+        let max = r.eval("max");
+        assert!(max.contains("0.750000 -> \"v30\" (1 DHT-lookup)"), "{max}");
+    }
+
+    #[test]
+    fn retry_helper_retries_transients_within_budget() {
+        // A transient exhaustion heals on the second attempt.
+        let mut calls = 0u32;
+        let out = retry_reads(|| {
+            calls += 1;
+            if calls == 1 {
+                Err(LhtError::LookupExhausted { key_bits: 42 })
+            } else {
+                Ok("answer")
+            }
+        });
+        assert_eq!(out.unwrap(), "answer");
+        assert_eq!(calls, 2);
+
+        // Non-transient errors surface immediately.
+        let mut calls = 0u32;
+        let err: Result<(), _> = retry_reads(|| {
+            calls += 1;
+            Err(LhtError::BadLabel("nope".into()))
+        });
+        assert!(matches!(err, Err(LhtError::BadLabel(_))));
+        assert_eq!(calls, 1);
+
+        // The budget is bounded: a persistent failure still surfaces.
+        let mut calls = 0u32;
+        let err: Result<(), _> = retry_reads(|| {
+            calls += 1;
+            Err(LhtError::MissingBucket { key: "#".into() })
+        });
+        assert!(matches!(err, Err(LhtError::MissingBucket { .. })));
+        assert_eq!(calls, 1 + READ_RETRIES);
+    }
+
+    #[test]
+    fn transient_lookup_exhaustion_on_chord_range_is_retried() {
+        let mut r = flaky_chord_repl();
+        assert!(r.eval("range 0.2 0.5").contains("12 records"));
+
+        // Measure one attempt's deterministic DHT-get cost: with the
+        // window fully armed every attempt (first try + each retry)
+        // exhausts identically, so the spend divides evenly.
+        let armed = 10_000u32;
+        r.index.dht().fail_next_gets(armed);
+        let err = r.eval("range 0.2 0.5");
+        assert!(err.contains("lookup exhausted"), "{err}");
+        let spent = armed - r.index.dht().fail_next_gets(0);
+        let attempts = 1 + READ_RETRIES;
+        assert!(
+            spent > 0 && spent.is_multiple_of(attempts),
+            "spent {spent} gets"
+        );
+
+        // Arm exactly one attempt's worth: the first try exhausts,
+        // the retry runs against the healed ring and answers.
+        r.index.dht().fail_next_gets(spent / attempts);
+        let retried = r.eval("range 0.2 0.5");
+        assert!(retried.contains("12 records"), "{retried}");
+        assert_eq!(
+            r.index.dht().fail_next_gets(0),
+            0,
+            "the fault window must be consumed exactly by the failed first attempt"
+        );
+    }
+
+    #[test]
+    fn transient_missing_root_on_chord_minmax_is_retried() {
+        let mut r = flaky_chord_repl();
+
+        // min probes `#` only: a failed attempt costs one get.
+        r.index.dht().fail_next_gets(1);
+        let min = r.eval("min");
+        assert!(min.contains("\"v1\""), "{min}");
+
+        // max probes `#0` then falls back to `#`: two gets.
+        r.index.dht().fail_next_gets(2);
+        let max = r.eval("max");
+        assert!(max.contains("\"v30\""), "{max}");
+
+        // A persistent outage exhausts the bounded budget and the
+        // error reaches the user; healing restores answers.
+        r.index.dht().fail_next_gets(u32::MAX);
+        assert!(r.eval("min").starts_with("error: bucket missing"));
+        r.index.dht().fail_next_gets(0);
+        assert!(r.eval("min").contains("\"v1\""));
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod codec;
 mod config;
 mod cost;
 mod error;
+mod history;
 mod index;
 mod interval;
 mod label;
@@ -77,6 +78,7 @@ pub use bulk::BulkLoadOutcome;
 pub use config::LhtConfig;
 pub use cost::{IndexStats, OpCost, RangeCost};
 pub use error::LhtError;
+pub use history::{HistoryCall, HistoryLog, HistoryReturn, OpRecord};
 pub use index::{
     retry_transient, InsertOutcome, LhtIndex, LookupHit, MatchHit, MinMaxHit, RemoveOutcome,
 };

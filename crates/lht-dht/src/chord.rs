@@ -137,6 +137,13 @@ struct Ring<V> {
     rng: StdRng,
     /// Ring-global write clock stamping every put/remove/update.
     clock: u64,
+    /// Fault injection: when set, replica reconciliation *ignores*
+    /// sequence numbers — a graceful leaver's handoff and the key-sync
+    /// pass blindly overwrite the receiver's copy. This re-introduces
+    /// the pre-tombstone replication bug (a stale replica clobbering
+    /// newer data / resurrecting deleted keys) for the deterministic
+    /// simulation's mutant-detection proof. Never set in normal use.
+    stale_replica_mutant: bool,
 }
 
 /// A simulated Chord DHT.
@@ -202,6 +209,7 @@ impl<V> ChordDht<V> {
             stats: DhtStats::default(),
             rng: StdRng::seed_from_u64(seed),
             clock: 0,
+            stale_replica_mutant: false,
         };
         ring.rebuild_all_routing_state();
         ChordDht {
@@ -288,11 +296,17 @@ impl<V> ChordDht<V> {
         let node = inner.nodes.remove(id).expect("checked present");
         let succ_id = inner.owner_of(id); // next live node clockwise
         let moved = node.store.len() as u64;
+        let mutant = inner.stale_replica_mutant;
         let succ = inner.nodes.get_mut(&succ_id).expect("successor exists");
         // Newest-wins merge: the leaver may hold stale replica copies
-        // of keys the successor owns at a newer version.
+        // of keys the successor owns at a newer version. (The armed
+        // mutant overwrites blindly instead — the injected bug.)
         for (key, stored) in node.store {
-            merge_copy(&mut succ.store, key, stored);
+            if mutant {
+                succ.store.insert(key, stored);
+            } else {
+                merge_copy(&mut succ.store, key, stored);
+            }
         }
         succ.predecessor = node.predecessor;
         inner.stats.keys_transferred += moved;
@@ -755,10 +769,13 @@ impl<V: Clone> Ring<V> {
         for id in &ids {
             for (key, stored) in &self.nodes[id].store {
                 let owner = self.owner_of(&key.hash());
-                let owner_stale = self.nodes[&owner]
-                    .store
-                    .get(key)
-                    .is_none_or(|s| s.seq < stored.seq);
+                // The armed mutant offers every copy regardless of
+                // version — the injected bug.
+                let owner_stale = self.stale_replica_mutant
+                    || self.nodes[&owner]
+                        .store
+                        .get(key)
+                        .is_none_or(|s| s.seq < stored.seq);
                 if owner != *id && owner_stale {
                     to_copy.push((*id, key.clone()));
                 }
@@ -774,11 +791,13 @@ impl<V: Clone> Ring<V> {
                 continue;
             };
             let owner = self.owner_of(&key.hash());
-            merge_copy(
-                &mut self.nodes.get_mut(&owner).expect("owner is live").store,
-                key,
-                stored,
-            );
+            let mutant = self.stale_replica_mutant;
+            let owner_store = &mut self.nodes.get_mut(&owner).expect("owner is live").store;
+            if mutant {
+                owner_store.insert(key, stored);
+            } else {
+                merge_copy(owner_store, key, stored);
+            }
             self.stats.keys_transferred += 1;
         }
     }
@@ -798,6 +817,37 @@ impl<V: Clone> ChordDht<V> {
             inner.stabilize_round();
         }
         inner.sync_keys_to_owners();
+    }
+
+    /// Runs exactly *one* stabilization round and nothing else — the
+    /// schedulable maintenance quantum a deterministic scheduler
+    /// interleaves between client operations. Unlike
+    /// [`stabilize`](Self::stabilize) it performs no key
+    /// synchronization; pair it with
+    /// [`key_sync_step`](Self::key_sync_step).
+    pub fn stabilize_step(&self) {
+        self.inner.lock().stabilize_round();
+    }
+
+    /// Runs exactly one key-synchronization pass (every stored copy
+    /// offered to its current owner) and no stabilization — the other
+    /// schedulable maintenance quantum. The partial-repair windows
+    /// between interleaved [`stabilize_step`](Self::stabilize_step)
+    /// and `key_sync_step` calls are exactly where replica-
+    /// reconciliation bugs live.
+    pub fn key_sync_step(&self) {
+        self.inner.lock().sync_keys_to_owners();
+    }
+
+    /// Arms the stale-replica fault injection: replica reconciliation
+    /// (a graceful leaver's handoff, the key-sync pass) stops
+    /// honouring sequence numbers and overwrites blindly, so a stale
+    /// surviving copy can clobber newer data or resurrect a deleted
+    /// key — the historical replication bug this codebase once had,
+    /// re-introduced on demand so the deterministic-simulation
+    /// checker can prove it would have caught it.
+    pub fn arm_stale_replica_mutant(&self) {
+        self.inner.lock().stale_replica_mutant = true;
     }
 }
 

@@ -543,6 +543,79 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_answers_zero_at_every_quantile() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.samples(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = LatencyHistogram::default();
+        h.record(100);
+        // With one sample every rank resolves to its bucket; the
+        // reported value is the bucket's inclusive upper bound
+        // (100 ∈ [64, 127]).
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 127, "q = {q}");
+        }
+        assert_eq!(h.p50(), h.p99());
+    }
+
+    #[test]
+    fn single_zero_sample_is_not_confused_with_empty() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.samples(), 1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_the_percentile_spread() {
+        let mut s = DhtStats::default();
+        for _ in 0..1_000 {
+            s.record_delivery(250);
+        }
+        let p50 = s.latency_p50();
+        let p99 = s.latency_p99();
+        assert_eq!(p50, p99, "no spread without a tail");
+        assert!(p50 >= 250, "upper-bound estimate never errs low");
+        assert!(p50 < 512, "…and stays within one binary order");
+    }
+
+    #[test]
+    fn out_of_range_and_nan_quantiles_are_clamped_not_panics() {
+        let mut h = LatencyHistogram::default();
+        h.record(10);
+        h.record(10_000);
+        // Below 0 / above 1 clamp to the extremes…
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        // …and a NaN degenerates to rank 1 (the minimum) instead of
+        // panicking or propagating.
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+    }
+
+    #[test]
+    fn histogram_diff_drops_the_prefix_samples() {
+        // The simulator charges an op `latency_ms` deltas from stats
+        // snapshots around it; the histogram must subtract the same
+        // way so windowed percentiles are well-formed.
+        let mut s = DhtStats::default();
+        s.record_delivery(10);
+        let before = s;
+        s.record_delivery(5_000);
+        let window = s - before;
+        assert_eq!(window.latency_hist.samples(), 1);
+        assert!(window.latency_p50() >= 5_000);
+    }
+
+    #[test]
     fn percentiles_split_fast_path_from_tail() {
         let mut s = DhtStats::default();
         for _ in 0..980 {

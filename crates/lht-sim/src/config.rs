@@ -1,0 +1,121 @@
+//! Simulation configuration: one value fully determining a run.
+
+use std::fmt::Write as _;
+
+/// Everything that determines a simulation run. Two runs with equal
+/// configurations produce byte-identical schedule traces and
+/// verdicts; the replay line printed on a violation encodes the full
+/// configuration plus the minimized schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Master seed: drives the scheduler's interleaving choices, the
+    /// per-client operation plans, the churn decisions, the fault
+    /// profile and the retry jitter.
+    pub seed: u64,
+    /// Number of logical clients.
+    pub clients: u32,
+    /// Operations each client issues.
+    pub ops_per_client: u32,
+    /// Initial Chord ring size.
+    pub nodes: usize,
+    /// Number of join/leave churn events interleaved with the run.
+    pub churn_events: u32,
+    /// Replicas per key on the ring (≥ 1). Two is the interesting
+    /// setting: replica sets shift under churn, leaving stale copies
+    /// for the key-sync rounds to reconcile.
+    pub replicas: usize,
+    /// Per-RPC drop probability of the fault layer. `0.0` selects
+    /// *strict* checking (failed reads on a perfect network are
+    /// evidence of index data loss); `> 0.0` selects *lossy* checking
+    /// (failed reads are dropped from the history, failed mutations
+    /// become may-have-happened operations).
+    pub drop_prob: f64,
+    /// Leaf-splitting threshold `θ_split` (small values force many
+    /// splits, the operation under test).
+    pub theta_split: usize,
+    /// Maximum tree depth `D`.
+    pub max_depth: usize,
+    /// Re-introduces the PR-1 stale-replica bug: churn handoff and
+    /// key-sync ignore sequence numbers and blindly overwrite.
+    pub stale_replica: bool,
+    /// Arms the torn-split bug: the `n`-th leaf split (1-based)
+    /// "forgets" the DHT-put of its remote half.
+    pub torn_split: Option<u64>,
+    /// State budget for the linearizability search; exceeding it
+    /// yields [`SimVerdict::Undecided`](crate::SimVerdict).
+    pub check_budget: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            clients: 4,
+            ops_per_client: 50,
+            nodes: 12,
+            churn_events: 4,
+            replicas: 2,
+            drop_prob: 0.0,
+            theta_split: 4,
+            max_depth: 24,
+            stale_replica: false,
+            torn_split: None,
+            check_budget: 2_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A small, fast configuration for exploration sweeps.
+    pub fn small(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            clients: 3,
+            ops_per_client: 30,
+            nodes: 8,
+            churn_events: 3,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Whether the checker runs in strict (fault-free) mode.
+    pub fn strict(&self) -> bool {
+        self.drop_prob == 0.0
+    }
+
+    /// The `exp_sim_explore` argument list reproducing this
+    /// configuration, without any `--schedule`.
+    pub fn replay_args(&self) -> String {
+        let mut s = format!(
+            "--seed {} --clients {} --ops {} --nodes {} --churn {} --replicas {} --theta {} --depth {}",
+            self.seed,
+            self.clients,
+            self.ops_per_client,
+            self.nodes,
+            self.churn_events,
+            self.replicas,
+            self.theta_split,
+            self.max_depth,
+        );
+        if self.drop_prob > 0.0 {
+            let _ = write!(s, " --drop {}", self.drop_prob);
+        }
+        if self.stale_replica {
+            s.push_str(" --stale-replica");
+        }
+        if let Some(n) = self.torn_split {
+            let _ = write!(s, " --torn-split {n}");
+        }
+        s
+    }
+
+    /// The full one-line replay command for an explicit schedule.
+    pub fn replay_line(&self, schedule: &[u32]) -> String {
+        let csv: Vec<String> = schedule.iter().map(|a| a.to_string()).collect();
+        format!(
+            "cargo run --release -p lht-bench --bin exp_sim_explore -- {} --schedule {}",
+            self.replay_args(),
+            csv.join(",")
+        )
+    }
+}

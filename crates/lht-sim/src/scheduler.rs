@@ -1,0 +1,520 @@
+//! The virtual-clock scheduler: one seeded, single-threaded
+//! interleaving of clients, Chord maintenance, key-sync, churn and
+//! the fault/retry stack.
+//!
+//! Every schedulable unit is an *actor step*. The scheduler keeps a
+//! virtual clock in milliseconds; each actor has a `next_ready` time
+//! and the scheduler repeatedly picks — via the seeded RNG, or from
+//! an explicit schedule on replay — among the actors whose
+//! `next_ready` has arrived, advancing the clock to the earliest
+//! ready time when nobody is. A client step executes one planned
+//! index operation *atomically at its invocation* and charges it a
+//! duration derived from the [`DhtStats`](lht_dht::DhtStats) delta it
+//! caused (routing hops plus every virtual wait the fault and retry
+//! adapters recorded), so the operation's response lands later and
+//! histories genuinely overlap.
+//!
+//! The executed pick sequence *is* the schedule: replaying it (with
+//! the same [`SimConfig`]) reproduces the run byte-for-byte, and any
+//! subsequence is itself a valid (shorter) run — the property the
+//! [shrinker](crate::shrink) relies on.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lht_core::{HistoryLog, KeyInterval, LeafBucket, LhtConfig, LhtIndex};
+use lht_dht::{
+    ChordConfig, ChordDht, Dht, DhtError, DhtKey, FaultyDht, NetProfile, RetriedDht, RetryPolicy,
+};
+use lht_id::{KeyFraction, U160};
+
+use crate::checker::{self, Outcome};
+use crate::config::SimConfig;
+use crate::plan::{client_plans, ClientPlan, PlannedOp};
+use crate::shrink;
+
+/// A cloneable handle sharing one substrate between the index stack
+/// and the scheduler's maintenance/churn actors.
+struct SharedDht<D>(Arc<D>);
+
+impl<D> Clone for SharedDht<D> {
+    fn clone(&self) -> Self {
+        SharedDht(Arc::clone(&self.0))
+    }
+}
+
+impl<D: Dht> Dht for SharedDht<D> {
+    type Value = D::Value;
+
+    fn get(&self, key: &DhtKey) -> Result<Option<Self::Value>, DhtError> {
+        self.0.get(key)
+    }
+
+    fn put(&self, key: &DhtKey, value: Self::Value) -> Result<(), DhtError> {
+        self.0.put(key, value)
+    }
+
+    fn remove(&self, key: &DhtKey) -> Result<Option<Self::Value>, DhtError> {
+        self.0.remove(key)
+    }
+
+    fn update(
+        &self,
+        key: &DhtKey,
+        f: &mut dyn FnMut(&mut Option<Self::Value>),
+    ) -> Result<(), DhtError> {
+        self.0.update(key, f)
+    }
+
+    fn multi_get(&self, keys: &[DhtKey]) -> Vec<Result<Option<Self::Value>, DhtError>> {
+        self.0.multi_get(keys)
+    }
+
+    fn multi_put(&self, entries: Vec<(DhtKey, Self::Value)>) -> Vec<Result<(), DhtError>> {
+        self.0.multi_put(entries)
+    }
+
+    fn stats(&self) -> lht_dht::DhtStats {
+        self.0.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.0.reset_stats()
+    }
+}
+
+type Ring = ChordDht<LeafBucket<u32>>;
+type Stack = RetriedDht<FaultyDht<SharedDht<Ring>>>;
+
+/// Virtual milliseconds between Chord stabilization steps.
+const STABILIZE_INTERVAL: u64 = 25;
+/// Virtual milliseconds between replica key-sync steps.
+const KEY_SYNC_INTERVAL: u64 = 45;
+/// Virtual milliseconds between churn events.
+const CHURN_INTERVAL: u64 = 60;
+/// Keep at least this fraction of the initial ring through churn.
+const MIN_RING_FRACTION: usize = 2;
+
+/// How one simulation ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimVerdict {
+    /// The recorded history is linearizable.
+    Pass {
+        /// Operations checked.
+        ops: usize,
+        /// States the search visited (0 = fast path).
+        states: u64,
+    },
+    /// The history is **not** linearizable.
+    Fail {
+        /// First inexplicable operation, in execution order.
+        witness: String,
+        /// The minimized failing schedule (actor pick sequence).
+        minimized: Vec<u32>,
+        /// One-line command reproducing the minimized schedule.
+        replay: String,
+    },
+    /// The linearizability search exceeded its state budget.
+    Undecided {
+        /// States visited before giving up.
+        states: u64,
+    },
+}
+
+/// The full product of one simulation: the schedule trace (identical
+/// across runs of the same configuration), the executed pick
+/// sequence, and the checker's verdict.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// The configuration that produced this run.
+    pub config: SimConfig,
+    /// Human-readable per-step schedule trace; byte-identical for
+    /// equal configurations.
+    pub trace: String,
+    /// The executed actor pick sequence.
+    pub schedule: Vec<u32>,
+    /// Index operations recorded in the history.
+    pub history_len: usize,
+    /// The verdict.
+    pub verdict: SimVerdict,
+}
+
+enum Chooser {
+    Random(StdRng),
+    Scripted { picks: Vec<u32>, at: usize },
+}
+
+struct World {
+    ring: Arc<Ring>,
+    index: LhtIndex<Stack, u32>,
+    log: Arc<HistoryLog<u32>>,
+    plans: Vec<ClientPlan>,
+    churn_rng: StdRng,
+    joined: u32,
+    now: u64,
+    next_ready: Vec<u64>,
+    done_ops: Vec<u32>,
+    trace: String,
+    schedule: Vec<u32>,
+}
+
+impl World {
+    fn build(cfg: &SimConfig) -> World {
+        let ring = Arc::new(Ring::with_config(
+            cfg.nodes,
+            cfg.seed ^ 0x5EED_0001,
+            ChordConfig {
+                replicas: cfg.replicas,
+                ..ChordConfig::default()
+            },
+        ));
+        if cfg.stale_replica {
+            ring.arm_stale_replica_mutant();
+        }
+        let profile = if cfg.drop_prob > 0.0 {
+            NetProfile::lossy(cfg.seed ^ 0x5EED_0002, cfg.drop_prob)
+        } else {
+            NetProfile::reliable(cfg.seed ^ 0x5EED_0002)
+        };
+        let stack = RetriedDht::new(
+            FaultyDht::new(SharedDht(Arc::clone(&ring)), profile),
+            RetryPolicy {
+                seed: cfg.seed ^ 0x5EED_0003,
+                ..RetryPolicy::default()
+            },
+        );
+        let index = LhtIndex::new(stack, LhtConfig::new(cfg.theta_split, cfg.max_depth))
+            .expect("bootstrap on a fresh ring");
+        let log = HistoryLog::new();
+        index.attach_history(Arc::clone(&log));
+        if let Some(n) = cfg.torn_split {
+            index.arm_torn_split(n);
+        }
+        let actor_count = cfg.clients as usize + 3;
+        let mut next_ready = vec![0u64; actor_count];
+        next_ready[cfg.clients as usize] = STABILIZE_INTERVAL;
+        next_ready[cfg.clients as usize + 1] = KEY_SYNC_INTERVAL;
+        next_ready[cfg.clients as usize + 2] = CHURN_INTERVAL;
+        World {
+            ring,
+            index,
+            log,
+            plans: client_plans(cfg),
+            churn_rng: StdRng::seed_from_u64(cfg.seed ^ 0x5EED_0004),
+            joined: 0,
+            now: 0,
+            next_ready,
+            done_ops: vec![0; actor_count],
+            trace: String::new(),
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Remaining steps for an actor (`usize::MAX` = unbounded).
+    fn remaining(&self, cfg: &SimConfig, actor: usize) -> usize {
+        let c = cfg.clients as usize;
+        if actor < c {
+            (cfg.ops_per_client - self.done_ops[actor]) as usize
+        } else if actor == c + 2 {
+            (cfg.churn_events - self.done_ops[actor]) as usize
+        } else {
+            usize::MAX // maintenance actors never run out
+        }
+    }
+
+    fn clients_done(&self, cfg: &SimConfig) -> bool {
+        (0..cfg.clients as usize).all(|a| self.remaining(cfg, a) == 0)
+    }
+
+    fn actor_name(&self, cfg: &SimConfig, actor: usize) -> String {
+        let c = cfg.clients as usize;
+        if actor < c {
+            format!("client:{actor}")
+        } else if actor == c {
+            "stabilize".to_string()
+        } else if actor == c + 1 {
+            "key-sync".to_string()
+        } else {
+            "churn".to_string()
+        }
+    }
+
+    fn execute(&mut self, cfg: &SimConfig, actor: usize) {
+        let c = cfg.clients as usize;
+        self.schedule.push(actor as u32);
+        let t = self.now;
+        let desc = if actor < c {
+            self.client_step(cfg, actor)
+        } else if actor == c {
+            self.ring.stabilize_step();
+            self.next_ready[actor] = t + STABILIZE_INTERVAL;
+            "round".to_string()
+        } else if actor == c + 1 {
+            self.ring.key_sync_step();
+            self.next_ready[actor] = t + KEY_SYNC_INTERVAL;
+            "round".to_string()
+        } else {
+            self.churn_step(cfg, actor)
+        };
+        let name = self.actor_name(cfg, actor);
+        let _ = writeln!(self.trace, "[{t:>6}] {name}: {desc}");
+    }
+
+    fn client_step(&mut self, _cfg: &SimConfig, actor: usize) -> String {
+        let (op, think) = self.plans[actor].ops[self.done_ops[actor] as usize];
+        self.done_ops[actor] += 1;
+        self.log.set_context(actor as u32, self.now);
+        let before = self.index.dht().stats();
+        let desc = match op {
+            PlannedOp::Insert { key, value } => {
+                let r = self.index.insert(KeyFraction::from_bits(key), value);
+                match r {
+                    Ok(o) => format!("insert k={key:016x} v={value} -> ok split={}", o.did_split),
+                    Err(e) => format!("insert k={key:016x} v={value} -> err {e}"),
+                }
+            }
+            PlannedOp::Remove { key } => match self.index.remove(KeyFraction::from_bits(key)) {
+                Ok(o) => format!("remove k={key:016x} -> prior={:?}", o.value),
+                Err(e) => format!("remove k={key:016x} -> err {e}"),
+            },
+            PlannedOp::Get { key } => match self.index.exact_match(KeyFraction::from_bits(key)) {
+                Ok(h) => format!("get k={key:016x} -> {:?}", h.value),
+                Err(e) => format!("get k={key:016x} -> err {e}"),
+            },
+            PlannedOp::Range { lo, hi } => {
+                let interval = match hi {
+                    Some(hi) => KeyInterval::half_open(
+                        KeyFraction::from_bits(lo),
+                        KeyFraction::from_bits(hi),
+                    ),
+                    None => KeyInterval::from_key_to_end(KeyFraction::from_bits(lo)),
+                };
+                match self.index.range(interval) {
+                    Ok(r) => format!(
+                        "range lo={lo:016x} hi={hi:?} -> {} records",
+                        r.records.len()
+                    ),
+                    Err(e) => format!("range lo={lo:016x} hi={hi:?} -> err {e}"),
+                }
+            }
+            PlannedOp::Min => match self.index.min() {
+                Ok(h) => format!("min -> {:?}", h.value.map(|(k, v)| (k.bits(), v))),
+                Err(e) => format!("min -> err {e}"),
+            },
+            PlannedOp::Max => match self.index.max() {
+                Ok(h) => format!("max -> {:?}", h.value.map(|(k, v)| (k.bits(), v))),
+                Err(e) => format!("max -> err {e}"),
+            },
+        };
+        let after = self.index.dht().stats();
+        // The operation's virtual duration: one base millisecond,
+        // plus its routing hops, plus every wait the fault/retry
+        // adapters charged (delivery latency, timeout waits, retry
+        // backoffs). This is what makes operation intervals overlap.
+        let duration = 1 + (after.hops - before.hops) / 2 + (after.latency_ms - before.latency_ms);
+        self.log.close_last(self.now + duration);
+        self.next_ready[actor] = self.now + duration + think;
+        format!("{desc} dur={duration}")
+    }
+
+    fn churn_step(&mut self, cfg: &SimConfig, actor: usize) -> String {
+        self.done_ops[actor] += 1;
+        self.next_ready[actor] = self.now + CHURN_INTERVAL;
+        let shrunk = self.ring.node_count() <= cfg.nodes / MIN_RING_FRACTION;
+        let leave = !shrunk && self.churn_rng.gen_bool(0.5);
+        if leave {
+            let ids: Vec<U160> = self.ring.snapshot().node_ids;
+            let victim = ids[self.churn_rng.gen_range(0..ids.len())];
+            let ok = self.ring.leave(&victim);
+            format!("leave {victim} -> {ok}")
+        } else {
+            self.joined += 1;
+            let name = format!("sim:{}", self.joined);
+            let id = self.ring.join(&name);
+            format!("join {name} -> {:?}", id.map(|i| i.to_string()))
+        }
+    }
+}
+
+/// Runs the scheduler loop to completion (all client operations
+/// executed for a random chooser; schedule exhausted for a scripted
+/// one).
+fn run(cfg: &SimConfig, mut chooser: Chooser) -> World {
+    let mut world = World::build(cfg);
+    loop {
+        match &mut chooser {
+            Chooser::Random(rng) => {
+                if world.clients_done(cfg) {
+                    break;
+                }
+                let ready: Vec<usize> = (0..world.next_ready.len())
+                    .filter(|&a| world.remaining(cfg, a) > 0 && world.next_ready[a] <= world.now)
+                    .collect();
+                if ready.is_empty() {
+                    // Advance the clock to the earliest pending actor.
+                    let next = (0..world.next_ready.len())
+                        .filter(|&a| world.remaining(cfg, a) > 0)
+                        .map(|a| world.next_ready[a])
+                        .min()
+                        .expect("maintenance actors are always pending");
+                    world.now = next;
+                    continue;
+                }
+                let pick = ready[rng.gen_range(0..ready.len())];
+                world.execute(cfg, pick);
+            }
+            Chooser::Scripted { picks, at } => {
+                let Some(&actor) = picks.get(*at) else { break };
+                *at += 1;
+                let actor = actor as usize;
+                if actor >= world.next_ready.len() || world.remaining(cfg, actor) == 0 {
+                    continue; // stale entry (shrunk schedule): skip
+                }
+                world.now = world.now.max(world.next_ready[actor]);
+                world.execute(cfg, actor);
+            }
+        }
+    }
+    world
+}
+
+fn verdict_of(cfg: &SimConfig, world: &World) -> (SimVerdict, usize) {
+    let history = world.log.snapshot();
+    let result = checker::check(&history, cfg.strict(), cfg.check_budget);
+    let verdict = match result.outcome {
+        Outcome::Linearizable => SimVerdict::Pass {
+            ops: result.ops,
+            states: result.states,
+        },
+        Outcome::Undecided => SimVerdict::Undecided {
+            states: result.states,
+        },
+        Outcome::NotLinearizable { witness } => {
+            let minimized = shrink::shrink(&world.schedule, |candidate| {
+                let replayed = run(
+                    cfg,
+                    Chooser::Scripted {
+                        picks: candidate.to_vec(),
+                        at: 0,
+                    },
+                );
+                let history = replayed.log.snapshot();
+                matches!(
+                    checker::check(&history, cfg.strict(), cfg.check_budget).outcome,
+                    Outcome::NotLinearizable { .. }
+                )
+            });
+            let replay = cfg.replay_line(&minimized);
+            SimVerdict::Fail {
+                witness,
+                minimized,
+                replay,
+            }
+        }
+    };
+    (verdict, history.len())
+}
+
+/// Runs one seed-determined simulation end to end: schedule, record,
+/// check, and — on a violation — shrink the schedule and build the
+/// replay line.
+pub fn simulate(cfg: &SimConfig) -> SimReport {
+    let world = run(cfg, Chooser::Random(StdRng::seed_from_u64(cfg.seed)));
+    let (verdict, history_len) = verdict_of(cfg, &world);
+    SimReport {
+        config: cfg.clone(),
+        trace: world.trace,
+        schedule: world.schedule,
+        history_len,
+        verdict,
+    }
+}
+
+/// Replays an explicit schedule (e.g. a minimized one from a
+/// [`SimVerdict::Fail`]) under the same configuration and re-checks
+/// the resulting history. The verdict's `minimized` schedule is the
+/// replayed schedule itself — replay does not re-shrink.
+pub fn replay_schedule(cfg: &SimConfig, schedule: &[u32]) -> SimReport {
+    let world = run(
+        cfg,
+        Chooser::Scripted {
+            picks: schedule.to_vec(),
+            at: 0,
+        },
+    );
+    let history = world.log.snapshot();
+    let result = checker::check(&history, cfg.strict(), cfg.check_budget);
+    let verdict = match result.outcome {
+        Outcome::Linearizable => SimVerdict::Pass {
+            ops: result.ops,
+            states: result.states,
+        },
+        Outcome::Undecided => SimVerdict::Undecided {
+            states: result.states,
+        },
+        Outcome::NotLinearizable { witness } => SimVerdict::Fail {
+            witness,
+            minimized: schedule.to_vec(),
+            replay: cfg.replay_line(schedule),
+        },
+    };
+    SimReport {
+        config: cfg.clone(),
+        trace: world.trace,
+        schedule: world.schedule,
+        history_len: history.len(),
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace_and_verdict() {
+        let cfg = SimConfig::small(11);
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a.trace, b.trace, "schedule trace must be byte-identical");
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn replaying_the_recorded_schedule_reproduces_the_trace() {
+        let cfg = SimConfig::small(5);
+        let a = simulate(&cfg);
+        let b = replay_schedule(&cfg, &a.schedule);
+        assert_eq!(a.trace, b.trace, "full-schedule replay is exact");
+    }
+
+    #[test]
+    fn correct_code_passes_under_churn() {
+        let report = simulate(&SimConfig::small(3));
+        assert!(
+            matches!(report.verdict, SimVerdict::Pass { .. }),
+            "{:?}\n{}",
+            report.verdict,
+            report.trace
+        );
+        assert!(report.history_len > 0);
+    }
+
+    #[test]
+    fn lossy_mode_still_passes() {
+        let cfg = SimConfig {
+            drop_prob: 0.10,
+            ..SimConfig::small(17)
+        };
+        let report = simulate(&cfg);
+        assert!(
+            matches!(report.verdict, SimVerdict::Pass { .. }),
+            "{:?}",
+            report.verdict
+        );
+    }
+}

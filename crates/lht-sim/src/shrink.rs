@@ -1,0 +1,74 @@
+//! Greedy schedule minimization: delta-debugging over the actor pick
+//! sequence of a failing run.
+//!
+//! The scheduler's replay rule makes *any* subsequence of a schedule
+//! a valid run (stale entries are skipped, the clock advances to each
+//! picked actor's ready time), so shrinking is plain chunk removal:
+//! try dropping chunks of halving size, keep every removal that still
+//! fails, stop when single-entry removals no longer help.
+
+/// Minimizes `schedule` while `still_failing` holds, by greedy chunk
+/// removal with chunk sizes `len/2, len/4, …, 1`. The predicate is
+/// called with each candidate subsequence; it must be deterministic.
+/// Returns a subsequence of `schedule` (possibly the input itself)
+/// for which `still_failing` returned `true` last.
+pub fn shrink(schedule: &[u32], mut still_failing: impl FnMut(&[u32]) -> bool) -> Vec<u32> {
+    let mut current = schedule.to_vec();
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && still_failing(&candidate) {
+                current = candidate;
+                progressed = true;
+                // Re-test the same offset: the next chunk slid here.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // "Failing" = contains both a 7 and a 9, in that order.
+        let schedule: Vec<u32> = (0..100).collect();
+        let min = shrink(&schedule, |s| {
+            let p7 = s.iter().position(|&x| x == 7);
+            let p9 = s.iter().position(|&x| x == 9);
+            matches!((p7, p9), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(min, vec![7, 9]);
+    }
+
+    #[test]
+    fn returns_input_when_nothing_can_go() {
+        let schedule = vec![1, 2, 3];
+        let min = shrink(&schedule, |s| s == [1, 2, 3]);
+        assert_eq!(min, schedule);
+    }
+
+    #[test]
+    fn single_element_core() {
+        let schedule: Vec<u32> = (0..33).collect();
+        let min = shrink(&schedule, |s| s.contains(&20));
+        assert_eq!(min, vec![20]);
+    }
+}

@@ -13,8 +13,10 @@ use lht_dht::{
     ChordConfig, ChordDht, Dht, DhtKey, DhtStats, DirectDht, FaultyDht, NetProfile, RetriedDht,
     RetryPolicy,
 };
+use lht_dst::{DstConfig, DstIndex, DstNode};
 use lht_id::KeyFraction;
 use lht_pht::{audit as pht_audit, PhtIndex, PhtNode};
+use lht_rst::{RstIndex, RstNode};
 
 use super::oracle::ShadowOracle;
 use super::trace::{generate, Op, Trace, TraceConfig};
@@ -54,6 +56,13 @@ pub enum IndexKind {
     /// differential contract, so a divergence localizes to the scheme
     /// rather than the harness.
     Pht,
+    /// The DST baseline (§2). No min/max — the segment tree has no
+    /// cheap leftmost/rightmost descent — so extreme ops are skipped.
+    Dst,
+    /// The RST baseline (§2). Append-only (no delete in the scheme)
+    /// and no min/max; remove and extreme ops are skipped on both the
+    /// index and the oracle.
+    Rst,
 }
 
 impl std::fmt::Display for IndexKind {
@@ -61,6 +70,8 @@ impl std::fmt::Display for IndexKind {
         match self {
             IndexKind::Lht => write!(f, "lht"),
             IndexKind::Pht => write!(f, "pht"),
+            IndexKind::Dst => write!(f, "dst"),
+            IndexKind::Rst => write!(f, "rst"),
         }
     }
 }
@@ -218,6 +229,30 @@ trait IndexDriver {
     /// Substrate stats as the index sees them — through the fault and
     /// retry layers when present, so drops/timeouts/retries show up.
     fn dht_stats(&self) -> DhtStats;
+
+    /// Whether the scheme implements deletion (RST does not — its
+    /// range-search tree only ever splits). When `false` the drive
+    /// loop skips remove ops on the index *and* the oracle, keeping
+    /// the two in lockstep.
+    fn supports_remove(&self) -> bool {
+        true
+    }
+
+    /// Whether the scheme answers min/max (only the trie-structured
+    /// indexes with a leftmost/rightmost-leaf descent do).
+    fn supports_extreme(&self) -> bool {
+        true
+    }
+}
+
+/// The typed error a driver returns for an operation its scheme does
+/// not implement. The drive loop checks the capability flags before
+/// issuing the op, so surfacing one of these means the harness itself
+/// is broken — it fails the soak loudly instead of panicking.
+fn unsupported(what: &str) -> LhtError {
+    LhtError::MissingBucket {
+        key: format!("<unsupported op: {what}>"),
+    }
 }
 
 struct LhtDriver<'a, D: Dht<Value = LeafBucket<u32>>> {
@@ -291,6 +326,82 @@ impl<D: Dht<Value = PhtNode<u32>>> IndexDriver for PhtDriver<'_, D> {
 
     fn dht_stats(&self) -> DhtStats {
         self.ix.dht().stats()
+    }
+}
+
+struct DstDriver<'a, D: Dht<Value = DstNode<u32>>> {
+    ix: &'a DstIndex<D, u32>,
+}
+
+impl<D: Dht<Value = DstNode<u32>>> IndexDriver for DstDriver<'_, D> {
+    fn insert(&self, key: KeyFraction, value: u32) -> Result<(), LhtError> {
+        self.ix.insert(key, value).map(|_| ())
+    }
+
+    fn remove(&self, key: KeyFraction) -> Result<Option<u32>, LhtError> {
+        self.ix.remove(key).map(|(value, _)| value)
+    }
+
+    fn exact(&self, key: KeyFraction) -> Result<Option<u32>, LhtError> {
+        self.ix.exact_match(key).map(|(value, _)| value)
+    }
+
+    fn range(&self, range: KeyInterval) -> Result<(Vec<(u64, u32)>, u64), LhtError> {
+        let result = self.ix.range(range)?;
+        let records = result.records.iter().map(|(k, v)| (k.bits(), *v)).collect();
+        Ok((records, result.cost.dht_lookups))
+    }
+
+    fn extreme(&self, _smallest: bool) -> Result<Option<(u64, u32)>, LhtError> {
+        Err(unsupported("dst min/max"))
+    }
+
+    fn dht_stats(&self) -> DhtStats {
+        self.ix.dht().stats()
+    }
+
+    fn supports_extreme(&self) -> bool {
+        false
+    }
+}
+
+struct RstDriver<'a, D: Dht<Value = RstNode<u32>>> {
+    ix: &'a RstIndex<D, u32>,
+}
+
+impl<D: Dht<Value = RstNode<u32>>> IndexDriver for RstDriver<'_, D> {
+    fn insert(&self, key: KeyFraction, value: u32) -> Result<(), LhtError> {
+        self.ix.insert(key, value).map(|_| ())
+    }
+
+    fn remove(&self, _key: KeyFraction) -> Result<Option<u32>, LhtError> {
+        Err(unsupported("rst remove"))
+    }
+
+    fn exact(&self, key: KeyFraction) -> Result<Option<u32>, LhtError> {
+        self.ix.exact_match(key).map(|(value, _)| value)
+    }
+
+    fn range(&self, range: KeyInterval) -> Result<(Vec<(u64, u32)>, u64), LhtError> {
+        let result = self.ix.range(range)?;
+        let records = result.records.iter().map(|(k, v)| (k.bits(), *v)).collect();
+        Ok((records, result.cost.dht_lookups))
+    }
+
+    fn extreme(&self, _smallest: bool) -> Result<Option<(u64, u32)>, LhtError> {
+        Err(unsupported("rst min/max"))
+    }
+
+    fn dht_stats(&self) -> DhtStats {
+        self.ix.dht().stats()
+    }
+
+    fn supports_remove(&self) -> bool {
+        false
+    }
+
+    fn supports_extreme(&self) -> bool {
+        false
     }
 }
 
@@ -427,6 +538,50 @@ pub fn run_trace(trace: &Trace, opts: &SoakOptions) -> Result<SoakReport, Box<Di
                     }
                 }
             }
+            IndexKind::Dst => {
+                let dht: DirectDht<DstNode<u32>> = DirectDht::new();
+                let mut env = DirectEnv {
+                    dht: &dht,
+                    cfg,
+                    audit_entries: dst_entry_audit,
+                    optimal: None,
+                    mirror: None,
+                };
+                match opts.net {
+                    None => {
+                        let ix = DstIndex::new(&dht, dst_config())
+                            .map_err(|e| setup_failure(opts, e))?;
+                        drive(&DstDriver { ix: &ix }, trace, opts, &mut env)
+                    }
+                    Some(net) => {
+                        let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
+                        let ix = DstIndex::new(lossy, dst_config())
+                            .map_err(|e| setup_failure(opts, e))?;
+                        drive(&DstDriver { ix: &ix }, trace, opts, &mut env)
+                    }
+                }
+            }
+            IndexKind::Rst => {
+                let dht: DirectDht<RstNode<u32>> = DirectDht::new();
+                let mut env = DirectEnv {
+                    dht: &dht,
+                    cfg,
+                    audit_entries: rst_entry_audit,
+                    optimal: None,
+                    mirror: None,
+                };
+                match opts.net {
+                    None => {
+                        let ix = RstIndex::new(&dht, cfg).map_err(|e| setup_failure(opts, e))?;
+                        drive(&RstDriver { ix: &ix }, trace, opts, &mut env)
+                    }
+                    Some(net) => {
+                        let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
+                        let ix = RstIndex::new(lossy, cfg).map_err(|e| setup_failure(opts, e))?;
+                        drive(&RstDriver { ix: &ix }, trace, opts, &mut env)
+                    }
+                }
+            }
         },
         SubstrateKind::Chord { nodes, replicas } => {
             let chord_cfg = ChordConfig {
@@ -481,9 +636,62 @@ pub fn run_trace(trace: &Trace, opts: &SoakOptions) -> Result<SoakReport, Box<Di
                         }
                     }
                 }
+                IndexKind::Dst => {
+                    let dht: ChordDht<DstNode<u32>> =
+                        ChordDht::with_config(nodes, opts.seed ^ 0x5eed, chord_cfg);
+                    let mut env = ChordEnv {
+                        dht: &dht,
+                        cfg,
+                        audit_entries: dst_entry_audit,
+                        lossy_maintenance: opts.maintenance_loss > 0.0,
+                    };
+                    match opts.net {
+                        None => {
+                            let ix = DstIndex::new(&dht, dst_config())
+                                .map_err(|e| setup_failure(opts, e))?;
+                            drive(&DstDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                        Some(net) => {
+                            let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
+                            let ix = DstIndex::new(lossy, dst_config())
+                                .map_err(|e| setup_failure(opts, e))?;
+                            drive(&DstDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                    }
+                }
+                IndexKind::Rst => {
+                    let dht: ChordDht<RstNode<u32>> =
+                        ChordDht::with_config(nodes, opts.seed ^ 0x5eed, chord_cfg);
+                    let mut env = ChordEnv {
+                        dht: &dht,
+                        cfg,
+                        audit_entries: rst_entry_audit,
+                        lossy_maintenance: opts.maintenance_loss > 0.0,
+                    };
+                    match opts.net {
+                        None => {
+                            let ix =
+                                RstIndex::new(&dht, cfg).map_err(|e| setup_failure(opts, e))?;
+                            drive(&RstDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                        Some(net) => {
+                            let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
+                            let ix =
+                                RstIndex::new(lossy, cfg).map_err(|e| setup_failure(opts, e))?;
+                            drive(&RstDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                    }
+                }
             }
         }
     }
+}
+
+/// The DST shape the harness runs: the crate default (height 12 —
+/// resolution 2⁻¹², capacity 100), independent of the LHT θ under
+/// test.
+fn dst_config() -> DstConfig {
+    DstConfig::default()
 }
 
 fn setup_failure(opts: &SoakOptions, e: impl std::fmt::Display) -> Box<DiffFailure> {
@@ -547,6 +755,10 @@ where
                 oracle.insert(*k, *v);
                 report.mutations += 1;
             }
+            // A scheme without deletion (RST) skips the remove on the
+            // index *and* the oracle — mutating only the oracle would
+            // make every subsequent query a phantom divergence.
+            Op::Remove(_) if !ix.supports_remove() => {}
             Op::Remove(k) => {
                 // The oracle mutates exactly once; re-attempts after a
                 // repair are held to the same captured expectation (an
@@ -640,6 +852,9 @@ where
                 .map_err(|d| fail(i, op, d))?;
                 report.queries += 1;
             }
+            // Baselines without a leftmost/rightmost descent skip
+            // extreme queries (reads — the oracle is untouched).
+            Op::Min | Op::Max if !ix.supports_extreme() => {}
             Op::Min | Op::Max => {
                 let expect = if matches!(op, Op::Min) {
                     oracle.min()
@@ -746,6 +961,80 @@ fn pht_entry_audit(
             "pht: materialized {} records, oracle holds {}",
             records.len(),
             expect.len()
+        ));
+    }
+    out
+}
+
+/// DST audit. Records are replicated along root-leaf paths and a
+/// saturated ancestor legitimately keeps a stale value (queries
+/// descend past it), so value agreement is only required *somewhere*
+/// per key — the leaf always holds the authoritative copy. Key
+/// conservation is exact in both directions: no node may hold a key
+/// the oracle lost (removes erase the whole path) and no oracle key
+/// may be missing everywhere.
+fn dst_entry_audit(
+    entries: Vec<(DhtKey, DstNode<u32>)>,
+    _cfg: LhtConfig,
+    expect: &[(u64, u32)],
+) -> Vec<String> {
+    let mut values: std::collections::BTreeMap<u64, Vec<u32>> = std::collections::BTreeMap::new();
+    for (_, node) in &entries {
+        for (k, v) in node.records() {
+            values.entry(k.bits()).or_default().push(*v);
+        }
+    }
+    let mut out = Vec::new();
+    let keys: Vec<u64> = values.keys().copied().collect();
+    let expect_keys: Vec<u64> = expect.iter().map(|(k, _)| *k).collect();
+    if keys != expect_keys {
+        out.push(format!(
+            "dst: {} distinct keys stored, oracle holds {}",
+            keys.len(),
+            expect_keys.len()
+        ));
+    }
+    for (k, v) in expect {
+        if !values.get(k).is_some_and(|vs| vs.contains(v)) {
+            out.push(format!(
+                "dst: no replica of key {k:#018x} holds the oracle's value {v}"
+            ));
+        }
+    }
+    out
+}
+
+/// RST audit: every record lives in exactly one leaf, so the sorted
+/// union of all stored record maps must equal the oracle verbatim;
+/// and the broadcast invariant — every stored structure replica lists
+/// exactly the live leaf set — must hold at every converged point.
+fn rst_entry_audit(
+    entries: Vec<(DhtKey, RstNode<u32>)>,
+    _cfg: LhtConfig,
+    expect: &[(u64, u32)],
+) -> Vec<String> {
+    let mut records: Vec<(u64, u32)> = entries
+        .iter()
+        .flat_map(|(_, n)| n.records.iter().map(|(k, v)| (k.bits(), *v)))
+        .collect();
+    records.sort_unstable();
+    let mut out = Vec::new();
+    if records != expect {
+        out.push(format!(
+            "rst: materialized {} records, oracle holds {}",
+            records.len(),
+            expect.len()
+        ));
+    }
+    let leaves = entries.len();
+    if let Some((_, node)) = entries
+        .iter()
+        .find(|(_, node)| node.structure.len() != leaves)
+    {
+        out.push(format!(
+            "rst: a structure replica lists {} leaves, {} entries live",
+            node.structure.len(),
+            leaves
         ));
     }
     out

@@ -14,6 +14,10 @@ use lht::harness::{run_soak, IndexKind, SoakOptions, SoakReport, SubstrateKind};
 use lht::{NetProfile, RetryPolicy};
 
 const OPS: usize = 5_000;
+/// The DST/RST baseline cells run shorter soaks: DST pays a full
+/// root-leaf path of puts per insert and RST broadcasts every split
+/// to all leaves, so 2k ops already exercise thousands of extra RPCs.
+const BASELINE_OPS: usize = 2_000;
 const DROP: f64 = 0.10;
 const MAINTENANCE_LOSS: f64 = 0.15;
 
@@ -36,6 +40,17 @@ enum Faults {
 /// is injected the fault layer really fired — a cell that saw zero
 /// drops would be vacuous.
 fn soak_cell(substrate: SubstrateKind, index: IndexKind, faults: Faults, seed: u64) -> SoakReport {
+    soak_cell_sized(substrate, index, faults, seed, OPS, 4)
+}
+
+fn soak_cell_sized(
+    substrate: SubstrateKind,
+    index: IndexKind,
+    faults: Faults,
+    seed: u64,
+    ops: usize,
+    theta: usize,
+) -> SoakReport {
     let (net, churn) = match faults {
         Faults::LossOnly => (Some(NetProfile::lossy(seed ^ 0xbad, DROP)), false),
         Faults::ChurnOnly => (None, true),
@@ -47,8 +62,8 @@ fn soak_cell(substrate: SubstrateKind, index: IndexKind, faults: Faults, seed: u
     };
     let opts = SoakOptions {
         seed,
-        ops: OPS,
-        theta: 4,
+        ops,
+        theta,
         substrate,
         index,
         audit_every: 500,
@@ -61,8 +76,8 @@ fn soak_cell(substrate: SubstrateKind, index: IndexKind, faults: Faults, seed: u
     };
     let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
     assert!(
-        report.applied >= OPS,
-        "soak stopped early: {} of {OPS} ops",
+        report.applied >= ops,
+        "soak stopped early: {} of {ops} ops",
         report.applied
     );
     if net.is_some() {
@@ -176,6 +191,67 @@ fn chord_loss_and_churn_lht() {
 #[test]
 fn chord_loss_and_churn_pht() {
     soak_cell(CHORD, IndexKind::Pht, Faults::LossAndChurn, 0xd5);
+}
+
+// ---- DST/RST baseline cells: the §2 competitors go through the
+// ---- same differential contract (ops their scheme lacks — RST
+// ---- removes, DST/RST min-max — are skipped on index and oracle
+// ---- alike). RST cells use θ = 8 to keep the split broadcast,
+// ---- which touches every leaf, from going quadratic in the soak.
+
+fn baseline_cell(substrate: SubstrateKind, index: IndexKind, faults: Faults, seed: u64) {
+    let theta = if index == IndexKind::Rst { 8 } else { 4 };
+    soak_cell_sized(substrate, index, faults, seed, BASELINE_OPS, theta);
+}
+
+#[test]
+fn direct_loss_dst() {
+    baseline_cell(
+        SubstrateKind::Direct,
+        IndexKind::Dst,
+        Faults::LossOnly,
+        0xc6,
+    );
+}
+
+#[test]
+fn direct_loss_rst() {
+    baseline_cell(
+        SubstrateKind::Direct,
+        IndexKind::Rst,
+        Faults::LossOnly,
+        0xc7,
+    );
+}
+
+#[test]
+fn chord_loss_dst() {
+    baseline_cell(CHORD, IndexKind::Dst, Faults::LossOnly, 0xd6);
+}
+
+#[test]
+fn chord_loss_rst() {
+    baseline_cell(CHORD, IndexKind::Rst, Faults::LossOnly, 0xd7);
+}
+
+#[test]
+fn chord_churn_dst() {
+    baseline_cell(CHORD, IndexKind::Dst, Faults::ChurnOnly, 0xd8);
+}
+
+#[test]
+fn chord_churn_rst() {
+    baseline_cell(CHORD, IndexKind::Rst, Faults::ChurnOnly, 0xd9);
+}
+
+#[test]
+fn chord_loss_and_churn_dst() {
+    baseline_cell(CHORD, IndexKind::Dst, Faults::LossAndChurn, 0xda);
+}
+
+#[test]
+fn chord_loss_and_churn_rst() {
+    baseline_cell(CHORD, IndexKind::Rst, Faults::LossAndChurn, 0xdb);
 }
 
 /// The acceptance-criteria soak, pinned exactly: 5k ops on

@@ -3,7 +3,9 @@
 //! that the harness detects injected faults instead of vacuously
 //! passing.
 
-use lht::harness::{generate, run_soak, run_trace, SoakOptions, SubstrateKind, Trace, TraceConfig};
+use lht::harness::{
+    generate, run_soak, run_trace, IndexKind, SoakOptions, SubstrateKind, Trace, TraceConfig,
+};
 
 /// 10k ops over the one-hop DHT with the PHT baseline mirroring every
 /// mutation: every query diffed against the oracle, audits every 500
@@ -65,6 +67,48 @@ fn soak_chord_with_churn() {
     let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
     assert!(report.applied >= 10_000);
     assert!(report.churn_events > 0, "churn trace must move nodes");
+}
+
+/// The DST baseline (§2) through the same differential contract:
+/// ancestor-replicated inserts, path-wide removes, canonical-cover
+/// ranges — every answer diffed against the oracle, audits checking
+/// key conservation across all replicas. Min/max are skipped (the
+/// segment tree has no extreme descent); everything else must agree.
+#[test]
+fn soak_direct_dst_baseline() {
+    let opts = SoakOptions {
+        seed: 2008,
+        ops: 8_000,
+        substrate: SubstrateKind::Direct,
+        index: IndexKind::Dst,
+        audit_every: 1_000,
+        mirror_pht: false,
+        ..SoakOptions::default()
+    };
+    let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(report.applied, 8_000);
+    assert!(report.mutations > 3_000, "removes run on DST");
+}
+
+/// The RST baseline (§2): one-hop queries against a locally cached
+/// structure replica, split broadcasts to every leaf. The scheme has
+/// no delete, so remove ops are skipped on index and oracle alike —
+/// the run degenerates to an insert/query soak, still fully diffed.
+#[test]
+fn soak_direct_rst_baseline() {
+    let opts = SoakOptions {
+        seed: 2008,
+        ops: 6_000,
+        theta: 8,
+        substrate: SubstrateKind::Direct,
+        index: IndexKind::Rst,
+        audit_every: 1_000,
+        mirror_pht: false,
+        ..SoakOptions::default()
+    };
+    let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(report.applied, 6_000);
+    assert!(report.queries > 1_500);
 }
 
 /// The same seed replayed through trace serialization produces the

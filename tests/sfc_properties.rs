@@ -1,0 +1,149 @@
+//! Property-based tests for the 2-D space-filling-curve layer
+//! (`lht-sfc`): for arbitrary point sets and query rectangles, a
+//! Z-order box query through the distributed index must return
+//! exactly what a brute-force scan over the inserted points returns —
+//! no false positives surviving the local filter, no curve interval
+//! dropped by the cover decomposition, at any range budget.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use lht::{DirectDht, KeyFraction};
+use lht::{LeafBucket, Lht2d, LhtConfig, Point, Rect};
+
+type Dht2 = DirectDht<LeafBucket<(Point, u32)>>;
+type Model = BTreeMap<(u32, u32), u32>;
+
+/// Builds a 2-D index plus the brute-force model: later inserts at
+/// the same point replace, exactly as [`Lht2d::insert`] documents.
+fn build(points: &[(u32, u32)], theta: usize) -> (Lht2d<&'static Dht2, u32>, Model) {
+    let dht: &'static Dht2 = Box::leak(Box::new(DirectDht::new()));
+    let ix = Lht2d::new(dht, LhtConfig::new(theta, 40)).unwrap();
+    let mut model = BTreeMap::new();
+    for (i, (x, y)) in points.iter().enumerate() {
+        ix.insert(Point::new(*x, *y), i as u32).unwrap();
+        model.insert((*x, *y), i as u32);
+    }
+    (ix, model)
+}
+
+/// The brute-force answer, sorted by Morton code (the order the
+/// curve stores records in).
+fn brute_force(model: &Model, rect: &Rect) -> Vec<(u64, u32)> {
+    let mut hits: Vec<(u64, u32)> = model
+        .iter()
+        .filter(|((x, y), _)| rect.contains(Point::new(*x, *y)))
+        .map(|((x, y), v)| (Point::new(*x, *y).morton(), *v))
+        .collect();
+    hits.sort_unstable();
+    hits
+}
+
+fn query_sorted(ix: &Lht2d<&'static Dht2, u32>, rect: &Rect) -> Vec<(u64, u32)> {
+    let result = ix.box_query(rect).unwrap();
+    let mut got: Vec<(u64, u32)> = result
+        .records
+        .iter()
+        .map(|(p, v)| (p.morton(), *v))
+        .collect();
+    got.sort_unstable();
+    got
+}
+
+fn rect_of(a: (u32, u32), b: (u32, u32)) -> Rect {
+    Rect::new(a.0.min(b.0), a.0.max(b.0), a.1.min(b.1), a.1.max(b.1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dense clustered points: the Z-order cover is exercised against
+    /// rectangles that straddle many curve discontinuities.
+    #[test]
+    fn box_query_matches_brute_force_on_dense_grids(
+        points in proptest::collection::vec((0u32..48, 0u32..48), 1..300),
+        theta in 2usize..10,
+        c0 in (0u32..50, 0u32..50),
+        c1 in (0u32..50, 0u32..50),
+    ) {
+        let (ix, model) = build(&points, theta);
+        let rect = rect_of(c0, c1);
+        prop_assert_eq!(query_sorted(&ix, &rect), brute_force(&model, &rect));
+    }
+
+    /// Full-width coordinates: rectangles at arbitrary positions in
+    /// the 2³²-sided domain, including degenerate (empty) ones.
+    #[test]
+    fn box_query_matches_brute_force_on_sparse_points(
+        points in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..120),
+        c0 in (any::<u32>(), any::<u32>()),
+        c1 in (any::<u32>(), any::<u32>()),
+    ) {
+        let (ix, model) = build(&points, 4);
+        // Half the cases anchor the rectangle on a stored point so
+        // non-empty answers are common despite the sparse domain.
+        let anchor = points[points.len() / 2];
+        let rect = if c0.0.is_multiple_of(2) {
+            rect_of(anchor, c1)
+        } else {
+            rect_of(c0, c1)
+        };
+        prop_assert_eq!(query_sorted(&ix, &rect), brute_force(&model, &rect));
+    }
+
+    /// Coarsening the Z-interval cover (tiny range budget) trades
+    /// extra false-positive filtering for fewer sub-queries — never
+    /// a different answer.
+    #[test]
+    fn tight_range_budget_keeps_answers_exact(
+        points in proptest::collection::vec((0u32..40, 0u32..40), 1..200),
+        budget in 1usize..5,
+        c0 in (0u32..42, 0u32..42),
+        c1 in (0u32..42, 0u32..42),
+    ) {
+        let dht: &'static Dht2 = Box::leak(Box::new(DirectDht::new()));
+        let mut ix = Lht2d::new(dht, LhtConfig::new(4, 40)).unwrap();
+        ix.set_range_budget(budget);
+        let mut model = BTreeMap::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            ix.insert(Point::new(*x, *y), i as u32).unwrap();
+            model.insert((*x, *y), i as u32);
+        }
+        let rect = rect_of(c0, c1);
+        let result = ix.box_query(&rect).unwrap();
+        prop_assert!(result.sub_queries <= budget);
+        let mut got: Vec<(u64, u32)> = result
+            .records
+            .iter()
+            .map(|(p, v)| (p.morton(), *v))
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force(&model, &rect));
+    }
+
+    /// Point round trip: the Morton key is a bijection, so get and
+    /// remove through the curve hit exactly the inserted record.
+    #[test]
+    fn point_ops_round_trip(
+        points in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..80),
+    ) {
+        let (ix, model) = build(&points, 4);
+        for ((x, y), v) in &model {
+            let p = Point::new(*x, *y);
+            prop_assert_eq!(ix.get(p).unwrap(), Some(*v));
+            prop_assert_eq!(
+                ix.index().exact_match(KeyFraction::from_bits(p.morton())).unwrap().value,
+                Some((p, *v))
+            );
+        }
+        // Remove half, then the other half must still answer.
+        let entries: Vec<((u32, u32), u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        for ((x, y), v) in entries.iter().take(entries.len() / 2) {
+            prop_assert_eq!(ix.remove(Point::new(*x, *y)).unwrap(), Some(*v));
+        }
+        for ((x, y), v) in entries.iter().skip(entries.len() / 2) {
+            prop_assert_eq!(ix.get(Point::new(*x, *y)).unwrap(), Some(*v));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Integration tests for the deterministic simulator (`lht-sim`):
+//! reproducibility, clean-code linearizability across modes, and the
+//! mutant-detection proof for the two seeded bug re-introductions.
+//!
+//! Any failing run below prints a one-line replay command; run it
+//! (optionally with `--trace`) to step through the exact minimized
+//! interleaving.
+
+use lht_sim::{replay_schedule, simulate, SimConfig, SimVerdict};
+
+/// The pinned seed proving stale-replica detection (CI replays it
+/// too; see `sim-smoke` in the workflow).
+const STALE_REPLICA_SEED: u64 = 1;
+/// The pinned seed proving torn-split detection.
+const TORN_SPLIT_SEED: u64 = 1;
+/// Which split the torn-split mutant sabotages.
+const TORN_SPLIT_NTH: u64 = 3;
+
+fn assert_pass(report: &lht_sim::SimReport) {
+    assert!(
+        matches!(report.verdict, SimVerdict::Pass { .. }),
+        "seed {} should linearize, got {:?}\n{}",
+        report.config.seed,
+        report.verdict,
+        report.trace
+    );
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_runs() {
+    for seed in [2, 9, 23] {
+        let cfg = SimConfig::small(seed);
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(
+            a.trace, b.trace,
+            "seed {seed}: trace must be byte-identical"
+        );
+        assert_eq!(a.schedule, b.schedule, "seed {seed}");
+        assert_eq!(a.verdict, b.verdict, "seed {seed}");
+    }
+}
+
+#[test]
+fn full_schedule_replay_is_exact() {
+    let cfg = SimConfig::small(4);
+    let original = simulate(&cfg);
+    let replayed = replay_schedule(&cfg, &original.schedule);
+    assert_eq!(original.trace, replayed.trace);
+    assert_eq!(original.verdict, replayed.verdict);
+}
+
+#[test]
+fn unmutated_histories_linearize_across_seeds() {
+    for seed in 0..24 {
+        assert_pass(&simulate(&SimConfig::small(seed)));
+    }
+}
+
+#[test]
+fn unmutated_histories_linearize_under_loss() {
+    for seed in 0..10 {
+        let cfg = SimConfig {
+            drop_prob: 0.10,
+            ..SimConfig::small(seed)
+        };
+        assert_pass(&simulate(&cfg));
+    }
+}
+
+#[test]
+fn unmutated_histories_linearize_with_more_clients_and_contention() {
+    for seed in 0..5 {
+        let cfg = SimConfig {
+            clients: 6,
+            ops_per_client: 40,
+            theta_split: 3,
+            churn_events: 6,
+            ..SimConfig::small(seed)
+        };
+        assert_pass(&simulate(&cfg));
+    }
+}
+
+#[test]
+fn stale_replica_mutant_is_caught_and_minimized_schedule_reproduces() {
+    let cfg = SimConfig {
+        stale_replica: true,
+        ..SimConfig::small(STALE_REPLICA_SEED)
+    };
+    let report = simulate(&cfg);
+    let SimVerdict::Fail {
+        minimized, replay, ..
+    } = &report.verdict
+    else {
+        panic!(
+            "stale-replica mutant must be non-linearizable at the pinned seed, got {:?}",
+            report.verdict
+        );
+    };
+    assert!(
+        minimized.len() <= report.schedule.len(),
+        "shrinking never grows the schedule"
+    );
+    assert!(replay.contains("--stale-replica") && replay.contains("--schedule"));
+
+    // The replay line's schedule reproduces the violation exactly.
+    let replayed = replay_schedule(&cfg, minimized);
+    assert!(
+        matches!(replayed.verdict, SimVerdict::Fail { .. }),
+        "minimized schedule must still violate, got {:?}\n{}",
+        replayed.verdict,
+        replayed.trace
+    );
+}
+
+#[test]
+fn torn_split_mutant_is_caught_and_minimized_schedule_reproduces() {
+    let cfg = SimConfig {
+        torn_split: Some(TORN_SPLIT_NTH),
+        ..SimConfig::small(TORN_SPLIT_SEED)
+    };
+    let report = simulate(&cfg);
+    let SimVerdict::Fail {
+        minimized, replay, ..
+    } = &report.verdict
+    else {
+        panic!(
+            "torn-split mutant must be non-linearizable at the pinned seed, got {:?}",
+            report.verdict
+        );
+    };
+    assert!(replay.contains("--torn-split") && replay.contains("--schedule"));
+
+    let replayed = replay_schedule(&cfg, minimized);
+    assert!(
+        matches!(replayed.verdict, SimVerdict::Fail { .. }),
+        "minimized schedule must still violate, got {:?}",
+        replayed.verdict
+    );
+}
+
+#[test]
+fn mutants_are_caught_across_a_seed_band_not_just_the_pinned_seed() {
+    // Detection must not hinge on one lucky interleaving: within a
+    // small budget of schedules, both mutants are flagged.
+    let caught = |mk: &dyn Fn(u64) -> SimConfig| -> usize {
+        (0..8u64)
+            .filter(|&s| matches!(simulate(&mk(s)).verdict, SimVerdict::Fail { .. }))
+            .count()
+    };
+    let stale = caught(&|s| SimConfig {
+        stale_replica: true,
+        ..SimConfig::small(s)
+    });
+    assert!(stale >= 1, "stale-replica caught in {stale}/8 schedules");
+    let torn = caught(&|s| SimConfig {
+        torn_split: Some(TORN_SPLIT_NTH),
+        ..SimConfig::small(s)
+    });
+    assert!(torn >= 2, "torn-split caught in {torn}/8 schedules");
+}
