@@ -9,8 +9,9 @@
 //! benchmarks run on a single thread.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use lht_core::{Label, NamingCache};
-use lht_id::sha1_compressions;
+use lht_core::{Label, LeafBucket, LhtConfig, LhtIndex, NamingCache};
+use lht_dht::DirectDht;
+use lht_id::{sha1_compressions, KeyFraction};
 
 /// `n` distinct labels of the shapes a real query mix produces.
 fn labels(n: usize) -> Vec<Label> {
@@ -55,8 +56,55 @@ fn assert_compression_saving() {
     );
 }
 
+/// The nav/range neighbor walks now resolve β and f_n(β) through the
+/// handle's naming cache; a repeated walk over the same spine must
+/// re-hash (at least 5x) less than its cold first pass.
+fn assert_nav_walk_saving() {
+    let kf = |x: f64| KeyFraction::from_f64(x);
+    let dht: DirectDht<LeafBucket<u32>> = DirectDht::new();
+    {
+        let ix = LhtIndex::new(&dht, LhtConfig::new(4, 20)).unwrap();
+        for i in 0..64u32 {
+            ix.insert(kf((f64::from(i) + 0.5) / 64.0), i).unwrap();
+        }
+        // Empty a long stretch so the walk crosses many empty buckets
+        // (each crossing names two neighbor candidates).
+        for i in 20..44u32 {
+            ix.remove(kf((f64::from(i) + 0.5) / 64.0)).unwrap();
+        }
+    }
+    let probe = kf((20.0 + 0.2) / 64.0);
+
+    // A fresh handle pays the full naming cost once…
+    let ix = LhtIndex::new(&dht, LhtConfig::new(4, 20)).unwrap();
+    let before = sha1_compressions();
+    let cold_hit = ix.successor(probe).unwrap().value;
+    let cold = sha1_compressions() - before;
+
+    // …then repeats of the same walk run off the warm cache.
+    let reps = 20u64;
+    let before = sha1_compressions();
+    for _ in 0..reps {
+        assert_eq!(black_box(ix.successor(probe).unwrap().value), cold_hit);
+    }
+    let warm = sha1_compressions() - before;
+
+    assert!(
+        warm * 5 <= cold * reps,
+        "cached nav walk must save >= 5x SHA-1 compressions: \
+         {warm} over {reps} warm walks vs {cold} for one cold walk"
+    );
+    println!(
+        "naming_cache: nav walk {cold} cold vs {} avg warm SHA-1 \
+         compressions ({}x saving)",
+        warm / reps,
+        (cold * reps) / warm.max(1),
+    );
+}
+
 fn bench_naming_cache(c: &mut Criterion) {
     assert_compression_saving();
+    assert_nav_walk_saving();
 
     let ls = labels(64);
     c.bench_function("naming_cache/dht_key_fresh", |b| {

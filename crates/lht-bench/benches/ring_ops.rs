@@ -1,0 +1,142 @@
+//! Micro-benchmarks for the 160-bit identifier arithmetic on the
+//! routing hot path: every Chord hop runs `in_range` (the "between"
+//! predicate) plus finger math (`wrapping_add`/`pow2`), every
+//! Kademlia shortlist sort runs XOR-distance compares, and the
+//! location cache orders probes by `DhtKey`.
+//!
+//! The `DhtKey` ordering path is also *asserted*: comparing keys must
+//! stay byte-only — zero SHA-1 compressions and zero allocations — so
+//! sorting a batch never faults in ring digests. (That is the
+//! "no-alloc fast path" for key ordering: it already exists, and this
+//! bench keeps it from regressing into a digest-based compare.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lht_dht::DhtKey;
+use lht_id::{sha1, sha1_compressions, U160};
+
+/// Deterministic id soup: the hashes of 256 distinct names, the same
+/// id distribution real rings see.
+fn ids(n: usize) -> Vec<U160> {
+    (0..n)
+        .map(|i| sha1(format!("ring-op:{i}").as_bytes()))
+        .collect()
+}
+
+/// Ordering `DhtKey`s must never compute ring digests: the compare is
+/// byte-only. Checked every run before timings.
+fn assert_key_ordering_is_digest_free() {
+    let mut keys: Vec<DhtKey> = (0..512)
+        .map(|i| DhtKey::from(format!("#0{:09b}", i % 400)))
+        .collect();
+    let before = sha1_compressions();
+    keys.sort();
+    keys.dedup();
+    assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    let spent = sha1_compressions() - before;
+    assert_eq!(
+        spent, 0,
+        "DhtKey ordering must stay byte-only; it spent {spent} SHA-1 \
+         compressions sorting 512 keys"
+    );
+}
+
+fn bench_ring_ops(c: &mut Criterion) {
+    assert_key_ordering_is_digest_free();
+
+    let xs = ids(256);
+    let pairs: Vec<(U160, U160)> = xs
+        .iter()
+        .zip(xs.iter().rev())
+        .map(|(a, b)| (*a, *b))
+        .collect();
+
+    c.bench_function("ring_ops/in_range", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for w in xs.windows(3) {
+                if black_box(w[1]).in_range(&w[0], &w[2]) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    c.bench_function("ring_ops/wrapping_add_sub", |b| {
+        b.iter(|| {
+            let mut acc = U160::ZERO;
+            for (x, y) in &pairs {
+                acc = acc.wrapping_add(&black_box(*x).wrapping_sub(y));
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("ring_ops/distance_cw", |b| {
+        b.iter(|| {
+            let mut acc = U160::ZERO;
+            for (x, y) in &pairs {
+                acc = acc.wrapping_add(&black_box(*x).distance_cw(y));
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("ring_ops/finger_pow2_add", |b| {
+        b.iter(|| {
+            let base = xs[0];
+            let mut acc = U160::ZERO;
+            for k in 0..160u32 {
+                acc = acc.wrapping_add(&base.wrapping_add(&U160::pow2(black_box(k))));
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("ring_ops/xor_distance_sort", |b| {
+        let target = xs[17];
+        b.iter(|| {
+            let mut v = xs.clone();
+            v.sort_by_key(|id| *id ^ black_box(target));
+            black_box(v.first().copied())
+        })
+    });
+
+    c.bench_function("ring_ops/leading_zeros", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for (x, y) in &pairs {
+                acc += (black_box(*x) ^ *y).leading_zeros();
+            }
+            black_box(acc)
+        })
+    });
+
+    let keys: Vec<DhtKey> = (0..256)
+        .map(|i| DhtKey::from(format!("#0{:08b}", i)))
+        .collect();
+    c.bench_function("ring_ops/dht_key_sort_byte_only", |b| {
+        b.iter(|| {
+            let mut v = keys.clone();
+            v.sort();
+            black_box(v.len())
+        })
+    });
+
+    c.bench_function("ring_ops/dht_key_hash_memoized", |b| {
+        // All digests warm: steady-state ring placement lookups.
+        for key in &keys {
+            key.hash();
+        }
+        b.iter(|| {
+            let mut acc = U160::ZERO;
+            for key in &keys {
+                acc = acc.wrapping_add(&black_box(key).hash());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_ring_ops);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! cargo run --release -p lht-bench --bin exp_audit_soak -- \
 //!     [--substrate direct|chord|both] [--index lht|pht|dst|rst] [--seed N] \
 //!     [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N] \
-//!     [--drop P] [--net-seed N] [--mloss P]
+//!     [--drop P] [--net-seed N] [--mloss P] [--cache N]
 //! ```
 //!
 //! Exits non-zero on the first divergence or invariant violation,
@@ -35,6 +35,7 @@ struct SoakArgs {
     drop_prob: f64,
     net_seed: u64,
     maintenance_loss: f64,
+    route_cache: Option<usize>,
 }
 
 impl Default for SoakArgs {
@@ -52,6 +53,7 @@ impl Default for SoakArgs {
             drop_prob: 0.0,
             net_seed: 1,
             maintenance_loss: 0.0,
+            route_cache: None,
         }
     }
 }
@@ -63,7 +65,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: exp_audit_soak [--substrate direct|chord|both] [--index lht|pht|dst|rst] \
          [--seed N] [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N] \
-         [--drop P] [--net-seed N] [--mloss P]"
+         [--drop P] [--net-seed N] [--mloss P] [--cache N]"
     );
     eprintln!("  --substrate  which DHT to soak (default both)");
     eprintln!("  --index      which index scheme is primary (default lht)");
@@ -76,6 +78,7 @@ fn usage(err: &str) -> ! {
     eprintln!("  --drop P     per-RPC drop probability of the lossy network (default 0 = off)");
     eprintln!("  --net-seed N fault-layer seed (default 1)");
     eprintln!("  --mloss P    chord maintenance-RPC loss probability (default 0)");
+    eprintln!("  --cache N    wrap the chord stack in a location cache of capacity N");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -117,6 +120,7 @@ fn parse_args() -> SoakArgs {
             "--drop" => args.drop_prob = prob(&mut it, "--drop"),
             "--net-seed" => args.net_seed = num(&mut it, "--net-seed"),
             "--mloss" => args.maintenance_loss = prob(&mut it, "--mloss"),
+            "--cache" => args.route_cache = Some(num(&mut it, "--cache") as usize),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -175,6 +179,7 @@ fn main() {
             churn,
             net,
             maintenance_loss: args.maintenance_loss,
+            route_cache: args.route_cache,
             audit_every: (args.ops / 10).max(1),
             ..SoakOptions::default()
         };

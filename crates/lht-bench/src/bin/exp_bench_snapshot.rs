@@ -8,12 +8,18 @@
 //!   execution,
 //! * raw SHA-1 throughput of the vendored implementation,
 //! * naming-cache hit rate and SHA-1 compression saving on a repeated
-//!   lookup workload (asserted >= 5x — the cache's contract).
+//!   lookup workload (asserted >= 5x — the cache's contract),
+//! * route-cache hops per DHT-lookup and hit rate on the E18 skewed
+//!   range workload (the location cache's headline numbers).
 //!
 //! ```sh
 //! cargo run --release -p lht-bench --bin exp_bench_snapshot -- \
-//!     [--smoke] [--keys N] [--seed N]
+//!     [--smoke] [--keys N] [--seed N] [--check]
 //! ```
+//!
+//! `--check` re-measures and compares against the committed
+//! `BENCH_lht.json`: the run fails if `chord_hops_per_lookup` or
+//! `cached_hops_per_lookup` regressed by more than 15%.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -22,12 +28,14 @@ use lht::{
     ChordDht, Dht, DirectDht, KeyFraction, KeyInterval, Label, LeafBucket, LhtConfig, LhtIndex,
     NamingCache,
 };
+use lht_bench::experiments::route_cache;
 use lht_id::{sha1, sha1_compressions};
 
 struct Args {
     smoke: bool,
     keys: usize,
     seed: u64,
+    check: bool,
 }
 
 impl Default for Args {
@@ -36,6 +44,7 @@ impl Default for Args {
             smoke: false,
             keys: 4096,
             seed: 23,
+            check: false,
         }
     }
 }
@@ -44,7 +53,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: exp_bench_snapshot [--smoke] [--keys N] [--seed N]");
+    eprintln!("usage: exp_bench_snapshot [--smoke] [--keys N] [--seed N] [--check]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -61,6 +70,7 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--keys" => args.keys = (num(&mut it, "--keys") as usize).max(64),
             "--seed" => args.seed = num(&mut it, "--seed"),
+            "--check" => args.check = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -159,6 +169,38 @@ fn naming_cache_saving() -> (f64, f64) {
     (cache.stats().hit_rate(), saving)
 }
 
+/// Reads one numeric field out of the committed `BENCH_lht.json`.
+/// The file is written by this binary line-by-line, so a plain string
+/// scan is exact (the vendored serde shim has no JSON parser).
+fn committed_field(json: &str, field: &str) -> Option<f64> {
+    let tag = format!("\"{field}\":");
+    json.lines().find_map(|line| {
+        let rest = line.trim().strip_prefix(&tag)?;
+        rest.trim().trim_end_matches(',').parse().ok()
+    })
+}
+
+/// `--check`: compare freshly measured hop costs against the
+/// committed snapshot; more than 15% worse is a regression.
+fn check_regressions(fresh_chord: f64, fresh_cached: f64) -> Result<(), String> {
+    let json = std::fs::read_to_string("BENCH_lht.json")
+        .map_err(|e| format!("cannot read committed BENCH_lht.json: {e}"))?;
+    for (field, fresh) in [
+        ("chord_hops_per_lookup", fresh_chord),
+        ("cached_hops_per_lookup", fresh_cached),
+    ] {
+        let committed = committed_field(&json, field)
+            .ok_or_else(|| format!("committed BENCH_lht.json lacks {field:?}"))?;
+        if fresh > committed * 1.15 {
+            return Err(format!(
+                "{field} regressed: {fresh:.3} measured vs {committed:.3} committed (> 15%)"
+            ));
+        }
+        eprintln!("check {field}: {fresh:.3} vs committed {committed:.3} — ok");
+    }
+    Ok(())
+}
+
 fn main() {
     let args = parse_args();
 
@@ -170,6 +212,18 @@ fn main() {
     let throughput = sha1_throughput(args.smoke);
     eprintln!("measuring naming cache…");
     let (hit_rate, saving) = naming_cache_saving();
+    eprintln!("measuring route cache…");
+    let route_queries = if args.smoke { 64 } else { 256 };
+    let (cached_hops, route_hit_rate) = route_cache::headline(args.keys, route_queries, args.seed);
+
+    if args.check {
+        if let Err(e) = check_regressions(hops_per_lookup, cached_hops) {
+            eprintln!("regression check failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("regression check passed");
+        return;
+    }
 
     // The index-level step accounting and the substrate's round
     // accounting must agree on a loss-free direct substrate.
@@ -189,7 +243,9 @@ fn main() {
     let _ = writeln!(json, "  \"range_rounds\": {range_rounds},");
     let _ = writeln!(json, "  \"sha1_throughput_mb_s\": {throughput:.1},");
     let _ = writeln!(json, "  \"naming_cache_hit_rate\": {hit_rate:.4},");
-    let _ = writeln!(json, "  \"naming_cache_sha1_saving_x\": {saving:.1}");
+    let _ = writeln!(json, "  \"naming_cache_sha1_saving_x\": {saving:.1},");
+    let _ = writeln!(json, "  \"cached_hops_per_lookup\": {cached_hops:.3},");
+    let _ = writeln!(json, "  \"route_cache_hit_rate\": {route_hit_rate:.4}");
     json.push_str("}\n");
 
     print!("{json}");

@@ -62,7 +62,8 @@ fn usage(err: &str) -> ! {
         "usage: exp_sim_explore [--seed N] [--explore N] [--budget-secs S] \
          [--clients N] [--ops N] [--nodes N] [--churn N] [--replicas N] \
          [--drop P] [--theta N] [--depth N] [--stale-replica] \
-         [--torn-split N] [--schedule a,b,c] [--expect-violation] [--trace]"
+         [--torn-split N] [--stale-cache-read] [--schedule a,b,c] \
+         [--expect-violation] [--trace]"
     );
     eprintln!("  --seed N           first (or only) simulation seed (default 1)");
     eprintln!("  --explore N        number of consecutive seeds to run (default 1)");
@@ -77,6 +78,7 @@ fn usage(err: &str) -> ! {
     eprintln!("  --depth N          max tree depth (default 24)");
     eprintln!("  --stale-replica    arm the stale-replica mutant");
     eprintln!("  --torn-split N     arm the torn-split mutant at the N-th split");
+    eprintln!("  --stale-cache-read arm the stale-cache-read mutant (unverified probes)");
     eprintln!("  --schedule a,b,c   replay this exact actor schedule (single seed)");
     eprintln!("  --expect-violation exit 0 iff a violation is found (mutant proof)");
     eprintln!("  --trace            print the full schedule trace of each run");
@@ -112,6 +114,7 @@ fn parse_args() -> Args {
             "--depth" => args.cfg.max_depth = (num(&mut it, "--depth") as usize).clamp(2, 64),
             "--stale-replica" => args.cfg.stale_replica = true,
             "--torn-split" => args.cfg.torn_split = Some(num(&mut it, "--torn-split").max(1)),
+            "--stale-cache-read" => args.cfg.stale_cache_read = true,
             "--schedule" => {
                 let csv = it
                     .next()

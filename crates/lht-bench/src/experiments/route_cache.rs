@@ -1,0 +1,346 @@
+//! Extension experiment E18 — the churn-safe location cache on the
+//! index hot path.
+//!
+//! The figure experiments count index-level DHT-lookups; E14 priced
+//! each one at the ring's `O(log N)` hop multiplier. This experiment
+//! attacks that multiplier directly: wrapping the Chord substrate in
+//! [`CachedDht`](lht_dht::CachedDht) turns a repeat visit to a known
+//! bucket into a *verified one-hop probe*, so a skewed ("zipfian-ish"
+//! 80/20) range workload pays the full route only on cold keys and
+//! after churn invalidates a hint. Measured here, per cache capacity
+//! and churn intensity, for LHT and PHT over the same rings:
+//!
+//! * mean physical hops per DHT-lookup,
+//! * route-cache hit rate,
+//! * wall-clock query latency p50/p99,
+//! * divergences against an uncached reference handle (must be 0 —
+//!   the cache may only change cost, never answers).
+
+use std::time::Instant;
+
+use lht_core::{KeyInterval, LeafBucket, LhtConfig, LhtIndex};
+use lht_dht::{CacheConfig, CachedDht, ChordDht, Dht};
+use lht_id::KeyFraction;
+use lht_pht::{PhtIndex, PhtNode};
+use lht_workload::{summary, Dataset, KeyDist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ring size for every cell (matches the snapshot's Chord baseline).
+const PEERS: usize = 32;
+/// Records each range query spans (`16 / n` of the key space).
+const SPAN_KEYS: usize = 16;
+/// Hot-set size for the skewed query mix.
+const HOT_SET: usize = 64;
+/// Probability a query starts inside the hot set.
+const HOT_PROB: f64 = 0.8;
+
+/// One measured cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct RouteCacheRow {
+    /// Which index ran: `"lht"` or `"pht"`.
+    pub index: &'static str,
+    /// Location-cache capacity (0 = disabled; the uncached baseline).
+    pub capacity: usize,
+    /// Join/leave churn events injected between warm-up and
+    /// measurement.
+    pub churn_events: usize,
+    /// Mean physical hops per DHT-lookup during measurement.
+    pub hops_per_lookup: f64,
+    /// Route-cache hit rate during measurement.
+    pub hit_rate: f64,
+    /// Median wall-clock query latency, microseconds.
+    pub latency_p50_us: f64,
+    /// 99th-percentile wall-clock query latency, microseconds.
+    pub latency_p99_us: f64,
+    /// Queries whose records differed from the uncached reference
+    /// handle (the safety property: must be 0).
+    pub divergences: usize,
+}
+
+/// The skewed query-start generator: 80% of queries begin at one of
+/// [`HOT_SET`] pinned positions, the rest anywhere.
+struct SkewedStarts {
+    rng: StdRng,
+    hot: Vec<usize>,
+    n: usize,
+}
+
+impl SkewedStarts {
+    fn new(n: usize, seed: u64) -> SkewedStarts {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hot = (0..HOT_SET).map(|_| rng.gen_range(0..n)).collect();
+        SkewedStarts { rng, hot, n }
+    }
+
+    fn next_interval(&mut self) -> KeyInterval {
+        let idx = if self.rng.gen_bool(HOT_PROB) {
+            self.hot[self.rng.gen_range(0..self.hot.len())]
+        } else {
+            self.rng.gen_range(0..self.n)
+        };
+        let lo = idx as f64 / self.n as f64;
+        let hi = (lo + SPAN_KEYS as f64 / self.n as f64).min(1.0);
+        KeyInterval::half_open(KeyFraction::from_f64(lo), KeyFraction::from_f64(hi))
+    }
+}
+
+/// Runs `events` graceful leave/join pairs with a stabilization round
+/// after each, invalidating every cached hint whose owner moved.
+fn churn_ring<V: Clone>(ring: &ChordDht<V>, events: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4E1);
+    for e in 0..events {
+        let ids = ring.snapshot().node_ids;
+        if ids.len() > PEERS / 2 {
+            let victim = ids[rng.gen_range(0..ids.len())];
+            ring.leave(&victim);
+        }
+        ring.join(&format!("e18:joiner:{seed}:{e}"));
+        ring.stabilize(1);
+    }
+}
+
+/// Sorted `(key bits, value)` pairs — the comparable essence of a
+/// range answer.
+fn canon(records: &[(KeyFraction, u32)]) -> Vec<(u64, u32)> {
+    records.iter().map(|(k, v)| (k.bits(), *v)).collect()
+}
+
+struct CellOutcome {
+    hops_per_lookup: f64,
+    hit_rate: f64,
+    p50_us: f64,
+    p99_us: f64,
+    divergences: usize,
+}
+
+/// One step a cell's closure executes.
+enum CellStep {
+    /// Run this range query through the cached stack, compare the
+    /// answer to the uncached reference handle, and return the
+    /// measured cached-stack stats delta plus whether answers agreed.
+    Query(KeyInterval),
+    /// Inject one leave/join churn event and stabilize the ring.
+    Churn,
+}
+
+struct StepOutcome {
+    delta: lht_dht::DhtStats,
+    agreed: bool,
+}
+
+/// Runs one cell: warm the cache on the same skew, then measure a
+/// query batch with churn events spread through it so hints go stale
+/// *mid-workload*, not only at a single cliff.
+fn run_cell<Q>(n: usize, churn_events: usize, queries: usize, seed: u64, mut step: Q) -> CellOutcome
+where
+    Q: FnMut(CellStep) -> StepOutcome,
+{
+    let mut warm = SkewedStarts::new(n, seed ^ 0x11A7);
+    for _ in 0..queries / 2 {
+        step(CellStep::Query(warm.next_interval()));
+    }
+
+    let mut gen = SkewedStarts::new(n, seed ^ 0x22B8);
+    let mut latencies = Vec::with_capacity(queries);
+    let mut divergences = 0usize;
+    let (mut hops, mut lookups) = (0u64, 0u64);
+    let (mut hits, mut misses, mut stale) = (0u64, 0u64, 0u64);
+    let churn_every = queries
+        .checked_div(churn_events)
+        .map_or(usize::MAX, |n| n.max(1));
+    for q in 0..queries {
+        if q > 0 && q % churn_every == 0 {
+            step(CellStep::Churn);
+        }
+        let start = Instant::now();
+        let out = step(CellStep::Query(gen.next_interval()));
+        latencies.push(start.elapsed().as_secs_f64() * 1e6);
+        hops += out.delta.hops;
+        lookups += out.delta.lookups();
+        hits += out.delta.cache_hits;
+        misses += out.delta.cache_misses;
+        stale += out.delta.cache_stale;
+        if !out.agreed {
+            divergences += 1;
+        }
+    }
+    let total = hits + misses + stale;
+    CellOutcome {
+        hops_per_lookup: hops as f64 / lookups.max(1) as f64,
+        hit_rate: if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        },
+        p50_us: summary::percentile(&latencies, 50.0),
+        p99_us: summary::percentile(&latencies, 99.0),
+        divergences,
+    }
+}
+
+/// Runs the full sweep: every (index, capacity, churn) cell.
+pub fn route_cache_sweep(
+    n: usize,
+    capacities: &[usize],
+    churn_levels: &[usize],
+    queries: usize,
+    seed: u64,
+) -> Vec<RouteCacheRow> {
+    let data = Dataset::generate(KeyDist::Uniform, n, seed ^ 0xE18);
+    let mut rows = Vec::new();
+    for &capacity in capacities {
+        for &churn_events in churn_levels {
+            let cell = run_lht_cell(&data, capacity, churn_events, queries, seed);
+            rows.push(RouteCacheRow {
+                index: "lht",
+                capacity,
+                churn_events,
+                hops_per_lookup: cell.hops_per_lookup,
+                hit_rate: cell.hit_rate,
+                latency_p50_us: cell.p50_us,
+                latency_p99_us: cell.p99_us,
+                divergences: cell.divergences,
+            });
+            let cell = run_pht_cell(&data, capacity, churn_events, queries, seed);
+            rows.push(RouteCacheRow {
+                index: "pht",
+                capacity,
+                churn_events,
+                hops_per_lookup: cell.hops_per_lookup,
+                hit_rate: cell.hit_rate,
+                latency_p50_us: cell.p50_us,
+                latency_p99_us: cell.p99_us,
+                divergences: cell.divergences,
+            });
+        }
+    }
+    rows
+}
+
+fn run_lht_cell(
+    data: &Dataset,
+    capacity: usize,
+    churn_events: usize,
+    queries: usize,
+    seed: u64,
+) -> CellOutcome {
+    let ring: ChordDht<LeafBucket<u32>> = ChordDht::with_nodes(PEERS, seed);
+    let cached = CachedDht::new(&ring, CacheConfig { capacity, seed });
+    let ix = LhtIndex::new(&cached, LhtConfig::new(8, 20)).expect("fresh ring");
+    for (i, k) in data.iter().enumerate() {
+        ix.insert(k, i as u32).expect("loss-free ring");
+    }
+    // The uncached reference handle shares the ring, so both always
+    // see the same post-churn state.
+    let truth = LhtIndex::new(&ring, LhtConfig::new(8, 20)).expect("attach");
+    let mut churned = 0u64;
+    run_cell(data.len(), churn_events, queries, seed, |s| match s {
+        CellStep::Churn => {
+            churned += 1;
+            churn_ring(&ring, 1, seed ^ churned);
+            StepOutcome {
+                delta: lht_dht::DhtStats::default(),
+                agreed: true,
+            }
+        }
+        CellStep::Query(interval) => {
+            let before = Dht::stats(&cached);
+            let got = canon(&ix.range(interval).expect("loss-free ring").records);
+            let delta = Dht::stats(&cached) - before;
+            let want = canon(&truth.range(interval).expect("loss-free ring").records);
+            StepOutcome {
+                delta,
+                agreed: got == want,
+            }
+        }
+    })
+}
+
+fn run_pht_cell(
+    data: &Dataset,
+    capacity: usize,
+    churn_events: usize,
+    queries: usize,
+    seed: u64,
+) -> CellOutcome {
+    let ring: ChordDht<PhtNode<u32>> = ChordDht::with_nodes(PEERS, seed);
+    let cached = CachedDht::new(&ring, CacheConfig { capacity, seed });
+    let ix = PhtIndex::new(&cached, LhtConfig::new(8, 20)).expect("fresh ring");
+    for (i, k) in data.iter().enumerate() {
+        ix.insert(k, i as u32).expect("loss-free ring");
+    }
+    let truth = PhtIndex::new(&ring, LhtConfig::new(8, 20)).expect("attach");
+    let mut churned = 0u64;
+    run_cell(data.len(), churn_events, queries, seed, |s| match s {
+        CellStep::Churn => {
+            churned += 1;
+            churn_ring(&ring, 1, seed ^ churned);
+            StepOutcome {
+                delta: lht_dht::DhtStats::default(),
+                agreed: true,
+            }
+        }
+        CellStep::Query(interval) => {
+            let before = Dht::stats(&cached);
+            let got = canon(
+                &ix.range_sequential(interval)
+                    .expect("loss-free ring")
+                    .records,
+            );
+            let delta = Dht::stats(&cached) - before;
+            let want = canon(
+                &truth
+                    .range_sequential(interval)
+                    .expect("loss-free ring")
+                    .records,
+            );
+            StepOutcome {
+                delta,
+                agreed: got == want,
+            }
+        }
+    })
+}
+
+/// The headline cell for the benchmark snapshot: LHT over a
+/// full-capacity cache, no churn. Returns `(hops per DHT-lookup,
+/// route-cache hit rate)`.
+pub fn headline(n: usize, queries: usize, seed: u64) -> (f64, f64) {
+    let data = Dataset::generate(KeyDist::Uniform, n, seed ^ 0xE18);
+    let cell = run_lht_cell(&data, n, 0, queries, seed);
+    assert_eq!(cell.divergences, 0, "cache must never change answers");
+    (cell.hops_per_lookup, cell.hit_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_cuts_hops_and_never_changes_answers() {
+        let rows = route_cache_sweep(512, &[0, 512], &[0, 4], 48, 7);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert_eq!(r.divergences, 0, "{}/{}: diverged", r.index, r.capacity);
+            if r.capacity == 0 {
+                assert_eq!(r.hit_rate, 0.0, "disabled cache cannot hit");
+            }
+        }
+        // Full-capacity, churn-free LHT beats its own uncached baseline.
+        let at = |cap: usize, churn: usize| {
+            rows.iter()
+                .find(|r| r.index == "lht" && r.capacity == cap && r.churn_events == churn)
+                .unwrap()
+        };
+        assert!(
+            at(512, 0).hops_per_lookup < at(0, 0).hops_per_lookup,
+            "cached {} vs uncached {}",
+            at(512, 0).hops_per_lookup,
+            at(0, 0).hops_per_lookup
+        );
+        assert!(at(512, 0).hit_rate > 0.3, "{}", at(512, 0).hit_rate);
+        // Churn costs hits but never correctness.
+        assert!(at(512, 4).hit_rate <= at(512, 0).hit_rate + 0.05);
+    }
+}

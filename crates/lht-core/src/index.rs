@@ -738,6 +738,7 @@ where
             lookups += 2;
             steps += 1;
             let keys = [self.named_key(&beta), self.named_key(&name(&beta))];
+            self.dht.prewarm(&keys);
             let mut got = self.dht.multi_get(&keys);
             let at_fallback = got.pop().expect("two results for two keys")?;
             let at_beta = got.pop().expect("two results for two keys")?;

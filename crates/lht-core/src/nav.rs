@@ -77,16 +77,25 @@ where
                     cost: OpCost::sequential(lookups),
                 });
             }
+            // Both candidate names (β; f_n(β) if β is itself a leaf)
+            // come from the handle's naming cache — the walk revisits
+            // spine labels, so the SHA-1 work is paid once — and are
+            // prewarmed so a location-cache layer below has both
+            // resident before the lookups fire.
+            let beta_key = self.named_key(&beta);
+            let fallback_key = self.named_key(&name(&beta));
+            self.dht()
+                .prewarm(&[beta_key.clone(), fallback_key.clone()]);
             lookups += 1;
-            bucket = match self.dht().get(&beta.dht_key())? {
+            bucket = match self.dht().get(&beta_key)? {
                 Some(b) => b,
                 None => {
                     lookups += 1;
-                    self.dht().get(&name(&beta).dht_key())?.ok_or_else(|| {
-                        LhtError::MissingBucket {
+                    self.dht()
+                        .get(&fallback_key)?
+                        .ok_or_else(|| LhtError::MissingBucket {
                             key: name(&beta).to_string(),
-                        }
-                    })?
+                        })?
                 }
             };
             let found = if upward {

@@ -176,6 +176,10 @@ where
                 .iter()
                 .map(|task| self.named_key(&task.target))
                 .collect();
+            // Prime per-key state (ring digests, location-cache
+            // recency) below before the round fires — the prewarm
+            // hook never routes.
+            self.dht().prewarm(&keys);
             let round = self.dht().multi_get(&keys);
             for (task, fetched) in tasks.into_iter().zip(round) {
                 match fetched? {

@@ -1,0 +1,863 @@
+//! A churn-safe client-side location cache over any [`Dht`].
+//!
+//! Iterative DHT routing pays `O(log n)` hops per lookup, but the
+//! access patterns an over-DHT index produces are heavily skewed:
+//! range scans and min/max walks revisit the same leaf names over and
+//! over. D1HT and ReCord (PAPERS.md) observe that a client which
+//! simply *remembers* where a key lived last time can resolve most
+//! lookups in a single hop — provided staleness under churn degrades
+//! to extra hops, never to wrong answers.
+//!
+//! [`CachedDht`] implements that idea as a composable layer: a
+//! bounded, strictly-LRU map from [`DhtKey`] to the owner node
+//! learned from previous routed lookups. On a cached key the layer
+//! issues a 1-hop *verified* probe ([`Dht::probe_get`] /
+//! [`Dht::probe_put`]); the substrate checks that the hinted node is
+//! live **and still responsible for the key** before serving, so a
+//! hint invalidated by churn comes back [`Probe::Stale`] and the
+//! layer falls back to a full route (one wasted hop — the D1HT lazy
+//! repair path). Negative feedback evicts the stale entry and every
+//! other entry pointing at the same node, since a departed or
+//! displaced owner is stale for its whole neighborhood at once.
+//!
+//! The cache adds **zero maintenance traffic**: it learns only from
+//! lookups the client was issuing anyway (via [`Dht::owner_hint`]),
+//! matching the paper's low-maintenance thesis.
+//!
+//! # Composition order
+//!
+//! `CachedDht` belongs **outermost** in the production stack:
+//!
+//! ```text
+//! CachedDht<RetriedDht<FaultyDht<ChordDht>>>
+//! ```
+//!
+//! Probes issued by the cache then traverse the retry and fault
+//! layers like any other RPC — a dropped probe is retried, an
+//! exhausted probe falls back to the (equally retried) full route.
+//! Nesting the cache *inside* `RetriedDht` would instead re-consult
+//! the cache on every retry attempt and double-count hits; nesting it
+//! inside `FaultyDht` would let probes bypass the lossy network
+//! entirely. Both orders are tested in `tests/route_cache.rs`.
+//!
+//! # Determinism
+//!
+//! The cache is a pure function of its configuration and the
+//! operation sequence: recency is a monotone logical clock (its
+//! initial phase derived from [`CacheConfig::seed`]), eviction picks
+//! the strictly least-recently-used entry, and nothing ever draws
+//! from an RNG — so deterministic-simulation schedules stay
+//! replay-exact with the cache in the stack.
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::Mutex;
+
+use lht_id::U160;
+
+use crate::{Dht, DhtError, DhtKey, DhtStats, Probe};
+
+/// Configuration for a [`CachedDht`] layer.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Maximum number of key → owner entries held; beyond it the
+    /// strictly least-recently-used entry is evicted. A capacity of
+    /// `0` disables the cache (every lookup takes the full route).
+    pub capacity: usize,
+    /// Deterministic seed. It sets the initial phase of the LRU
+    /// recency clock, so two caches with different seeds age entries
+    /// in different — but each fully reproducible — orders under an
+    /// identical workload. Simulator stacks derive it from the
+    /// schedule seed to keep runs replay-exact.
+    pub seed: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            capacity: 4096,
+            seed: 0,
+        }
+    }
+}
+
+/// One remembered location: where the key lived, what the full route
+/// cost when we learned it, and when it was last used.
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    owner: U160,
+    /// Hops the *routed* operation paid when this entry was learned —
+    /// the per-hit savings estimate credited to
+    /// [`DhtStats::hops_saved`].
+    route_hops: u64,
+    stamp: u64,
+}
+
+/// Strict-LRU state: `entries` is the map, `recency` orders the same
+/// keys by last-use stamp (oldest first). Every mutation keeps the
+/// two views consistent. Iteration for eviction and invalidation
+/// happens on the [`BTreeMap`] side or over *sets* of keys, never in
+/// `HashMap` order, so behaviour is identical across processes.
+struct CacheState {
+    entries: HashMap<DhtKey, CacheEntry>,
+    recency: BTreeMap<u64, DhtKey>,
+    tick: u64,
+    extra: DhtStats,
+}
+
+impl CacheState {
+    fn next_stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn lookup(&mut self, key: &DhtKey) -> Option<(U160, u64)> {
+        let stamp = self.next_stamp();
+        let entry = self.entries.get_mut(key)?;
+        self.recency.remove(&entry.stamp);
+        entry.stamp = stamp;
+        let out = (entry.owner, entry.route_hops);
+        self.recency.insert(stamp, key.clone());
+        Some(out)
+    }
+
+    /// Inserts or refreshes `key → owner`, evicting the LRU entry
+    /// when full.
+    fn learn(&mut self, key: &DhtKey, owner: U160, route_hops: u64, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        let stamp = self.next_stamp();
+        if let Some(entry) = self.entries.get_mut(key) {
+            self.recency.remove(&entry.stamp);
+            *entry = CacheEntry {
+                owner,
+                route_hops,
+                stamp,
+            };
+            self.recency.insert(stamp, key.clone());
+            return;
+        }
+        while self.entries.len() >= capacity {
+            let (_, victim) = self.recency.pop_first().expect("recency mirrors entries");
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(
+            key.clone(),
+            CacheEntry {
+                owner,
+                route_hops,
+                stamp,
+            },
+        );
+        self.recency.insert(stamp, key.clone());
+    }
+
+    /// Removes `key`'s entry, if any.
+    fn evict(&mut self, key: &DhtKey) {
+        if let Some(entry) = self.entries.remove(key) {
+            self.recency.remove(&entry.stamp);
+        }
+    }
+
+    /// Negative feedback after a stale probe: drop every entry that
+    /// points at `owner` — a node found departed (or displaced by a
+    /// joiner) is stale for all the keys it was remembered for.
+    /// Removal of a key *set* is order-independent, so the transient
+    /// `HashMap` iteration order never becomes observable.
+    fn invalidate_owner(&mut self, owner: &U160) {
+        let stale: Vec<u64> = self
+            .entries
+            .values()
+            .filter(|e| e.owner == *owner)
+            .map(|e| e.stamp)
+            .collect();
+        for stamp in stale {
+            if let Some(key) = self.recency.remove(&stamp) {
+                self.entries.remove(&key);
+            }
+        }
+    }
+}
+
+/// A routing-cache layer over any [`Dht`] — see the [module
+/// docs](self) for the design.
+///
+/// # Examples
+///
+/// ```
+/// use lht_dht::{CachedDht, ChordDht, Dht, DhtKey};
+///
+/// let ring: ChordDht<u64> = ChordDht::with_nodes(32, 7);
+/// let dht = CachedDht::with_capacity(ring, 256);
+/// let key = DhtKey::from("leaf#42");
+/// dht.put(&key, 1)?; // full route; owner learned
+/// dht.get(&key)?; // verified 1-hop probe
+/// let stats = dht.stats();
+/// assert_eq!(stats.cache_hits, 1);
+/// assert!(stats.hit_rate() > 0.0);
+/// # Ok::<(), lht_dht::DhtError>(())
+/// ```
+pub struct CachedDht<D> {
+    inner: D,
+    cfg: CacheConfig,
+    state: Mutex<CacheState>,
+}
+
+impl<D> CachedDht<D> {
+    /// Wraps `inner` with a location cache per `cfg`.
+    pub fn new(inner: D, cfg: CacheConfig) -> CachedDht<D> {
+        CachedDht {
+            inner,
+            cfg,
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                recency: BTreeMap::new(),
+                // The seed sets the clock's initial phase only; the
+                // top bits stay clear so the monotone clock can never
+                // wrap within any realistic run.
+                tick: cfg.seed & 0x7FFF_FFFF,
+                extra: DhtStats::default(),
+            }),
+        }
+    }
+
+    /// Wraps `inner` with a cache of `capacity` entries and the
+    /// default seed.
+    pub fn with_capacity(inner: D, capacity: usize) -> CachedDht<D> {
+        CachedDht::new(
+            inner,
+            CacheConfig {
+                capacity,
+                ..CacheConfig::default()
+            },
+        )
+    }
+
+    /// The wrapped substrate.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Number of locations currently remembered.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// Whether the cache currently remembers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().entries.is_empty()
+    }
+
+    /// Drops every cached location (stats are kept).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.entries.clear();
+        st.recency.clear();
+    }
+}
+
+impl<D: Dht> CachedDht<D> {
+    /// Handles the aftermath of a non-served probe: evicts (and on
+    /// staleness neighborhood-invalidates) so the caller falls back
+    /// to the full route.
+    fn on_unserved(&self, key: &DhtKey, owner: &U160, probe_was_stale: bool) {
+        let mut st = self.state.lock();
+        if probe_was_stale {
+            st.extra.cache_stale += 1;
+            st.evict(key);
+            st.invalidate_owner(owner);
+        } else {
+            // Unsupported: the substrate cannot probe, so remembering
+            // locations is pointless.
+            st.evict(key);
+        }
+    }
+
+    /// Learns `key`'s owner after a routed operation that cost
+    /// `route_hops`, optionally counting a cache miss (misses are
+    /// counted only on the genuinely-uncached path, not on the
+    /// stale-fallback re-route, which was already counted as stale).
+    fn learn_after_route(&self, key: &DhtKey, route_hops: u64, count_miss: bool) {
+        let Some(owner) = self.inner.owner_hint(key) else {
+            return;
+        };
+        let mut st = self.state.lock();
+        if count_miss {
+            st.extra.cache_misses += 1;
+        }
+        st.learn(key, owner, route_hops.max(1), self.cfg.capacity);
+    }
+
+    /// Credits a served probe: the routed operation would have paid
+    /// about `route_hops`; the probe actually charged `charged`.
+    fn credit_hit(&self, route_hops: u64, charged: u64) {
+        let mut st = self.state.lock();
+        st.extra.cache_hits += 1;
+        st.extra.hops_saved += route_hops.saturating_sub(charged);
+    }
+
+    fn routed_get(&self, key: &DhtKey, count_miss: bool) -> Result<Option<D::Value>, DhtError> {
+        let before = self.inner.stats().hops;
+        let out = self.inner.get(key);
+        if out.is_ok() {
+            let route_hops = self.inner.stats().hops - before;
+            self.learn_after_route(key, route_hops, count_miss);
+        }
+        out
+    }
+
+    fn routed_put(&self, key: &DhtKey, value: D::Value, count_miss: bool) -> Result<(), DhtError> {
+        let before = self.inner.stats().hops;
+        let out = self.inner.put(key, value);
+        if out.is_ok() {
+            let route_hops = self.inner.stats().hops - before;
+            self.learn_after_route(key, route_hops, count_miss);
+        }
+        out
+    }
+}
+
+impl<D: Dht> Dht for CachedDht<D>
+where
+    D::Value: Clone,
+{
+    type Value = D::Value;
+
+    fn get(&self, key: &DhtKey) -> Result<Option<D::Value>, DhtError> {
+        let hint = self.state.lock().lookup(key);
+        let Some((owner, route_hops)) = hint else {
+            return self.routed_get(key, true);
+        };
+        let before = self.inner.stats().hops;
+        match self.inner.probe_get(key, owner) {
+            Ok(Probe::Served(value)) => {
+                let charged = self.inner.stats().hops - before;
+                self.credit_hit(route_hops, charged);
+                Ok(value)
+            }
+            Ok(Probe::Stale) => {
+                self.on_unserved(key, &owner, true);
+                self.routed_get(key, false)
+            }
+            Ok(Probe::Unsupported) => {
+                self.on_unserved(key, &owner, false);
+                self.routed_get(key, false)
+            }
+            // The probe RPC itself failed (dropped/timed out through a
+            // fault layer, retries exhausted). The hint may still be
+            // good — keep it and fall back to the full route, which
+            // refreshes it on success anyway.
+            Err(_) => self.routed_get(key, false),
+        }
+    }
+
+    fn put(&self, key: &DhtKey, value: D::Value) -> Result<(), DhtError> {
+        let hint = self.state.lock().lookup(key);
+        let Some((owner, route_hops)) = hint else {
+            return self.routed_put(key, value, true);
+        };
+        let before = self.inner.stats().hops;
+        match self.inner.probe_put(key, value.clone(), owner) {
+            Ok(Probe::Served(())) => {
+                let charged = self.inner.stats().hops - before;
+                self.credit_hit(route_hops, charged);
+                Ok(())
+            }
+            Ok(Probe::Stale) => {
+                self.on_unserved(key, &owner, true);
+                self.routed_put(key, value, false)
+            }
+            Ok(Probe::Unsupported) => {
+                self.on_unserved(key, &owner, false);
+                self.routed_put(key, value, false)
+            }
+            Err(_) => self.routed_put(key, value, false),
+        }
+    }
+
+    fn remove(&self, key: &DhtKey) -> Result<Option<D::Value>, DhtError> {
+        let before = self.inner.stats().hops;
+        let out = self.inner.remove(key);
+        if out.is_ok() {
+            let route_hops = self.inner.stats().hops - before;
+            // A remove routes like anything else — learn from it, but
+            // it never consulted the cache, so no miss is counted.
+            self.learn_after_route(key, route_hops, false);
+        }
+        out
+    }
+
+    fn update(
+        &self,
+        key: &DhtKey,
+        f: &mut dyn FnMut(&mut Option<D::Value>),
+    ) -> Result<(), DhtError> {
+        let before = self.inner.stats().hops;
+        let out = self.inner.update(key, f);
+        if out.is_ok() {
+            let route_hops = self.inner.stats().hops - before;
+            self.learn_after_route(key, route_hops, false);
+        }
+        out
+    }
+
+    fn multi_get(&self, keys: &[DhtKey]) -> Vec<Result<Option<D::Value>, DhtError>> {
+        let mut slots: Vec<Option<Result<Option<D::Value>, DhtError>>> = Vec::new();
+        slots.resize_with(keys.len(), || None);
+        // Split the batch: keys with a cached location go to the
+        // probe round, the rest to the full-route round.
+        let mut probes: Vec<(usize, DhtKey, U160, u64)> = Vec::new();
+        let mut routed: Vec<(usize, bool)> = Vec::new(); // (index, count_miss)
+        {
+            let mut st = self.state.lock();
+            for (i, key) in keys.iter().enumerate() {
+                match st.lookup(key) {
+                    Some((owner, route_hops)) => probes.push((i, key.clone(), owner, route_hops)),
+                    None => routed.push((i, true)),
+                }
+            }
+        }
+        if !probes.is_empty() {
+            let before = self.inner.stats().hops;
+            let request: Vec<(DhtKey, U160)> =
+                probes.iter().map(|(_, k, o, _)| (k.clone(), *o)).collect();
+            let outcomes = if request.len() == 1 {
+                vec![self.inner.probe_get(&request[0].0, request[0].1)]
+            } else {
+                self.inner.probe_multi_get(&request)
+            };
+            let charged = self.inner.stats().hops - before;
+            let mut saved_estimate: u64 = 0;
+            let mut hits: u64 = 0;
+            for ((i, key, owner, route_hops), outcome) in probes.into_iter().zip(outcomes) {
+                match outcome {
+                    Ok(Probe::Served(value)) => {
+                        hits += 1;
+                        saved_estimate += route_hops;
+                        slots[i] = Some(Ok(value));
+                    }
+                    Ok(Probe::Stale) => {
+                        self.on_unserved(&key, &owner, true);
+                        routed.push((i, false));
+                    }
+                    Ok(Probe::Unsupported) => {
+                        self.on_unserved(&key, &owner, false);
+                        routed.push((i, false));
+                    }
+                    Err(_) => routed.push((i, false)),
+                }
+            }
+            let mut st = self.state.lock();
+            st.extra.cache_hits += hits;
+            // Stale probes' wasted hops come out of the savings — a
+            // stale hit costs one extra hop over the uncached run.
+            st.extra.hops_saved += saved_estimate.saturating_sub(charged);
+        }
+        if !routed.is_empty() {
+            routed.sort_unstable_by_key(|(i, _)| *i);
+            let request: Vec<DhtKey> = routed.iter().map(|(i, _)| keys[*i].clone()).collect();
+            let before = self.inner.stats().hops;
+            let results = self.inner.multi_get(&request);
+            let route_hops = self.inner.stats().hops - before;
+            let per_key = (route_hops / request.len() as u64).max(1);
+            for ((i, count_miss), result) in routed.into_iter().zip(results) {
+                if result.is_ok() {
+                    self.learn_after_route(&keys[i], per_key, count_miss);
+                }
+                slots[i] = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index settled by probe or route"))
+            .collect()
+    }
+
+    fn multi_put(&self, entries: Vec<(DhtKey, D::Value)>) -> Vec<Result<(), DhtError>> {
+        let mut slots: Vec<Option<Result<(), DhtError>>> = Vec::new();
+        slots.resize_with(entries.len(), || None);
+        let mut originals: Vec<Option<(DhtKey, D::Value)>> =
+            entries.into_iter().map(Some).collect();
+        let mut probes: Vec<(usize, U160, u64)> = Vec::new();
+        let mut routed: Vec<(usize, bool)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for (i, entry) in originals.iter().enumerate() {
+                let (key, _) = entry.as_ref().expect("untouched");
+                match st.lookup(key) {
+                    Some((owner, route_hops)) => probes.push((i, owner, route_hops)),
+                    None => routed.push((i, true)),
+                }
+            }
+        }
+        if !probes.is_empty() {
+            let before = self.inner.stats().hops;
+            let request: Vec<(DhtKey, D::Value, U160)> = probes
+                .iter()
+                .map(|(i, owner, _)| {
+                    let (key, value) = originals[*i].as_ref().expect("untouched");
+                    (key.clone(), value.clone(), *owner)
+                })
+                .collect();
+            let outcomes = if request.len() == 1 {
+                let (key, value, owner) = request.into_iter().next().expect("one probe");
+                vec![self.inner.probe_put(&key, value, owner)]
+            } else {
+                self.inner.probe_multi_put(request)
+            };
+            let charged = self.inner.stats().hops - before;
+            let mut saved_estimate: u64 = 0;
+            let mut hits: u64 = 0;
+            for ((i, owner, route_hops), outcome) in probes.into_iter().zip(outcomes) {
+                match outcome {
+                    Ok(Probe::Served(())) => {
+                        hits += 1;
+                        saved_estimate += route_hops;
+                        originals[i] = None;
+                        slots[i] = Some(Ok(()));
+                    }
+                    Ok(Probe::Stale) => {
+                        let (key, _) = originals[i].as_ref().expect("unserved keeps entry");
+                        self.on_unserved(&key.clone(), &owner, true);
+                        routed.push((i, false));
+                    }
+                    Ok(Probe::Unsupported) => {
+                        let (key, _) = originals[i].as_ref().expect("unserved keeps entry");
+                        self.on_unserved(&key.clone(), &owner, false);
+                        routed.push((i, false));
+                    }
+                    Err(_) => routed.push((i, false)),
+                }
+            }
+            let mut st = self.state.lock();
+            st.extra.cache_hits += hits;
+            st.extra.hops_saved += saved_estimate.saturating_sub(charged);
+        }
+        if !routed.is_empty() {
+            routed.sort_unstable_by_key(|(i, _)| *i);
+            let request: Vec<(DhtKey, D::Value)> = routed
+                .iter()
+                .map(|(i, _)| originals[*i].take().expect("routed exactly once"))
+                .collect();
+            let learn_keys: Vec<DhtKey> = request.iter().map(|(k, _)| k.clone()).collect();
+            let before = self.inner.stats().hops;
+            let results = self.inner.multi_put(request);
+            let route_hops = self.inner.stats().hops - before;
+            let per_key = (route_hops / learn_keys.len() as u64).max(1);
+            for (((i, count_miss), key), result) in routed.into_iter().zip(learn_keys).zip(results)
+            {
+                if result.is_ok() {
+                    self.learn_after_route(&key, per_key, count_miss);
+                }
+                slots[i] = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index settled by probe or route"))
+            .collect()
+    }
+
+    // Stacked caches compose: probes and hints pass straight through.
+    fn probe_get(&self, key: &DhtKey, owner: U160) -> Result<Probe<Option<D::Value>>, DhtError> {
+        self.inner.probe_get(key, owner)
+    }
+
+    fn probe_put(&self, key: &DhtKey, value: D::Value, owner: U160) -> Result<Probe<()>, DhtError> {
+        self.inner.probe_put(key, value, owner)
+    }
+
+    fn probe_multi_get(
+        &self,
+        probes: &[(DhtKey, U160)],
+    ) -> Vec<Result<Probe<Option<D::Value>>, DhtError>> {
+        self.inner.probe_multi_get(probes)
+    }
+
+    fn probe_multi_put(
+        &self,
+        entries: Vec<(DhtKey, D::Value, U160)>,
+    ) -> Vec<Result<Probe<()>, DhtError>> {
+        self.inner.probe_multi_put(entries)
+    }
+
+    fn owner_hint(&self, key: &DhtKey) -> Option<U160> {
+        self.inner.owner_hint(key)
+    }
+
+    /// Warms per-key state without routing: the key's ring digest is
+    /// computed (and memoized) and a cached location's recency is
+    /// refreshed so an imminent batch finds it resident.
+    fn prewarm(&self, keys: &[DhtKey]) {
+        {
+            let mut st = self.state.lock();
+            for key in keys {
+                let _ = key.hash();
+                let _ = st.lookup(key);
+            }
+        }
+        self.inner.prewarm(keys);
+    }
+
+    fn stats(&self) -> DhtStats {
+        self.inner.stats() + self.state.lock().extra
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+        self.state.lock().extra = DhtStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChordConfig, ChordDht, DirectDht};
+
+    fn k(s: &str) -> DhtKey {
+        DhtKey::from(s)
+    }
+
+    #[test]
+    fn direct_substrate_is_transparent_and_never_caches() {
+        let dht = CachedDht::with_capacity(DirectDht::<u64>::new(), 64);
+        dht.put(&k("a"), 1).unwrap();
+        assert_eq!(dht.get(&k("a")).unwrap(), Some(1));
+        assert_eq!(dht.get(&k("b")).unwrap(), None);
+        // DirectDht exposes no owner hints, so nothing is learned and
+        // nothing is ever probed.
+        assert!(dht.is_empty());
+        let s = dht.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_stale, 0);
+        assert_eq!(s.hops_saved, 0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn second_lookup_is_a_one_hop_hit() {
+        let ring: ChordDht<u64> = ChordDht::with_nodes(32, 11);
+        let dht = CachedDht::with_capacity(ring, 64);
+        let key = k("hot");
+        dht.put(&key, 7).unwrap(); // full route, learns the owner
+        dht.reset_stats();
+        assert_eq!(dht.get(&key).unwrap(), Some(7));
+        let s = dht.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 0);
+        assert_eq!(s.hops, 1, "a verified probe is one hop");
+        assert_eq!(s.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn stale_hint_degrades_to_full_route_never_wrong_answer() {
+        let ring: ChordDht<u64> = ChordDht::with_nodes(16, 13);
+        let dht = CachedDht::with_capacity(ring, 64);
+        let key = k("moves");
+        dht.put(&key, 1).unwrap();
+        // The owner departs; the cached hint is now stale.
+        let owner = dht.inner().owner_of_key(&key).unwrap();
+        assert!(dht.inner().leave(&owner));
+        dht.inner().stabilize(2);
+        dht.reset_stats();
+        assert_eq!(dht.get(&key).unwrap(), Some(1), "the answer is still right");
+        let s = dht.stats();
+        assert_eq!(s.cache_stale, 1);
+        assert_eq!(s.cache_hits, 0);
+        assert!(s.hops >= 2, "one wasted hop + the full route");
+        // The fallback re-learned the new owner: next get is a hit.
+        dht.reset_stats();
+        assert_eq!(dht.get(&key).unwrap(), Some(1));
+        assert_eq!(dht.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn stale_probe_invalidates_the_whole_owner_neighborhood() {
+        let cfg = ChordConfig::default();
+        let ring: ChordDht<u64> = ChordDht::with_config(8, 17, cfg);
+        let dht = CachedDht::with_capacity(ring, 256);
+        // Find two keys owned by the same node.
+        let mut by_owner: std::collections::HashMap<U160, Vec<DhtKey>> =
+            std::collections::HashMap::new();
+        for i in 0..64u64 {
+            let key = k(&format!("key:{i}"));
+            dht.put(&key, i).unwrap();
+            let owner = dht.inner().owner_of_key(&key).unwrap();
+            by_owner.entry(owner).or_default().push(key);
+        }
+        let (owner, keys) = by_owner
+            .into_iter()
+            .find(|(_, ks)| ks.len() >= 2)
+            .expect("some node owns two keys");
+        assert!(dht.inner().leave(&owner));
+        dht.inner().stabilize(2);
+        // One stale probe on the first key must evict the second
+        // key's entry too: its next lookup is a *miss*, not stale.
+        dht.reset_stats();
+        dht.get(&keys[0]).unwrap();
+        dht.get(&keys[1]).unwrap();
+        let s = dht.stats();
+        assert_eq!(s.cache_stale, 1);
+        assert_eq!(s.cache_misses, 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_eviction_is_strict_lru() {
+        let ring: ChordDht<u64> = ChordDht::with_nodes(32, 19);
+        let dht = CachedDht::with_capacity(ring, 4);
+        for i in 0..8u64 {
+            dht.put(&k(&format!("key:{i}")), i).unwrap();
+        }
+        assert_eq!(dht.len(), 4);
+        // keys 4..8 are resident; key 4 is now the LRU. Touch it,
+        // then insert a fresh key: key 5 (the new LRU) must go.
+        dht.get(&k("key:4")).unwrap();
+        dht.put(&k("key:8"), 8).unwrap();
+        dht.reset_stats();
+        dht.get(&k("key:4")).unwrap();
+        assert_eq!(dht.stats().cache_hits, 1, "touched entry survived");
+        dht.get(&k("key:5")).unwrap();
+        assert_eq!(dht.stats().cache_misses, 1, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let ring: ChordDht<u64> = ChordDht::with_nodes(16, 23);
+        let dht = CachedDht::with_capacity(ring, 0);
+        let key = k("a");
+        dht.put(&key, 1).unwrap();
+        assert_eq!(dht.get(&key).unwrap(), Some(1));
+        assert!(dht.is_empty());
+        assert_eq!(dht.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn batch_splits_into_probe_and_route_rounds() {
+        let ring: ChordDht<u64> = ChordDht::with_nodes(32, 29);
+        let dht = CachedDht::with_capacity(ring, 64);
+        let keys: Vec<DhtKey> = (0..8u64).map(|i| k(&format!("key:{i}"))).collect();
+        for (i, key) in keys.iter().enumerate() {
+            dht.put(key, i as u64).unwrap();
+        }
+        // Forget half the entries so the batch genuinely splits.
+        for key in &keys[4..] {
+            dht.state.lock().evict(key);
+        }
+        dht.reset_stats();
+        let out = dht.multi_get(&keys);
+        for (i, result) in out.iter().enumerate() {
+            assert_eq!(result.as_ref().unwrap(), &Some(i as u64));
+        }
+        let s = dht.stats();
+        assert_eq!(s.cache_hits, 4);
+        assert_eq!(s.cache_misses, 4);
+        assert_eq!(s.gets, 8);
+        assert!(s.rounds <= 2, "one probe round + one routed round");
+        assert!(s.rounds <= s.lookups());
+        assert!(s.round_hops <= s.hops);
+        // A warm repeat is a single all-probe round.
+        dht.reset_stats();
+        let out = dht.multi_get(&keys);
+        assert!(out.iter().all(|r| r.is_ok()));
+        let s = dht.stats();
+        assert_eq!(s.cache_hits, 8);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.hops, 8);
+        assert_eq!(s.round_hops, 1);
+    }
+
+    #[test]
+    fn batched_and_unbatched_answers_agree_under_churn() {
+        let ring: ChordDht<u64> = ChordDht::with_nodes(16, 31);
+        let dht = CachedDht::with_capacity(ring, 64);
+        let keys: Vec<DhtKey> = (0..12u64).map(|i| k(&format!("key:{i}"))).collect();
+        let entries: Vec<(DhtKey, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| (key.clone(), i as u64))
+            .collect();
+        for r in dht.multi_put(entries) {
+            r.unwrap();
+        }
+        // Churn a node out so some cached locations go stale.
+        let victim = dht.inner().owner_of_key(&keys[0]).unwrap();
+        assert!(dht.inner().leave(&victim));
+        dht.inner().stabilize(2);
+        let out = dht.multi_get(&keys);
+        for (i, result) in out.iter().enumerate() {
+            assert_eq!(
+                result.as_ref().unwrap(),
+                &Some(i as u64),
+                "stale entries must fall back, never serve old replicas"
+            );
+        }
+        let s = dht.stats();
+        assert!(s.cache_stale >= 1, "the departed owner was probed");
+        assert!(s.rounds <= s.lookups());
+        assert!(s.round_hops <= s.hops);
+    }
+
+    #[test]
+    fn hops_saved_estimates_the_uncached_cost() {
+        let ring: ChordDht<u64> = ChordDht::with_nodes(64, 37);
+        let dht = CachedDht::with_capacity(ring, 256);
+        let keys: Vec<DhtKey> = (0..32u64).map(|i| k(&format!("key:{i}"))).collect();
+        for (i, key) in keys.iter().enumerate() {
+            dht.put(key, i as u64).unwrap();
+        }
+        dht.reset_stats();
+        for _ in 0..4 {
+            for key in &keys {
+                dht.get(key).unwrap();
+            }
+        }
+        let s = dht.stats();
+        assert_eq!(s.cache_hits, 128);
+        assert!(s.hops_saved > 0, "a 64-node ring routes in > 1 hop");
+        // hops + hops_saved reconstructs roughly what the uncached
+        // run would have paid; it must stay within the routed-cost
+        // estimate (max_hops bound per lookup is absurdly loose, use
+        // learned-route sanity instead: saved < 64 hops per lookup).
+        assert!(s.hops_saved < 64 * 128);
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let run = || {
+            let ring: ChordDht<u64> = ChordDht::with_nodes(32, 41);
+            let dht = CachedDht::new(
+                ring,
+                CacheConfig {
+                    capacity: 8,
+                    seed: 99,
+                },
+            );
+            for i in 0..64u64 {
+                dht.put(&k(&format!("key:{}", i % 16)), i).unwrap();
+            }
+            for i in 0..64u64 {
+                dht.get(&k(&format!("key:{}", (i * 7) % 16))).unwrap();
+            }
+            dht.stats()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.cache_misses, b.cache_misses);
+        assert_eq!(a.cache_stale, b.cache_stale);
+        assert_eq!(a.hops, b.hops);
+        assert_eq!(a.hops_saved, b.hops_saved);
+    }
+
+    #[test]
+    fn cached_dht_is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<CachedDht<ChordDht<u64>>>();
+    }
+}

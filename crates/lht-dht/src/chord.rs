@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use lht_id::{sha1, U160};
 
-use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats};
+use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats, Probe};
 
 /// Configuration for a [`ChordDht`] ring.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -144,6 +144,12 @@ struct Ring<V> {
     /// newer data / resurrecting deleted keys) for the deterministic
     /// simulation's mutant-detection proof. Never set in normal use.
     stale_replica_mutant: bool,
+    /// Fault injection: when set, a cached owner probe skips the
+    /// ownership check — any live node serves reads for keys it holds
+    /// a copy of, even after churn moved the key elsewhere. This is
+    /// exactly the bug an unverified location cache would have; armed
+    /// only for the simulation's mutant-detection proof.
+    stale_cache_mutant: bool,
 }
 
 /// A simulated Chord DHT.
@@ -210,6 +216,7 @@ impl<V> ChordDht<V> {
             rng: StdRng::seed_from_u64(seed),
             clock: 0,
             stale_replica_mutant: false,
+            stale_cache_mutant: false,
         };
         ring.rebuild_all_routing_state();
         ChordDht {
@@ -742,6 +749,25 @@ impl<V> Ring<V> {
         best.map(|(_, id)| id)
     }
 
+    /// Whether a cached read probe hinted at `owner` may be served:
+    /// the node is live **and** still the ring's owner of `h`. The
+    /// armed stale-cache mutant skips the ownership half — any live
+    /// node with a copy answers — which is the injected bug the
+    /// simulation checker must catch.
+    fn probe_serves_read(&self, owner: &U160, h: &U160) -> bool {
+        if !self.nodes.contains_key(owner) {
+            return false;
+        }
+        self.stale_cache_mutant || self.owner_of(h) == *owner
+    }
+
+    /// Whether a cached write probe hinted at `owner` may be served.
+    /// Writes are always strictly verified — even under the armed
+    /// read mutant — so the mutant's damage is confined to reads.
+    fn probe_serves_write(&self, owner: &U160, h: &U160) -> bool {
+        self.nodes.contains_key(owner) && self.owner_of(h) == *owner
+    }
+
     /// The owner's replica set: the owner plus its next
     /// `replicas - 1` live successors.
     fn replica_set(&self, owner: &U160) -> Vec<U160> {
@@ -848,6 +874,18 @@ impl<V: Clone> ChordDht<V> {
     /// checker can prove it would have caught it.
     pub fn arm_stale_replica_mutant(&self) {
         self.inner.lock().stale_replica_mutant = true;
+    }
+
+    /// Arms the stale-cache-read fault injection: cached owner probes
+    /// ([`Dht::probe_get`]) stop verifying that the hinted node still
+    /// owns the key — any live node holding a copy serves the read.
+    /// After churn moves a key, a stale cache entry then reads the old
+    /// replica instead of degrading to a full route: the bug a
+    /// location cache without ownership verification would ship, re-
+    /// introduced on demand so the deterministic-simulation checker
+    /// can prove it would be caught.
+    pub fn arm_stale_cache_mutant(&self) {
+        self.inner.lock().stale_cache_mutant = true;
     }
 }
 
@@ -1010,6 +1048,134 @@ impl<V: Clone> Dht for ChordDht<V> {
         }
         inner.stats.record_batch(ops);
         out
+    }
+
+    fn probe_get(&self, key: &DhtKey, owner: U160) -> Result<Probe<Option<V>>, DhtError> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        if !inner.probe_serves_read(&owner, &key.hash()) {
+            // One wasted hop to discover the hint is stale; no
+            // logical operation completed, so no lookup and no round.
+            inner.stats.hops += 1;
+            return Ok(Probe::Stale);
+        }
+        let found = inner.nodes[&owner]
+            .store
+            .get(key)
+            .and_then(|s| s.value.clone());
+        inner.stats.record_op(
+            DhtOp::Get {
+                found: found.is_some(),
+            },
+            1,
+        );
+        Ok(Probe::Served(found))
+    }
+
+    fn probe_put(&self, key: &DhtKey, value: V, owner: U160) -> Result<Probe<()>, DhtError> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        if !inner.probe_serves_write(&owner, &key.hash()) {
+            inner.stats.hops += 1;
+            return Ok(Probe::Stale);
+        }
+        inner.clock += 1;
+        let stored = Stored {
+            seq: inner.clock,
+            value: Some(value),
+        };
+        let replicas = inner.replica_set(&owner);
+        // One probe hop plus one hop per replica write beyond the
+        // owner — same write fan-out as the routed put.
+        inner.stats.record_op(DhtOp::Put, replicas.len() as u64);
+        for r in replicas {
+            merge_copy(
+                &mut inner.nodes.get_mut(&r).expect("replica is live").store,
+                key.clone(),
+                stored.clone(),
+            );
+        }
+        Ok(Probe::Served(()))
+    }
+
+    fn probe_multi_get(
+        &self,
+        probes: &[(DhtKey, U160)],
+    ) -> Vec<Result<Probe<Option<V>>, DhtError>> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            return probes.iter().map(|_| Err(DhtError::EmptyRing)).collect();
+        }
+        let mut out = Vec::with_capacity(probes.len());
+        let mut ops = Vec::with_capacity(probes.len());
+        for (key, owner) in probes {
+            if !inner.probe_serves_read(owner, &key.hash()) {
+                inner.stats.hops += 1;
+                out.push(Ok(Probe::Stale));
+                continue;
+            }
+            let found = inner.nodes[owner]
+                .store
+                .get(key)
+                .and_then(|s| s.value.clone());
+            ops.push((
+                DhtOp::Get {
+                    found: found.is_some(),
+                },
+                1,
+            ));
+            out.push(Ok(Probe::Served(found)));
+        }
+        // Only the served probes form a round; an all-stale batch
+        // records nothing (the fallback route is the round).
+        inner.stats.record_batch(ops);
+        out
+    }
+
+    fn probe_multi_put(&self, entries: Vec<(DhtKey, V, U160)>) -> Vec<Result<Probe<()>, DhtError>> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            return entries.iter().map(|_| Err(DhtError::EmptyRing)).collect();
+        }
+        let mut out = Vec::with_capacity(entries.len());
+        let mut ops = Vec::with_capacity(entries.len());
+        for (key, value, owner) in entries {
+            if !inner.probe_serves_write(&owner, &key.hash()) {
+                inner.stats.hops += 1;
+                out.push(Ok(Probe::Stale));
+                continue;
+            }
+            inner.clock += 1;
+            let stored = Stored {
+                seq: inner.clock,
+                value: Some(value),
+            };
+            let replicas = inner.replica_set(&owner);
+            ops.push((DhtOp::Put, replicas.len() as u64));
+            for r in replicas {
+                merge_copy(
+                    &mut inner.nodes.get_mut(&r).expect("replica is live").store,
+                    key.clone(),
+                    stored.clone(),
+                );
+            }
+            out.push(Ok(Probe::Served(())));
+        }
+        inner.stats.record_batch(ops);
+        out
+    }
+
+    fn owner_hint(&self, key: &DhtKey) -> Option<U160> {
+        let inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            None
+        } else {
+            Some(inner.owner_of(&key.hash()))
+        }
     }
 
     fn stats(&self) -> DhtStats {
@@ -1294,6 +1460,160 @@ mod tests {
             b.stats(),
             "identical seeds must replay identically"
         );
+    }
+
+    #[test]
+    fn verified_probe_matches_routed_get_at_one_hop() {
+        let dht: ChordDht<u64> = ChordDht::with_nodes(32, 43);
+        for i in 0..50u64 {
+            dht.put(&k(&format!("key:{i}")), i).unwrap();
+        }
+        dht.reset_stats();
+        for i in 0..50u64 {
+            let key = k(&format!("key:{i}"));
+            let owner = dht.owner_hint(&key).unwrap();
+            match dht.probe_get(&key, owner).unwrap() {
+                Probe::Served(v) => assert_eq!(v, Some(i)),
+                other => panic!("fresh hint must serve, got {other:?}"),
+            }
+        }
+        let s = dht.stats();
+        assert_eq!(s.gets, 50);
+        assert_eq!(s.hops, 50, "each served probe costs exactly one hop");
+        assert_eq!(s.rounds, 50);
+    }
+
+    #[test]
+    fn stale_probe_wastes_one_hop_but_never_answers() {
+        let dht: ChordDht<u64> = ChordDht::with_nodes(16, 47);
+        let key = k("probe-me");
+        dht.put(&key, 7).unwrap();
+        let old_owner = dht.owner_hint(&key).unwrap();
+        // The owner leaves: its keys hand off to the successor, so the
+        // hint is now stale (a dead node).
+        assert!(dht.leave(&old_owner));
+        dht.stabilize(2);
+        dht.reset_stats();
+        assert_eq!(dht.probe_get(&key, old_owner).unwrap(), Probe::Stale);
+        let s = dht.stats();
+        assert_eq!(s.hops, 1, "one wasted hop");
+        assert_eq!(s.lookups(), 0, "a stale probe is not a lookup");
+        assert_eq!(s.rounds, 0, "…and not a round");
+        // A live node that does not own the key is equally stale.
+        let not_owner = dht
+            .snapshot()
+            .node_ids
+            .into_iter()
+            .find(|id| *id != dht.owner_hint(&key).unwrap())
+            .unwrap();
+        assert_eq!(dht.probe_get(&key, not_owner).unwrap(), Probe::Stale);
+    }
+
+    #[test]
+    fn probe_put_preserves_seq_and_tombstone_semantics() {
+        let cfg = ChordConfig {
+            replicas: 2,
+            ..ChordConfig::default()
+        };
+        let dht: ChordDht<u64> = ChordDht::with_config(16, 53, cfg);
+        let key = k("versioned");
+        let owner = dht.owner_hint(&key).unwrap();
+        assert_eq!(dht.probe_put(&key, 1, owner).unwrap(), Probe::Served(()));
+        // The probe write is replicated and newest-wins like a routed
+        // put: a later routed remove's tombstone beats it.
+        dht.remove(&key).unwrap();
+        dht.stabilize(2);
+        assert_eq!(dht.get(&key).unwrap(), None, "tombstone wins");
+        // Write fan-out charges the same hops as a 1-hop routed put.
+        dht.reset_stats();
+        dht.probe_put(&key, 2, dht.owner_hint(&key).unwrap())
+            .unwrap();
+        assert_eq!(dht.stats().hops, 2, "probe hop + one replica hop");
+        assert_eq!(dht.get(&key).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn armed_stale_cache_mutant_serves_moved_keys_from_old_replicas() {
+        let cfg = ChordConfig {
+            replicas: 2,
+            ..ChordConfig::default()
+        };
+        let dht: ChordDht<u64> = ChordDht::with_config(8, 59, cfg);
+        let key = k("moves");
+        dht.put(&key, 1).unwrap();
+        let old_owner = dht.owner_hint(&key).unwrap();
+        // With replicas = 2 the second copy lives at the owner's ring
+        // successor.
+        let ids = dht.snapshot().node_ids;
+        let pos = ids.iter().position(|id| *id == old_owner).unwrap();
+        let replica_holder = ids[(pos + 1) % ids.len()];
+        // Find a joiner whose hash lands strictly between the key and
+        // its owner — it takes over the key — then join it.
+        let h = key.hash();
+        let squatter = (0..100_000u64)
+            .map(|i| format!("node:squatter:{i}"))
+            .find(|name| sha1(name.as_bytes()).in_range(&h, &old_owner))
+            .expect("some candidate hashes into (key, owner)");
+        dht.join(&squatter).expect("fresh node id");
+        assert_ne!(dht.owner_hint(&key), Some(old_owner), "ownership moved");
+        dht.stabilize(1);
+        // The new owner's replica set is {joiner, old owner}: the old
+        // replica holder never hears about this write and keeps its
+        // seq-1 copy.
+        dht.put(&key, 2).unwrap();
+        let new_owner = dht.owner_hint(&key).unwrap();
+        assert_ne!(new_owner, old_owner);
+        assert_ne!(replica_holder, new_owner);
+        assert_eq!(dht.get(&key).unwrap(), Some(2));
+        // Honest probe at the stale replica holder: Stale, never an
+        // answer.
+        assert_eq!(dht.probe_get(&key, replica_holder).unwrap(), Probe::Stale);
+        // Armed mutant: any live holder serves, so the probe reads the
+        // moved key's old replica.
+        dht.arm_stale_cache_mutant();
+        assert_eq!(
+            dht.probe_get(&key, replica_holder).unwrap(),
+            Probe::Served(Some(1)),
+            "mutant must read the moved key's old replica"
+        );
+        // Writes stay verified even under the armed read mutant.
+        assert_eq!(
+            dht.probe_put(&key, 9, replica_holder).unwrap(),
+            Probe::Stale
+        );
+    }
+
+    #[test]
+    fn probe_batches_split_round_accounting_like_multi_get() {
+        let dht: ChordDht<u64> = ChordDht::with_nodes(16, 61);
+        for i in 0..8u64 {
+            dht.put(&k(&format!("key:{i}")), i).unwrap();
+        }
+        let dead = dht.owner_hint(&k("key:0")).unwrap();
+        let probes: Vec<(DhtKey, U160)> = (0..8u64)
+            .map(|i| {
+                let key = k(&format!("key:{i}"));
+                let owner = dht.owner_hint(&key).unwrap();
+                (key, owner)
+            })
+            .collect();
+        assert!(dht.leave(&dead));
+        dht.stabilize(2);
+        dht.reset_stats();
+        let out = dht.probe_multi_get(&probes);
+        let served = out
+            .iter()
+            .filter(|r| matches!(r, Ok(Probe::Served(_))))
+            .count();
+        let stale = out.iter().filter(|r| matches!(r, Ok(Probe::Stale))).count();
+        assert!(stale >= 1, "the departed owner's probes must be stale");
+        assert_eq!(served + stale, 8);
+        let s = dht.stats();
+        assert_eq!(s.gets as usize, served);
+        assert_eq!(s.hops as usize, served + stale);
+        assert_eq!(s.rounds, 1, "served probes form one round");
+        assert_eq!(s.round_hops, 1);
+        assert!(s.rounds <= s.lookups());
     }
 
     #[test]

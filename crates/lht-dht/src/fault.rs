@@ -45,6 +45,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use lht_id::U160;
+
 use crate::{Dht, DhtError, DhtKey, DhtStats};
 
 /// Simulated per-RPC latency distribution, in milliseconds.
@@ -411,6 +413,87 @@ impl<D: Dht> Dht for FaultyDht<D> {
                 None => delivered.next().expect("one result per admitted entry"),
             })
             .collect()
+    }
+
+    // Owner probes are RPCs like any other: they pass the lossy
+    // network first, and a dropped probe never reaches the substrate
+    // (the cache layer then falls back to the — equally lossy —
+    // routed path).
+    fn probe_get(
+        &self,
+        key: &DhtKey,
+        owner: U160,
+    ) -> Result<crate::Probe<Option<Self::Value>>, DhtError> {
+        self.admit(key)?;
+        self.inner.probe_get(key, owner)
+    }
+
+    fn probe_put(
+        &self,
+        key: &DhtKey,
+        value: Self::Value,
+        owner: U160,
+    ) -> Result<crate::Probe<()>, DhtError> {
+        self.admit(key)?;
+        self.inner.probe_put(key, value, owner)
+    }
+
+    fn probe_multi_get(
+        &self,
+        probes: &[(DhtKey, U160)],
+    ) -> Vec<Result<crate::Probe<Option<Self::Value>>, DhtError>> {
+        let fates = self.admit_round(probes.iter().map(|(key, _)| key));
+        let admitted: Vec<(DhtKey, U160)> = probes
+            .iter()
+            .zip(&fates)
+            .filter(|(_, fate)| fate.is_ok())
+            .map(|(probe, _)| probe.clone())
+            .collect();
+        let mut delivered = self.inner.probe_multi_get(&admitted).into_iter();
+        fates
+            .into_iter()
+            .map(|fate| match fate {
+                Ok(()) => delivered.next().expect("one result per admitted probe"),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    fn probe_multi_put(
+        &self,
+        entries: Vec<(DhtKey, Self::Value, U160)>,
+    ) -> Vec<Result<crate::Probe<()>, DhtError>> {
+        let fates = self.admit_round(entries.iter().map(|(key, _, _)| key));
+        let mut admitted = Vec::new();
+        let mut slots: Vec<Option<Result<crate::Probe<()>, DhtError>>> =
+            Vec::with_capacity(entries.len());
+        for (entry, fate) in entries.into_iter().zip(fates) {
+            match fate {
+                Ok(()) => {
+                    admitted.push(entry);
+                    slots.push(None);
+                }
+                Err(e) => slots.push(Some(Err(e))),
+            }
+        }
+        let mut delivered = self.inner.probe_multi_put(admitted).into_iter();
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some(failed) => failed,
+                None => delivered.next().expect("one result per admitted entry"),
+            })
+            .collect()
+    }
+
+    // Owner hints and prewarming are client-local (no RPC), so the
+    // network cannot fault them.
+    fn owner_hint(&self, key: &DhtKey) -> Option<U160> {
+        self.inner.owner_hint(key)
+    }
+
+    fn prewarm(&self, keys: &[DhtKey]) {
+        self.inner.prewarm(keys)
     }
 
     fn stats(&self) -> DhtStats {

@@ -25,7 +25,11 @@
 //! wrap any substrate in [`FaultyDht`] (seeded drops, latency,
 //! timeouts, brown-outs per a [`NetProfile`]) and layer
 //! [`RetriedDht`] (bounded attempts, seeded exponential backoff per a
-//! [`RetryPolicy`]) on top to mask the transient failures.
+//! [`RetryPolicy`]) on top to mask the transient failures. On the
+//! outside, [`CachedDht`] adds a churn-safe key → owner location cache
+//! that shortcuts full iterative routing to a verified 1-hop probe
+//! (D1HT-style single-hop lookups without proactive maintenance
+//! traffic).
 //!
 //! # Examples
 //!
@@ -42,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod chord;
 mod direct;
 mod error;
@@ -51,6 +56,7 @@ mod retry;
 mod stats;
 mod traits;
 
+pub use cache::{CacheConfig, CachedDht};
 pub use chord::{ChordConfig, ChordDht, RingSnapshot, RingViolation};
 pub use direct::DirectDht;
 pub use error::DhtError;
@@ -58,4 +64,4 @@ pub use fault::{Brownout, FaultyDht, LatencyProfile, NetProfile};
 pub use key::DhtKey;
 pub use retry::{Backoffs, RetriedDht, RetryPolicy};
 pub use stats::{DhtOp, DhtStats, LatencyHistogram};
-pub use traits::Dht;
+pub use traits::{Dht, Probe};

@@ -40,6 +40,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use lht_id::U160;
+
 use crate::{Dht, DhtError, DhtKey, DhtStats};
 
 /// Retry discipline for transient delivery failures.
@@ -342,6 +344,56 @@ where
                 indices.iter().map(|&i| entries[i].clone()).collect();
             d.multi_put(round)
         })
+    }
+
+    // Owner probes retry like any other RPC: a dropped probe is
+    // re-sent (verification is read-only and a served probe write is
+    // as idempotent as the routed put), while Stale/Unsupported are
+    // successful responses and pass straight through.
+    fn probe_get(
+        &self,
+        key: &DhtKey,
+        owner: U160,
+    ) -> Result<crate::Probe<Option<Self::Value>>, DhtError> {
+        self.run(|d| d.probe_get(key, owner))
+    }
+
+    fn probe_put(
+        &self,
+        key: &DhtKey,
+        value: Self::Value,
+        owner: U160,
+    ) -> Result<crate::Probe<()>, DhtError> {
+        self.run(|d| d.probe_put(key, value.clone(), owner))
+    }
+
+    fn probe_multi_get(
+        &self,
+        probes: &[(DhtKey, U160)],
+    ) -> Vec<Result<crate::Probe<Option<Self::Value>>, DhtError>> {
+        self.run_batch(probes.len(), |d, indices| {
+            let round: Vec<(DhtKey, U160)> = indices.iter().map(|&i| probes[i].clone()).collect();
+            d.probe_multi_get(&round)
+        })
+    }
+
+    fn probe_multi_put(
+        &self,
+        entries: Vec<(DhtKey, Self::Value, U160)>,
+    ) -> Vec<Result<crate::Probe<()>, DhtError>> {
+        self.run_batch(entries.len(), |d, indices| {
+            let round: Vec<(DhtKey, Self::Value, U160)> =
+                indices.iter().map(|&i| entries[i].clone()).collect();
+            d.probe_multi_put(round)
+        })
+    }
+
+    fn owner_hint(&self, key: &DhtKey) -> Option<U160> {
+        self.inner.owner_hint(key)
+    }
+
+    fn prewarm(&self, keys: &[DhtKey]) {
+        self.inner.prewarm(keys)
     }
 
     fn stats(&self) -> DhtStats {

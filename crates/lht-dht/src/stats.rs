@@ -245,6 +245,22 @@ pub struct DhtStats {
     /// waits, retry backoffs). Always `<= latency_ms`; equal for
     /// purely sequential execution.
     pub round_latency_ms: u64,
+    /// Routing-cache probes that were served directly by the
+    /// remembered owner (a [`CachedDht`](crate::CachedDht) fast path:
+    /// 1 hop instead of a full iterative route).
+    pub cache_hits: u64,
+    /// Operations issued while the routing cache held no entry for
+    /// their key — they paid the full route and (re)learned the owner.
+    pub cache_misses: u64,
+    /// Cached probes refused by the substrate because the remembered
+    /// owner departed or is no longer responsible: one wasted hop,
+    /// entry evicted, full route taken.
+    pub cache_stale: u64,
+    /// Routing hops the cache avoided: for each hit, the remembered
+    /// full-route cost minus the single probe hop. Stale probes'
+    /// wasted hops are charged to `hops` as usual, so
+    /// `hops + hops_saved` estimates the uncached cost.
+    pub hops_saved: u64,
     /// Log₂ histogram of per-attempt RPC waits, for p50/p99.
     pub latency_hist: LatencyHistogram,
 }
@@ -363,6 +379,18 @@ impl DhtStats {
         }
     }
 
+    /// Routing-cache hit rate: hits over all cache-consulted lookups
+    /// (`hits + misses + stale`), or 0.0 when no cache was in play.
+    /// A stale probe counts against the rate — it wasted a hop.
+    pub fn hit_rate(&self) -> f64 {
+        let consulted = self.cache_hits + self.cache_misses + self.cache_stale;
+        if consulted == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / consulted as f64
+        }
+    }
+
     /// Median per-attempt RPC wait (upper bound, ms).
     pub fn latency_p50(&self) -> u64 {
         self.latency_hist.p50()
@@ -393,6 +421,10 @@ impl Sub for DhtStats {
             rounds: self.rounds - rhs.rounds,
             round_hops: self.round_hops - rhs.round_hops,
             round_latency_ms: self.round_latency_ms - rhs.round_latency_ms,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
+            cache_stale: self.cache_stale - rhs.cache_stale,
+            hops_saved: self.hops_saved - rhs.hops_saved,
             latency_hist: self.latency_hist - rhs.latency_hist,
         }
     }
@@ -417,6 +449,10 @@ impl Add for DhtStats {
             rounds: self.rounds + rhs.rounds,
             round_hops: self.round_hops + rhs.round_hops,
             round_latency_ms: self.round_latency_ms + rhs.round_latency_ms,
+            cache_hits: self.cache_hits + rhs.cache_hits,
+            cache_misses: self.cache_misses + rhs.cache_misses,
+            cache_stale: self.cache_stale + rhs.cache_stale,
+            hops_saved: self.hops_saved + rhs.hops_saved,
             latency_hist: self.latency_hist + rhs.latency_hist,
         }
     }
@@ -664,6 +700,10 @@ mod tests {
             rounds: 9,
             round_hops: 30,
             round_latency_ms: 500,
+            cache_hits: 12,
+            cache_misses: 6,
+            cache_stale: 4,
+            hops_saved: 28,
             latency_hist: LatencyHistogram::default(),
         };
         let b = DhtStats {
@@ -681,6 +721,10 @@ mod tests {
             rounds: 4,
             round_hops: 8,
             round_latency_ms: 200,
+            cache_hits: 5,
+            cache_misses: 2,
+            cache_stale: 1,
+            hops_saved: 10,
             latency_hist: LatencyHistogram::default(),
         };
         let d = a - b;
@@ -698,6 +742,22 @@ mod tests {
         assert_eq!(d.rounds, 5);
         assert_eq!(d.round_hops, 22);
         assert_eq!(d.round_latency_ms, 300);
+        assert_eq!(d.cache_hits, 7);
+        assert_eq!(d.cache_misses, 4);
+        assert_eq!(d.cache_stale, 3);
+        assert_eq!(d.hops_saved, 18);
         assert_eq!(a, b + d, "addition inverts subtraction");
+    }
+
+    #[test]
+    fn hit_rate_counts_stale_probes_against_the_cache() {
+        assert_eq!(DhtStats::default().hit_rate(), 0.0);
+        let s = DhtStats {
+            cache_hits: 6,
+            cache_misses: 2,
+            cache_stale: 2,
+            ..DhtStats::default()
+        };
+        assert_eq!(s.hit_rate(), 0.6);
     }
 }

@@ -1,6 +1,30 @@
 //! The generic over-DHT interface.
 
+use lht_id::U160;
+
 use crate::{DhtError, DhtKey, DhtStats};
+
+/// The outcome of a direct owner probe (the routing-cache fast path).
+///
+/// A probe carries a *hint* — the node identifier a
+/// [`CachedDht`](crate::CachedDht) remembers as the key's owner — and
+/// asks the substrate to serve the operation at that node **only
+/// after verifying the hint is still correct** (the node is live and
+/// currently responsible for the key). The verification is what makes
+/// the cache churn-safe: a stale hint can cost a wasted hop, never a
+/// wrong answer read off a moved key's old replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Probe<T> {
+    /// The hint was verified and the operation executed at the owner.
+    Served(T),
+    /// The hint is stale — the node departed or no longer owns the
+    /// key. Nothing was read or written; one hop was wasted. The
+    /// caller must evict the entry and fall back to a full route.
+    Stale,
+    /// This substrate has no native probe support; the caller must
+    /// fall back to the ordinary routed operation.
+    Unsupported,
+}
 
 /// The `put`/`get` interface of a generic DHT, as assumed by the
 /// over-DHT indexing paradigm (paper §2).
@@ -110,6 +134,87 @@ pub trait Dht {
             .collect()
     }
 
+    /// Attempts a `get` directly at the node `owner` is believed to
+    /// identify, verifying ownership first (the routing-cache fast
+    /// path). Costs 1 hop when served, 1 *wasted* hop when
+    /// [`Probe::Stale`]; substrates without native support return
+    /// [`Probe::Unsupported`] (the default) and charge nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for substrate failures (e.g. the probe
+    /// RPC dropped by a fault layer) — the caller may retry or fall
+    /// back to a full route.
+    fn probe_get(
+        &self,
+        _key: &DhtKey,
+        _owner: U160,
+    ) -> Result<Probe<Option<Self::Value>>, DhtError> {
+        Ok(Probe::Unsupported)
+    }
+
+    /// Attempts a `put` directly at the hinted owner, verifying
+    /// ownership first. Same contract as [`probe_get`](Dht::probe_get);
+    /// a served probe must preserve the substrate's write semantics
+    /// (replication, sequence numbers, tombstones) exactly as the
+    /// routed `put` would.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for substrate failures.
+    fn probe_put(
+        &self,
+        _key: &DhtKey,
+        _value: Self::Value,
+        _owner: U160,
+    ) -> Result<Probe<()>, DhtError> {
+        Ok(Probe::Unsupported)
+    }
+
+    /// Probes every `(key, hinted owner)` pair as one concurrent
+    /// round, returning one probe outcome per pair in order. The
+    /// default loops over [`probe_get`](Dht::probe_get) (each probe
+    /// its own round); native implementations charge one round at the
+    /// max hops, like [`multi_get`](Dht::multi_get).
+    fn probe_multi_get(
+        &self,
+        probes: &[(DhtKey, U160)],
+    ) -> Vec<Result<Probe<Option<Self::Value>>, DhtError>> {
+        probes
+            .iter()
+            .map(|(key, owner)| self.probe_get(key, *owner))
+            .collect()
+    }
+
+    /// Probes every `(key, value, hinted owner)` write as one
+    /// concurrent round. Default loops over
+    /// [`probe_put`](Dht::probe_put).
+    fn probe_multi_put(
+        &self,
+        entries: Vec<(DhtKey, Self::Value, U160)>,
+    ) -> Vec<Result<Probe<()>, DhtError>> {
+        entries
+            .into_iter()
+            .map(|(key, value, owner)| self.probe_put(&key, value, owner))
+            .collect()
+    }
+
+    /// The identifier of the node currently owning `key`, if this
+    /// substrate can tell for free (an iterative lookup terminates at
+    /// the owner, so the client learns its identity as a side effect
+    /// of routing — that is what a location cache remembers). `None`
+    /// (the default) disables owner learning. Must not draw from the
+    /// substrate's RNG or touch its stats.
+    fn owner_hint(&self, _key: &DhtKey) -> Option<U160> {
+        None
+    }
+
+    /// Hints that `keys` are about to be looked up, letting cache
+    /// layers warm per-key state (ring-digest memoization, LRU
+    /// recency) **without routing anything**. The default is a no-op;
+    /// implementations must not issue RPCs or touch stats here.
+    fn prewarm(&self, _keys: &[DhtKey]) {}
+
     /// A snapshot of the cumulative operation counters.
     fn stats(&self) -> DhtStats;
 
@@ -146,6 +251,41 @@ impl<D: Dht + ?Sized> Dht for &D {
 
     fn multi_put(&self, entries: Vec<(DhtKey, Self::Value)>) -> Vec<Result<(), DhtError>> {
         (**self).multi_put(entries)
+    }
+
+    fn probe_get(&self, key: &DhtKey, owner: U160) -> Result<Probe<Option<Self::Value>>, DhtError> {
+        (**self).probe_get(key, owner)
+    }
+
+    fn probe_put(
+        &self,
+        key: &DhtKey,
+        value: Self::Value,
+        owner: U160,
+    ) -> Result<Probe<()>, DhtError> {
+        (**self).probe_put(key, value, owner)
+    }
+
+    fn probe_multi_get(
+        &self,
+        probes: &[(DhtKey, U160)],
+    ) -> Vec<Result<Probe<Option<Self::Value>>, DhtError>> {
+        (**self).probe_multi_get(probes)
+    }
+
+    fn probe_multi_put(
+        &self,
+        entries: Vec<(DhtKey, Self::Value, U160)>,
+    ) -> Vec<Result<Probe<()>, DhtError>> {
+        (**self).probe_multi_put(entries)
+    }
+
+    fn owner_hint(&self, key: &DhtKey) -> Option<U160> {
+        (**self).owner_hint(key)
+    }
+
+    fn prewarm(&self, keys: &[DhtKey]) {
+        (**self).prewarm(keys)
     }
 
     fn stats(&self) -> DhtStats {

@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use lht_dht::{Dht, DhtError, DhtKey, DhtOp, DhtStats};
+use lht_dht::{Dht, DhtError, DhtKey, DhtOp, DhtStats, Probe};
 use lht_id::{sha1, U160};
 
 /// Configuration for a [`KademliaDht`].
@@ -373,6 +373,65 @@ impl<V> Net<V> {
         }
         Ok((found, hops))
     }
+
+    /// Whether a location-cache probe at `hint` may serve `h`: the
+    /// node must be live and still be the XOR-closest node to `h` —
+    /// the stand-in for "owner" under the Kademlia metric, and the
+    /// node a routed lookup is guaranteed to query.
+    fn probe_verifies(&self, hint: &U160, h: &U160) -> bool {
+        self.nodes.contains_key(hint) && self.k_closest_oracle(h).first() == Some(hint)
+    }
+}
+
+impl<V: Clone> Net<V> {
+    /// Serves a verified read probe for `key` at `hint`, or reports
+    /// it stale. Kademlia replicates on the k closest nodes and a key
+    /// may legitimately be missing from the *current* closest (a
+    /// joiner that republish has not yet backfilled), so a store miss
+    /// at the hint while a replica-set neighbour still holds the key
+    /// is answered `Stale` — the full route will find the copy. A
+    /// probe can therefore never turn a live key into a false miss.
+    fn probe_read(&mut self, key: &DhtKey, hint: &U160) -> Probe<Option<V>> {
+        let h = key.hash();
+        if !self.probe_verifies(hint, &h) {
+            self.stats.hops += 1;
+            return Probe::Stale;
+        }
+        if let Some(value) = self.nodes[hint].store.get(key).cloned() {
+            return Probe::Served(Some(value));
+        }
+        let held_elsewhere = self
+            .k_closest_oracle(&h)
+            .iter()
+            .any(|n| self.nodes[n].store.contains_key(key));
+        if held_elsewhere {
+            self.stats.hops += 1;
+            Probe::Stale
+        } else {
+            Probe::Served(None)
+        }
+    }
+
+    /// Executes a verified write probe: the hint (the closest node)
+    /// fans the value out to the current k-closest replica set, as
+    /// the routed `put` would. Returns the charged hops.
+    fn probe_write(&mut self, key: &DhtKey, value: V, hint: &U160) -> Probe<u64> {
+        let h = key.hash();
+        if !self.probe_verifies(hint, &h) {
+            self.stats.hops += 1;
+            return Probe::Stale;
+        }
+        let targets = self.k_closest_oracle(&h);
+        let hops = targets.len() as u64; // 1 probe + (k-1) fan-out
+        for t in targets {
+            self.nodes
+                .get_mut(&t)
+                .expect("oracle nodes are alive")
+                .store
+                .insert(key.clone(), value.clone());
+        }
+        Probe::Served(hops)
+    }
 }
 
 impl<V: Clone> Dht for KademliaDht<V> {
@@ -538,6 +597,96 @@ impl<V: Clone> Dht for KademliaDht<V> {
         out
     }
 
+    fn probe_get(&self, key: &DhtKey, owner: U160) -> Result<Probe<Option<V>>, DhtError> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        match inner.probe_read(key, &owner) {
+            Probe::Served(hit) => {
+                inner.stats.record_op(
+                    DhtOp::Get {
+                        found: hit.is_some(),
+                    },
+                    1,
+                );
+                Ok(Probe::Served(hit))
+            }
+            Probe::Stale => Ok(Probe::Stale),
+            Probe::Unsupported => Ok(Probe::Unsupported),
+        }
+    }
+
+    fn probe_put(&self, key: &DhtKey, value: V, owner: U160) -> Result<Probe<()>, DhtError> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        match inner.probe_write(key, value, &owner) {
+            Probe::Served(hops) => {
+                inner.stats.record_op(DhtOp::Put, hops);
+                Ok(Probe::Served(()))
+            }
+            Probe::Stale => Ok(Probe::Stale),
+            Probe::Unsupported => Ok(Probe::Unsupported),
+        }
+    }
+
+    fn probe_multi_get(
+        &self,
+        probes: &[(DhtKey, U160)],
+    ) -> Vec<Result<Probe<Option<V>>, DhtError>> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            return probes.iter().map(|_| Err(DhtError::EmptyRing)).collect();
+        }
+        let mut out = Vec::with_capacity(probes.len());
+        let mut ops = Vec::new();
+        for (key, owner) in probes {
+            match inner.probe_read(key, owner) {
+                Probe::Served(hit) => {
+                    ops.push((
+                        DhtOp::Get {
+                            found: hit.is_some(),
+                        },
+                        1,
+                    ));
+                    out.push(Ok(Probe::Served(hit)));
+                }
+                Probe::Stale => out.push(Ok(Probe::Stale)),
+                Probe::Unsupported => out.push(Ok(Probe::Unsupported)),
+            }
+        }
+        inner.stats.record_batch(ops);
+        out
+    }
+
+    fn probe_multi_put(&self, entries: Vec<(DhtKey, V, U160)>) -> Vec<Result<Probe<()>, DhtError>> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.is_empty() {
+            return entries.iter().map(|_| Err(DhtError::EmptyRing)).collect();
+        }
+        let mut out = Vec::with_capacity(entries.len());
+        let mut ops = Vec::new();
+        for (key, value, owner) in entries {
+            match inner.probe_write(&key, value, &owner) {
+                Probe::Served(hops) => {
+                    ops.push((DhtOp::Put, hops));
+                    out.push(Ok(Probe::Served(())));
+                }
+                Probe::Stale => out.push(Ok(Probe::Stale)),
+                Probe::Unsupported => out.push(Ok(Probe::Unsupported)),
+            }
+        }
+        inner.stats.record_batch(ops);
+        out
+    }
+
+    fn owner_hint(&self, key: &DhtKey) -> Option<U160> {
+        let inner = self.inner.lock();
+        inner.k_closest_oracle(&key.hash()).first().copied()
+    }
+
     fn stats(&self) -> DhtStats {
         self.inner.lock().stats
     }
@@ -688,6 +837,130 @@ mod tests {
         assert_eq!(s.lookups(), 5);
         assert_eq!(s.failed_gets, 1);
         assert!(s.hops >= s.lookups());
+    }
+
+    #[test]
+    fn verified_probe_matches_routed_get_at_one_hop() {
+        let dht: KademliaDht<u32> = KademliaDht::with_nodes(64, 17);
+        for i in 0..50u32 {
+            dht.put(&k(&format!("key:{i}")), i).unwrap();
+        }
+        dht.reset_stats();
+        for i in 0..50u32 {
+            let key = k(&format!("key:{i}"));
+            let hint = dht.owner_hint(&key).unwrap();
+            match dht.probe_get(&key, hint).unwrap() {
+                Probe::Served(v) => assert_eq!(v, Some(i)),
+                other => panic!("fresh hint must serve, got {other:?}"),
+            }
+        }
+        let s = dht.stats();
+        assert_eq!(s.gets, 50);
+        assert_eq!(s.hops, 50, "each served probe costs exactly one hop");
+    }
+
+    #[test]
+    fn probe_at_a_non_closest_node_is_stale() {
+        let dht: KademliaDht<u32> = KademliaDht::with_nodes(32, 19);
+        let key = k("somewhere");
+        dht.put(&key, 5).unwrap();
+        let closest = dht.owner_hint(&key).unwrap();
+        let other = dht
+            .node_ids()
+            .into_iter()
+            .find(|id| *id != closest)
+            .unwrap();
+        dht.reset_stats();
+        assert_eq!(dht.probe_get(&key, other).unwrap(), Probe::Stale);
+        let s = dht.stats();
+        assert_eq!(s.hops, 1, "one wasted hop");
+        assert_eq!(s.lookups(), 0);
+        // A dead hint is stale too.
+        assert!(dht.crash(&closest));
+        assert_eq!(dht.probe_get(&key, closest).unwrap(), Probe::Stale);
+    }
+
+    #[test]
+    fn unbackfilled_joiner_answers_stale_not_false_miss() {
+        let dht: KademliaDht<u32> = KademliaDht::with_nodes(16, 23);
+        let key = k("replicated");
+        dht.put(&key, 11).unwrap();
+        let old_closest = dht.owner_hint(&key).unwrap();
+        // Join nodes until one is XOR-closer to the key than every
+        // existing node; before republish it holds no copy.
+        let h = key.hash();
+        let joiner = (0..100_000u64)
+            .map(|i| format!("kad:squatter:{i}"))
+            .find(|name| sha1(name.as_bytes()) ^ h < old_closest ^ h)
+            .expect("some candidate is closer");
+        dht.join(&joiner).expect("fresh id");
+        let hint = dht.owner_hint(&key).unwrap();
+        assert_ne!(hint, old_closest);
+        // The verified probe must not serve the joiner's empty store
+        // as a miss while replicas still hold the key.
+        assert_eq!(dht.probe_get(&key, hint).unwrap(), Probe::Stale);
+        assert_eq!(dht.get(&key).unwrap(), Some(11), "the route finds a copy");
+        // After republish backfills the joiner, the probe serves.
+        dht.republish();
+        assert_eq!(
+            dht.probe_get(&key, dht.owner_hint(&key).unwrap()).unwrap(),
+            Probe::Served(Some(11))
+        );
+        // A truly absent key is a served miss, not stale.
+        let absent = k("never-written");
+        assert_eq!(
+            dht.probe_get(&absent, dht.owner_hint(&absent).unwrap())
+                .unwrap(),
+            Probe::Served(None)
+        );
+    }
+
+    #[test]
+    fn probe_put_replicates_to_the_k_closest() {
+        let dht: KademliaDht<u32> = KademliaDht::with_nodes(64, 29);
+        let key = k("fanout");
+        let hint = dht.owner_hint(&key).unwrap();
+        dht.reset_stats();
+        assert_eq!(dht.probe_put(&key, 3, hint).unwrap(), Probe::Served(()));
+        {
+            let inner = dht.inner.lock();
+            for id in inner.k_closest_oracle(&key.hash()) {
+                assert!(inner.nodes[&id].store.contains_key(&key));
+            }
+            assert_eq!(inner.stats.hops, inner.cfg.k as u64, "probe + fan-out");
+        }
+        assert_eq!(dht.get(&key).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn cached_stack_over_kademlia_cuts_hops_and_survives_churn() {
+        use lht_dht::CachedDht;
+
+        let dht = CachedDht::with_capacity(KademliaDht::<u32>::with_nodes(64, 31), 256);
+        for i in 0..64u32 {
+            dht.put(&k(&format!("key:{i}")), i).unwrap();
+        }
+        dht.reset_stats();
+        for i in 0..64u32 {
+            assert_eq!(dht.get(&k(&format!("key:{i}"))).unwrap(), Some(i));
+        }
+        let warm = dht.stats();
+        assert_eq!(warm.cache_hits, 64);
+        assert_eq!(warm.hops, 64, "all warm lookups are single-hop");
+        // Churn: crash a node and join another, no republish yet.
+        let victim = dht.inner().node_ids()[0];
+        assert!(dht.inner().crash(&victim));
+        dht.inner().join("kad:late");
+        for i in 0..64u32 {
+            assert_eq!(
+                dht.get(&k(&format!("key:{i}"))).unwrap(),
+                Some(i),
+                "stale hints fall back to full routes, never wrong answers"
+            );
+        }
+        let s = dht.stats();
+        assert!(s.rounds <= s.lookups());
+        assert!(s.round_hops <= s.hops);
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct SimConfig {
     /// Arms the torn-split bug: the `n`-th leaf split (1-based)
     /// "forgets" the DHT-put of its remote half.
     pub torn_split: Option<u64>,
+    /// Arms the stale-cache-read bug: probe reads answer from any
+    /// live holder of a copy instead of verifying ownership, so a
+    /// cached owner hint that churn has invalidated serves stale
+    /// data instead of degrading to a full route.
+    pub stale_cache_read: bool,
     /// State budget for the linearizability search; exceeding it
     /// yields [`SimVerdict::Undecided`](crate::SimVerdict).
     pub check_budget: u64,
@@ -60,6 +65,7 @@ impl Default for SimConfig {
             max_depth: 24,
             stale_replica: false,
             torn_split: None,
+            stale_cache_read: false,
             check_budget: 2_000_000,
         }
     }
@@ -105,6 +111,9 @@ impl SimConfig {
         }
         if let Some(n) = self.torn_split {
             let _ = write!(s, " --torn-split {n}");
+        }
+        if self.stale_cache_read {
+            s.push_str(" --stale-cache-read");
         }
         s
     }

@@ -27,7 +27,8 @@ use rand::{Rng, SeedableRng};
 
 use lht_core::{HistoryLog, KeyInterval, LeafBucket, LhtConfig, LhtIndex};
 use lht_dht::{
-    ChordConfig, ChordDht, Dht, DhtError, DhtKey, FaultyDht, NetProfile, RetriedDht, RetryPolicy,
+    CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtError, DhtKey, FaultyDht, NetProfile,
+    Probe, RetriedDht, RetryPolicy,
 };
 use lht_id::{KeyFraction, U160};
 
@@ -84,10 +85,50 @@ impl<D: Dht> Dht for SharedDht<D> {
     fn reset_stats(&self) {
         self.0.reset_stats()
     }
+
+    fn probe_get(&self, key: &DhtKey, owner: U160) -> Result<Probe<Option<Self::Value>>, DhtError> {
+        self.0.probe_get(key, owner)
+    }
+
+    fn probe_put(
+        &self,
+        key: &DhtKey,
+        value: Self::Value,
+        owner: U160,
+    ) -> Result<Probe<()>, DhtError> {
+        self.0.probe_put(key, value, owner)
+    }
+
+    fn probe_multi_get(
+        &self,
+        probes: &[(DhtKey, U160)],
+    ) -> Vec<Result<Probe<Option<Self::Value>>, DhtError>> {
+        self.0.probe_multi_get(probes)
+    }
+
+    fn probe_multi_put(
+        &self,
+        probes: Vec<(DhtKey, Self::Value, U160)>,
+    ) -> Vec<Result<Probe<()>, DhtError>> {
+        self.0.probe_multi_put(probes)
+    }
+
+    fn owner_hint(&self, key: &DhtKey) -> Option<U160> {
+        self.0.owner_hint(key)
+    }
+
+    fn prewarm(&self, keys: &[DhtKey]) {
+        self.0.prewarm(keys)
+    }
 }
 
 type Ring = ChordDht<LeafBucket<u32>>;
-type Stack = RetriedDht<FaultyDht<SharedDht<Ring>>>;
+type Stack = CachedDht<RetriedDht<FaultyDht<SharedDht<Ring>>>>;
+
+/// Location-cache capacity for the simulated index stack. Small
+/// enough that eviction actually happens inside a run, large enough
+/// that repeat lookups hit.
+const CACHE_CAPACITY: usize = 256;
 
 /// Virtual milliseconds between Chord stabilization steps.
 const STABILIZE_INTERVAL: u64 = 25;
@@ -174,16 +215,25 @@ impl World {
         if cfg.stale_replica {
             ring.arm_stale_replica_mutant();
         }
+        if cfg.stale_cache_read {
+            ring.arm_stale_cache_mutant();
+        }
         let profile = if cfg.drop_prob > 0.0 {
             NetProfile::lossy(cfg.seed ^ 0x5EED_0002, cfg.drop_prob)
         } else {
             NetProfile::reliable(cfg.seed ^ 0x5EED_0002)
         };
-        let stack = RetriedDht::new(
-            FaultyDht::new(SharedDht(Arc::clone(&ring)), profile),
-            RetryPolicy {
-                seed: cfg.seed ^ 0x5EED_0003,
-                ..RetryPolicy::default()
+        let stack = CachedDht::new(
+            RetriedDht::new(
+                FaultyDht::new(SharedDht(Arc::clone(&ring)), profile),
+                RetryPolicy {
+                    seed: cfg.seed ^ 0x5EED_0003,
+                    ..RetryPolicy::default()
+                },
+            ),
+            CacheConfig {
+                capacity: CACHE_CAPACITY,
+                seed: cfg.seed ^ 0x5EED_0005,
             },
         );
         let index = LhtIndex::new(stack, LhtConfig::new(cfg.theta_split, cfg.max_depth))

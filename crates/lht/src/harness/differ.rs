@@ -10,8 +10,8 @@
 
 use lht_core::{audit, KeyInterval, LeafBucket, LhtConfig, LhtError, LhtIndex};
 use lht_dht::{
-    ChordConfig, ChordDht, Dht, DhtKey, DhtStats, DirectDht, FaultyDht, NetProfile, RetriedDht,
-    RetryPolicy,
+    CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtKey, DhtStats, DirectDht, FaultyDht,
+    NetProfile, RetriedDht, RetryPolicy,
 };
 use lht_dst::{DstConfig, DstIndex, DstNode};
 use lht_id::KeyFraction;
@@ -111,6 +111,15 @@ pub struct SoakOptions {
     /// Probability each Chord maintenance RPC (stabilize round /
     /// key-sync transfer) is lost; 0 everywhere else.
     pub maintenance_loss: f64,
+    /// Wrap the index's substrate stack in a [`CachedDht`] location
+    /// cache of this capacity — outermost, above any retry/fault
+    /// layers, so each logical lookup consults the cache once and
+    /// probes travel the lossy network like every other RPC. Applied
+    /// on the Chord substrate for the LHT and PHT schemes (the
+    /// routed stacks the cache accelerates); ignored elsewhere. The
+    /// differential contract is unchanged: a cached answer must never
+    /// differ from an uncached one.
+    pub route_cache: Option<usize>,
     /// Sabotage: silently destroy one stored leaf bucket after this
     /// many ops (Direct substrate only). The soak MUST then fail —
     /// this is how tests prove the harness detects re-introduced
@@ -133,6 +142,7 @@ impl Default for SoakOptions {
             net: None,
             retry: RetryPolicy::default(),
             maintenance_loss: 0.0,
+            route_cache: None,
             inject_loss_at: None,
         }
     }
@@ -155,6 +165,9 @@ impl SoakOptions {
         }
         if self.maintenance_loss > 0.0 {
             line.push_str(&format!(" --mloss {}", self.maintenance_loss));
+        }
+        if let Some(cap) = self.route_cache {
+            line.push_str(&format!(" --cache {cap}"));
         }
         line
     }
@@ -182,6 +195,11 @@ pub struct SoakReport {
     pub timeouts: u64,
     /// Retry attempts the retry stack spent masking them.
     pub retries: u64,
+    /// Location-cache probe hits (0 without [`SoakOptions::route_cache`]).
+    pub cache_hits: u64,
+    /// Location-cache probes a churned-away owner answered `Stale`
+    /// (each one degraded safely to a full route).
+    pub cache_stale: u64,
 }
 
 /// A divergence between the index and the oracle, or a failed audit.
@@ -599,17 +617,32 @@ pub fn run_trace(trace: &Trace, opts: &SoakOptions) -> Result<SoakReport, Box<Di
                         audit_entries: lht_entry_audit,
                         lossy_maintenance: opts.maintenance_loss > 0.0,
                     };
-                    match opts.net {
-                        None => {
+                    match (opts.net, opts.route_cache) {
+                        (None, None) => {
                             let ix =
                                 LhtIndex::new(&dht, cfg).map_err(|e| setup_failure(opts, e))?;
                             drive(&LhtDriver { ix: &ix }, trace, opts, &mut env)
                         }
-                        Some(net) => {
+                        (None, Some(cap)) => {
+                            let cached = CachedDht::new(&dht, cache_cfg(opts, cap));
+                            let ix =
+                                LhtIndex::new(cached, cfg).map_err(|e| setup_failure(opts, e))?;
+                            let report = drive(&LhtDriver { ix: &ix }, trace, opts, &mut env);
+                            annotate_cache(report, &Dht::stats(ix.dht()))
+                        }
+                        (Some(net), None) => {
                             let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
                             let ix =
                                 LhtIndex::new(lossy, cfg).map_err(|e| setup_failure(opts, e))?;
                             drive(&LhtDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                        (Some(net), Some(cap)) => {
+                            let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
+                            let cached = CachedDht::new(lossy, cache_cfg(opts, cap));
+                            let ix =
+                                LhtIndex::new(cached, cfg).map_err(|e| setup_failure(opts, e))?;
+                            let report = drive(&LhtDriver { ix: &ix }, trace, opts, &mut env);
+                            annotate_cache(report, &Dht::stats(ix.dht()))
                         }
                     }
                 }
@@ -622,17 +655,32 @@ pub fn run_trace(trace: &Trace, opts: &SoakOptions) -> Result<SoakReport, Box<Di
                         audit_entries: pht_entry_audit,
                         lossy_maintenance: opts.maintenance_loss > 0.0,
                     };
-                    match opts.net {
-                        None => {
+                    match (opts.net, opts.route_cache) {
+                        (None, None) => {
                             let ix =
                                 PhtIndex::new(&dht, cfg).map_err(|e| setup_failure(opts, e))?;
                             drive(&PhtDriver { ix: &ix }, trace, opts, &mut env)
                         }
-                        Some(net) => {
+                        (None, Some(cap)) => {
+                            let cached = CachedDht::new(&dht, cache_cfg(opts, cap));
+                            let ix =
+                                PhtIndex::new(cached, cfg).map_err(|e| setup_failure(opts, e))?;
+                            let report = drive(&PhtDriver { ix: &ix }, trace, opts, &mut env);
+                            annotate_cache(report, &Dht::stats(ix.dht()))
+                        }
+                        (Some(net), None) => {
                             let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
                             let ix =
                                 PhtIndex::new(lossy, cfg).map_err(|e| setup_failure(opts, e))?;
                             drive(&PhtDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                        (Some(net), Some(cap)) => {
+                            let lossy = RetriedDht::new(FaultyDht::new(&dht, net), opts.retry);
+                            let cached = CachedDht::new(lossy, cache_cfg(opts, cap));
+                            let ix =
+                                PhtIndex::new(cached, cfg).map_err(|e| setup_failure(opts, e))?;
+                            let report = drive(&PhtDriver { ix: &ix }, trace, opts, &mut env);
+                            annotate_cache(report, &Dht::stats(ix.dht()))
                         }
                     }
                 }
@@ -692,6 +740,29 @@ pub fn run_trace(trace: &Trace, opts: &SoakOptions) -> Result<SoakReport, Box<Di
 /// test.
 fn dst_config() -> DstConfig {
     DstConfig::default()
+}
+
+/// The location-cache configuration a soak's stack uses: capacity
+/// from the option, recency-clock seed derived from the trace seed.
+fn cache_cfg(opts: &SoakOptions, capacity: usize) -> CacheConfig {
+    CacheConfig {
+        capacity,
+        seed: opts.seed ^ 0xCAC4E,
+    }
+}
+
+/// Copies the location cache's counters from the stack's final stats
+/// into a finished report, so cached soaks can prove the cache was
+/// actually exercised.
+fn annotate_cache(
+    report: Result<SoakReport, Box<DiffFailure>>,
+    stats: &DhtStats,
+) -> Result<SoakReport, Box<DiffFailure>> {
+    report.map(|mut r| {
+        r.cache_hits = stats.cache_hits;
+        r.cache_stale = stats.cache_stale;
+        r
+    })
 }
 
 fn setup_failure(opts: &SoakOptions, e: impl std::fmt::Display) -> Box<DiffFailure> {

@@ -58,8 +58,9 @@ pub use lht_core::{
 };
 pub use lht_cost::CostModel;
 pub use lht_dht::{
-    Brownout, ChordConfig, ChordDht, Dht, DhtError, DhtKey, DhtOp, DhtStats, DirectDht, FaultyDht,
-    LatencyHistogram, LatencyProfile, NetProfile, RetriedDht, RetryPolicy,
+    Brownout, CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtError, DhtKey, DhtOp,
+    DhtStats, DirectDht, FaultyDht, LatencyHistogram, LatencyProfile, NetProfile, Probe,
+    RetriedDht, RetryPolicy,
 };
 pub use lht_dst::{DstConfig, DstIndex};
 pub use lht_id::{BitStr, KeyFraction, U160};

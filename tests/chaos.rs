@@ -51,6 +51,33 @@ fn soak_cell_sized(
     ops: usize,
     theta: usize,
 ) -> SoakReport {
+    soak_cell_opts(substrate, index, faults, seed, ops, theta, None)
+}
+
+/// A chaos cell with the location cache live: the production stack
+/// `CachedDht<RetriedDht<FaultyDht<ChordDht>>>` under the same
+/// faults, still required to never diverge — and required to have
+/// actually exercised the cache (a cell with zero probe hits would
+/// prove nothing).
+fn cached_cell(index: IndexKind, faults: Faults, seed: u64) -> SoakReport {
+    let report = soak_cell_opts(CHORD, index, faults, seed, OPS, 4, Some(256));
+    assert!(
+        report.cache_hits > 0,
+        "cached cell never hit the location cache — cache inert"
+    );
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn soak_cell_opts(
+    substrate: SubstrateKind,
+    index: IndexKind,
+    faults: Faults,
+    seed: u64,
+    ops: usize,
+    theta: usize,
+    route_cache: Option<usize>,
+) -> SoakReport {
     let (net, churn) = match faults {
         Faults::LossOnly => (Some(NetProfile::lossy(seed ^ 0xbad, DROP)), false),
         Faults::ChurnOnly => (None, true),
@@ -72,6 +99,7 @@ fn soak_cell_sized(
         net,
         retry: RetryPolicy::default(),
         maintenance_loss,
+        route_cache,
         ..SoakOptions::default()
     };
     let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
@@ -191,6 +219,35 @@ fn chord_loss_and_churn_lht() {
 #[test]
 fn chord_loss_and_churn_pht() {
     soak_cell(CHORD, IndexKind::Pht, Faults::LossAndChurn, 0xd5);
+}
+
+// ---- Cached-stack cells: the location cache rides on top of the
+// ---- retry/fault layers while churn moves keys under its hints.
+// ---- Stale hints must degrade to full routes, never wrong answers.
+
+#[test]
+fn chord_cached_loss_lht() {
+    cached_cell(IndexKind::Lht, Faults::LossOnly, 0xe0);
+}
+
+#[test]
+fn chord_cached_churn_lht() {
+    let report = cached_cell(IndexKind::Lht, Faults::ChurnOnly, 0xe1);
+    assert!(
+        report.cache_stale > 0,
+        "churn moved keys but no cached hint ever went stale — \
+         the stale-degradation path was never exercised"
+    );
+}
+
+#[test]
+fn chord_cached_loss_and_churn_lht() {
+    cached_cell(IndexKind::Lht, Faults::LossAndChurn, 0xe2);
+}
+
+#[test]
+fn chord_cached_loss_and_churn_pht() {
+    cached_cell(IndexKind::Pht, Faults::LossAndChurn, 0xe3);
 }
 
 // ---- DST/RST baseline cells: the §2 competitors go through the

@@ -15,6 +15,8 @@ const STALE_REPLICA_SEED: u64 = 1;
 const TORN_SPLIT_SEED: u64 = 1;
 /// Which split the torn-split mutant sabotages.
 const TORN_SPLIT_NTH: u64 = 3;
+/// The pinned seed proving stale-cache-read detection.
+const STALE_CACHE_READ_SEED: u64 = 0;
 
 fn assert_pass(report: &lht_sim::SimReport) {
     assert!(
@@ -141,6 +143,38 @@ fn torn_split_mutant_is_caught_and_minimized_schedule_reproduces() {
 }
 
 #[test]
+fn stale_cache_read_mutant_is_caught_and_minimized_schedule_reproduces() {
+    // The index stack routes through a churn-safe location cache
+    // (`CachedDht`); its safety rests on the substrate *verifying*
+    // ownership before a probe serves. This mutant removes that
+    // verification — any live holder of a copy answers — so a cached
+    // owner hint invalidated by churn reads stale data. The checker
+    // must see that as a linearizability violation.
+    let cfg = SimConfig {
+        stale_cache_read: true,
+        ..SimConfig::small(STALE_CACHE_READ_SEED)
+    };
+    let report = simulate(&cfg);
+    let SimVerdict::Fail {
+        minimized, replay, ..
+    } = &report.verdict
+    else {
+        panic!(
+            "stale-cache-read mutant must be non-linearizable at the pinned seed, got {:?}",
+            report.verdict
+        );
+    };
+    assert!(replay.contains("--stale-cache-read") && replay.contains("--schedule"));
+
+    let replayed = replay_schedule(&cfg, minimized);
+    assert!(
+        matches!(replayed.verdict, SimVerdict::Fail { .. }),
+        "minimized schedule must still violate, got {:?}",
+        replayed.verdict
+    );
+}
+
+#[test]
 fn mutants_are_caught_across_a_seed_band_not_just_the_pinned_seed() {
     // Detection must not hinge on one lucky interleaving: within a
     // small budget of schedules, both mutants are flagged.
@@ -159,4 +193,9 @@ fn mutants_are_caught_across_a_seed_band_not_just_the_pinned_seed() {
         ..SimConfig::small(s)
     });
     assert!(torn >= 2, "torn-split caught in {torn}/8 schedules");
+    let cache = caught(&|s| SimConfig {
+        stale_cache_read: true,
+        ..SimConfig::small(s)
+    });
+    assert!(cache >= 2, "stale-cache-read caught in {cache}/8 schedules");
 }
