@@ -10,7 +10,10 @@
 //! * naming-cache hit rate and SHA-1 compression saving on a repeated
 //!   lookup workload (asserted >= 5x — the cache's contract),
 //! * route-cache hops per DHT-lookup and hit rate on the E18 skewed
-//!   range workload (the location cache's headline numbers).
+//!   range workload (the location cache's headline numbers),
+//! * real checked throughput of the threaded mailbox runtime under
+//!   4 concurrent client threads (E19 — the run only counts if its
+//!   merged wall-clock history passes the linearizability checker).
 //!
 //! ```sh
 //! cargo run --release -p lht-bench --bin exp_bench_snapshot -- \
@@ -19,7 +22,9 @@
 //!
 //! `--check` re-measures and compares against the committed
 //! `BENCH_lht.json`: the run fails if `chord_hops_per_lookup` or
-//! `cached_hops_per_lookup` regressed by more than 15%.
+//! `cached_hops_per_lookup` regressed by more than 15%, or if
+//! `threaded_ops_per_sec` — where *lower* is worse — fell more than
+//! 15% below the committed number.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -28,8 +33,9 @@ use lht::{
     ChordDht, Dht, DirectDht, KeyFraction, KeyInterval, Label, LeafBucket, LhtConfig, LhtIndex,
     NamingCache,
 };
-use lht_bench::experiments::route_cache;
+use lht_bench::experiments::{route_cache, threaded};
 use lht_id::{sha1, sha1_compressions};
+use lht_sim::checker::Outcome;
 
 struct Args {
     smoke: bool,
@@ -169,6 +175,26 @@ fn naming_cache_saving() -> (f64, f64) {
     (cache.stats().hit_rate(), saving)
 }
 
+/// Real checked throughput over the threaded runtime: best of three
+/// short runs (wall-clock numbers are noisy; the max over repeats is
+/// the stable estimate of what the machine can do). Every counted run
+/// must produce a linearizable point-op history.
+fn threaded_throughput(args: &Args) -> f64 {
+    let ops_per_client = if args.smoke { 250 } else { 500 };
+    let mut best = 0.0f64;
+    for rep in 0..3u64 {
+        let run = threaded::run(4, ops_per_client, 8, args.seed.wrapping_add(rep));
+        assert_eq!(
+            run.outcome,
+            Outcome::Linearizable,
+            "throughput run {rep} produced a non-linearizable history: {:?}",
+            run.outcome
+        );
+        best = best.max(run.ops_per_sec);
+    }
+    best
+}
+
 /// Reads one numeric field out of the committed `BENCH_lht.json`.
 /// The file is written by this binary line-by-line, so a plain string
 /// scan is exact (the vendored serde shim has no JSON parser).
@@ -181,8 +207,14 @@ fn committed_field(json: &str, field: &str) -> Option<f64> {
 }
 
 /// `--check`: compare freshly measured hop costs against the
-/// committed snapshot; more than 15% worse is a regression.
-fn check_regressions(fresh_chord: f64, fresh_cached: f64) -> Result<(), String> {
+/// committed snapshot; more than 15% worse is a regression. Hop
+/// metrics regress *upward*; throughput regresses *downward*, so its
+/// comparison is inverted.
+fn check_regressions(
+    fresh_chord: f64,
+    fresh_cached: f64,
+    fresh_threaded: f64,
+) -> Result<(), String> {
     let json = std::fs::read_to_string("BENCH_lht.json")
         .map_err(|e| format!("cannot read committed BENCH_lht.json: {e}"))?;
     for (field, fresh) in [
@@ -198,6 +230,15 @@ fn check_regressions(fresh_chord: f64, fresh_cached: f64) -> Result<(), String> 
         }
         eprintln!("check {field}: {fresh:.3} vs committed {committed:.3} — ok");
     }
+    let field = "threaded_ops_per_sec";
+    let committed = committed_field(&json, field)
+        .ok_or_else(|| format!("committed BENCH_lht.json lacks {field:?}"))?;
+    if fresh_threaded < committed / 1.15 {
+        return Err(format!(
+            "{field} regressed: {fresh_threaded:.0} measured vs {committed:.0} committed (> 15% slower)"
+        ));
+    }
+    eprintln!("check {field}: {fresh_threaded:.0} vs committed {committed:.0} — ok");
     Ok(())
 }
 
@@ -215,9 +256,11 @@ fn main() {
     eprintln!("measuring route cache…");
     let route_queries = if args.smoke { 64 } else { 256 };
     let (cached_hops, route_hit_rate) = route_cache::headline(args.keys, route_queries, args.seed);
+    eprintln!("measuring threaded runtime throughput (4 clients, checked)…");
+    let threaded_ops = threaded_throughput(&args);
 
     if args.check {
-        if let Err(e) = check_regressions(hops_per_lookup, cached_hops) {
+        if let Err(e) = check_regressions(hops_per_lookup, cached_hops, threaded_ops) {
             eprintln!("regression check failed: {e}");
             std::process::exit(1);
         }
@@ -245,7 +288,8 @@ fn main() {
     let _ = writeln!(json, "  \"naming_cache_hit_rate\": {hit_rate:.4},");
     let _ = writeln!(json, "  \"naming_cache_sha1_saving_x\": {saving:.1},");
     let _ = writeln!(json, "  \"cached_hops_per_lookup\": {cached_hops:.3},");
-    let _ = writeln!(json, "  \"route_cache_hit_rate\": {route_hit_rate:.4}");
+    let _ = writeln!(json, "  \"route_cache_hit_rate\": {route_hit_rate:.4},");
+    let _ = writeln!(json, "  \"threaded_ops_per_sec\": {threaded_ops:.0}");
     json.push_str("}\n");
 
     print!("{json}");

@@ -13,5 +13,6 @@ pub mod fig9_10;
 pub mod hops;
 pub mod route_cache;
 pub mod saving;
+pub mod threaded;
 
 pub use common::{GrowthCheckpoint, GrowthRun};

@@ -1,0 +1,179 @@
+//! Extension experiment E19 — real OS-thread concurrency over the
+//! mailbox runtime.
+//!
+//! Every other experiment in this crate drives a substrate from one
+//! thread and *counts* costs; this one runs N real client threads
+//! against [`ThreadedDht`](lht_dht::ThreadedDht) (one OS thread per
+//! node, `mpsc` mailboxes) and *times* them. Each client records its
+//! operations' wall-clock invocation/response intervals with a
+//! [`HistoryRecorder`]; the merged history is handed to the Wing–Gong
+//! linearizability checker, so the reported throughput is only
+//! accepted when the run it measures was provably correct.
+//!
+//! One caveat is inherent to LHT, not to this runtime: a range query
+//! traverses several buckets with several DHT reads, so a scan racing
+//! another client's bucket split can return a torn snapshot. The
+//! deterministic simulator never sees this because it executes each
+//! index operation atomically and only overlaps *virtual* intervals;
+//! real threads overlap the reads themselves. Range operations are
+//! therefore driven (they are part of the load and the throughput)
+//! but excluded from the checked history; point operations — insert,
+//! remove, exact-match — are checked in full.
+//!
+//! The armed runtime mutant (a node acknowledging a put before
+//! applying it) reuses the same recording path and must be rejected —
+//! proof that the checker, not luck, is what accepts the clean runs.
+
+use std::time::Instant;
+
+use lht::{
+    Dht, DhtKey, HistoryCall, HistoryRecorder, HistoryReturn, KeyFraction, KeyInterval, LeafBucket,
+    LhtConfig, LhtIndex, ThreadedConfig, ThreadedDht,
+};
+use lht_core::merge_histories;
+use lht_sim::checker::{self, Outcome};
+
+/// One measured run of the concurrent workload.
+#[derive(Clone, Debug)]
+pub struct ThreadedRun {
+    /// Real client threads driven.
+    pub clients: u32,
+    /// Index operations issued by each client.
+    pub ops_per_client: u64,
+    /// Node threads in the runtime.
+    pub nodes: usize,
+    /// Wall-clock seconds spent in the client phase.
+    pub elapsed_secs: f64,
+    /// Index operations per wall-clock second across all clients.
+    pub ops_per_sec: f64,
+    /// Operations in the merged, checked history (point operations;
+    /// ranges are driven but not checked — see the module docs).
+    pub checked_ops: usize,
+    /// Range scans driven and excluded from the checked history.
+    pub unchecked_ranges: usize,
+    /// States the checker explored before concluding.
+    pub states: u64,
+    /// The checker's verdict on the merged history.
+    pub outcome: Outcome,
+}
+
+/// Drives `clients` real threads of mixed insert / remove / lookup /
+/// range traffic over one `ThreadedDht`, times the client phase, and
+/// checks the merged wall-clock history.
+///
+/// Panics if the runtime's [`DhtStats`](lht_dht::DhtStats) break
+/// their invariants — throughput from a run with broken accounting is
+/// not a number worth reporting.
+pub fn run(clients: u32, ops_per_client: u64, nodes: usize, seed: u64) -> ThreadedRun {
+    let cfg = LhtConfig::new(4, 20);
+    let dht: ThreadedDht<LeafBucket<u32>> = ThreadedDht::new(ThreadedConfig { nodes, seed });
+    // Bootstrap the root bucket once, before clients race.
+    let _boot: LhtIndex<_, u32> = LhtIndex::new(&dht, cfg).expect("bootstrap index");
+
+    let epoch = Instant::now();
+    let start = Instant::now();
+    let logs: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let dht = &dht;
+                s.spawn(move || {
+                    let rec: HistoryRecorder<u32> = HistoryRecorder::new(t, epoch);
+                    let ix: LhtIndex<_, u32> = LhtIndex::new(dht, cfg).expect("client index");
+                    ix.attach_history(rec.log());
+                    for i in 0..ops_per_client {
+                        // Mostly per-client stripes with a shared band
+                        // of 8 hot keys, so clients genuinely contend
+                        // without blowing up the checker's search.
+                        let bits = if i % 5 == 0 {
+                            (i % 8).wrapping_mul(0x0101_0101_0101_0101) | 1
+                        } else {
+                            ((u64::from(t) << 32 | i).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1
+                        };
+                        let k = KeyFraction::from_bits(bits);
+                        rec.invoke();
+                        match i % 8 {
+                            0..=3 => {
+                                let _ = ix.insert(k, (u64::from(t) * 1_000_000 + i) as u32);
+                            }
+                            4 | 5 => {
+                                let _ = ix.exact_match(k);
+                            }
+                            6 => {
+                                let _ = ix.remove(k);
+                            }
+                            _ => {
+                                let _ = ix.range(KeyInterval::from_key_to_end(k));
+                            }
+                        }
+                        rec.complete();
+                    }
+                    rec.log()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    dht.stats()
+        .check_invariants()
+        .expect("threaded runtime broke the stats contract");
+
+    let mut history = merge_histories(&logs);
+    let total_ops = u64::from(clients) * ops_per_client;
+    // Range scans are not atomic under concurrent splits (module
+    // docs); drop them from the checked history. Removing operations
+    // only removes constraints, so the remaining point-op history
+    // must still linearize.
+    let before = history.len();
+    history.retain(|r| !matches!(r.call, HistoryCall::Range { .. }));
+    let unchecked_ranges = before - history.len();
+    // Lossy (non-strict) mode: a read racing another client's split
+    // may transiently fail; such a failure constrains nothing. The
+    // budget scales with history size but a near-sequential history
+    // settles in roughly one state per operation.
+    let budget = (total_ops * 25_000).max(5_000_000);
+    let result = checker::check(&history, false, budget);
+
+    ThreadedRun {
+        clients,
+        ops_per_client,
+        nodes,
+        elapsed_secs: elapsed,
+        ops_per_sec: total_ops as f64 / elapsed,
+        checked_ops: history.len(),
+        unchecked_ranges,
+        states: result.states,
+        outcome: result.outcome,
+    }
+}
+
+/// Runs the same put-then-get trace twice at the DHT level — once
+/// clean, once with the out-of-order-mailbox mutant armed — and
+/// returns both verdicts. A sound harness yields
+/// `(Linearizable, NotLinearizable { .. })`.
+pub fn mutant_outcomes() -> (Outcome, Outcome) {
+    let run = |armed: bool| -> Outcome {
+        let dht: ThreadedDht<u32> = ThreadedDht::new(ThreadedConfig { nodes: 1, seed: 1 });
+        if armed {
+            dht.arm_out_of_order_put(1);
+        }
+        let rec: HistoryRecorder<u32> = HistoryRecorder::new(0, Instant::now());
+        let k = DhtKey::from("victim");
+        rec.record(HistoryCall::Insert { key: 9, value: 42 }, || {
+            dht.put(&k, 42).expect("put");
+            (HistoryReturn::Inserted, ())
+        });
+        // Invoked strictly after the put's response, so every
+        // linearization must order this get after the put.
+        rec.record(HistoryCall::Get { key: 9 }, || {
+            let value = dht.get(&k).expect("get");
+            (HistoryReturn::Value { value }, ())
+        });
+        checker::check(&rec.log().snapshot(), true, 100_000).outcome
+    };
+    (run(false), run(true))
+}

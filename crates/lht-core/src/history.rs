@@ -238,6 +238,114 @@ impl<V> HistoryLog<V> {
     }
 }
 
+/// Client-side wall-clock recorder for *real* concurrency.
+///
+/// [`HistoryLog`] keeps a single open-record slot, which is exactly
+/// right for a harness interleaving logical clients on one thread and
+/// exactly wrong for OS threads racing each other: two clients sharing
+/// one log would stamp each other's context. A `HistoryRecorder` gives
+/// each client thread its **own** log plus a shared epoch
+/// ([`Instant`](std::time::Instant)), stamping every operation with
+/// real nanoseconds elapsed since that epoch — so intervals recorded
+/// by different threads are mutually comparable and the merged history
+/// reflects true wall-clock overlap. The linearizability checker only
+/// consumes the interval *order*, so the unit change (virtual
+/// milliseconds → real nanoseconds) is invisible to it.
+///
+/// Stamps from one recorder are **strictly increasing** even when the
+/// monotonic clock fails to tick between two calls on a fast machine:
+/// operations issued by one thread really are sequential, and letting
+/// a response share a stamp with the next invocation would make the
+/// checker treat provably ordered operations as concurrent — exactly
+/// the slack a runtime reordering bug needs to slip past it.
+///
+/// Use [`log`](HistoryRecorder::log) to attach the per-client log to
+/// an index handle (`LhtIndex::attach_history`) and bracket each call
+/// with [`invoke`](HistoryRecorder::invoke) /
+/// [`complete`](HistoryRecorder::complete); or record a raw
+/// (non-index) operation in one step with
+/// [`record`](HistoryRecorder::record). Merge the per-client logs with
+/// [`merge_histories`] before checking.
+#[derive(Debug)]
+pub struct HistoryRecorder<V> {
+    log: Arc<HistoryLog<V>>,
+    client: u32,
+    epoch: std::time::Instant,
+    last_stamp: std::cell::Cell<u64>,
+}
+
+impl<V> HistoryRecorder<V> {
+    /// A recorder for `client` with a fresh private log, stamping
+    /// against `epoch` (share one `Instant` across all clients of a
+    /// run).
+    pub fn new(client: u32, epoch: std::time::Instant) -> HistoryRecorder<V> {
+        HistoryRecorder {
+            log: HistoryLog::new(),
+            client,
+            epoch,
+            last_stamp: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The per-client log, for attaching to an index handle.
+    pub fn log(&self) -> Arc<HistoryLog<V>> {
+        Arc::clone(&self.log)
+    }
+
+    /// Nanoseconds elapsed since the shared epoch, bumped to stay
+    /// strictly above every stamp this recorder handed out before.
+    pub fn now(&self) -> u64 {
+        let elapsed = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let stamp = elapsed.max(self.last_stamp.get().saturating_add(1));
+        self.last_stamp.set(stamp);
+        stamp
+    }
+
+    /// Stamps the invocation context: the next recorded operation is
+    /// issued by this client, now.
+    pub fn invoke(&self) {
+        self.log.set_context(self.client, self.now());
+    }
+
+    /// Stamps the response time of the operation recorded since
+    /// [`invoke`](Self::invoke).
+    pub fn complete(&self) {
+        self.log.close_last(self.now());
+    }
+
+    /// Whether the operation recorded since [`invoke`](Self::invoke)
+    /// failed (delegates to [`HistoryLog::last_failed`]).
+    pub fn last_failed(&self) -> bool {
+        self.log.last_failed()
+    }
+
+    /// Discards the operation recorded since [`invoke`](Self::invoke)
+    /// (delegates to [`HistoryLog::discard_last`]).
+    pub fn discard_last(&self) {
+        self.log.discard_last()
+    }
+
+    /// Records one non-index operation in a single step: stamps the
+    /// invocation, runs `op`, records the `(call, return)` pair it
+    /// produces, stamps the response, and hands back `op`'s carry-out.
+    pub fn record<T>(&self, call: HistoryCall<V>, op: impl FnOnce() -> (HistoryReturn<V>, T)) -> T {
+        self.invoke();
+        let (ret, out) = op();
+        self.log.record(call, ret);
+        self.complete();
+        out
+    }
+}
+
+/// Merges per-client logs into one history sorted by invocation time
+/// (ties broken by response time, then client), the order a
+/// linearizability checker expects.
+pub fn merge_histories<V: Clone>(logs: &[Arc<HistoryLog<V>>]) -> Vec<OpRecord<V>> {
+    let mut all: Vec<OpRecord<V>> = logs.iter().flat_map(|log| log.snapshot()).collect();
+    all.sort_by_key(|r| (r.inv, r.resp, r.client));
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +393,66 @@ mod tests {
         // A second discard with no open record is a no-op.
         log.discard_last();
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn recorder_stamps_real_intervals_and_merge_sorts_by_invocation() {
+        let epoch = std::time::Instant::now();
+        // Two threads record into their own logs concurrently (each
+        // thread owns its recorder — the per-recorder monotonic stamp
+        // is single-writer state); the merged history must be
+        // invocation-sorted with resp > inv everywhere.
+        let logs: Vec<Arc<HistoryLog<u32>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2u32)
+                .map(|client| {
+                    s.spawn(move || {
+                        let rec: HistoryRecorder<u32> = HistoryRecorder::new(client, epoch);
+                        for i in 0..20u64 {
+                            rec.record(HistoryCall::Get { key: i }, || {
+                                (HistoryReturn::Value { value: None }, ())
+                            });
+                        }
+                        rec.log()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let merged = merge_histories(&logs);
+        assert_eq!(merged.len(), 40);
+        for w in merged.windows(2) {
+            assert!(w[0].inv <= w[1].inv, "merge must sort by invocation");
+        }
+        for r in &merged {
+            assert!(r.resp > r.inv, "stamps must be strictly increasing");
+        }
+        // Per client, successive intervals never share a stamp even if
+        // the clock failed to tick between them.
+        for log in &logs {
+            let recs = log.snapshot();
+            for w in recs.windows(2) {
+                assert!(w[0].resp < w[1].inv, "sequential ops must stay ordered");
+            }
+        }
+    }
+
+    #[test]
+    fn recorder_brackets_index_driven_records() {
+        let epoch = std::time::Instant::now();
+        let rec: HistoryRecorder<u32> = HistoryRecorder::new(7, epoch);
+        rec.invoke();
+        // Between invoke and complete the index hooks call
+        // `log.record` themselves; emulate one here.
+        rec.log().record(
+            HistoryCall::Insert { key: 1, value: 2 },
+            HistoryReturn::Inserted,
+        );
+        rec.complete();
+        let recs = rec.log().snapshot();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].client, 7);
+        assert!(recs[0].resp >= recs[0].inv);
+        assert!(!rec.last_failed());
     }
 
     #[test]

@@ -81,16 +81,57 @@ impl Default for CacheConfig {
     }
 }
 
-/// One remembered location: where the key lived, what the full route
-/// cost when we learned it, and when it was last used.
+/// Which cost slot of a [`CacheEntry`] a routed operation prices.
+///
+/// Reads (`get`) and writes (`put`/`remove`/`update`) can route very
+/// differently: Kademlia stores at every k-closest replica, so a
+/// write pays a fan-out a read never does. Pricing a read hit at a
+/// write-learned cost would overstate [`DhtStats::hops_saved`] beyond
+/// what an uncached twin actually pays, so each entry remembers the
+/// two costs separately and a hit is credited only at its own kind's
+/// learned cost (nothing when that kind never routed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RouteKind {
+    /// A routed `get`.
+    Read,
+    /// A routed `put`, `remove` or `update`.
+    Write,
+}
+
+/// One remembered location: where the key lived, what full routes of
+/// each kind cost when last observed, and when it was last used.
 #[derive(Clone, Copy, Debug)]
 struct CacheEntry {
     owner: U160,
-    /// Hops the *routed* operation paid when this entry was learned —
-    /// the per-hit savings estimate credited to
-    /// [`DhtStats::hops_saved`].
-    route_hops: u64,
+    /// Hops the last *routed read* for this key paid, if any read
+    /// ever routed — the savings estimate credited to a read hit.
+    read_hops: Option<u64>,
+    /// Hops the last *routed write* for this key paid, if any write
+    /// ever routed — the savings estimate credited to a write hit.
+    write_hops: Option<u64>,
     stamp: u64,
+}
+
+/// What a cache lookup hands back to the probing fast path: the
+/// remembered owner plus the per-kind learned route costs.
+#[derive(Clone, Copy, Debug)]
+struct CacheHint {
+    owner: U160,
+    read_hops: Option<u64>,
+    write_hops: Option<u64>,
+}
+
+impl CacheHint {
+    /// The learned full-route cost for `kind`, or `None` when no op
+    /// of that kind ever routed for this key (the hit then credits
+    /// nothing — better to under-claim than to price a cheap read at
+    /// an expensive write's cost).
+    fn cost(&self, kind: RouteKind) -> Option<u64> {
+        match kind {
+            RouteKind::Read => self.read_hops,
+            RouteKind::Write => self.write_hops,
+        }
+    }
 }
 
 /// Strict-LRU state: `entries` is the map, `recency` orders the same
@@ -112,30 +153,43 @@ impl CacheState {
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
-    fn lookup(&mut self, key: &DhtKey) -> Option<(U160, u64)> {
+    fn lookup(&mut self, key: &DhtKey) -> Option<CacheHint> {
         let stamp = self.next_stamp();
         let entry = self.entries.get_mut(key)?;
         self.recency.remove(&entry.stamp);
         entry.stamp = stamp;
-        let out = (entry.owner, entry.route_hops);
+        let out = CacheHint {
+            owner: entry.owner,
+            read_hops: entry.read_hops,
+            write_hops: entry.write_hops,
+        };
         self.recency.insert(stamp, key.clone());
         Some(out)
     }
 
-    /// Inserts or refreshes `key → owner`, evicting the LRU entry
-    /// when full.
-    fn learn(&mut self, key: &DhtKey, owner: U160, route_hops: u64, capacity: usize) {
+    /// Inserts or refreshes `key → owner`, pricing the `kind` cost
+    /// slot at `route_hops` (the other kind's learned cost is kept)
+    /// and evicting the LRU entry when full.
+    fn learn(
+        &mut self,
+        key: &DhtKey,
+        owner: U160,
+        kind: RouteKind,
+        route_hops: u64,
+        capacity: usize,
+    ) {
         if capacity == 0 {
             return;
         }
         let stamp = self.next_stamp();
         if let Some(entry) = self.entries.get_mut(key) {
             self.recency.remove(&entry.stamp);
-            *entry = CacheEntry {
-                owner,
-                route_hops,
-                stamp,
-            };
+            entry.owner = owner;
+            entry.stamp = stamp;
+            match kind {
+                RouteKind::Read => entry.read_hops = Some(route_hops),
+                RouteKind::Write => entry.write_hops = Some(route_hops),
+            }
             self.recency.insert(stamp, key.clone());
             return;
         }
@@ -143,11 +197,16 @@ impl CacheState {
             let (_, victim) = self.recency.pop_first().expect("recency mirrors entries");
             self.entries.remove(&victim);
         }
+        let (read_hops, write_hops) = match kind {
+            RouteKind::Read => (Some(route_hops), None),
+            RouteKind::Write => (None, Some(route_hops)),
+        };
         self.entries.insert(
             key.clone(),
             CacheEntry {
                 owner,
-                route_hops,
+                read_hops,
+                write_hops,
                 stamp,
             },
         );
@@ -280,11 +339,11 @@ impl<D: Dht> CachedDht<D> {
         }
     }
 
-    /// Learns `key`'s owner after a routed operation that cost
-    /// `route_hops`, optionally counting a cache miss (misses are
-    /// counted only on the genuinely-uncached path, not on the
+    /// Learns `key`'s owner after a routed operation of `kind` that
+    /// cost `route_hops`, optionally counting a cache miss (misses
+    /// are counted only on the genuinely-uncached path, not on the
     /// stale-fallback re-route, which was already counted as stale).
-    fn learn_after_route(&self, key: &DhtKey, route_hops: u64, count_miss: bool) {
+    fn learn_after_route(&self, key: &DhtKey, kind: RouteKind, route_hops: u64, count_miss: bool) {
         let Some(owner) = self.inner.owner_hint(key) else {
             return;
         };
@@ -292,15 +351,17 @@ impl<D: Dht> CachedDht<D> {
         if count_miss {
             st.extra.cache_misses += 1;
         }
-        st.learn(key, owner, route_hops.max(1), self.cfg.capacity);
+        st.learn(key, owner, kind, route_hops.max(1), self.cfg.capacity);
     }
 
     /// Credits a served probe: the routed operation would have paid
-    /// about `route_hops`; the probe actually charged `charged`.
-    fn credit_hit(&self, route_hops: u64, charged: u64) {
+    /// about `route_hops` (when a route of the same kind was ever
+    /// observed — an unknown cost credits nothing); the probe
+    /// actually charged `charged`.
+    fn credit_hit(&self, route_hops: Option<u64>, charged: u64) {
         let mut st = self.state.lock();
         st.extra.cache_hits += 1;
-        st.extra.hops_saved += route_hops.saturating_sub(charged);
+        st.extra.hops_saved += route_hops.unwrap_or(0).saturating_sub(charged);
     }
 
     fn routed_get(&self, key: &DhtKey, count_miss: bool) -> Result<Option<D::Value>, DhtError> {
@@ -308,7 +369,7 @@ impl<D: Dht> CachedDht<D> {
         let out = self.inner.get(key);
         if out.is_ok() {
             let route_hops = self.inner.stats().hops - before;
-            self.learn_after_route(key, route_hops, count_miss);
+            self.learn_after_route(key, RouteKind::Read, route_hops, count_miss);
         }
         out
     }
@@ -318,7 +379,7 @@ impl<D: Dht> CachedDht<D> {
         let out = self.inner.put(key, value);
         if out.is_ok() {
             let route_hops = self.inner.stats().hops - before;
-            self.learn_after_route(key, route_hops, count_miss);
+            self.learn_after_route(key, RouteKind::Write, route_hops, count_miss);
         }
         out
     }
@@ -332,22 +393,22 @@ where
 
     fn get(&self, key: &DhtKey) -> Result<Option<D::Value>, DhtError> {
         let hint = self.state.lock().lookup(key);
-        let Some((owner, route_hops)) = hint else {
+        let Some(hint) = hint else {
             return self.routed_get(key, true);
         };
         let before = self.inner.stats().hops;
-        match self.inner.probe_get(key, owner) {
+        match self.inner.probe_get(key, hint.owner) {
             Ok(Probe::Served(value)) => {
                 let charged = self.inner.stats().hops - before;
-                self.credit_hit(route_hops, charged);
+                self.credit_hit(hint.cost(RouteKind::Read), charged);
                 Ok(value)
             }
             Ok(Probe::Stale) => {
-                self.on_unserved(key, &owner, true);
+                self.on_unserved(key, &hint.owner, true);
                 self.routed_get(key, false)
             }
             Ok(Probe::Unsupported) => {
-                self.on_unserved(key, &owner, false);
+                self.on_unserved(key, &hint.owner, false);
                 self.routed_get(key, false)
             }
             // The probe RPC itself failed (dropped/timed out through a
@@ -360,22 +421,22 @@ where
 
     fn put(&self, key: &DhtKey, value: D::Value) -> Result<(), DhtError> {
         let hint = self.state.lock().lookup(key);
-        let Some((owner, route_hops)) = hint else {
+        let Some(hint) = hint else {
             return self.routed_put(key, value, true);
         };
         let before = self.inner.stats().hops;
-        match self.inner.probe_put(key, value.clone(), owner) {
+        match self.inner.probe_put(key, value.clone(), hint.owner) {
             Ok(Probe::Served(())) => {
                 let charged = self.inner.stats().hops - before;
-                self.credit_hit(route_hops, charged);
+                self.credit_hit(hint.cost(RouteKind::Write), charged);
                 Ok(())
             }
             Ok(Probe::Stale) => {
-                self.on_unserved(key, &owner, true);
+                self.on_unserved(key, &hint.owner, true);
                 self.routed_put(key, value, false)
             }
             Ok(Probe::Unsupported) => {
-                self.on_unserved(key, &owner, false);
+                self.on_unserved(key, &hint.owner, false);
                 self.routed_put(key, value, false)
             }
             Err(_) => self.routed_put(key, value, false),
@@ -389,7 +450,7 @@ where
             let route_hops = self.inner.stats().hops - before;
             // A remove routes like anything else — learn from it, but
             // it never consulted the cache, so no miss is counted.
-            self.learn_after_route(key, route_hops, false);
+            self.learn_after_route(key, RouteKind::Write, route_hops, false);
         }
         out
     }
@@ -403,7 +464,7 @@ where
         let out = self.inner.update(key, f);
         if out.is_ok() {
             let route_hops = self.inner.stats().hops - before;
-            self.learn_after_route(key, route_hops, false);
+            self.learn_after_route(key, RouteKind::Write, route_hops, false);
         }
         out
     }
@@ -413,21 +474,23 @@ where
         slots.resize_with(keys.len(), || None);
         // Split the batch: keys with a cached location go to the
         // probe round, the rest to the full-route round.
-        let mut probes: Vec<(usize, DhtKey, U160, u64)> = Vec::new();
+        let mut probes: Vec<(usize, DhtKey, CacheHint)> = Vec::new();
         let mut routed: Vec<(usize, bool)> = Vec::new(); // (index, count_miss)
         {
             let mut st = self.state.lock();
             for (i, key) in keys.iter().enumerate() {
                 match st.lookup(key) {
-                    Some((owner, route_hops)) => probes.push((i, key.clone(), owner, route_hops)),
+                    Some(hint) => probes.push((i, key.clone(), hint)),
                     None => routed.push((i, true)),
                 }
             }
         }
         if !probes.is_empty() {
             let before = self.inner.stats().hops;
-            let request: Vec<(DhtKey, U160)> =
-                probes.iter().map(|(_, k, o, _)| (k.clone(), *o)).collect();
+            let request: Vec<(DhtKey, U160)> = probes
+                .iter()
+                .map(|(_, k, hint)| (k.clone(), hint.owner))
+                .collect();
             let outcomes = if request.len() == 1 {
                 vec![self.inner.probe_get(&request[0].0, request[0].1)]
             } else {
@@ -436,19 +499,19 @@ where
             let charged = self.inner.stats().hops - before;
             let mut saved_estimate: u64 = 0;
             let mut hits: u64 = 0;
-            for ((i, key, owner, route_hops), outcome) in probes.into_iter().zip(outcomes) {
+            for ((i, key, hint), outcome) in probes.into_iter().zip(outcomes) {
                 match outcome {
                     Ok(Probe::Served(value)) => {
                         hits += 1;
-                        saved_estimate += route_hops;
+                        saved_estimate += hint.cost(RouteKind::Read).unwrap_or(0);
                         slots[i] = Some(Ok(value));
                     }
                     Ok(Probe::Stale) => {
-                        self.on_unserved(&key, &owner, true);
+                        self.on_unserved(&key, &hint.owner, true);
                         routed.push((i, false));
                     }
                     Ok(Probe::Unsupported) => {
-                        self.on_unserved(&key, &owner, false);
+                        self.on_unserved(&key, &hint.owner, false);
                         routed.push((i, false));
                     }
                     Err(_) => routed.push((i, false)),
@@ -469,7 +532,7 @@ where
             let per_key = (route_hops / request.len() as u64).max(1);
             for ((i, count_miss), result) in routed.into_iter().zip(results) {
                 if result.is_ok() {
-                    self.learn_after_route(&keys[i], per_key, count_miss);
+                    self.learn_after_route(&keys[i], RouteKind::Read, per_key, count_miss);
                 }
                 slots[i] = Some(result);
             }
@@ -485,14 +548,14 @@ where
         slots.resize_with(entries.len(), || None);
         let mut originals: Vec<Option<(DhtKey, D::Value)>> =
             entries.into_iter().map(Some).collect();
-        let mut probes: Vec<(usize, U160, u64)> = Vec::new();
+        let mut probes: Vec<(usize, CacheHint)> = Vec::new();
         let mut routed: Vec<(usize, bool)> = Vec::new();
         {
             let mut st = self.state.lock();
             for (i, entry) in originals.iter().enumerate() {
                 let (key, _) = entry.as_ref().expect("untouched");
                 match st.lookup(key) {
-                    Some((owner, route_hops)) => probes.push((i, owner, route_hops)),
+                    Some(hint) => probes.push((i, hint)),
                     None => routed.push((i, true)),
                 }
             }
@@ -501,9 +564,9 @@ where
             let before = self.inner.stats().hops;
             let request: Vec<(DhtKey, D::Value, U160)> = probes
                 .iter()
-                .map(|(i, owner, _)| {
+                .map(|(i, hint)| {
                     let (key, value) = originals[*i].as_ref().expect("untouched");
-                    (key.clone(), value.clone(), *owner)
+                    (key.clone(), value.clone(), hint.owner)
                 })
                 .collect();
             let outcomes = if request.len() == 1 {
@@ -515,22 +578,22 @@ where
             let charged = self.inner.stats().hops - before;
             let mut saved_estimate: u64 = 0;
             let mut hits: u64 = 0;
-            for ((i, owner, route_hops), outcome) in probes.into_iter().zip(outcomes) {
+            for ((i, hint), outcome) in probes.into_iter().zip(outcomes) {
                 match outcome {
                     Ok(Probe::Served(())) => {
                         hits += 1;
-                        saved_estimate += route_hops;
+                        saved_estimate += hint.cost(RouteKind::Write).unwrap_or(0);
                         originals[i] = None;
                         slots[i] = Some(Ok(()));
                     }
                     Ok(Probe::Stale) => {
                         let (key, _) = originals[i].as_ref().expect("unserved keeps entry");
-                        self.on_unserved(&key.clone(), &owner, true);
+                        self.on_unserved(&key.clone(), &hint.owner, true);
                         routed.push((i, false));
                     }
                     Ok(Probe::Unsupported) => {
                         let (key, _) = originals[i].as_ref().expect("unserved keeps entry");
-                        self.on_unserved(&key.clone(), &owner, false);
+                        self.on_unserved(&key.clone(), &hint.owner, false);
                         routed.push((i, false));
                     }
                     Err(_) => routed.push((i, false)),
@@ -554,7 +617,7 @@ where
             for (((i, count_miss), key), result) in routed.into_iter().zip(learn_keys).zip(results)
             {
                 if result.is_ok() {
-                    self.learn_after_route(&key, per_key, count_miss);
+                    self.learn_after_route(&key, RouteKind::Write, per_key, count_miss);
                 }
                 slots[i] = Some(result);
             }
@@ -809,6 +872,12 @@ mod tests {
         let ring: ChordDht<u64> = ChordDht::with_nodes(64, 37);
         let dht = CachedDht::with_capacity(ring, 256);
         let keys: Vec<DhtKey> = (0..32u64).map(|i| k(&format!("key:{i}"))).collect();
+        // Cold routed gets first, so each key learns its *read* route
+        // cost — hits are priced per op kind, and a read hit whose
+        // read cost was never observed credits nothing.
+        for key in &keys {
+            assert_eq!(dht.get(key).unwrap(), None);
+        }
         for (i, key) in keys.iter().enumerate() {
             dht.put(key, i as u64).unwrap();
         }
@@ -826,6 +895,27 @@ mod tests {
         // estimate (max_hops bound per lookup is absurdly loose, use
         // learned-route sanity instead: saved < 64 hops per lookup).
         assert!(s.hops_saved < 64 * 128);
+    }
+
+    #[test]
+    fn hits_with_no_same_kind_route_credit_nothing() {
+        // Writes learn only the write cost: a read hit on a key whose
+        // reads never routed must not be priced at the write cost
+        // (on Kademlia a routed put pays a replica fan-out a get
+        // never would — crediting it would overstate the savings).
+        let ring: ChordDht<u64> = ChordDht::with_nodes(64, 43);
+        let dht = CachedDht::with_capacity(ring, 256);
+        let key = k("write-only");
+        dht.put(&key, 1).unwrap(); // routed write, learns write cost
+        dht.reset_stats();
+        assert_eq!(dht.get(&key).unwrap(), Some(1)); // served read probe
+        let s = dht.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.hops_saved, 0, "read cost unknown: credit nothing");
+        // A routed put probe on the same key IS priced: its kind cost
+        // is known from the original routed put.
+        dht.put(&key, 2).unwrap();
+        assert!(dht.stats().hops_saved > 0, "write hit priced at write cost");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   identifier space, finger tables, successor lists, iterative
 //!   lookups with per-hop accounting, node join/leave/crash and
 //!   stabilization. Use it when hop-level behaviour or churn matters.
+//! * [`ThreadedDht`] — a real multi-threaded runtime: each node is an
+//!   OS thread owning its partition behind an mpsc mailbox, so
+//!   operations issued by different client threads genuinely overlap
+//!   in wall-clock time. Use it when true concurrency matters.
 //!
 //! Every operation reports its cost through [`DhtStats`], which the
 //! index layers diff around operations to attribute costs the way the
@@ -54,6 +58,7 @@ mod fault;
 mod key;
 mod retry;
 mod stats;
+mod threaded;
 mod traits;
 
 pub use cache::{CacheConfig, CachedDht};
@@ -64,4 +69,5 @@ pub use fault::{Brownout, FaultyDht, LatencyProfile, NetProfile};
 pub use key::DhtKey;
 pub use retry::{Backoffs, RetriedDht, RetryPolicy};
 pub use stats::{DhtOp, DhtStats, LatencyHistogram};
+pub use threaded::{ThreadedConfig, ThreadedDht};
 pub use traits::{Dht, Probe};

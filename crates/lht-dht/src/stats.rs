@@ -257,9 +257,13 @@ pub struct DhtStats {
     /// entry evicted, full route taken.
     pub cache_stale: u64,
     /// Routing hops the cache avoided: for each hit, the remembered
-    /// full-route cost minus the single probe hop. Stale probes'
-    /// wasted hops are charged to `hops` as usual, so
-    /// `hops + hops_saved` estimates the uncached cost.
+    /// *same-kind* full-route cost (reads priced at the learned read
+    /// cost, writes at the learned write cost) minus the probe hops
+    /// charged; a hit whose kind never routed credits nothing. Stale
+    /// probes' wasted hops are charged to `hops` as usual, so
+    /// `hops + hops_saved` estimates the uncached cost without ever
+    /// exceeding what an uncached twin pays — even on substrates like
+    /// Kademlia where writes route far more expensively than reads.
     pub hops_saved: u64,
     /// Log₂ histogram of per-attempt RPC waits, for p50/p99.
     pub latency_hist: LatencyHistogram,
@@ -389,6 +393,75 @@ impl DhtStats {
         } else {
             self.cache_hits as f64 / consulted as f64
         }
+    }
+
+    /// Cross-checks the counters against the accounting contract every
+    /// record path must preserve, returning the first violated rule.
+    ///
+    /// The invariants pinned here are exactly the ones the layered
+    /// stacks (`FaultyDht` → `RetriedDht` → `CachedDht`, and the
+    /// threaded runtime) are supposed to keep in concert, and the ones
+    /// that have historically drifted when a counter was bumped on one
+    /// record path but missed on its sibling:
+    ///
+    /// - `rounds <= lookups()` — batches shrink rounds, never grow
+    ///   them; a failed attempt or a retry must not mint a round.
+    /// - `round_hops <= hops` — the critical-path view is a max over
+    ///   each round, the sum view a total; the max can never win.
+    /// - `round_latency_ms <= latency_ms` — same, for waits.
+    /// - `failed_gets <= gets` — a miss is still a get.
+    /// - `cache_hits + cache_misses + cache_stale <= lookups()` — the
+    ///   cache is outermost and consults at most once per logical op.
+    /// - `latency_hist.samples() >= drops + timeouts` — every dropped
+    ///   or timed-out attempt waited, and every wait is histogrammed.
+    ///
+    /// Harnesses assert this after every soak; layered stats (which
+    /// add an inner snapshot to an outer delta) satisfy it whenever
+    /// both sides do, because every rule is closed under `+`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let lookups = self.lookups();
+        if self.rounds > lookups {
+            return Err(format!(
+                "rounds ({}) exceed lookups ({lookups}): some path minted a round without a logical op",
+                self.rounds
+            ));
+        }
+        if self.round_hops > self.hops {
+            return Err(format!(
+                "round_hops ({}) exceed hops ({}): critical-path hops outran the bandwidth sum",
+                self.round_hops, self.hops
+            ));
+        }
+        if self.round_latency_ms > self.latency_ms {
+            return Err(format!(
+                "round_latency_ms ({}) exceeds latency_ms ({}): per-round max outran the summed waits",
+                self.round_latency_ms, self.latency_ms
+            ));
+        }
+        if self.failed_gets > self.gets {
+            return Err(format!(
+                "failed_gets ({}) exceed gets ({}): a miss was counted without its get",
+                self.failed_gets, self.gets
+            ));
+        }
+        let consults = self.cache_hits + self.cache_misses + self.cache_stale;
+        if consults > lookups {
+            return Err(format!(
+                "cache consults ({consults} = {} hits + {} misses + {} stale) exceed lookups ({lookups}): \
+                 the cache was consulted more than once per logical op",
+                self.cache_hits, self.cache_misses, self.cache_stale
+            ));
+        }
+        if self.latency_hist.samples() < self.drops + self.timeouts {
+            return Err(format!(
+                "latency histogram holds {} samples but {} drops + {} timeouts occurred: \
+                 a failed attempt's wait went unrecorded",
+                self.latency_hist.samples(),
+                self.drops,
+                self.timeouts
+            ));
+        }
+        Ok(())
     }
 
     /// Median per-attempt RPC wait (upper bound, ms).
@@ -759,5 +832,79 @@ mod tests {
             ..DhtStats::default()
         };
         assert_eq!(s.hit_rate(), 0.6);
+    }
+
+    #[test]
+    fn invariants_hold_on_default_and_healthy_stats() {
+        DhtStats::default().check_invariants().unwrap();
+        let mut s = DhtStats::default();
+        s.record_op(DhtOp::Get { found: true }, 3);
+        s.record_op(DhtOp::Put, 5);
+        s.record_batch([(DhtOp::Get { found: false }, 2), (DhtOp::Put, 4)]);
+        s.record_delivery(7);
+        s.record_round_latency(7);
+        s.record_failed_attempt(10, false);
+        s.record_retry(5);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_each_drifted_counter() {
+        let healthy = DhtStats {
+            gets: 10,
+            failed_gets: 2,
+            puts: 5,
+            hops: 40,
+            rounds: 12,
+            round_hops: 30,
+            latency_ms: 100,
+            round_latency_ms: 80,
+            cache_hits: 4,
+            cache_misses: 3,
+            ..DhtStats::default()
+        };
+        healthy.check_invariants().unwrap();
+
+        let mut rounds_over = healthy;
+        rounds_over.rounds = 16;
+        assert!(rounds_over
+            .check_invariants()
+            .unwrap_err()
+            .contains("rounds"));
+
+        let mut hops_over = healthy;
+        hops_over.round_hops = 41;
+        assert!(hops_over
+            .check_invariants()
+            .unwrap_err()
+            .contains("round_hops"));
+
+        let mut lat_over = healthy;
+        lat_over.round_latency_ms = 101;
+        assert!(lat_over
+            .check_invariants()
+            .unwrap_err()
+            .contains("round_latency_ms"));
+
+        let mut miss_over = healthy;
+        miss_over.failed_gets = 11;
+        assert!(miss_over
+            .check_invariants()
+            .unwrap_err()
+            .contains("failed_gets"));
+
+        let mut consult_over = healthy;
+        consult_over.cache_misses = 12;
+        assert!(consult_over
+            .check_invariants()
+            .unwrap_err()
+            .contains("cache consults"));
+
+        let mut unsampled_faults = healthy;
+        unsampled_faults.drops = 1;
+        assert!(unsampled_faults
+            .check_invariants()
+            .unwrap_err()
+            .contains("histogram"));
     }
 }

@@ -1,0 +1,756 @@
+//! A real multi-threaded DHT runtime: thread-per-node mailboxes.
+//!
+//! Every other substrate in this crate executes an operation inline on
+//! the caller's stack — concurrency is *simulated* by interleaving
+//! logical clients on a virtual clock. [`ThreadedDht`] is the runtime
+//! where concurrency is real: each DHT node is an OS thread that owns
+//! its key partition outright and serves requests arriving on an
+//! [`mpsc`](std::sync::mpsc) mailbox, one at a time, in mailbox order.
+//! Client threads route an operation by hashing the key to its owner
+//! (successor on the 160-bit ring, exactly the consistent-hash rule
+//! the one-hop substrates use), posting a request message, and
+//! blocking on the reply — so operations issued by different client
+//! threads genuinely overlap in wall-clock time, and the node's
+//! mailbox is the serialization point that makes each key's history
+//! linearizable.
+//!
+//! The runtime implements the full [`Dht`] surface, so `LhtIndex`,
+//! PHT, DST and RST run on it unmodified:
+//!
+//! * `multi_get`/`multi_put` fan out one message per member and join
+//!   the replies as a single round ([`DhtStats::record_batch`]).
+//! * `update` routes the closure to the owner via a rendezvous: the
+//!   node extracts the slot, ships it to the client, blocks until the
+//!   mutated slot comes back, and reinstalls it — the node stays
+//!   single-threaded over its partition and the slot swap is atomic
+//!   with respect to every other request in its mailbox.
+//! * The [`Probe`] extension verifies hinted owners node-side against
+//!   the ring, so [`CachedDht`](crate::CachedDht) composes on top.
+//!
+//! # Cost accounting vs wall-clock
+//!
+//! [`DhtStats`] charges the *message topology*: one hop per routed
+//! request (the ring here is fully known to clients, as in a one-hop
+//! DHT), one lookup per logical op, batches as one round at max hops.
+//! Wall-clock time — what real threads actually paid in contention and
+//! scheduling — is deliberately **not** charged to `DhtStats`; it is
+//! observable through a client-side
+//! [`HistoryRecorder`](../../lht_core/history/struct.HistoryRecorder.html)
+//! stamping real invocation/response intervals for linearizability
+//! checking, and through throughput reported by `exp_threaded`.
+//!
+//! # Fault model
+//!
+//! Nodes never crash mid-run (churn stays with `ChordDht`); the only
+//! failure is a poisoned mailbox after shutdown, surfaced as
+//! [`DhtError::RoutingFailed`]. Wrap in
+//! [`FaultyDht`](crate::FaultyDht)/[`RetriedDht`](crate::RetriedDht)
+//! for lossy-network studies.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use lht_id::{sha1, U160};
+use parking_lot::Mutex;
+
+use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats, Probe};
+
+/// Construction parameters for a [`ThreadedDht`].
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedConfig {
+    /// Number of node threads (each owns one ring partition).
+    pub nodes: usize,
+    /// Seed mixed into the node identifiers, so distinct runtimes
+    /// partition the ring differently.
+    pub seed: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig { nodes: 8, seed: 1 }
+    }
+}
+
+/// One request posted to a node's mailbox. Every variant carries the
+/// reply channel the client blocks on; `Update` carries both ends of
+/// the slot rendezvous.
+enum Request<V> {
+    Get {
+        key: DhtKey,
+        reply: Sender<Option<V>>,
+    },
+    Put {
+        key: DhtKey,
+        value: V,
+        reply: Sender<()>,
+    },
+    Remove {
+        key: DhtKey,
+        reply: Sender<Option<V>>,
+    },
+    /// Slot rendezvous: the node sends the current slot over
+    /// `slot_out`, blocks on `slot_back` for the mutated slot, and
+    /// reinstalls it. The client runs the closure in between.
+    Update {
+        key: DhtKey,
+        slot_out: Sender<Option<V>>,
+        slot_back: Receiver<Option<V>>,
+    },
+    ProbeGet {
+        key: DhtKey,
+        owner: U160,
+        reply: Sender<Probe<Option<V>>>,
+    },
+    ProbePut {
+        key: DhtKey,
+        value: V,
+        owner: U160,
+        reply: Sender<Probe<()>>,
+    },
+    Shutdown,
+}
+
+/// State owned by one node thread: its identifier, its partition, and
+/// the shared ring view used to verify probe hints.
+struct Node<V> {
+    id: U160,
+    ids: Arc<Vec<U160>>,
+    store: HashMap<DhtKey, V>,
+    /// Out-of-order-put mutant (see [`ThreadedDht::arm_out_of_order_put`]):
+    /// a put acknowledged but not yet applied.
+    stashed_put: Option<(DhtKey, V)>,
+    mutant_fuse: Arc<AtomicI64>,
+}
+
+impl<V: Clone> Node<V> {
+    /// Whether this node currently owns `key` under the successor rule.
+    fn owns(&self, key: &DhtKey) -> bool {
+        successor(&self.ids, key.hash()) == self.id
+    }
+
+    /// Serves one request; returns `false` on shutdown. Replies are
+    /// sent best-effort: a client that vanished mid-call (dropped its
+    /// reply receiver) must not take the node down with it.
+    fn serve(&mut self, req: Request<V>) -> bool {
+        match req {
+            Request::Get { key, reply } => {
+                let _ = reply.send(self.store.get(&key).cloned());
+            }
+            Request::Put { key, value, reply } => {
+                if self.mutant_fuse.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    // Mutant: acknowledge now, apply only after the
+                    // *next* request has been served — the mailbox
+                    // order and the apply order diverge.
+                    self.stashed_put = Some((key, value));
+                } else {
+                    self.store.insert(key, value);
+                }
+                let _ = reply.send(());
+            }
+            Request::Remove { key, reply } => {
+                let _ = reply.send(self.store.remove(&key));
+            }
+            Request::Update {
+                key,
+                slot_out,
+                slot_back,
+            } => {
+                let mut slot = self.store.remove(&key);
+                if slot_out.send(slot.take()).is_ok() {
+                    // Block until the client ships the mutated slot
+                    // back; a dropped client leaves the slot deleted,
+                    // which is the closure-never-ran outcome a failed
+                    // RPC would produce anyway.
+                    slot = slot_back.recv().ok().flatten();
+                }
+                if let Some(v) = slot {
+                    self.store.insert(key, v);
+                }
+            }
+            Request::ProbeGet { key, owner, reply } => {
+                let outcome = if owner == self.id && self.owns(&key) {
+                    Probe::Served(self.store.get(&key).cloned())
+                } else {
+                    Probe::Stale
+                };
+                let _ = reply.send(outcome);
+            }
+            Request::ProbePut {
+                key,
+                value,
+                owner,
+                reply,
+            } => {
+                let outcome = if owner == self.id && self.owns(&key) {
+                    self.store.insert(key, value);
+                    Probe::Served(())
+                } else {
+                    Probe::Stale
+                };
+                let _ = reply.send(outcome);
+            }
+            Request::Shutdown => return false,
+        }
+        true
+    }
+}
+
+/// The successor of `point` on the sorted identifier ring (wrapping).
+fn successor(ids: &[U160], point: U160) -> U160 {
+    let i = ids.partition_point(|id| *id < point);
+    ids[i % ids.len()]
+}
+
+/// A thread-per-node DHT runtime (see the [module docs](self)).
+///
+/// The handle is `Sync`: client threads share one `&ThreadedDht` and
+/// issue operations concurrently. Dropping the handle shuts every
+/// node thread down and joins it.
+///
+/// # Examples
+///
+/// ```
+/// use lht_dht::{Dht, DhtKey, ThreadedConfig, ThreadedDht};
+///
+/// let dht: ThreadedDht<u32> = ThreadedDht::new(ThreadedConfig { nodes: 4, seed: 7 });
+/// std::thread::scope(|s| {
+///     for t in 0..4u32 {
+///         let dht = &dht;
+///         s.spawn(move || {
+///             let key = DhtKey::from(format!("k{t}"));
+///             dht.put(&key, t).unwrap();
+///             assert_eq!(dht.get(&key).unwrap(), Some(t));
+///         });
+///     }
+/// });
+/// assert_eq!(dht.stats().lookups(), 8);
+/// ```
+pub struct ThreadedDht<V> {
+    /// Sorted node identifiers; index-aligned with `mailboxes`.
+    ids: Arc<Vec<U160>>,
+    mailboxes: Vec<Sender<Request<V>>>,
+    stats: Mutex<DhtStats>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    mutant_fuse: Arc<AtomicI64>,
+}
+
+impl<V: Clone + Send + 'static> ThreadedDht<V> {
+    /// Spawns `cfg.nodes` node threads and returns the client handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.nodes` is zero.
+    pub fn new(cfg: ThreadedConfig) -> ThreadedDht<V> {
+        assert!(cfg.nodes > 0, "a threaded runtime needs at least one node");
+        let mut tagged: Vec<(U160, usize)> = (0..cfg.nodes)
+            .map(|i| (sha1(format!("threaded:{}:{i}", cfg.seed).as_bytes()), i))
+            .collect();
+        tagged.sort();
+        let ids: Arc<Vec<U160>> = Arc::new(tagged.iter().map(|&(id, _)| id).collect());
+        let mutant_fuse = Arc::new(AtomicI64::new(i64::MIN));
+
+        let mut mailboxes = Vec::with_capacity(cfg.nodes);
+        let mut handles = Vec::with_capacity(cfg.nodes);
+        for &(id, i) in &tagged {
+            let (tx, rx) = channel::<Request<V>>();
+            let mut node = Node {
+                id,
+                ids: Arc::clone(&ids),
+                store: HashMap::new(),
+                stashed_put: None,
+                mutant_fuse: Arc::clone(&mutant_fuse),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("lht-node-{i}"))
+                .spawn(move || {
+                    while let Ok(req) = rx.recv() {
+                        // A stashed (mutant) put lands only after the
+                        // next request has been served out of order.
+                        let pending = node.stashed_put.take();
+                        let keep_going = node.serve(req);
+                        if let Some((k, v)) = pending {
+                            node.store.insert(k, v);
+                        }
+                        if !keep_going {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn node thread");
+            mailboxes.push(tx);
+            handles.push(handle);
+        }
+
+        ThreadedDht {
+            ids,
+            mailboxes,
+            stats: Mutex::new(DhtStats::default()),
+            handles: Mutex::new(handles),
+            mutant_fuse,
+        }
+    }
+
+    /// Number of node threads.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Arms the out-of-order-mailbox mutant: the `nth` put processed
+    /// from now on (1-based, counted across all nodes) is acknowledged
+    /// immediately but applied only after the node has served its
+    /// *next* request — so a get that is provably after the put in
+    /// real time can miss its write. Exists to prove the
+    /// linearizability checker catches runtime-level reordering; never
+    /// armed in production stacks.
+    pub fn arm_out_of_order_put(&self, nth: u64) {
+        self.mutant_fuse
+            .store(i64::try_from(nth).unwrap_or(i64::MAX), Ordering::SeqCst);
+    }
+
+    /// The mailbox serving `key` under the successor rule.
+    fn mailbox_for(&self, key: &DhtKey) -> (usize, &Sender<Request<V>>) {
+        let i = self.ids.partition_point(|id| *id < key.hash()) % self.ids.len();
+        (i, &self.mailboxes[i])
+    }
+
+    /// The mailbox of the node whose identifier is exactly `owner`,
+    /// if such a node exists.
+    fn mailbox_of(&self, owner: U160) -> Option<&Sender<Request<V>>> {
+        self.ids
+            .binary_search(&owner)
+            .ok()
+            .map(|i| &self.mailboxes[i])
+    }
+
+    /// Posts `req` to `mailbox` and blocks on `reply`. A send or recv
+    /// failure means the node thread is gone (post-shutdown use).
+    fn call<T>(
+        &self,
+        mailbox: &Sender<Request<V>>,
+        req: Request<V>,
+        reply: Receiver<T>,
+    ) -> Result<T, DhtError> {
+        mailbox
+            .send(req)
+            .map_err(|_| DhtError::RoutingFailed { hops: 1 })?;
+        reply
+            .recv()
+            .map_err(|_| DhtError::RoutingFailed { hops: 1 })
+    }
+}
+
+impl<V: Clone + Send + 'static> Dht for ThreadedDht<V> {
+    type Value = V;
+
+    fn get(&self, key: &DhtKey) -> Result<Option<V>, DhtError> {
+        let (_, mailbox) = self.mailbox_for(key);
+        let (tx, rx) = channel();
+        let value = self.call(
+            mailbox,
+            Request::Get {
+                key: key.clone(),
+                reply: tx,
+            },
+            rx,
+        )?;
+        self.stats.lock().record_op(
+            DhtOp::Get {
+                found: value.is_some(),
+            },
+            1,
+        );
+        Ok(value)
+    }
+
+    fn put(&self, key: &DhtKey, value: V) -> Result<(), DhtError> {
+        let (_, mailbox) = self.mailbox_for(key);
+        let (tx, rx) = channel();
+        self.call(
+            mailbox,
+            Request::Put {
+                key: key.clone(),
+                value,
+                reply: tx,
+            },
+            rx,
+        )?;
+        self.stats.lock().record_op(DhtOp::Put, 1);
+        Ok(())
+    }
+
+    fn remove(&self, key: &DhtKey) -> Result<Option<V>, DhtError> {
+        let (_, mailbox) = self.mailbox_for(key);
+        let (tx, rx) = channel();
+        let prior = self.call(
+            mailbox,
+            Request::Remove {
+                key: key.clone(),
+                reply: tx,
+            },
+            rx,
+        )?;
+        self.stats.lock().record_op(DhtOp::Remove, 1);
+        Ok(prior)
+    }
+
+    fn update(&self, key: &DhtKey, f: &mut dyn FnMut(&mut Option<V>)) -> Result<(), DhtError> {
+        let (_, mailbox) = self.mailbox_for(key);
+        let (slot_out_tx, slot_out_rx) = channel();
+        let (slot_back_tx, slot_back_rx) = channel();
+        mailbox
+            .send(Request::Update {
+                key: key.clone(),
+                slot_out: slot_out_tx,
+                slot_back: slot_back_rx,
+            })
+            .map_err(|_| DhtError::RoutingFailed { hops: 1 })?;
+        let mut slot = slot_out_rx
+            .recv()
+            .map_err(|_| DhtError::RoutingFailed { hops: 1 })?;
+        // The node is blocked on the rendezvous: between the slot's
+        // departure and its return no other request touches the
+        // partition, so `f` runs atomically at the owner.
+        f(&mut slot);
+        slot_back_tx
+            .send(slot)
+            .map_err(|_| DhtError::RoutingFailed { hops: 1 })?;
+        self.stats.lock().record_op(DhtOp::Update, 1);
+        Ok(())
+    }
+
+    fn multi_get(&self, keys: &[DhtKey]) -> Vec<Result<Option<V>, DhtError>> {
+        // Fan out one message per member first, then join the replies:
+        // the node threads serve the whole batch concurrently, which
+        // is exactly the one-round semantics `record_batch` charges.
+        let pending: Vec<Result<Receiver<Option<V>>, DhtError>> = keys
+            .iter()
+            .map(|key| {
+                let (_, mailbox) = self.mailbox_for(key);
+                let (tx, rx) = channel();
+                mailbox
+                    .send(Request::Get {
+                        key: key.clone(),
+                        reply: tx,
+                    })
+                    .map(|()| rx)
+                    .map_err(|_| DhtError::RoutingFailed { hops: 1 })
+            })
+            .collect();
+        let results: Vec<Result<Option<V>, DhtError>> = pending
+            .into_iter()
+            .map(|rx| rx.and_then(|rx| rx.recv().map_err(|_| DhtError::RoutingFailed { hops: 1 })))
+            .collect();
+        let ops: Vec<(DhtOp, u64)> = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|v| (DhtOp::Get { found: v.is_some() }, 1))
+            .collect();
+        self.stats.lock().record_batch(ops);
+        results
+    }
+
+    fn multi_put(&self, entries: Vec<(DhtKey, V)>) -> Vec<Result<(), DhtError>> {
+        let pending: Vec<Result<Receiver<()>, DhtError>> = entries
+            .into_iter()
+            .map(|(key, value)| {
+                let (_, mailbox) = self.mailbox_for(&key);
+                let (tx, rx) = channel();
+                mailbox
+                    .send(Request::Put {
+                        key,
+                        value,
+                        reply: tx,
+                    })
+                    .map(|()| rx)
+                    .map_err(|_| DhtError::RoutingFailed { hops: 1 })
+            })
+            .collect();
+        let results: Vec<Result<(), DhtError>> = pending
+            .into_iter()
+            .map(|rx| rx.and_then(|rx| rx.recv().map_err(|_| DhtError::RoutingFailed { hops: 1 })))
+            .collect();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        self.stats
+            .lock()
+            .record_batch((0..ok).map(|_| (DhtOp::Put, 1)));
+        results
+    }
+
+    fn probe_get(&self, key: &DhtKey, owner: U160) -> Result<Probe<Option<V>>, DhtError> {
+        let Some(mailbox) = self.mailbox_of(owner) else {
+            // No node with that identifier: the hint is stale on its
+            // face. One wasted hop, no lookup, like any stale probe.
+            self.stats.lock().hops += 1;
+            return Ok(Probe::Stale);
+        };
+        let (tx, rx) = channel();
+        let outcome = self.call(
+            mailbox,
+            Request::ProbeGet {
+                key: key.clone(),
+                owner,
+                reply: tx,
+            },
+            rx,
+        )?;
+        let mut stats = self.stats.lock();
+        match &outcome {
+            Probe::Served(value) => stats.record_op(
+                DhtOp::Get {
+                    found: value.is_some(),
+                },
+                1,
+            ),
+            Probe::Stale => stats.hops += 1,
+            Probe::Unsupported => {}
+        }
+        Ok(outcome)
+    }
+
+    fn probe_put(&self, key: &DhtKey, value: V, owner: U160) -> Result<Probe<()>, DhtError> {
+        let Some(mailbox) = self.mailbox_of(owner) else {
+            self.stats.lock().hops += 1;
+            return Ok(Probe::Stale);
+        };
+        let (tx, rx) = channel();
+        let outcome = self.call(
+            mailbox,
+            Request::ProbePut {
+                key: key.clone(),
+                value,
+                owner,
+                reply: tx,
+            },
+            rx,
+        )?;
+        let mut stats = self.stats.lock();
+        match &outcome {
+            Probe::Served(()) => stats.record_op(DhtOp::Put, 1),
+            Probe::Stale => stats.hops += 1,
+            Probe::Unsupported => {}
+        }
+        Ok(outcome)
+    }
+
+    fn probe_multi_get(
+        &self,
+        probes: &[(DhtKey, U160)],
+    ) -> Vec<Result<Probe<Option<V>>, DhtError>> {
+        let pending: Vec<Option<Receiver<Probe<Option<V>>>>> = probes
+            .iter()
+            .map(|(key, owner)| {
+                let mailbox = self.mailbox_of(*owner)?;
+                let (tx, rx) = channel();
+                mailbox
+                    .send(Request::ProbeGet {
+                        key: key.clone(),
+                        owner: *owner,
+                        reply: tx,
+                    })
+                    .ok()?;
+                Some(rx)
+            })
+            .collect();
+        let results: Vec<Result<Probe<Option<V>>, DhtError>> = pending
+            .into_iter()
+            .map(|rx| match rx {
+                None => Ok(Probe::Stale),
+                Some(rx) => rx.recv().map_err(|_| DhtError::RoutingFailed { hops: 1 }),
+            })
+            .collect();
+        let mut ops = Vec::new();
+        let mut stale_hops = 0u64;
+        for r in &results {
+            match r {
+                Ok(Probe::Served(value)) => ops.push((
+                    DhtOp::Get {
+                        found: value.is_some(),
+                    },
+                    1,
+                )),
+                Ok(Probe::Stale) => stale_hops += 1,
+                _ => {}
+            }
+        }
+        let mut stats = self.stats.lock();
+        stats.record_batch(ops);
+        stats.hops += stale_hops;
+        results
+    }
+
+    fn probe_multi_put(&self, entries: Vec<(DhtKey, V, U160)>) -> Vec<Result<Probe<()>, DhtError>> {
+        let pending: Vec<Option<Receiver<Probe<()>>>> = entries
+            .into_iter()
+            .map(|(key, value, owner)| {
+                let mailbox = self.mailbox_of(owner)?;
+                let (tx, rx) = channel();
+                mailbox
+                    .send(Request::ProbePut {
+                        key,
+                        value,
+                        owner,
+                        reply: tx,
+                    })
+                    .ok()?;
+                Some(rx)
+            })
+            .collect();
+        let results: Vec<Result<Probe<()>, DhtError>> = pending
+            .into_iter()
+            .map(|rx| match rx {
+                None => Ok(Probe::Stale),
+                Some(rx) => rx.recv().map_err(|_| DhtError::RoutingFailed { hops: 1 }),
+            })
+            .collect();
+        let mut ops = Vec::new();
+        let mut stale_hops = 0u64;
+        for r in &results {
+            match r {
+                Ok(Probe::Served(())) => ops.push((DhtOp::Put, 1)),
+                Ok(Probe::Stale) => stale_hops += 1,
+                _ => {}
+            }
+        }
+        let mut stats = self.stats.lock();
+        stats.record_batch(ops);
+        stats.hops += stale_hops;
+        results
+    }
+
+    fn owner_hint(&self, key: &DhtKey) -> Option<U160> {
+        Some(successor(&self.ids, key.hash()))
+    }
+
+    fn stats(&self) -> DhtStats {
+        *self.stats.lock()
+    }
+
+    fn reset_stats(&self) {
+        *self.stats.lock() = DhtStats::default();
+    }
+}
+
+impl<V> Drop for ThreadedDht<V> {
+    fn drop(&mut self) {
+        for mailbox in &self.mailboxes {
+            let _ = mailbox.send(Request::Shutdown);
+        }
+        for handle in self.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> DhtKey {
+        DhtKey::from(s)
+    }
+
+    #[test]
+    fn put_get_remove_update_round_trip() {
+        let dht: ThreadedDht<u32> = ThreadedDht::new(ThreadedConfig { nodes: 4, seed: 3 });
+        assert_eq!(dht.get(&k("a")).unwrap(), None);
+        dht.put(&k("a"), 1).unwrap();
+        assert_eq!(dht.get(&k("a")).unwrap(), Some(1));
+        dht.update(&k("a"), &mut |slot| {
+            *slot = slot.map(|v| v + 10);
+        })
+        .unwrap();
+        assert_eq!(dht.get(&k("a")).unwrap(), Some(11));
+        assert_eq!(dht.remove(&k("a")).unwrap(), Some(11));
+        assert_eq!(dht.get(&k("a")).unwrap(), None);
+        // update can also insert into an empty slot and delete.
+        dht.update(&k("b"), &mut |slot| *slot = Some(5)).unwrap();
+        assert_eq!(dht.get(&k("b")).unwrap(), Some(5));
+        dht.update(&k("b"), &mut |slot| *slot = None).unwrap();
+        assert_eq!(dht.get(&k("b")).unwrap(), None);
+    }
+
+    #[test]
+    fn accounting_matches_the_contract() {
+        let dht: ThreadedDht<u32> = ThreadedDht::new(ThreadedConfig { nodes: 4, seed: 3 });
+        dht.put(&k("a"), 1).unwrap();
+        dht.get(&k("a")).unwrap();
+        dht.get(&k("missing")).unwrap();
+        dht.remove(&k("a")).unwrap();
+        dht.update(&k("a"), &mut |_| {}).unwrap();
+        let keys: Vec<DhtKey> = (0..6).map(|i| k(&format!("b{i}"))).collect();
+        let entries: Vec<(DhtKey, u32)> = keys.iter().map(|key| (key.clone(), 9)).collect();
+        for r in dht.multi_put(entries) {
+            r.unwrap();
+        }
+        for r in dht.multi_get(&keys) {
+            assert_eq!(r.unwrap(), Some(9));
+        }
+        let s = dht.stats();
+        assert_eq!(s.gets, 2 + 6);
+        assert_eq!(s.failed_gets, 1);
+        assert_eq!(s.puts, 1 + 6);
+        assert_eq!(s.removes, 1);
+        assert_eq!(s.updates, 1);
+        assert_eq!(s.hops, s.lookups(), "one hop per routed op");
+        assert_eq!(s.rounds, 5 + 2, "each batch is one round");
+        assert_eq!(s.round_hops, 5 + 2, "rounds cost their max hop (1)");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn probes_verify_ownership_node_side() {
+        let dht: ThreadedDht<u32> = ThreadedDht::new(ThreadedConfig { nodes: 4, seed: 9 });
+        let key = k("probed");
+        dht.put(&key, 7).unwrap();
+        let owner = dht.owner_hint(&key).unwrap();
+        assert_eq!(dht.probe_get(&key, owner).unwrap(), Probe::Served(Some(7)));
+        assert_eq!(dht.probe_put(&key, 8, owner).unwrap(), Probe::Served(()));
+        assert_eq!(dht.get(&key).unwrap(), Some(8));
+        // A hint naming the wrong (or no) node is refused, not served.
+        let wrong = dht
+            .ids
+            .iter()
+            .copied()
+            .find(|id| *id != owner)
+            .expect("more than one node");
+        assert_eq!(dht.probe_get(&key, wrong).unwrap(), Probe::Stale);
+        let nobody = sha1(b"not a node id");
+        assert_eq!(dht.probe_get(&key, nobody).unwrap(), Probe::Stale);
+        dht.stats().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_handle() {
+        let dht: ThreadedDht<u64> = ThreadedDht::new(ThreadedConfig { nodes: 4, seed: 5 });
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let dht = &dht;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let key = k(&format!("c{t}:{i}"));
+                        dht.put(&key, t * 1000 + i).unwrap();
+                        assert_eq!(dht.get(&key).unwrap(), Some(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        let s = dht.stats();
+        assert_eq!(s.lookups(), 4 * 50 * 2);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn armed_mutant_reorders_the_mailbox() {
+        let dht: ThreadedDht<u32> = ThreadedDht::new(ThreadedConfig { nodes: 1, seed: 1 });
+        dht.arm_out_of_order_put(1);
+        let key = k("victim");
+        dht.put(&key, 42).unwrap(); // acked but stashed
+                                    // The very next request is served before the put applies.
+        assert_eq!(dht.get(&key).unwrap(), None, "mutant must lose the write");
+        // ...after which the stashed put lands.
+        assert_eq!(dht.get(&key).unwrap(), Some(42));
+    }
+}

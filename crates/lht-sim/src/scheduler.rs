@@ -473,6 +473,15 @@ fn verdict_of(cfg: &SimConfig, world: &World) -> (SimVerdict, usize) {
 /// replay line.
 pub fn simulate(cfg: &SimConfig) -> SimReport {
     let world = run(cfg, Chooser::Random(StdRng::seed_from_u64(cfg.seed)));
+    // Accounting soundness rides along with every simulation: the
+    // layered stack's counters must satisfy the DhtStats contract
+    // regardless of which schedule the chooser explored.
+    if let Err(violation) = world.index.dht().stats().check_invariants() {
+        panic!(
+            "simulation seed {} broke the stats contract: {violation}",
+            cfg.seed
+        );
+    }
     let (verdict, history_len) = verdict_of(cfg, &world);
     SimReport {
         config: cfg.clone(),

@@ -979,6 +979,17 @@ where
     report.audits += 1;
     report.final_records = oracle.len();
     let stats = ix.dht_stats();
+    // Every soak ends by cross-checking the accounting contract: a
+    // counter bumped on one record path but missed on a sibling shows
+    // up here no matter which layer stack the options assembled.
+    if let Err(violation) = stats.check_invariants() {
+        return Err(Box::new(DiffFailure {
+            op_index: usize::MAX,
+            op: "<stats invariants>".to_string(),
+            detail: format!("DhtStats invariant violated: {violation}"),
+            replay: opts.replay_line(),
+        }));
+    }
     report.drops = stats.drops;
     report.timeouts = stats.timeouts;
     report.retries = stats.retries;

@@ -52,15 +52,16 @@ pub use lht_sfc as sfc;
 pub use lht_workload as workload;
 
 pub use lht_core::{
-    audit, naming, IndexStats, InsertOutcome, KeyInterval, Label, LeafBucket, LhtConfig, LhtError,
-    LhtIndex, LookupHit, MatchHit, MinMaxHit, NamingCache, NamingCacheStats, OpCost, RangeCost,
+    audit, merge_histories, naming, HistoryCall, HistoryLog, HistoryRecorder, HistoryReturn,
+    IndexStats, InsertOutcome, KeyInterval, Label, LeafBucket, LhtConfig, LhtError, LhtIndex,
+    LookupHit, MatchHit, MinMaxHit, NamingCache, NamingCacheStats, OpCost, OpRecord, RangeCost,
     RangeResult, RemoveOutcome,
 };
 pub use lht_cost::CostModel;
 pub use lht_dht::{
     Brownout, CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtError, DhtKey, DhtOp,
     DhtStats, DirectDht, FaultyDht, LatencyHistogram, LatencyProfile, NetProfile, Probe,
-    RetriedDht, RetryPolicy,
+    RetriedDht, RetryPolicy, ThreadedConfig, ThreadedDht,
 };
 pub use lht_dst::{DstConfig, DstIndex};
 pub use lht_id::{BitStr, KeyFraction, U160};

@@ -1,0 +1,175 @@
+//! Multi-thread hammer regressions for the shared-state fast paths
+//! the threaded runtime leans on: the `DhtKey` ring-digest memo, the
+//! global SHA-1 compression counter, and the `NamingCache` strict-LRU.
+//!
+//! These are the pieces a handle shared across OS threads exercises on
+//! every operation; a lost update or a double-counted hash here would
+//! silently skew every cost measurement taken under real concurrency.
+//! The counter-measuring phases live in ONE test function so the
+//! global `sha1_compressions()` deltas are not polluted by sibling
+//! tests of this binary running in parallel (the naming-cache test
+//! hashes only a few dozen labels, well inside the asserted margins).
+
+use std::thread;
+
+use lht::id::sha1_compressions;
+use lht::{DhtKey, Label, NamingCache, U160};
+
+/// Headroom for SHA-1 work done concurrently by the *other* test in
+/// this binary (a few dozen label hashes) — tiny next to the phase
+/// sizes below, huge next to zero.
+const POLLUTION_MARGIN: u64 = 5_000;
+
+#[test]
+fn digest_memo_and_compression_counter_under_contention() {
+    // Phase A: 4 threads race .hash() on the same 20k fresh keys.
+    // The OnceLock memo must run SHA-1 once per key no matter how the
+    // threads interleave — a broken memo would pay ~4x.
+    let n = 20_000usize;
+    let keys: Vec<DhtKey> = (0..n).map(|i| DhtKey::from(format!("memo:{i}"))).collect();
+    let before = sha1_compressions();
+    let digests: Vec<Vec<U160>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let keys = &keys;
+                s.spawn(move || keys.iter().map(|k| k.hash()).collect::<Vec<U160>>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let delta_a = sha1_compressions() - before;
+    assert!(
+        delta_a >= n as u64,
+        "each of {n} keys must be hashed at least once (saw {delta_a})"
+    );
+    assert!(
+        delta_a < n as u64 + POLLUTION_MARGIN,
+        "racing threads re-ran SHA-1 {delta_a} times for {n} keys — the digest memo lost updates"
+    );
+    // Every thread observed the same digest for every key (no torn or
+    // divergent memo state).
+    for other in &digests[1..] {
+        assert_eq!(&digests[0], other, "threads disagree on memoized digests");
+    }
+
+    // Phase B: hammering the *same* keys again must be free — the
+    // digests are memoized, so the counter barely moves.
+    let before = sha1_compressions();
+    thread::scope(|s| {
+        for _ in 0..4 {
+            let keys = &keys;
+            s.spawn(move || {
+                for k in keys {
+                    let _ = k.hash();
+                }
+            });
+        }
+    });
+    let delta_b = sha1_compressions() - before;
+    assert!(
+        delta_b < POLLUTION_MARGIN,
+        "re-hashing memoized keys cost {delta_b} compressions — memo not consulted"
+    );
+
+    // Phase C: 4 threads hash disjoint fresh key sets. The counter
+    // must observe every single compression exactly once — a lost
+    // increment shows as < 4m, double counting as ~8m.
+    let m = 5_000usize;
+    let before = sha1_compressions();
+    thread::scope(|s| {
+        for t in 0..4 {
+            s.spawn(move || {
+                for i in 0..m {
+                    let _ = DhtKey::from(format!("atomic:{t}:{i}")).hash();
+                }
+            });
+        }
+    });
+    let delta_c = sha1_compressions() - before;
+    assert!(
+        delta_c >= (4 * m) as u64,
+        "counter lost increments under contention: {delta_c} < {}",
+        4 * m
+    );
+    assert!(
+        delta_c < (4 * m) as u64 + POLLUTION_MARGIN,
+        "counter double-counted under contention: {delta_c} for {} hashes",
+        4 * m
+    );
+}
+
+#[test]
+fn naming_cache_stays_consistent_under_thread_hammer() {
+    // 64 distinct labels, capacity ample: the only misses allowed are
+    // the 64 first-touches, however 4 threads interleave. Resolution
+    // correctness is checked against from-scratch rendering on every
+    // single call.
+    let labels: Vec<Label> = (0..64u32)
+        .map(|i| format!("#0{i:06b}").parse().unwrap())
+        .collect();
+    let expected: Vec<DhtKey> = labels.iter().map(|l| l.dht_key()).collect();
+    let cache = NamingCache::new(1024);
+    let rounds = 2_000usize;
+    thread::scope(|s| {
+        for t in 0..4usize {
+            let (cache, labels, expected) = (&cache, &labels, &expected);
+            s.spawn(move || {
+                for r in 0..rounds {
+                    // Different traversal order per thread, so the LRU
+                    // recency updates genuinely contend.
+                    let i = (r * (t + 1) + t) % labels.len();
+                    assert_eq!(
+                        cache.resolve(&labels[i]),
+                        expected[i],
+                        "thread {t} got a wrong resolution for {}",
+                        labels[i]
+                    );
+                }
+            });
+        }
+    });
+    let st = cache.stats();
+    assert_eq!(
+        st.hits + st.misses,
+        (4 * rounds) as u64,
+        "resolutions lost or double-counted under contention"
+    );
+    assert_eq!(
+        st.misses,
+        labels.len() as u64,
+        "a label was re-hashed after first touch — the cache lost an update"
+    );
+    assert_eq!(st.len, labels.len() as u64);
+    assert_eq!(st.evictions, 0, "nothing may be evicted below capacity");
+}
+
+#[test]
+fn naming_cache_eviction_accounting_survives_contention() {
+    // Over-capacity hammer: evictions must balance the books exactly
+    // (misses - evictions = live entries) and the LRU structures must
+    // never desynchronize, whatever order 4 threads interleave in.
+    let labels: Vec<Label> = (0..256u32)
+        .map(|i| format!("#0{i:08b}").parse().unwrap())
+        .collect();
+    let cache = NamingCache::new(32);
+    thread::scope(|s| {
+        for t in 0..4usize {
+            let (cache, labels) = (&cache, &labels);
+            s.spawn(move || {
+                for r in 0..2_000usize {
+                    let i = (r * 7 + t * 61) % labels.len();
+                    let got = cache.resolve(&labels[i]);
+                    assert_eq!(got, labels[i].dht_key());
+                }
+            });
+        }
+    });
+    let st = cache.stats();
+    assert_eq!(st.hits + st.misses, 8_000);
+    assert_eq!(st.len, 32, "cache must sit exactly at capacity");
+    assert_eq!(
+        st.misses - st.evictions,
+        st.len,
+        "eviction accounting drifted under contention"
+    );
+}
