@@ -9,7 +9,7 @@
 //! cargo run --release -p lht-bench --bin exp_audit_soak -- \
 //!     [--substrate direct|chord|both] [--index lht|pht|dst|rst] [--seed N] \
 //!     [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N] \
-//!     [--drop P] [--net-seed N] [--mloss P] [--cache N]
+//!     [--drop P] [--net-seed N] [--mloss P] [--cache N] [--quorum N,R,W]
 //! ```
 //!
 //! Exits non-zero on the first divergence or invariant violation,
@@ -36,6 +36,7 @@ struct SoakArgs {
     net_seed: u64,
     maintenance_loss: f64,
     route_cache: Option<usize>,
+    quorum: Option<(usize, usize, usize)>,
 }
 
 impl Default for SoakArgs {
@@ -54,6 +55,7 @@ impl Default for SoakArgs {
             net_seed: 1,
             maintenance_loss: 0.0,
             route_cache: None,
+            quorum: None,
         }
     }
 }
@@ -65,7 +67,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: exp_audit_soak [--substrate direct|chord|both] [--index lht|pht|dst|rst] \
          [--seed N] [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N] \
-         [--drop P] [--net-seed N] [--mloss P] [--cache N]"
+         [--drop P] [--net-seed N] [--mloss P] [--cache N] [--quorum N,R,W]"
     );
     eprintln!("  --substrate  which DHT to soak (default both)");
     eprintln!("  --index      which index scheme is primary (default lht)");
@@ -79,6 +81,9 @@ fn usage(err: &str) -> ! {
     eprintln!("  --net-seed N fault-layer seed (default 1)");
     eprintln!("  --mloss P    chord maintenance-RPC loss probability (default 0)");
     eprintln!("  --cache N    wrap the chord stack in a location cache of capacity N");
+    eprintln!(
+        "  --quorum N,R,W  replicate via a strict-quorum tier over chord (lht only, R+W > N)"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -121,6 +126,17 @@ fn parse_args() -> SoakArgs {
             "--net-seed" => args.net_seed = num(&mut it, "--net-seed"),
             "--mloss" => args.maintenance_loss = prob(&mut it, "--mloss"),
             "--cache" => args.route_cache = Some(num(&mut it, "--cache") as usize),
+            "--quorum" => {
+                let spec = it.next().unwrap_or_else(|| usage("--quorum needs N,R,W"));
+                let parts: Option<Vec<usize>> =
+                    spec.split(',').map(|s| s.trim().parse().ok()).collect();
+                match parts.as_deref() {
+                    Some([n, r, w]) if r + w > *n && *r >= 1 && *w >= 1 && r.max(w) <= n => {
+                        args.quorum = Some((*n, *r, *w));
+                    }
+                    _ => usage("--quorum needs N,R,W with 1 <= R,W <= N and R+W > N"),
+                }
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -180,6 +196,7 @@ fn main() {
             net,
             maintenance_loss: args.maintenance_loss,
             route_cache: args.route_cache,
+            quorum: args.quorum,
             audit_every: (args.ops / 10).max(1),
             ..SoakOptions::default()
         };

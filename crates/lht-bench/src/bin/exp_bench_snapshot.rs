@@ -13,7 +13,10 @@
 //!   range workload (the location cache's headline numbers),
 //! * real checked throughput of the threaded mailbox runtime under
 //!   4 concurrent client threads (E19 — the run only counts if its
-//!   merged wall-clock history passes the linearizability checker).
+//!   merged wall-clock history passes the linearizability checker),
+//! * availability of the `{n=3, r=2, w=2}` quorum tier at 20% drop +
+//!   churn (E20 — asserted strictly above the primary-owner baseline
+//!   measured in the same run).
 //!
 //! ```sh
 //! cargo run --release -p lht-bench --bin exp_bench_snapshot -- \
@@ -23,8 +26,9 @@
 //! `--check` re-measures and compares against the committed
 //! `BENCH_lht.json`: the run fails if `chord_hops_per_lookup` or
 //! `cached_hops_per_lookup` regressed by more than 15%, or if
-//! `threaded_ops_per_sec` — where *lower* is worse — fell more than
-//! 15% below the committed number.
+//! `threaded_ops_per_sec` or `quorum_availability_at_20pct_drop` —
+//! where *lower* is worse — fell more than 15% below the committed
+//! number.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,7 +37,7 @@ use lht::{
     ChordDht, Dht, DirectDht, KeyFraction, KeyInterval, Label, LeafBucket, LhtConfig, LhtIndex,
     NamingCache,
 };
-use lht_bench::experiments::{route_cache, threaded};
+use lht_bench::experiments::{quorum, route_cache, threaded};
 use lht_id::{sha1, sha1_compressions};
 use lht_sim::checker::Outcome;
 
@@ -195,6 +199,22 @@ fn threaded_throughput(args: &Args) -> f64 {
     best
 }
 
+/// E20 headline: availability of the `{n=3, r=2, w=2}` quorum tier at
+/// the harshest sweep cell (20% drop + churn), asserted strictly above
+/// the primary-owner baseline measured under the identical fault and
+/// workload schedule — the replication tier must actually buy
+/// availability, not just bandwidth.
+fn quorum_availability(args: &Args) -> f64 {
+    let ops = if args.smoke { 800 } else { 2_000 };
+    let (quorum, primary) = quorum::headline(ops, 16, args.seed);
+    assert!(
+        quorum > primary,
+        "quorum(3,2,2) availability {quorum:.4} must be strictly above \
+         the primary-owner baseline {primary:.4} at 20% drop + churn"
+    );
+    quorum
+}
+
 /// Reads one numeric field out of the committed `BENCH_lht.json`.
 /// The file is written by this binary line-by-line, so a plain string
 /// scan is exact (the vendored serde shim has no JSON parser).
@@ -214,6 +234,7 @@ fn check_regressions(
     fresh_chord: f64,
     fresh_cached: f64,
     fresh_threaded: f64,
+    fresh_quorum: f64,
 ) -> Result<(), String> {
     let json = std::fs::read_to_string("BENCH_lht.json")
         .map_err(|e| format!("cannot read committed BENCH_lht.json: {e}"))?;
@@ -239,6 +260,15 @@ fn check_regressions(
         ));
     }
     eprintln!("check {field}: {fresh_threaded:.0} vs committed {committed:.0} — ok");
+    let field = "quorum_availability_at_20pct_drop";
+    let committed = committed_field(&json, field)
+        .ok_or_else(|| format!("committed BENCH_lht.json lacks {field:?}"))?;
+    if fresh_quorum < committed / 1.15 {
+        return Err(format!(
+            "{field} regressed: {fresh_quorum:.4} measured vs {committed:.4} committed (> 15% lower)"
+        ));
+    }
+    eprintln!("check {field}: {fresh_quorum:.4} vs committed {committed:.4} — ok");
     Ok(())
 }
 
@@ -258,9 +288,12 @@ fn main() {
     let (cached_hops, route_hit_rate) = route_cache::headline(args.keys, route_queries, args.seed);
     eprintln!("measuring threaded runtime throughput (4 clients, checked)…");
     let threaded_ops = threaded_throughput(&args);
+    eprintln!("measuring quorum availability at 20% drop + churn…");
+    let quorum_avail = quorum_availability(&args);
 
     if args.check {
-        if let Err(e) = check_regressions(hops_per_lookup, cached_hops, threaded_ops) {
+        if let Err(e) = check_regressions(hops_per_lookup, cached_hops, threaded_ops, quorum_avail)
+        {
             eprintln!("regression check failed: {e}");
             std::process::exit(1);
         }
@@ -289,7 +322,11 @@ fn main() {
     let _ = writeln!(json, "  \"naming_cache_sha1_saving_x\": {saving:.1},");
     let _ = writeln!(json, "  \"cached_hops_per_lookup\": {cached_hops:.3},");
     let _ = writeln!(json, "  \"route_cache_hit_rate\": {route_hit_rate:.4},");
-    let _ = writeln!(json, "  \"threaded_ops_per_sec\": {threaded_ops:.0}");
+    let _ = writeln!(json, "  \"threaded_ops_per_sec\": {threaded_ops:.0},");
+    let _ = writeln!(
+        json,
+        "  \"quorum_availability_at_20pct_drop\": {quorum_avail:.4}"
+    );
     json.push_str("}\n");
 
     print!("{json}");

@@ -1,0 +1,171 @@
+//! E20: quorum replication tier — availability and staleness vs
+//! maintenance bandwidth, across `{n, r, w}` × drop rate × churn.
+//!
+//! Cell mechanics live in [`lht_bench::experiments::quorum`]: each
+//! cell drives a mixed put/get/remove workload through
+//! `QuorumDht<FaultyDht<ChordDht>>`, with the fault layer *below* the
+//! quorum so a drop costs one replica contact, not the whole logical
+//! op. The `{n=1, r=1, w=1}` rows are the primary-owner baseline (one
+//! copy, same code path, zero replication bandwidth) every other
+//! config is judged against. The `repair_*` columns price the
+//! anti-entropy sweep — the bandwidth side of the curve.
+//!
+//! ```sh
+//! cargo run --release -p lht-bench --bin exp_quorum -- \
+//!     [--smoke] [--ops N] [--nodes N] [--seed N]
+//! ```
+//!
+//! The full run persists `results/e20_quorum.csv`; the headline
+//! (quorum availability vs the primary baseline at 20% drop + churn)
+//! prints either way — and the run *fails* if the tier does not beat
+//! the baseline there — matching the `exp_bench_snapshot` guard.
+
+use std::collections::HashMap;
+
+use lht_bench::experiments::quorum;
+use lht_bench::{write_csv, Table};
+
+struct QuorumArgs {
+    smoke: bool,
+    ops: usize,
+    nodes: usize,
+    seed: u64,
+}
+
+impl Default for QuorumArgs {
+    fn default() -> Self {
+        QuorumArgs {
+            smoke: false,
+            ops: 4_000,
+            nodes: 16,
+            seed: 7,
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: exp_quorum [--smoke] [--ops N] [--nodes N] [--seed N]");
+    eprintln!("  --smoke    shrunk grid (CI): 2 configs, 2 drop rates, no CSV");
+    eprintln!("  --ops N    logical ops per cell (default 4000)");
+    eprintln!("  --nodes N  chord ring size (default 16)");
+    eprintln!("  --seed N   base seed for ring, loss and workload (default 7)");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_args() -> QuorumArgs {
+    let mut args = QuorumArgs::default();
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("{what} needs an unsigned integer")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--ops" => args.ops = (num(&mut it, "--ops") as usize).max(64),
+            "--nodes" => args.nodes = (num(&mut it, "--nodes") as usize).max(4),
+            "--seed" => args.seed = num(&mut it, "--seed"),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if args.smoke {
+        args.ops = args.ops.min(800);
+        args.nodes = args.nodes.min(12);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let configs: &[(usize, usize, usize)] = if args.smoke {
+        &[(1, 1, 1), (3, 2, 2)]
+    } else {
+        &[(1, 1, 1), (3, 1, 3), (3, 2, 2), (5, 3, 3)]
+    };
+    let drop_rates: &[f64] = if args.smoke {
+        &[0.0, 0.20]
+    } else {
+        &[0.0, 0.10, 0.20]
+    };
+
+    let mut t = Table::new(
+        format!(
+            "E20 quorum tier — {} ops/cell, {} nodes, seed {} (baseline = primary owner n1r1w1)",
+            args.ops, args.nodes, args.seed
+        ),
+        &[
+            "n",
+            "r",
+            "w",
+            "drop%",
+            "churn",
+            "ops",
+            "ok",
+            "avail%",
+            "stale%",
+            "hops/op",
+            "repair_xfers",
+            "repair_bw",
+            "drops",
+        ],
+    );
+
+    // The acceptance headline: quorum vs primary availability at the
+    // harshest cell (20% drop + churn).
+    let mut headline: HashMap<(usize, usize, usize), f64> = HashMap::new();
+
+    for &(n, r, w) in configs {
+        for &rate in drop_rates {
+            for churn in [false, true] {
+                eprintln!("cell n={n} r={r} w={w} drop={rate} churn={churn}…");
+                let cell =
+                    quorum::run_cell((n, r, w), rate, churn, args.ops, args.nodes, args.seed);
+                if (rate - 0.20).abs() < f64::EPSILON && churn {
+                    headline.insert((n, r, w), cell.availability());
+                }
+                t.push_row(vec![
+                    n.to_string(),
+                    r.to_string(),
+                    w.to_string(),
+                    format!("{:.0}", rate * 100.0),
+                    if churn { "yes" } else { "no" }.to_string(),
+                    cell.attempted.to_string(),
+                    cell.ok.to_string(),
+                    format!("{:.2}", cell.availability() * 100.0),
+                    format!("{:.2}", cell.staleness() * 100.0),
+                    format!("{:.2}", cell.stats.hops_per_lookup()),
+                    cell.stats.repair_transfers.to_string(),
+                    cell.stats.repair_bandwidth.to_string(),
+                    cell.stats.drops.to_string(),
+                ]);
+            }
+        }
+    }
+
+    print!("{}", t.render());
+    let primary = headline.get(&(1, 1, 1)).copied().unwrap_or(0.0);
+    let quorum322 = headline.get(&(3, 2, 2)).copied().unwrap_or(0.0);
+    println!(
+        "headline: availability at 20% drop + churn — quorum(3,2,2) {:.2}% vs primary {:.2}%",
+        quorum322 * 100.0,
+        primary * 100.0
+    );
+    if quorum322 <= primary {
+        eprintln!("FAIL: quorum(3,2,2) availability must be strictly above the primary baseline");
+        std::process::exit(1);
+    }
+    if !args.smoke {
+        match write_csv(&t, "e20_quorum") {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write CSV: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

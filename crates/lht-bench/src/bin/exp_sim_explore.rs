@@ -61,8 +61,9 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: exp_sim_explore [--seed N] [--explore N] [--budget-secs S] \
          [--clients N] [--ops N] [--nodes N] [--churn N] [--replicas N] \
-         [--drop P] [--theta N] [--depth N] [--stale-replica] \
-         [--torn-split N] [--stale-cache-read] [--schedule a,b,c] \
+         [--drop P] [--theta N] [--depth N] [--quorum N,R,W] \
+         [--stale-replica] [--torn-split N] [--stale-cache-read] \
+         [--sloppy-quorum-read] [--lost-write-ack] [--schedule a,b,c] \
          [--expect-violation] [--trace]"
     );
     eprintln!("  --seed N           first (or only) simulation seed (default 1)");
@@ -76,9 +77,12 @@ fn usage(err: &str) -> ! {
     eprintln!("  --drop P           per-RPC drop probability (default 0 = strict mode)");
     eprintln!("  --theta N          leaf-split threshold (default 4)");
     eprintln!("  --depth N          max tree depth (default 24)");
+    eprintln!("  --quorum N,R,W     run the quorum-replicated stack with these parameters");
     eprintln!("  --stale-replica    arm the stale-replica mutant");
     eprintln!("  --torn-split N     arm the torn-split mutant at the N-th split");
     eprintln!("  --stale-cache-read arm the stale-cache-read mutant (unverified probes)");
+    eprintln!("  --sloppy-quorum-read arm the sloppy-quorum-read mutant (implies --quorum 3,2,2)");
+    eprintln!("  --lost-write-ack   arm the lost-write-ack mutant (implies --quorum 3,2,2)");
     eprintln!("  --schedule a,b,c   replay this exact actor schedule (single seed)");
     eprintln!("  --expect-violation exit 0 iff a violation is found (mutant proof)");
     eprintln!("  --trace            print the full schedule trace of each run");
@@ -112,9 +116,22 @@ fn parse_args() -> Args {
             }
             "--theta" => args.cfg.theta_split = (num(&mut it, "--theta") as usize).max(2),
             "--depth" => args.cfg.max_depth = (num(&mut it, "--depth") as usize).clamp(2, 64),
+            "--quorum" => {
+                let spec = it.next().unwrap_or_else(|| usage("--quorum needs N,R,W"));
+                let parts: Option<Vec<usize>> =
+                    spec.split(',').map(|s| s.trim().parse().ok()).collect();
+                match parts.as_deref() {
+                    Some([n, r, w]) if r + w > *n && *r >= 1 && *w >= 1 && r.max(w) <= n => {
+                        args.cfg.quorum = Some((*n, *r, *w));
+                    }
+                    _ => usage("--quorum needs N,R,W with 1 <= R,W <= N and R+W > N"),
+                }
+            }
             "--stale-replica" => args.cfg.stale_replica = true,
             "--torn-split" => args.cfg.torn_split = Some(num(&mut it, "--torn-split").max(1)),
             "--stale-cache-read" => args.cfg.stale_cache_read = true,
+            "--sloppy-quorum-read" => args.cfg.sloppy_quorum_read = true,
+            "--lost-write-ack" => args.cfg.lost_write_ack = true,
             "--schedule" => {
                 let csv = it
                     .next()

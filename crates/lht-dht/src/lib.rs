@@ -56,6 +56,7 @@ mod direct;
 mod error;
 mod fault;
 mod key;
+mod quorum;
 mod retry;
 mod stats;
 mod threaded;
@@ -67,6 +68,7 @@ pub use direct::DirectDht;
 pub use error::DhtError;
 pub use fault::{Brownout, FaultyDht, LatencyProfile, NetProfile};
 pub use key::DhtKey;
+pub use quorum::{slot_key, split_slot_key, QuorumConfig, QuorumDht, Versioned};
 pub use retry::{Backoffs, RetriedDht, RetryPolicy};
 pub use stats::{DhtOp, DhtStats, LatencyHistogram};
 pub use threaded::{ThreadedConfig, ThreadedDht};

@@ -265,6 +265,16 @@ pub struct DhtStats {
     /// exceeding what an uncached twin pays — even on substrates like
     /// Kademlia where writes route far more expensively than reads.
     pub hops_saved: u64,
+    /// Replica-slot writes performed by a replication layer's repair
+    /// machinery — read-repair of a stale slot, a deferred-handoff
+    /// flush, or an anti-entropy sync — as opposed to the synchronous
+    /// write-quorum writes charged to the logical op itself.
+    pub repair_transfers: u64,
+    /// Routing hops spent on those repair writes. Kept out of `hops`
+    /// so `hops_per_lookup` prices the request path alone and the
+    /// maintenance cost of a replication policy is separately
+    /// chartable (E20's bandwidth axis).
+    pub repair_bandwidth: u64,
     /// Log₂ histogram of per-attempt RPC waits, for p50/p99.
     pub latency_hist: LatencyHistogram,
 }
@@ -354,6 +364,16 @@ impl DhtStats {
         self.latency_ms += backoff_ms;
     }
 
+    /// Records one replica-slot repair write (read-repair, handoff
+    /// flush or anti-entropy sync) that cost `hops` routing hops.
+    /// Repair traffic never counts a DHT-lookup and its hops go to
+    /// `repair_bandwidth`, not `hops` — maintenance cost must not
+    /// dilute the request-path `hops_per_lookup` metric.
+    pub fn record_repair(&mut self, hops: u64) {
+        self.repair_transfers += 1;
+        self.repair_bandwidth += hops;
+    }
+
     /// Total DHT-lookups: every *logical* operation routes once.
     /// Failed/retried delivery attempts are excluded by construction
     /// (see the choke-point invariant above).
@@ -414,6 +434,11 @@ impl DhtStats {
     ///   cache is outermost and consults at most once per logical op.
     /// - `latency_hist.samples() >= drops + timeouts` — every dropped
     ///   or timed-out attempt waited, and every wait is histogrammed.
+    /// - `repair_transfers == 0 ⇒ repair_bandwidth == 0` — repair
+    ///   hops can only be charged by a recorded repair transfer. (A
+    ///   transfer *may* cost zero hops — the one-hop substrates route
+    ///   for free once the owner is known — so the converse bound
+    ///   would be wrong.)
     ///
     /// Harnesses assert this after every soak; layered stats (which
     /// add an inner snapshot to an outer delta) satisfy it whenever
@@ -461,6 +486,13 @@ impl DhtStats {
                 self.timeouts
             ));
         }
+        if self.repair_transfers == 0 && self.repair_bandwidth > 0 {
+            return Err(format!(
+                "repair_bandwidth ({}) charged with zero repair_transfers: \
+                 repair hops minted outside a recorded repair",
+                self.repair_bandwidth
+            ));
+        }
         Ok(())
     }
 
@@ -498,6 +530,8 @@ impl Sub for DhtStats {
             cache_misses: self.cache_misses - rhs.cache_misses,
             cache_stale: self.cache_stale - rhs.cache_stale,
             hops_saved: self.hops_saved - rhs.hops_saved,
+            repair_transfers: self.repair_transfers - rhs.repair_transfers,
+            repair_bandwidth: self.repair_bandwidth - rhs.repair_bandwidth,
             latency_hist: self.latency_hist - rhs.latency_hist,
         }
     }
@@ -526,6 +560,8 @@ impl Add for DhtStats {
             cache_misses: self.cache_misses + rhs.cache_misses,
             cache_stale: self.cache_stale + rhs.cache_stale,
             hops_saved: self.hops_saved + rhs.hops_saved,
+            repair_transfers: self.repair_transfers + rhs.repair_transfers,
+            repair_bandwidth: self.repair_bandwidth + rhs.repair_bandwidth,
             latency_hist: self.latency_hist + rhs.latency_hist,
         }
     }
@@ -777,6 +813,8 @@ mod tests {
             cache_misses: 6,
             cache_stale: 4,
             hops_saved: 28,
+            repair_transfers: 9,
+            repair_bandwidth: 21,
             latency_hist: LatencyHistogram::default(),
         };
         let b = DhtStats {
@@ -798,6 +836,8 @@ mod tests {
             cache_misses: 2,
             cache_stale: 1,
             hops_saved: 10,
+            repair_transfers: 3,
+            repair_bandwidth: 6,
             latency_hist: LatencyHistogram::default(),
         };
         let d = a - b;
@@ -819,6 +859,8 @@ mod tests {
         assert_eq!(d.cache_misses, 4);
         assert_eq!(d.cache_stale, 3);
         assert_eq!(d.hops_saved, 18);
+        assert_eq!(d.repair_transfers, 6);
+        assert_eq!(d.repair_bandwidth, 15);
         assert_eq!(a, b + d, "addition inverts subtraction");
     }
 
@@ -906,5 +948,24 @@ mod tests {
             .check_invariants()
             .unwrap_err()
             .contains("histogram"));
+
+        let mut phantom_repair = healthy;
+        phantom_repair.repair_bandwidth = 5;
+        assert!(phantom_repair
+            .check_invariants()
+            .unwrap_err()
+            .contains("repair_bandwidth"));
+    }
+
+    #[test]
+    fn record_repair_never_counts_lookups_or_request_hops() {
+        let mut s = DhtStats::default();
+        s.record_repair(3);
+        s.record_repair(0); // one-hop substrates can repair for free
+        assert_eq!(s.lookups(), 0, "repair must not enter the denominator");
+        assert_eq!(s.hops, 0, "repair hops must not dilute request hops");
+        assert_eq!(s.repair_transfers, 2);
+        assert_eq!(s.repair_bandwidth, 3);
+        s.check_invariants().unwrap();
     }
 }

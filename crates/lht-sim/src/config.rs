@@ -46,6 +46,27 @@ pub struct SimConfig {
     /// cached owner hint that churn has invalidated serves stale
     /// data instead of degrading to a full route.
     pub stale_cache_read: bool,
+    /// Replication parameters `(n, r, w)` for the quorum layer. When
+    /// set, the stack becomes
+    /// `CachedDht<RetriedDht<FaultyDht<QuorumDht<ChordDht>>>>`, the
+    /// ring runs with a single copy per slot (the quorum layer owns
+    /// redundancy) and the key-sync actor is replaced by the quorum's
+    /// anti-entropy rounds. `None` keeps the historical plain stack
+    /// and its traces byte-identical.
+    pub quorum: Option<(usize, usize, usize)>,
+    /// Arms the sloppy-quorum-read bug: quorum reads answer from the
+    /// first successful replica without seq reconciliation, so a
+    /// rotated read serves a deferred slot's stale version. Implies a
+    /// quorum stack (defaulted to `(3, 2, 2)` when [`quorum`] is
+    /// unset).
+    ///
+    /// [`quorum`]: SimConfig::quorum
+    pub sloppy_quorum_read: bool,
+    /// Arms the lost-write-ack bug: a quorum write acks after only
+    /// `w − 1` replica installs and forgets the handoffs, so some
+    /// read quorums miss a completed write entirely. Implies a quorum
+    /// stack like `sloppy_quorum_read`.
+    pub lost_write_ack: bool,
     /// State budget for the linearizability search; exceeding it
     /// yields [`SimVerdict::Undecided`](crate::SimVerdict).
     pub check_budget: u64,
@@ -66,6 +87,9 @@ impl Default for SimConfig {
             stale_replica: false,
             torn_split: None,
             stale_cache_read: false,
+            quorum: None,
+            sloppy_quorum_read: false,
+            lost_write_ack: false,
             check_budget: 2_000_000,
         }
     }
@@ -87,6 +111,18 @@ impl SimConfig {
     /// Whether the checker runs in strict (fault-free) mode.
     pub fn strict(&self) -> bool {
         self.drop_prob == 0.0
+    }
+
+    /// The effective quorum parameters, if any: the explicit setting,
+    /// or `(3, 2, 2)` when only a quorum mutant is armed.
+    pub fn quorum_params(&self) -> Option<(usize, usize, usize)> {
+        if self.quorum.is_some() {
+            self.quorum
+        } else if self.sloppy_quorum_read || self.lost_write_ack {
+            Some((3, 2, 2))
+        } else {
+            None
+        }
     }
 
     /// The `exp_sim_explore` argument list reproducing this
@@ -114,6 +150,15 @@ impl SimConfig {
         }
         if self.stale_cache_read {
             s.push_str(" --stale-cache-read");
+        }
+        if let Some((n, r, w)) = self.quorum {
+            let _ = write!(s, " --quorum {n},{r},{w}");
+        }
+        if self.sloppy_quorum_read {
+            s.push_str(" --sloppy-quorum-read");
+        }
+        if self.lost_write_ack {
+            s.push_str(" --lost-write-ack");
         }
         s
     }

@@ -28,7 +28,7 @@ use rand::{Rng, SeedableRng};
 use lht_core::{HistoryLog, KeyInterval, LeafBucket, LhtConfig, LhtIndex};
 use lht_dht::{
     CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtError, DhtKey, FaultyDht, NetProfile,
-    Probe, RetriedDht, RetryPolicy,
+    Probe, QuorumConfig, QuorumDht, RetriedDht, RetryPolicy, Versioned,
 };
 use lht_id::{KeyFraction, U160};
 
@@ -124,6 +124,190 @@ impl<D: Dht> Dht for SharedDht<D> {
 
 type Ring = ChordDht<LeafBucket<u32>>;
 type Stack = CachedDht<RetriedDht<FaultyDht<SharedDht<Ring>>>>;
+type QRing = ChordDht<Versioned<LeafBucket<u32>>>;
+type QuorumLayer = QuorumDht<SharedDht<QRing>>;
+type QStack = CachedDht<RetriedDht<FaultyDht<SharedDht<QuorumLayer>>>>;
+
+/// The maintenance half of a built world: the ring the stabilize and
+/// churn actors drive, plus — in quorum mode — the replication layer
+/// whose anti-entropy rounds replace the ring's ad-hoc key-sync.
+enum Maint {
+    /// Historical primary-owner stack: the ring replicates keys
+    /// itself and a key-sync actor reconciles the copies.
+    Plain {
+        /// The shared Chord ring.
+        ring: Arc<Ring>,
+    },
+    /// Quorum stack: the ring stores single-copy versioned slots and
+    /// the quorum layer owns redundancy; the key-sync slot in the
+    /// actor table runs anti-entropy instead, so the actor count (and
+    /// therefore every plain-mode schedule trace) is unchanged.
+    Quorum {
+        /// The shared single-copy Chord ring under the quorum layer.
+        ring: Arc<QRing>,
+        /// The replication layer driven by the anti-entropy actor.
+        quorum: Arc<QuorumLayer>,
+    },
+}
+
+impl Maint {
+    fn stabilize_step(&self) {
+        match self {
+            Maint::Plain { ring } => ring.stabilize_step(),
+            Maint::Quorum { ring, .. } => ring.stabilize_step(),
+        }
+    }
+
+    /// One replica-reconciliation round: Chord key-sync in plain
+    /// mode, a quorum anti-entropy step in quorum mode. Returns the
+    /// trace description (deterministic for equal configurations).
+    fn sync_step(&self) -> String {
+        match self {
+            Maint::Plain { ring } => {
+                ring.key_sync_step();
+                "round".to_string()
+            }
+            Maint::Quorum { quorum, .. } => {
+                let writes = quorum.anti_entropy_step();
+                format!("round writes={writes}")
+            }
+        }
+    }
+
+    fn sync_name(&self) -> &'static str {
+        match self {
+            Maint::Plain { .. } => "key-sync",
+            Maint::Quorum { .. } => "anti-entropy",
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            Maint::Plain { ring } => ring.node_count(),
+            Maint::Quorum { ring, .. } => ring.node_count(),
+        }
+    }
+
+    fn node_ids(&self) -> Vec<U160> {
+        match self {
+            Maint::Plain { ring } => ring.snapshot().node_ids,
+            Maint::Quorum { ring, .. } => ring.snapshot().node_ids,
+        }
+    }
+
+    fn leave(&self, id: &U160) -> bool {
+        match self {
+            Maint::Plain { ring } => ring.leave(id),
+            Maint::Quorum { ring, .. } => ring.leave(id),
+        }
+    }
+
+    fn join(&self, name: &str) -> Option<U160> {
+        match self {
+            Maint::Plain { ring } => ring.join(name),
+            Maint::Quorum { ring, .. } => ring.join(name),
+        }
+    }
+}
+
+/// A stack type the scheduler can build a world over: the plain
+/// primary-owner [`Stack`] or the quorum-replicated [`QStack`].
+trait StackBuild: Dht<Value = LeafBucket<u32>> + Sized {
+    /// Builds the index substrate plus the maintenance handles for
+    /// `cfg`, arming whichever mutants the configuration requests.
+    fn build(cfg: &SimConfig) -> (Self, Maint);
+}
+
+impl StackBuild for Stack {
+    fn build(cfg: &SimConfig) -> (Stack, Maint) {
+        let ring = Arc::new(Ring::with_config(
+            cfg.nodes,
+            cfg.seed ^ 0x5EED_0001,
+            ChordConfig {
+                replicas: cfg.replicas,
+                ..ChordConfig::default()
+            },
+        ));
+        if cfg.stale_replica {
+            ring.arm_stale_replica_mutant();
+        }
+        if cfg.stale_cache_read {
+            ring.arm_stale_cache_mutant();
+        }
+        let stack = CachedDht::new(
+            RetriedDht::new(
+                FaultyDht::new(SharedDht(Arc::clone(&ring)), net_profile(cfg)),
+                retry_policy(cfg),
+            ),
+            cache_config(cfg),
+        );
+        (stack, Maint::Plain { ring })
+    }
+}
+
+impl StackBuild for QStack {
+    fn build(cfg: &SimConfig) -> (QStack, Maint) {
+        let (n, r, w) = cfg
+            .quorum_params()
+            .expect("quorum stack requires quorum parameters");
+        // The quorum layer owns redundancy, so the ring runs
+        // single-copy; its key-sync would have nothing to reconcile.
+        let ring = Arc::new(QRing::with_config(
+            cfg.nodes,
+            cfg.seed ^ 0x5EED_0001,
+            ChordConfig {
+                replicas: 1,
+                ..ChordConfig::default()
+            },
+        ));
+        if cfg.stale_replica {
+            ring.arm_stale_replica_mutant();
+        }
+        if cfg.stale_cache_read {
+            ring.arm_stale_cache_mutant();
+        }
+        let quorum = Arc::new(QuorumDht::new(
+            SharedDht(Arc::clone(&ring)),
+            QuorumConfig::new(n, r, w),
+        ));
+        if cfg.sloppy_quorum_read {
+            quorum.arm_sloppy_read_mutant();
+        }
+        if cfg.lost_write_ack {
+            quorum.arm_lost_write_ack_mutant();
+        }
+        let stack = CachedDht::new(
+            RetriedDht::new(
+                FaultyDht::new(SharedDht(Arc::clone(&quorum)), net_profile(cfg)),
+                retry_policy(cfg),
+            ),
+            cache_config(cfg),
+        );
+        (stack, Maint::Quorum { ring, quorum })
+    }
+}
+
+fn net_profile(cfg: &SimConfig) -> NetProfile {
+    if cfg.drop_prob > 0.0 {
+        NetProfile::lossy(cfg.seed ^ 0x5EED_0002, cfg.drop_prob)
+    } else {
+        NetProfile::reliable(cfg.seed ^ 0x5EED_0002)
+    }
+}
+
+fn retry_policy(cfg: &SimConfig) -> RetryPolicy {
+    RetryPolicy {
+        seed: cfg.seed ^ 0x5EED_0003,
+        ..RetryPolicy::default()
+    }
+}
+
+fn cache_config(cfg: &SimConfig) -> CacheConfig {
+    CacheConfig {
+        capacity: CACHE_CAPACITY,
+        seed: cfg.seed ^ 0x5EED_0005,
+    }
+}
 
 /// Location-cache capacity for the simulated index stack. Small
 /// enough that eviction actually happens inside a run, large enough
@@ -188,9 +372,9 @@ enum Chooser {
     Scripted { picks: Vec<u32>, at: usize },
 }
 
-struct World {
-    ring: Arc<Ring>,
-    index: LhtIndex<Stack, u32>,
+struct World<S: StackBuild> {
+    maint: Maint,
+    index: LhtIndex<S, u32>,
     log: Arc<HistoryLog<u32>>,
     plans: Vec<ClientPlan>,
     churn_rng: StdRng,
@@ -202,40 +386,9 @@ struct World {
     schedule: Vec<u32>,
 }
 
-impl World {
-    fn build(cfg: &SimConfig) -> World {
-        let ring = Arc::new(Ring::with_config(
-            cfg.nodes,
-            cfg.seed ^ 0x5EED_0001,
-            ChordConfig {
-                replicas: cfg.replicas,
-                ..ChordConfig::default()
-            },
-        ));
-        if cfg.stale_replica {
-            ring.arm_stale_replica_mutant();
-        }
-        if cfg.stale_cache_read {
-            ring.arm_stale_cache_mutant();
-        }
-        let profile = if cfg.drop_prob > 0.0 {
-            NetProfile::lossy(cfg.seed ^ 0x5EED_0002, cfg.drop_prob)
-        } else {
-            NetProfile::reliable(cfg.seed ^ 0x5EED_0002)
-        };
-        let stack = CachedDht::new(
-            RetriedDht::new(
-                FaultyDht::new(SharedDht(Arc::clone(&ring)), profile),
-                RetryPolicy {
-                    seed: cfg.seed ^ 0x5EED_0003,
-                    ..RetryPolicy::default()
-                },
-            ),
-            CacheConfig {
-                capacity: CACHE_CAPACITY,
-                seed: cfg.seed ^ 0x5EED_0005,
-            },
-        );
+impl<S: StackBuild> World<S> {
+    fn build(cfg: &SimConfig) -> World<S> {
+        let (stack, maint) = S::build(cfg);
         let index = LhtIndex::new(stack, LhtConfig::new(cfg.theta_split, cfg.max_depth))
             .expect("bootstrap on a fresh ring");
         let log = HistoryLog::new();
@@ -249,7 +402,7 @@ impl World {
         next_ready[cfg.clients as usize + 1] = KEY_SYNC_INTERVAL;
         next_ready[cfg.clients as usize + 2] = CHURN_INTERVAL;
         World {
-            ring,
+            maint,
             index,
             log,
             plans: client_plans(cfg),
@@ -286,7 +439,7 @@ impl World {
         } else if actor == c {
             "stabilize".to_string()
         } else if actor == c + 1 {
-            "key-sync".to_string()
+            self.maint.sync_name().to_string()
         } else {
             "churn".to_string()
         }
@@ -299,13 +452,13 @@ impl World {
         let desc = if actor < c {
             self.client_step(cfg, actor)
         } else if actor == c {
-            self.ring.stabilize_step();
+            self.maint.stabilize_step();
             self.next_ready[actor] = t + STABILIZE_INTERVAL;
             "round".to_string()
         } else if actor == c + 1 {
-            self.ring.key_sync_step();
+            let desc = self.maint.sync_step();
             self.next_ready[actor] = t + KEY_SYNC_INTERVAL;
-            "round".to_string()
+            desc
         } else {
             self.churn_step(cfg, actor)
         };
@@ -373,17 +526,17 @@ impl World {
     fn churn_step(&mut self, cfg: &SimConfig, actor: usize) -> String {
         self.done_ops[actor] += 1;
         self.next_ready[actor] = self.now + CHURN_INTERVAL;
-        let shrunk = self.ring.node_count() <= cfg.nodes / MIN_RING_FRACTION;
+        let shrunk = self.maint.node_count() <= cfg.nodes / MIN_RING_FRACTION;
         let leave = !shrunk && self.churn_rng.gen_bool(0.5);
         if leave {
-            let ids: Vec<U160> = self.ring.snapshot().node_ids;
+            let ids: Vec<U160> = self.maint.node_ids();
             let victim = ids[self.churn_rng.gen_range(0..ids.len())];
-            let ok = self.ring.leave(&victim);
+            let ok = self.maint.leave(&victim);
             format!("leave {victim} -> {ok}")
         } else {
             self.joined += 1;
             let name = format!("sim:{}", self.joined);
-            let id = self.ring.join(&name);
+            let id = self.maint.join(&name);
             format!("join {name} -> {:?}", id.map(|i| i.to_string()))
         }
     }
@@ -392,8 +545,8 @@ impl World {
 /// Runs the scheduler loop to completion (all client operations
 /// executed for a random chooser; schedule exhausted for a scripted
 /// one).
-fn run(cfg: &SimConfig, mut chooser: Chooser) -> World {
-    let mut world = World::build(cfg);
+fn run<S: StackBuild>(cfg: &SimConfig, mut chooser: Chooser) -> World<S> {
+    let mut world = World::<S>::build(cfg);
     loop {
         match &mut chooser {
             Chooser::Random(rng) => {
@@ -431,7 +584,7 @@ fn run(cfg: &SimConfig, mut chooser: Chooser) -> World {
     world
 }
 
-fn verdict_of(cfg: &SimConfig, world: &World) -> (SimVerdict, usize) {
+fn verdict_of<S: StackBuild>(cfg: &SimConfig, world: &World<S>) -> (SimVerdict, usize) {
     let history = world.log.snapshot();
     let result = checker::check(&history, cfg.strict(), cfg.check_budget);
     let verdict = match result.outcome {
@@ -444,7 +597,7 @@ fn verdict_of(cfg: &SimConfig, world: &World) -> (SimVerdict, usize) {
         },
         Outcome::NotLinearizable { witness } => {
             let minimized = shrink::shrink(&world.schedule, |candidate| {
-                let replayed = run(
+                let replayed = run::<S>(
                     cfg,
                     Chooser::Scripted {
                         picks: candidate.to_vec(),
@@ -471,8 +624,21 @@ fn verdict_of(cfg: &SimConfig, world: &World) -> (SimVerdict, usize) {
 /// Runs one seed-determined simulation end to end: schedule, record,
 /// check, and — on a violation — shrink the schedule and build the
 /// replay line.
+///
+/// The stack is picked by the configuration: any quorum setting (or
+/// armed quorum mutant) selects the quorum-replicated stack, whose
+/// key-sync actor slot runs anti-entropy instead; otherwise the
+/// historical plain stack runs with byte-identical traces.
 pub fn simulate(cfg: &SimConfig) -> SimReport {
-    let world = run(cfg, Chooser::Random(StdRng::seed_from_u64(cfg.seed)));
+    if cfg.quorum_params().is_some() {
+        simulate_on::<QStack>(cfg)
+    } else {
+        simulate_on::<Stack>(cfg)
+    }
+}
+
+fn simulate_on<S: StackBuild>(cfg: &SimConfig) -> SimReport {
+    let world = run::<S>(cfg, Chooser::Random(StdRng::seed_from_u64(cfg.seed)));
     // Accounting soundness rides along with every simulation: the
     // layered stack's counters must satisfy the DhtStats contract
     // regardless of which schedule the chooser explored.
@@ -497,7 +663,15 @@ pub fn simulate(cfg: &SimConfig) -> SimReport {
 /// the resulting history. The verdict's `minimized` schedule is the
 /// replayed schedule itself — replay does not re-shrink.
 pub fn replay_schedule(cfg: &SimConfig, schedule: &[u32]) -> SimReport {
-    let world = run(
+    if cfg.quorum_params().is_some() {
+        replay_on::<QStack>(cfg, schedule)
+    } else {
+        replay_on::<Stack>(cfg, schedule)
+    }
+}
+
+fn replay_on<S: StackBuild>(cfg: &SimConfig, schedule: &[u32]) -> SimReport {
+    let world = run::<S>(
         cfg,
         Chooser::Scripted {
             picks: schedule.to_vec(),
@@ -575,5 +749,57 @@ mod tests {
             "{:?}",
             report.verdict
         );
+    }
+
+    #[test]
+    fn quorum_mode_is_deterministic_and_runs_anti_entropy() {
+        let cfg = SimConfig {
+            quorum: Some((3, 2, 2)),
+            ..SimConfig::small(11)
+        };
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a.trace, b.trace, "quorum trace must be byte-identical");
+        assert_eq!(a.verdict, b.verdict);
+        assert!(
+            a.trace.contains("anti-entropy"),
+            "the key-sync actor slot must run anti-entropy in quorum mode:\n{}",
+            a.trace
+        );
+        assert!(!a.trace.contains("key-sync"));
+    }
+
+    #[test]
+    fn correct_quorum_stack_passes_under_churn() {
+        let cfg = SimConfig {
+            quorum: Some((3, 2, 2)),
+            ..SimConfig::small(3)
+        };
+        let report = simulate(&cfg);
+        assert!(
+            matches!(report.verdict, SimVerdict::Pass { .. }),
+            "{:?}\n{}",
+            report.verdict,
+            report.trace
+        );
+        assert!(report.history_len > 0);
+    }
+
+    #[test]
+    fn quorum_mutants_imply_the_quorum_stack_in_replays() {
+        let cfg = SimConfig {
+            sloppy_quorum_read: true,
+            ..SimConfig::small(1)
+        };
+        assert_eq!(cfg.quorum_params(), Some((3, 2, 2)));
+        assert!(cfg.replay_args().contains("--sloppy-quorum-read"));
+        let explicit = SimConfig {
+            quorum: Some((3, 1, 3)),
+            lost_write_ack: true,
+            ..SimConfig::small(1)
+        };
+        assert_eq!(explicit.quorum_params(), Some((3, 1, 3)));
+        assert!(explicit.replay_args().contains("--quorum 3,1,3"));
+        assert!(explicit.replay_args().contains("--lost-write-ack"));
     }
 }

@@ -10,8 +10,8 @@
 
 use lht_core::{audit, KeyInterval, LeafBucket, LhtConfig, LhtError, LhtIndex};
 use lht_dht::{
-    CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtKey, DhtStats, DirectDht, FaultyDht,
-    NetProfile, RetriedDht, RetryPolicy,
+    split_slot_key, CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtKey, DhtStats,
+    DirectDht, FaultyDht, NetProfile, QuorumConfig, QuorumDht, RetriedDht, RetryPolicy, Versioned,
 };
 use lht_dst::{DstConfig, DstIndex, DstNode};
 use lht_id::KeyFraction;
@@ -125,6 +125,13 @@ pub struct SoakOptions {
     /// this is how tests prove the harness detects re-introduced
     /// faults rather than vacuously passing.
     pub inject_loss_at: Option<usize>,
+    /// Replicate every logical key through a [`QuorumDht`] with these
+    /// `(n, r, w)` parameters (Chord substrate, LHT primary only;
+    /// ignored elsewhere). The ring then runs single-copy — the
+    /// quorum layer owns redundancy — and the repair counters land in
+    /// [`SoakReport::repair_transfers`] /
+    /// [`SoakReport::repair_bandwidth`].
+    pub quorum: Option<(usize, usize, usize)>,
 }
 
 impl Default for SoakOptions {
@@ -144,6 +151,7 @@ impl Default for SoakOptions {
             maintenance_loss: 0.0,
             route_cache: None,
             inject_loss_at: None,
+            quorum: None,
         }
     }
 }
@@ -168,6 +176,9 @@ impl SoakOptions {
         }
         if let Some(cap) = self.route_cache {
             line.push_str(&format!(" --cache {cap}"));
+        }
+        if let Some((n, r, w)) = self.quorum {
+            line.push_str(&format!(" --quorum {n},{r},{w}"));
         }
         line
     }
@@ -200,6 +211,18 @@ pub struct SoakReport {
     /// Location-cache probes a churned-away owner answered `Stale`
     /// (each one degraded safely to a full route).
     pub cache_stale: u64,
+    /// Logical operations whose *first* attempt failed (before any
+    /// delayed-maintenance repair pass). `1 − first_attempt_failures
+    /// / (mutations + queries)` is the cell's availability — the
+    /// metric the quorum cells must not regress below the
+    /// primary-owner baseline.
+    pub first_attempt_failures: u64,
+    /// Maintenance RPCs the quorum layer spent on read-repair,
+    /// deferred-handoff flushes and anti-entropy (0 without
+    /// [`SoakOptions::quorum`]).
+    pub repair_transfers: u64,
+    /// Routed hops those repair RPCs cost.
+    pub repair_bandwidth: u64,
 }
 
 /// A divergence between the index and the oracle, or a failed audit.
@@ -463,10 +486,17 @@ trait SoakEnv {
 /// survives repair is a real divergence.
 fn attempt_with_repair<E: SoakEnv>(
     env: &mut E,
+    report: &mut SoakReport,
     budget: u32,
     mut attempt: impl FnMut() -> Result<(), String>,
 ) -> Result<(), String> {
     let mut last = attempt();
+    if last.is_err() {
+        // A failed first attempt is an availability miss even when a
+        // repair pass later heals it — this is the counter the quorum
+        // cells hold against the primary-owner baseline.
+        report.first_attempt_failures += 1;
+    }
     for _ in 0..budget {
         if last.is_ok() || !env.repair() {
             break;
@@ -608,6 +638,62 @@ pub fn run_trace(trace: &Trace, opts: &SoakOptions) -> Result<SoakReport, Box<Di
                 ..ChordConfig::default()
             };
             match opts.index {
+                IndexKind::Lht if opts.quorum.is_some() => {
+                    let (n, r, w) = opts.quorum.expect("guarded by the match arm");
+                    // The quorum layer owns redundancy; the ring
+                    // stores one copy of each versioned slot.
+                    let dht: ChordDht<Versioned<LeafBucket<u32>>> = ChordDht::with_config(
+                        nodes,
+                        opts.seed ^ 0x5eed,
+                        ChordConfig {
+                            replicas: 1,
+                            maintenance_loss: opts.maintenance_loss,
+                            ..ChordConfig::default()
+                        },
+                    );
+                    let quorum = QuorumDht::new(&dht, QuorumConfig::new(n, r, w));
+                    let mut env = QuorumChordEnv {
+                        dht: &dht,
+                        quorum: &quorum,
+                        cfg,
+                        lossy_maintenance: opts.maintenance_loss > 0.0,
+                    };
+                    // Faults wrap the quorum layer, not the slots
+                    // under it: a lost RPC drops the whole logical op
+                    // atomically, so the oracle never sees a partial
+                    // quorum write. (Per-replica loss *inside* the
+                    // quorum is E20's availability experiment, which
+                    // measures rather than asserts.)
+                    let report = match (opts.net, opts.route_cache) {
+                        (None, None) => {
+                            let ix =
+                                LhtIndex::new(&quorum, cfg).map_err(|e| setup_failure(opts, e))?;
+                            drive(&LhtDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                        (None, Some(cap)) => {
+                            let cached = CachedDht::new(&quorum, cache_cfg(opts, cap));
+                            let ix =
+                                LhtIndex::new(cached, cfg).map_err(|e| setup_failure(opts, e))?;
+                            let report = drive(&LhtDriver { ix: &ix }, trace, opts, &mut env);
+                            annotate_cache(report, &Dht::stats(ix.dht()))
+                        }
+                        (Some(net), None) => {
+                            let lossy = RetriedDht::new(FaultyDht::new(&quorum, net), opts.retry);
+                            let ix =
+                                LhtIndex::new(lossy, cfg).map_err(|e| setup_failure(opts, e))?;
+                            drive(&LhtDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                        (Some(net), Some(cap)) => {
+                            let lossy = RetriedDht::new(FaultyDht::new(&quorum, net), opts.retry);
+                            let cached = CachedDht::new(lossy, cache_cfg(opts, cap));
+                            let ix =
+                                LhtIndex::new(cached, cfg).map_err(|e| setup_failure(opts, e))?;
+                            let report = drive(&LhtDriver { ix: &ix }, trace, opts, &mut env);
+                            annotate_cache(report, &Dht::stats(ix.dht()))
+                        }
+                    };
+                    annotate_repair(report, &Dht::stats(&quorum))
+                }
                 IndexKind::Lht => {
                     let dht: ChordDht<LeafBucket<u32>> =
                         ChordDht::with_config(nodes, opts.seed ^ 0x5eed, chord_cfg);
@@ -765,6 +851,20 @@ fn annotate_cache(
     })
 }
 
+/// Copies the quorum layer's repair counters into a finished report,
+/// so quorum soaks can hold their maintenance traffic against the
+/// availability they bought.
+fn annotate_repair(
+    report: Result<SoakReport, Box<DiffFailure>>,
+    stats: &DhtStats,
+) -> Result<SoakReport, Box<DiffFailure>> {
+    report.map(|mut r| {
+        r.repair_transfers = stats.repair_transfers;
+        r.repair_bandwidth = stats.repair_bandwidth;
+        r
+    })
+}
+
 fn setup_failure(opts: &SoakOptions, e: impl std::fmt::Display) -> Box<DiffFailure> {
     Box::new(DiffFailure {
         op_index: 0,
@@ -818,7 +918,7 @@ where
 
         match op {
             Op::Insert(k, v) => {
-                attempt_with_repair(env, repair_budget, || {
+                attempt_with_repair(env, &mut report, repair_budget, || {
                     ix.insert(KeyFraction::from_bits(*k), *v)
                         .map_err(|e| format!("insert failed: {e}"))
                 })
@@ -842,7 +942,7 @@ where
                 // client uses when re-issuing a failed delete.
                 let expect = oracle.remove(*k);
                 let mut errored = false;
-                attempt_with_repair(env, repair_budget, || {
+                attempt_with_repair(env, &mut report, repair_budget, || {
                     let value = ix.remove(KeyFraction::from_bits(*k)).map_err(|e| {
                         errored = true;
                         format!("remove failed: {e}")
@@ -857,7 +957,7 @@ where
             }
             Op::Lookup(k) => {
                 let expect = oracle.get(*k);
-                attempt_with_repair(env, repair_budget, || {
+                attempt_with_repair(env, &mut report, repair_budget, || {
                     let value = ix
                         .exact(KeyFraction::from_bits(*k))
                         .map_err(|e| format!("lookup failed: {e}"))?;
@@ -886,7 +986,7 @@ where
                 };
                 // Precomputed: `env` is lent to the repair loop below.
                 let b_opt = env.optimal_buckets(&range);
-                attempt_with_repair(env, repair_budget, || {
+                attempt_with_repair(env, &mut report, repair_budget, || {
                     let (got, dht_lookups) =
                         ix.range(range).map_err(|e| format!("range failed: {e}"))?;
                     if got != expect {
@@ -932,7 +1032,7 @@ where
                 } else {
                     oracle.max()
                 };
-                attempt_with_repair(env, repair_budget, || {
+                attempt_with_repair(env, &mut report, repair_budget, || {
                     let got = ix
                         .extreme(matches!(op, Op::Min))
                         .map_err(|e| format!("min/max failed: {e}"))?;
@@ -1348,6 +1448,122 @@ impl<V: Clone> SoakEnv for ChordEnv<'_, V> {
 
     fn repair(&mut self) -> bool {
         self.dht.stabilize(2);
+        true
+    }
+}
+
+/// Chord environment for the quorum-replicated stack: churn moves
+/// ring nodes exactly as in [`ChordEnv`], the stabilize windows also
+/// run quorum anti-entropy (the layer's replacement for ad-hoc
+/// key-sync), and the audit projects the raw versioned slot store
+/// down to the newest live envelope per logical key before holding it
+/// to the oracle.
+struct QuorumChordEnv<'a> {
+    dht: &'a ChordDht<Versioned<LeafBucket<u32>>>,
+    quorum: &'a QuorumDht<&'a ChordDht<Versioned<LeafBucket<u32>>>>,
+    cfg: LhtConfig,
+    /// Whether maintenance RPCs can be lost (see [`ChordEnv`]).
+    lossy_maintenance: bool,
+}
+
+/// Collapses a dump of raw `(slot key, versioned envelope)` entries
+/// to the logical `(base key, bucket)` view a client observes:
+/// newest seq wins per base key, tombstones disappear.
+fn quorum_projection(
+    entries: Vec<(DhtKey, Versioned<LeafBucket<u32>>)>,
+) -> Vec<(DhtKey, LeafBucket<u32>)> {
+    let mut newest: std::collections::BTreeMap<DhtKey, Versioned<LeafBucket<u32>>> =
+        std::collections::BTreeMap::new();
+    for (key, envelope) in entries {
+        let (base, _slot) = split_slot_key(&key);
+        match newest.get(&base) {
+            Some(cur) if cur.seq >= envelope.seq => {}
+            _ => {
+                newest.insert(base, envelope);
+            }
+        }
+    }
+    newest
+        .into_iter()
+        .filter_map(|(key, envelope)| envelope.value.map(|bucket| (key, bucket)))
+        .collect()
+}
+
+impl SoakEnv for QuorumChordEnv<'_> {
+    fn churn(&mut self, op: &Op) -> Result<bool, String> {
+        match op {
+            Op::Join(n) => {
+                let joined = self.dht.join(&format!("soak:{n}")).is_some();
+                if joined {
+                    self.dht.stabilize(1);
+                }
+                Ok(joined)
+            }
+            Op::Leave(n) => {
+                let ids = self.dht.snapshot().node_ids;
+                if ids.len() <= 2 {
+                    return Ok(false);
+                }
+                let victim = ids[*n as usize % ids.len()];
+                let left = self.dht.leave(&victim);
+                if left {
+                    self.dht.stabilize(1);
+                }
+                Ok(left)
+            }
+            Op::Stabilize => {
+                self.dht.stabilize(3);
+                // Anti-entropy rides the stabilize cadence: flush
+                // deferred handoffs and sweep one tracked key.
+                self.quorum.anti_entropy_step();
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn mirror(&mut self, _op: &Op, _oracle: &ShadowOracle) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn optimal_buckets(&self, _range: &KeyInterval) -> Option<u64> {
+        None
+    }
+
+    fn audit(&mut self, oracle: &ShadowOracle, converged: bool) -> Vec<String> {
+        if !converged {
+            return Vec::new();
+        }
+        if self.lossy_maintenance {
+            for _ in 0..4 {
+                if self.dht.audit_ring().is_empty() {
+                    break;
+                }
+                self.dht.stabilize(2);
+            }
+        }
+        let expect: Vec<(u64, u32)> = oracle
+            .snapshot()
+            .into_iter()
+            .map(|(k, v)| (k.bits(), v))
+            .collect();
+        let mut out = lht_entry_audit(quorum_projection(self.dht.all_entries()), self.cfg, &expect);
+        out.extend(
+            self.dht
+                .audit_ring()
+                .into_iter()
+                .map(|v| format!("ring: {v:?}")),
+        );
+        out
+    }
+
+    fn sabotage(&mut self) -> bool {
+        false
+    }
+
+    fn repair(&mut self) -> bool {
+        self.dht.stabilize(2);
+        self.quorum.anti_entropy_step();
         true
     }
 }

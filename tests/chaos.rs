@@ -51,7 +51,7 @@ fn soak_cell_sized(
     ops: usize,
     theta: usize,
 ) -> SoakReport {
-    soak_cell_opts(substrate, index, faults, seed, ops, theta, None)
+    soak_cell_opts(substrate, index, faults, seed, ops, theta, None, None)
 }
 
 /// A chaos cell with the location cache live: the production stack
@@ -60,7 +60,7 @@ fn soak_cell_sized(
 /// actually exercised the cache (a cell with zero probe hits would
 /// prove nothing).
 fn cached_cell(index: IndexKind, faults: Faults, seed: u64) -> SoakReport {
-    let report = soak_cell_opts(CHORD, index, faults, seed, OPS, 4, Some(256));
+    let report = soak_cell_opts(CHORD, index, faults, seed, OPS, 4, Some(256), None);
     assert!(
         report.cache_hits > 0,
         "cached cell never hit the location cache — cache inert"
@@ -77,6 +77,7 @@ fn soak_cell_opts(
     ops: usize,
     theta: usize,
     route_cache: Option<usize>,
+    quorum: Option<(usize, usize, usize)>,
 ) -> SoakReport {
     let (net, churn) = match faults {
         Faults::LossOnly => (Some(NetProfile::lossy(seed ^ 0xbad, DROP)), false),
@@ -100,6 +101,7 @@ fn soak_cell_opts(
         retry: RetryPolicy::default(),
         maintenance_loss,
         route_cache,
+        quorum,
         ..SoakOptions::default()
     };
     let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
@@ -309,6 +311,82 @@ fn chord_loss_and_churn_dst() {
 #[test]
 fn chord_loss_and_churn_rst() {
     baseline_cell(CHORD, IndexKind::Rst, Faults::LossAndChurn, 0xdb);
+}
+
+// ---- Quorum-replicated cells: the same faults over
+// ---- `RetriedDht<FaultyDht<QuorumDht<ChordDht>>>` with strict
+// ---- R+W>N quorums. Two claims per cell: answers still never
+// ---- diverge, and availability (first-attempt success) is at least
+// ---- the primary-owner baseline's under the identical trace and
+// ---- fault schedule.
+
+/// Runs one quorum cell next to its primary-owner twin (same seed,
+/// same trace, same fault profile) and holds the quorum stack to
+/// availability ≥ baseline. Under churn the quorum layer must also
+/// prove its repair machinery ran (`repair_transfers > 0`).
+fn quorum_cell(n: usize, r: usize, w: usize, faults: Faults, seed: u64) -> SoakReport {
+    let baseline = soak_cell(CHORD, IndexKind::Lht, faults, seed);
+    let report = soak_cell_opts(
+        CHORD,
+        IndexKind::Lht,
+        faults,
+        seed,
+        OPS,
+        4,
+        None,
+        Some((n, r, w)),
+    );
+    assert!(
+        report.first_attempt_failures <= baseline.first_attempt_failures,
+        "{{n={n},r={r},w={w}}} availability regressed below the primary-owner \
+         baseline: {} first-attempt failures vs {}",
+        report.first_attempt_failures,
+        baseline.first_attempt_failures
+    );
+    if matches!(faults, Faults::ChurnOnly | Faults::LossAndChurn) {
+        assert!(
+            report.repair_transfers > 0,
+            "churn ran but the quorum layer never spent a repair RPC — \
+             read-repair/anti-entropy inert"
+        );
+        assert!(
+            report.repair_bandwidth >= report.repair_transfers || report.repair_bandwidth == 0,
+            "repair accounting drifted: {} transfers, {} hops",
+            report.repair_transfers,
+            report.repair_bandwidth
+        );
+    }
+    report
+}
+
+#[test]
+fn chord_quorum_n3r1w3_loss() {
+    quorum_cell(3, 1, 3, Faults::LossOnly, 0xf0);
+}
+
+#[test]
+fn chord_quorum_n3r1w3_churn() {
+    quorum_cell(3, 1, 3, Faults::ChurnOnly, 0xf1);
+}
+
+#[test]
+fn chord_quorum_n3r1w3_loss_and_churn() {
+    quorum_cell(3, 1, 3, Faults::LossAndChurn, 0xf2);
+}
+
+#[test]
+fn chord_quorum_n3r2w2_loss() {
+    quorum_cell(3, 2, 2, Faults::LossOnly, 0xf3);
+}
+
+#[test]
+fn chord_quorum_n3r2w2_churn() {
+    quorum_cell(3, 2, 2, Faults::ChurnOnly, 0xf4);
+}
+
+#[test]
+fn chord_quorum_n3r2w2_loss_and_churn() {
+    quorum_cell(3, 2, 2, Faults::LossAndChurn, 0xf5);
 }
 
 /// The acceptance-criteria soak, pinned exactly: 5k ops on

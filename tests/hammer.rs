@@ -10,18 +10,31 @@
 //! tests of this binary running in parallel (the naming-cache test
 //! hashes only a few dozen labels, well inside the asserted margins).
 
+use std::collections::HashMap;
+use std::sync::Mutex;
 use std::thread;
 
 use lht::id::sha1_compressions;
-use lht::{DhtKey, Label, NamingCache, U160};
+use lht::{
+    slot_key, Dht, DhtKey, Label, NamingCache, QuorumConfig, QuorumDht, ThreadedConfig,
+    ThreadedDht, Versioned, U160,
+};
 
-/// Headroom for SHA-1 work done concurrently by the *other* test in
+/// Headroom for SHA-1 work done concurrently by the *other* tests in
 /// this binary (a few dozen label hashes) — tiny next to the phase
-/// sizes below, huge next to zero.
+/// sizes below, huge next to zero. The quorum hammer hashes far more
+/// than this margin, so it serializes with the counter-measuring test
+/// via [`SHA1_COUNTER_GATE`] instead of inflating the margin.
 const POLLUTION_MARGIN: u64 = 5_000;
+
+/// Serializes the tests that would otherwise pollute each other's
+/// global `sha1_compressions()` windows (the quorum hammer mints a
+/// fresh slot key — and a fresh digest — per replica contact).
+static SHA1_COUNTER_GATE: Mutex<()> = Mutex::new(());
 
 #[test]
 fn digest_memo_and_compression_counter_under_contention() {
+    let _gate = SHA1_COUNTER_GATE.lock().unwrap_or_else(|e| e.into_inner());
     // Phase A: 4 threads race .hash() on the same 20k fresh keys.
     // The OnceLock memo must run SHA-1 once per key no matter how the
     // threads interleave — a broken memo would pay ~4x.
@@ -171,5 +184,131 @@ fn naming_cache_eviction_accounting_survives_contention() {
         st.misses - st.evictions,
         st.len,
         "eviction accounting drifted under contention"
+    );
+}
+
+#[test]
+fn quorum_over_threaded_runtime_never_loses_newest_under_contention() {
+    // 4 OS threads hammer one QuorumDht{n=3,r=2,w=2} over the real
+    // multi-threaded node runtime. Three contracts must survive any
+    // interleaving:
+    //   1. the value a key converges to is some thread's *last* write
+    //      to it (the globally newest sequence number — read-repair
+    //      and handoff flushes may only propagate it, never regress it);
+    //   2. the layer's logical-op accounting is exact: one lookup per
+    //      client op, none for maintenance;
+    //   3. sync_all() drains every deferred handoff and a second pass
+    //      over the quiescent store issues 0 writes.
+    let _gate = SHA1_COUNTER_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    const THREADS: usize = 4;
+    const ROUNDS: u32 = 600;
+    const KEYS: u32 = 16;
+    let key = |i: u32| DhtKey::from(format!("qh:{i}"));
+    let encode = |t: u32, r: u32| t * 1_000_000 + r;
+
+    let inner: ThreadedDht<Versioned<u32>> = ThreadedDht::new(ThreadedConfig { nodes: 8, seed: 7 });
+    let quorum = QuorumDht::new(&inner, QuorumConfig::new(3, 2, 2));
+
+    // Each thread returns its last-written value per key; the
+    // per-layer seq clock orders every thread's writes, so the global
+    // winner for a key is one of these THREADS candidates.
+    let last_writes: Vec<HashMap<u32, u32>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS as u32)
+            .map(|t| {
+                let quorum = &quorum;
+                s.spawn(move || {
+                    let mut last = HashMap::new();
+                    for r in 0..ROUNDS {
+                        let k = (r.wrapping_mul(7) + t) % KEYS;
+                        let v = encode(t, r);
+                        quorum.put(&key(k), v).expect("perfect network put");
+                        last.insert(k, v);
+                        let probe = (r + t + 1) % KEYS;
+                        if let Some(got) = quorum.get(&key(probe)).expect("perfect network get") {
+                            // No torn value may ever surface: whatever
+                            // interleaving served this read, the bytes
+                            // decode back to a (thread, round) stamp.
+                            assert!(
+                                got / 1_000_000 < THREADS as u32 && got % 1_000_000 < ROUNDS,
+                                "garbage value {got} read under contention"
+                            );
+                        }
+                    }
+                    last
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Contract 2: exactly one logical lookup per client op — the
+    // hammer issued THREADS × ROUNDS puts and as many gets, and none
+    // may be lost or double-minted however the threads contended.
+    let hammer_ops = (THREADS as u64) * (ROUNDS as u64) * 2;
+    let st = quorum.stats();
+    assert_eq!(
+        st.lookups(),
+        hammer_ops,
+        "quorum layer lost or double-counted logical ops under contention"
+    );
+    st.check_invariants().expect("stats contract after hammer");
+
+    // Contract 3: with w < n every put deferred a slot, so the sweep
+    // has real work; afterwards the store is quiescent and a second
+    // full pass must be a no-op. Maintenance mints no lookups.
+    quorum.sync_all();
+    assert_eq!(
+        quorum.pending_handoffs(),
+        0,
+        "sync_all left handoffs behind"
+    );
+    assert_eq!(
+        quorum.sync_all(),
+        0,
+        "second sync_all pass over a quiescent store must issue 0 writes"
+    );
+    let st = quorum.stats();
+    assert_eq!(
+        st.lookups(),
+        hammer_ops,
+        "maintenance must never mint logical lookups"
+    );
+    assert!(
+        st.repair_transfers > 0,
+        "deferred handoffs must be charged as repair traffic"
+    );
+    st.check_invariants()
+        .expect("stats contract after sync_all");
+
+    // Contract 1: every key converged to some thread's last write,
+    // every rotated read quorum agrees, and all 3 raw replica slots
+    // hold the identical newest envelope.
+    for k in 0..KEYS {
+        let reads: Vec<Option<u32>> = (0..3)
+            .map(|_| quorum.get(&key(k)).expect("perfect network get"))
+            .collect();
+        assert!(
+            reads.windows(2).all(|w| w[0] == w[1]),
+            "rotated read quorums disagree on key {k}: {reads:?}"
+        );
+        let winner = reads[0].expect("every key was written");
+        assert!(
+            last_writes.iter().any(|m| m.get(&k) == Some(&winner)),
+            "key {k} converged to {winner}, which is no thread's last write — \
+             read-repair lost the seq-newest value"
+        );
+        let slots: Vec<Option<Versioned<u32>>> = (0..3)
+            .map(|s| inner.get(&slot_key(&key(k), s)).expect("raw slot read"))
+            .collect();
+        assert!(
+            slots.windows(2).all(|w| w[0] == w[1]),
+            "replica slots diverge for key {k} after sync_all: {slots:?}"
+        );
+    }
+    let st = quorum.stats();
+    assert_eq!(
+        st.lookups(),
+        hammer_ops + (KEYS as u64) * 3,
+        "final verification reads must mint exactly one lookup each"
     );
 }

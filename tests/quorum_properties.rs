@@ -1,0 +1,206 @@
+//! Property suite for the quorum replication tier ([`QuorumDht`]):
+//! the layer must be invisible at `{n=1, r=1, w=1}` — transcripts
+//! byte-identical to the bare substrate — and, for *any* strict
+//! quorum (`r + w > n`), a completed write must be visible to every
+//! subsequent read on a perfect network, whichever of the `n` rotated
+//! read quorums serves it. Both properties run over the one-hop
+//! oracle, Chord and Kademlia, the paper's adaptability claim (§1)
+//! extended to the replication tier.
+//!
+//! Failing seeds persist to
+//! `tests/quorum_properties.proptest-regressions`.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use lht::{ChordDht, Dht, DhtKey, DirectDht, KademliaDht, QuorumConfig, QuorumDht, Versioned};
+
+/// One generated operation. Keys collide on purpose (32 slots) so
+/// puts overwrite, removes hit and updates see existing values.
+#[derive(Clone, Copy, Debug)]
+enum OpCode {
+    Put,
+    Get,
+    Remove,
+    Update,
+}
+
+fn decode(sel: u8) -> OpCode {
+    match sel % 4 {
+        0 => OpCode::Put,
+        1 => OpCode::Get,
+        2 => OpCode::Remove,
+        _ => OpCode::Update,
+    }
+}
+
+fn key(slot: u8) -> DhtKey {
+    DhtKey::from(format!("q{}", slot % 32))
+}
+
+/// Applies one op, returning a comparable transcript entry.
+fn apply(dht: &impl Dht<Value = u32>, op: OpCode, slot: u8, val: u32) -> String {
+    match op {
+        OpCode::Put => format!("{:?}", dht.put(&key(slot), val)),
+        OpCode::Get => format!("{:?}", dht.get(&key(slot))),
+        OpCode::Remove => format!("{:?}", dht.remove(&key(slot))),
+        OpCode::Update => {
+            let r = dht.update(&key(slot), &mut |v| {
+                *v = Some(v.unwrap_or(0).wrapping_add(val));
+            });
+            format!("{r:?}")
+        }
+    }
+}
+
+/// Runs the transcript-equivalence check: every operation must return
+/// the same result through the `{1,1,1}` quorum layer as against the
+/// bare substrate, and the layer must mint exactly as many logical
+/// lookups as the substrate did ops.
+fn transcripts_match(
+    bare: &impl Dht<Value = u32>,
+    slots: &impl Dht<Value = Versioned<u32>>,
+    ops: &[(u8, u8, u32)],
+) -> Result<(), String> {
+    let quorum = QuorumDht::new(slots, QuorumConfig::new(1, 1, 1));
+    for &(sel, slot, val) in ops {
+        let op = decode(sel);
+        let direct = apply(bare, op, slot, val);
+        let quorumed = apply(&quorum, op, slot, val);
+        prop_assert_eq!(direct, quorumed, "op {:?} on slot {}", op, slot);
+    }
+    prop_assert_eq!(
+        bare.stats().lookups(),
+        quorum.stats().lookups(),
+        "one logical lookup per op on both sides"
+    );
+    prop_assert_eq!(quorum.stats().repair_transfers, 0);
+    Ok(())
+}
+
+/// Applies `writes` through a strict quorum over `slots`, asserting
+/// after every mutation that *all* `n` rotated read quorums see the
+/// newest value. `n` consecutive gets cover every rotor offset, so a
+/// deferred slot that a read quorum could reach is exercised.
+fn completed_writes_visible(
+    slots: &impl Dht<Value = Versioned<u32>>,
+    (n, r, w): (usize, usize, usize),
+    writes: &[(u8, u32)],
+) -> Result<(), String> {
+    let quorum = QuorumDht::new(slots, QuorumConfig::new(n, r, w));
+    let mut model: BTreeMap<u8, u32> = BTreeMap::new();
+    for &(slot, val) in writes {
+        let slot = slot % 32;
+        // Even selectors write, odd ones remove: both are "completed
+        // writes" the next reads must observe.
+        if val % 2 == 0 {
+            quorum
+                .put(&key(slot), val)
+                .map_err(|e| format!("put failed on a perfect network: {e}"))?;
+            model.insert(slot, val);
+        } else {
+            let prior = quorum
+                .remove(&key(slot))
+                .map_err(|e| format!("remove failed on a perfect network: {e}"))?;
+            prop_assert_eq!(prior, model.remove(&slot), "remove prior for slot {}", slot);
+        }
+        for round in 0..n {
+            let got = quorum
+                .get(&key(slot))
+                .map_err(|e| format!("get failed on a perfect network: {e}"))?;
+            prop_assert_eq!(
+                got,
+                model.get(&slot).copied(),
+                "read quorum rotation {} of {} diverged for slot {} under {{n={},r={},w={}}}",
+                round,
+                n,
+                slot,
+                n,
+                r,
+                w
+            );
+        }
+    }
+    quorum
+        .stats()
+        .check_invariants()
+        .map_err(|v| format!("stats contract broken: {v}"))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Degenerate-quorum transparency on the one-hop oracle: at
+    /// `{n=1, r=1, w=1}` slot 0 *is* the base key, so the quorum
+    /// stack must be observationally identical to the substrate.
+    #[test]
+    fn n1_transcripts_match_bare_direct(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>()), 1..120),
+    ) {
+        let bare: DirectDht<u32> = DirectDht::new();
+        let slots: DirectDht<Versioned<u32>> = DirectDht::new();
+        transcripts_match(&bare, &slots, &ops)?;
+    }
+
+    /// The same transparency over a routed Chord ring.
+    #[test]
+    fn n1_transcripts_match_bare_chord(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>()), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let bare: ChordDht<u32> = ChordDht::with_nodes(8, seed);
+        let slots: ChordDht<Versioned<u32>> = ChordDht::with_nodes(8, seed);
+        transcripts_match(&bare, &slots, &ops)?;
+    }
+
+    /// And over Kademlia's k-closest placement.
+    #[test]
+    fn n1_transcripts_match_bare_kad(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u32>()), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let bare: KademliaDht<u32> = KademliaDht::with_nodes(8, seed);
+        let slots: KademliaDht<Versioned<u32>> = KademliaDht::with_nodes(8, seed);
+        transcripts_match(&bare, &slots, &ops)?;
+    }
+
+    /// The R+W>N intersection argument, held empirically on the
+    /// one-hop oracle: under zero loss every completed write (put
+    /// *or* tombstoning remove) is visible to all n rotated read
+    /// quorums, for every valid {n, r, w}.
+    #[test]
+    fn completed_writes_visible_on_direct(
+        n in 1usize..5, r in 1usize..5, w in 1usize..5,
+        writes in proptest::collection::vec((any::<u8>(), any::<u32>()), 1..60),
+    ) {
+        prop_assume!(r <= n && w <= n && r + w > n);
+        let slots: DirectDht<Versioned<u32>> = DirectDht::new();
+        completed_writes_visible(&slots, (n, r, w), &writes)?;
+    }
+
+    /// The same intersection property over routed Chord lookups.
+    #[test]
+    fn completed_writes_visible_on_chord(
+        n in 1usize..5, r in 1usize..5, w in 1usize..5,
+        writes in proptest::collection::vec((any::<u8>(), any::<u32>()), 1..40),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(r <= n && w <= n && r + w > n);
+        let slots: ChordDht<Versioned<u32>> = ChordDht::with_nodes(10, seed);
+        completed_writes_visible(&slots, (n, r, w), &writes)?;
+    }
+
+    /// And over Kademlia.
+    #[test]
+    fn completed_writes_visible_on_kad(
+        n in 1usize..5, r in 1usize..5, w in 1usize..5,
+        writes in proptest::collection::vec((any::<u8>(), any::<u32>()), 1..40),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(r <= n && w <= n && r + w > n);
+        let slots: KademliaDht<Versioned<u32>> = KademliaDht::with_nodes(10, seed);
+        completed_writes_visible(&slots, (n, r, w), &writes)?;
+    }
+}

@@ -17,6 +17,10 @@ const TORN_SPLIT_SEED: u64 = 1;
 const TORN_SPLIT_NTH: u64 = 3;
 /// The pinned seed proving stale-cache-read detection.
 const STALE_CACHE_READ_SEED: u64 = 0;
+/// The pinned seed proving sloppy-quorum-read detection.
+const SLOPPY_QUORUM_READ_SEED: u64 = 2;
+/// The pinned seed proving lost-write-ack detection.
+const LOST_WRITE_ACK_SEED: u64 = 3;
 
 fn assert_pass(report: &lht_sim::SimReport) {
     assert!(
@@ -172,6 +176,114 @@ fn stale_cache_read_mutant_is_caught_and_minimized_schedule_reproduces() {
         "minimized schedule must still violate, got {:?}",
         replayed.verdict
     );
+}
+
+#[test]
+fn unmutated_quorum_stack_linearizes_across_seeds() {
+    // ≥3 pinned clean seeds over the quorum stack: the replication
+    // layer's deferred handoffs, read-repair and anti-entropy rounds
+    // must never surface a non-linearizable history on their own.
+    for seed in 0..8 {
+        let cfg = SimConfig {
+            quorum: Some((3, 2, 2)),
+            ..SimConfig::small(seed)
+        };
+        assert_pass(&simulate(&cfg));
+    }
+    // A write-heavy quorum ({n=3, r=1, w=3}) defers nothing, and the
+    // lossy mode exercises retries over quorum ops.
+    for seed in 0..3 {
+        let cfg = SimConfig {
+            quorum: Some((3, 1, 3)),
+            ..SimConfig::small(seed)
+        };
+        assert_pass(&simulate(&cfg));
+        let lossy = SimConfig {
+            quorum: Some((3, 2, 2)),
+            drop_prob: 0.10,
+            ..SimConfig::small(seed)
+        };
+        assert_pass(&simulate(&lossy));
+    }
+}
+
+#[test]
+fn sloppy_quorum_read_mutant_is_caught_and_minimized_schedule_reproduces() {
+    // Quorum reads must reconcile the R replies by sequence number;
+    // this mutant returns the first reply instead. Healthy writes
+    // defer n−w slots to anti-entropy, so a rotated read quorum that
+    // lands on a deferred slot serves a stale version — the checker
+    // must flag it.
+    let cfg = SimConfig {
+        sloppy_quorum_read: true,
+        ..SimConfig::small(SLOPPY_QUORUM_READ_SEED)
+    };
+    let report = simulate(&cfg);
+    let SimVerdict::Fail {
+        minimized, replay, ..
+    } = &report.verdict
+    else {
+        panic!(
+            "sloppy-quorum-read mutant must be non-linearizable at the pinned seed, got {:?}",
+            report.verdict
+        );
+    };
+    assert!(replay.contains("--sloppy-quorum-read") && replay.contains("--schedule"));
+
+    let replayed = replay_schedule(&cfg, minimized);
+    assert!(
+        matches!(replayed.verdict, SimVerdict::Fail { .. }),
+        "minimized schedule must still violate, got {:?}",
+        replayed.verdict
+    );
+}
+
+#[test]
+fn lost_write_ack_mutant_is_caught_and_minimized_schedule_reproduces() {
+    // A write acked after only w−1 installs (with the handoffs
+    // forgotten) breaks the R+W>N intersection argument: some read
+    // quorum misses the completed write entirely.
+    let cfg = SimConfig {
+        lost_write_ack: true,
+        ..SimConfig::small(LOST_WRITE_ACK_SEED)
+    };
+    let report = simulate(&cfg);
+    let SimVerdict::Fail {
+        minimized, replay, ..
+    } = &report.verdict
+    else {
+        panic!(
+            "lost-write-ack mutant must be non-linearizable at the pinned seed, got {:?}",
+            report.verdict
+        );
+    };
+    assert!(replay.contains("--lost-write-ack") && replay.contains("--schedule"));
+
+    let replayed = replay_schedule(&cfg, minimized);
+    assert!(
+        matches!(replayed.verdict, SimVerdict::Fail { .. }),
+        "minimized schedule must still violate, got {:?}",
+        replayed.verdict
+    );
+}
+
+#[test]
+fn quorum_mutants_are_caught_across_a_seed_band() {
+    let caught = |mk: &dyn Fn(u64) -> SimConfig| -> usize {
+        (0..8u64)
+            .filter(|&s| matches!(simulate(&mk(s)).verdict, SimVerdict::Fail { .. }))
+            .count()
+    };
+    let sloppy = caught(&|s| SimConfig {
+        sloppy_quorum_read: true,
+        ..SimConfig::small(s)
+    });
+    assert!(sloppy >= 1, "sloppy-quorum-read caught in {sloppy}/8");
+    let lost = caught(&|s| SimConfig {
+        lost_write_ack: true,
+        ..SimConfig::small(s)
+    });
+    assert!(lost >= 3, "lost-write-ack caught in {lost}/8");
 }
 
 #[test]
