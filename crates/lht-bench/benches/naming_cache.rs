@@ -102,9 +102,56 @@ fn assert_nav_walk_saving() {
     );
 }
 
+/// The paper-scale hot-path contract, stricter than the 5x saving:
+/// once a handle has seen its working set, further point lookups run
+/// **zero** SHA-1 compressions. Every probed label resolves through
+/// the warm naming cache, every cached key clone carries its ring
+/// digest, and nothing else on the lookup path hashes — so the
+/// process-global compression counter must not move at all.
+fn assert_steady_state_zero_digests() {
+    let kf = |x: f64| KeyFraction::from_f64(x);
+    let dht: DirectDht<LeafBucket<u32>> = DirectDht::new();
+    let ix = LhtIndex::new(&dht, LhtConfig::new(4, 20)).unwrap();
+    let n = 64u32;
+    for i in 0..n {
+        ix.insert(kf((f64::from(i) + 0.5) / f64::from(n)), i)
+            .unwrap();
+    }
+    // Warm pass: every label on every lookup path resolves once.
+    for i in 0..n {
+        let hit = ix
+            .exact_match(kf((f64::from(i) + 0.5) / f64::from(n)))
+            .unwrap();
+        assert_eq!(hit.value, Some(i));
+    }
+
+    let before = sha1_compressions();
+    for _ in 0..10 {
+        for i in 0..n {
+            black_box(
+                ix.exact_match(kf((f64::from(i) + 0.5) / f64::from(n)))
+                    .unwrap(),
+            );
+        }
+    }
+    let steady = sha1_compressions() - before;
+    assert_eq!(
+        steady,
+        0,
+        "steady-state lookups must be digest-free: {steady} SHA-1 \
+         compressions over {} warm lookups",
+        10 * n
+    );
+    println!(
+        "naming_cache: {} steady-state lookups ran 0 SHA-1 compressions",
+        10 * n
+    );
+}
+
 fn bench_naming_cache(c: &mut Criterion) {
     assert_compression_saving();
     assert_nav_walk_saving();
+    assert_steady_state_zero_digests();
 
     let ls = labels(64);
     c.bench_function("naming_cache/dht_key_fresh", |b| {

@@ -16,7 +16,10 @@
 //!   merged wall-clock history passes the linearizability checker),
 //! * availability of the `{n=3, r=2, w=2}` quorum tier at 20% drop +
 //!   churn (E20 — asserted strictly above the primary-owner baseline
-//!   measured in the same run).
+//!   measured in the same run),
+//! * the E21 paper-scale headline: verified insert throughput and
+//!   range-query rate of a scattered 2^16-key run over 256 Chord
+//!   peers, plus the process's peak resident set.
 //!
 //! ```sh
 //! cargo run --release -p lht-bench --bin exp_bench_snapshot -- \
@@ -25,10 +28,14 @@
 //!
 //! `--check` re-measures and compares against the committed
 //! `BENCH_lht.json`: the run fails if `chord_hops_per_lookup` or
-//! `cached_hops_per_lookup` regressed by more than 15%, or if
-//! `threaded_ops_per_sec` or `quorum_availability_at_20pct_drop` —
-//! where *lower* is worse — fell more than 15% below the committed
-//! number.
+//! `cached_hops_per_lookup` regressed by more than 15%, or if a
+//! throughput metric — where *lower* is worse, so the comparison is
+//! inverted — fell below its committed floor: `threaded_ops_per_sec`
+//! and `quorum_availability_at_20pct_drop` by more than 15%,
+//! `sha1_throughput_mb_s` by more than 25% (the hardware SHA path
+//! shares a noisy core; a real regression to the scalar path is a
+//! ~3x cliff, far past the band), and `paper_scale_inserts_per_sec`
+//! by more than 33%.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -37,7 +44,7 @@ use lht::{
     ChordDht, Dht, DirectDht, KeyFraction, KeyInterval, Label, LeafBucket, LhtConfig, LhtIndex,
     NamingCache,
 };
-use lht_bench::experiments::{quorum, route_cache, threaded};
+use lht_bench::experiments::{paper_scale, quorum, route_cache, threaded};
 use lht_id::{sha1, sha1_compressions};
 use lht_sim::checker::Outcome;
 
@@ -131,18 +138,36 @@ fn range_rounds(args: &Args) -> (u64, u64, u64) {
     (lookups, steps, dht.stats().rounds)
 }
 
-/// Raw SHA-1 throughput in MB/s over a 64 KiB buffer.
+/// Raw SHA-1 throughput in MB/s over a 64 KiB buffer: best of five
+/// timing windows. On a shared core a single window is hostage to
+/// scheduler noise; the max over repeats estimates what the digest
+/// path can actually sustain, which is the number a regression check
+/// can hold steady.
 fn sha1_throughput(smoke: bool) -> f64 {
     let buf = vec![0xabu8; 64 * 1024];
-    let reps: u32 = if smoke { 64 } else { 512 };
+    let reps: u32 = if smoke { 64 } else { 256 };
     // Warm up, then time.
     let _ = sha1(&buf);
-    let start = Instant::now();
-    for _ in 0..reps {
-        std::hint::black_box(sha1(std::hint::black_box(&buf)));
+    let mut best = 0.0f64;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(sha1(std::hint::black_box(&buf)));
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max((buf.len() as f64 * reps as f64) / secs / 1e6);
     }
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
-    (buf.len() as f64 * reps as f64) / secs / 1e6
+    best
+}
+
+/// E21 headline at snapshot scale: verified insert throughput and
+/// range-query rate of a scattered run over 256 Chord peers, plus
+/// peak RSS. 2^16 keys is enough tree depth to exercise the paper
+/// hot path while keeping the snapshot fast; `--smoke` drops to 2^14.
+fn paper_scale_headline(args: &Args) -> (usize, f64, f64, f64) {
+    let keys = if args.smoke { 1 << 14 } else { 1 << 16 };
+    let (inserts_per_sec, range_qps, rss_mb) = paper_scale::headline(keys, 256, 4, args.seed);
+    (keys, inserts_per_sec, range_qps, rss_mb)
 }
 
 /// Naming-cache behaviour on a repeated-lookup workload: hit rate and
@@ -228,13 +253,16 @@ fn committed_field(json: &str, field: &str) -> Option<f64> {
 
 /// `--check`: compare freshly measured hop costs against the
 /// committed snapshot; more than 15% worse is a regression. Hop
-/// metrics regress *upward*; throughput regresses *downward*, so its
-/// comparison is inverted.
+/// metrics regress *upward*; throughput metrics regress *downward*,
+/// so their comparisons are inverted, with per-metric tolerance bands
+/// sized to each measurement's noise on a shared core.
 fn check_regressions(
     fresh_chord: f64,
     fresh_cached: f64,
     fresh_threaded: f64,
     fresh_quorum: f64,
+    fresh_sha1: f64,
+    fresh_paper_inserts: f64,
 ) -> Result<(), String> {
     let json = std::fs::read_to_string("BENCH_lht.json")
         .map_err(|e| format!("cannot read committed BENCH_lht.json: {e}"))?;
@@ -251,24 +279,28 @@ fn check_regressions(
         }
         eprintln!("check {field}: {fresh:.3} vs committed {committed:.3} — ok");
     }
-    let field = "threaded_ops_per_sec";
-    let committed = committed_field(&json, field)
-        .ok_or_else(|| format!("committed BENCH_lht.json lacks {field:?}"))?;
-    if fresh_threaded < committed / 1.15 {
-        return Err(format!(
-            "{field} regressed: {fresh_threaded:.0} measured vs {committed:.0} committed (> 15% slower)"
-        ));
+    // Inverted (lower-is-worse) floors. The wall-clock metrics get
+    // wider bands than the hop counts: sha1 is a tight loop but runs
+    // on a contended core (25%), and the paper-scale insert rate
+    // spans seconds of mixed index work (33%). Real failure modes —
+    // the hardware digest path silently disabled (~3x), an
+    // accidental per-op allocation storm — blow far past either band.
+    for (field, fresh, band, digits) in [
+        ("threaded_ops_per_sec", fresh_threaded, 1.15, 0usize),
+        ("quorum_availability_at_20pct_drop", fresh_quorum, 1.15, 4),
+        ("sha1_throughput_mb_s", fresh_sha1, 1.25, 1),
+        ("paper_scale_inserts_per_sec", fresh_paper_inserts, 1.5, 0),
+    ] {
+        let committed = committed_field(&json, field)
+            .ok_or_else(|| format!("committed BENCH_lht.json lacks {field:?}"))?;
+        if fresh < committed / band {
+            return Err(format!(
+                "{field} regressed: {fresh:.digits$} measured vs {committed:.digits$} \
+                 committed (below the 1/{band:.2} floor)"
+            ));
+        }
+        eprintln!("check {field}: {fresh:.digits$} vs committed {committed:.digits$} — ok");
     }
-    eprintln!("check {field}: {fresh_threaded:.0} vs committed {committed:.0} — ok");
-    let field = "quorum_availability_at_20pct_drop";
-    let committed = committed_field(&json, field)
-        .ok_or_else(|| format!("committed BENCH_lht.json lacks {field:?}"))?;
-    if fresh_quorum < committed / 1.15 {
-        return Err(format!(
-            "{field} regressed: {fresh_quorum:.4} measured vs {committed:.4} committed (> 15% lower)"
-        ));
-    }
-    eprintln!("check {field}: {fresh_quorum:.4} vs committed {committed:.4} — ok");
     Ok(())
 }
 
@@ -290,10 +322,18 @@ fn main() {
     let threaded_ops = threaded_throughput(&args);
     eprintln!("measuring quorum availability at 20% drop + churn…");
     let quorum_avail = quorum_availability(&args);
+    eprintln!("measuring paper-scale headline (scattered verified run)…");
+    let (paper_keys, paper_inserts, paper_range_qps, rss_mb) = paper_scale_headline(&args);
 
     if args.check {
-        if let Err(e) = check_regressions(hops_per_lookup, cached_hops, threaded_ops, quorum_avail)
-        {
+        if let Err(e) = check_regressions(
+            hops_per_lookup,
+            cached_hops,
+            threaded_ops,
+            quorum_avail,
+            throughput,
+            paper_inserts,
+        ) {
             eprintln!("regression check failed: {e}");
             std::process::exit(1);
         }
@@ -325,8 +365,15 @@ fn main() {
     let _ = writeln!(json, "  \"threaded_ops_per_sec\": {threaded_ops:.0},");
     let _ = writeln!(
         json,
-        "  \"quorum_availability_at_20pct_drop\": {quorum_avail:.4}"
+        "  \"quorum_availability_at_20pct_drop\": {quorum_avail:.4},"
     );
+    let _ = writeln!(json, "  \"paper_scale_keys\": {paper_keys},");
+    let _ = writeln!(
+        json,
+        "  \"paper_scale_inserts_per_sec\": {paper_inserts:.0},"
+    );
+    let _ = writeln!(json, "  \"paper_scale_range_qps\": {paper_range_qps:.1},");
+    let _ = writeln!(json, "  \"peak_rss_mb\": {rss_mb:.1}");
     json.push_str("}\n");
 
     print!("{json}");

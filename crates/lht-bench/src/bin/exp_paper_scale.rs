@@ -1,0 +1,185 @@
+//! Extension experiment E21 — paper-scale throughput and memory.
+//!
+//! Sweeps the paper's top data sizes (2^18, 2^19, 2^20 keys — §9 runs
+//! to 2^20) through the real index hot path over a Chord ring of 256
+//! simulated peers, scattered across real worker threads. Reports
+//! verified insert / point-lookup / range-query throughput and the
+//! process's peak resident set, as a table on stdout and as
+//! `results/e21_paper_scale.csv`.
+//!
+//! ```sh
+//! cargo run --release -p lht-bench --bin exp_paper_scale -- \
+//!     [--smoke] [--keys N] [--peers N] [--threads N] [--seed N] [--budget SECS]
+//! ```
+//!
+//! `--smoke` runs one 2^14-key scale with conservative throughput
+//! floors asserted — the CI guard against the hot path silently
+//! falling off a cliff. The full sweep asserts a wall-clock budget
+//! instead (default 900 s): the paper-scale run *completing* in
+//! bounded time is itself the claim under test.
+//!
+//! Every run is self-verifying: lookup values, exact range
+//! cardinalities, min/max endpoints, and scatter-gather stats
+//! cross-checks all assert inside the experiment.
+
+use lht_bench::experiments::paper_scale;
+use lht_bench::{write_csv, Table};
+
+struct Args {
+    smoke: bool,
+    keys: Option<usize>,
+    peers: usize,
+    threads: usize,
+    seed: u64,
+    budget_secs: f64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            smoke: false,
+            keys: None,
+            peers: 256,
+            threads: 4,
+            seed: 21,
+            budget_secs: 900.0,
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: exp_paper_scale [--smoke] [--keys N] [--peers N] \
+         [--threads N] [--seed N] [--budget SECS]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("{what} needs an unsigned integer")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--keys" => args.keys = Some((num(&mut it, "--keys") as usize).max(8192)),
+            "--peers" => args.peers = (num(&mut it, "--peers") as usize).max(1),
+            "--threads" => args.threads = (num(&mut it, "--threads") as usize).clamp(1, 64),
+            "--seed" => args.seed = num(&mut it, "--seed"),
+            "--budget" => args.budget_secs = num(&mut it, "--budget") as f64,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+/// Smoke-mode throughput floors: an order of magnitude below what a
+/// single shared CPU core sustains, so they only trip on a real
+/// regression (an accidental per-op allocation storm or a hashing
+/// slowdown), not on scheduler noise.
+const SMOKE_MIN_INSERTS_PER_SEC: f64 = 10_000.0;
+const SMOKE_MIN_RANGE_QPS: f64 = 40.0;
+
+fn main() {
+    let args = parse_args();
+
+    let scales: Vec<usize> = match (args.smoke, args.keys) {
+        (true, keys) => vec![keys.unwrap_or(1 << 14)],
+        (false, Some(keys)) => vec![keys],
+        (false, None) => vec![1 << 18, 1 << 19, 1 << 20],
+    };
+
+    let mut table = Table::new(
+        "E21 — paper-scale hot path (verified throughput, peak RSS)",
+        &[
+            "keys",
+            "peers",
+            "threads",
+            "inserts/s",
+            "lookups/s",
+            "range q/s",
+            "range recs",
+            "dht lookups/insert",
+            "hops/insert",
+            "peak RSS MB",
+        ],
+    );
+
+    let sweep_start = std::time::Instant::now();
+    let mut last = None;
+    for &keys in &scales {
+        eprintln!(
+            "E21: {keys} keys over {} peers, {} threads…",
+            args.peers, args.threads
+        );
+        let r = paper_scale::run(keys, args.peers, args.threads, args.seed);
+        eprintln!(
+            "  inserts {:.0}/s ({:.1}s seed + {:.1}s scattered), lookups {:.0}/s, \
+             ranges {:.1}/s, peak RSS {:.1} MB",
+            r.inserts_per_sec,
+            r.seed_secs,
+            r.insert_secs,
+            r.lookups_per_sec,
+            r.range_qps,
+            r.peak_rss_mb
+        );
+        table.push_row(vec![
+            r.keys.to_string(),
+            r.peers.to_string(),
+            r.threads.to_string(),
+            format!("{:.0}", r.inserts_per_sec),
+            format!("{:.0}", r.lookups_per_sec),
+            format!("{:.1}", r.range_qps),
+            r.range_records.to_string(),
+            format!("{:.2}", r.insert_dht_lookups as f64 / r.keys as f64),
+            format!("{:.2}", r.insert_hops as f64 / r.keys as f64),
+            format!("{:.1}", r.peak_rss_mb),
+        ]);
+        last = Some(r);
+    }
+    let elapsed = sweep_start.elapsed().as_secs_f64();
+
+    print!("{}", table.render());
+    match write_csv(&table, "e21_paper_scale") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write CSV: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let last = last.expect("at least one scale ran");
+    if args.smoke {
+        assert!(
+            last.inserts_per_sec >= SMOKE_MIN_INSERTS_PER_SEC,
+            "smoke floor: inserts/s {:.0} fell below {SMOKE_MIN_INSERTS_PER_SEC}",
+            last.inserts_per_sec
+        );
+        assert!(
+            last.range_qps >= SMOKE_MIN_RANGE_QPS,
+            "smoke floor: range q/s {:.1} fell below {SMOKE_MIN_RANGE_QPS}",
+            last.range_qps
+        );
+        eprintln!("smoke floors passed ({elapsed:.1}s)");
+    } else {
+        // The budget is the in-bin claim that paper scale is
+        // *reachable*, not merely that partial progress was made.
+        assert!(
+            elapsed <= args.budget_secs,
+            "paper-scale sweep took {elapsed:.1}s, over the {:.0}s budget",
+            args.budget_secs
+        );
+        eprintln!(
+            "sweep completed in {elapsed:.1}s (budget {:.0}s)",
+            args.budget_secs
+        );
+    }
+}

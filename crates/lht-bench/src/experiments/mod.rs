@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9_10;
 pub mod hops;
+pub mod paper_scale;
 pub mod quorum;
 pub mod route_cache;
 pub mod saving;

@@ -24,6 +24,8 @@
 
 pub mod experiments;
 mod options;
+pub mod rss;
+pub mod scatter;
 mod table;
 
 pub use options::BenchOpts;

@@ -1,0 +1,59 @@
+//! Peak resident-set measurement for the paper-scale experiments.
+//!
+//! E21 reports memory alongside throughput because the compact-store
+//! work (inline [`DhtKey`](lht_dht::DhtKey) payloads, sorted leaf
+//! vectors, multiplicative-hash node stores) is a *memory*
+//! optimisation as much as a speed one — a 2^20-key run that fits
+//! comfortably in RAM is the evidence. Linux exposes the high-water
+//! mark directly as `VmHWM` in `/proc/self/status`; on other
+//! platforms the probe degrades to 0 so callers can always print the
+//! field without platform branches.
+
+/// Peak resident set size of this process in megabytes (`VmHWM`),
+/// or `0.0` where `/proc/self/status` is unavailable (non-Linux).
+///
+/// The value is a high-water mark over the whole process lifetime,
+/// so report it once at the end of a run — per-phase deltas are not
+/// recoverable from it.
+pub fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    parse_vm_hwm_kb(&status).map_or(0.0, |kb| kb as f64 / 1024.0)
+}
+
+/// Extracts the `VmHWM` value in kilobytes from the text of
+/// `/proc/self/status` (`VmHWM:     12345 kB`).
+fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_proc_status_line() {
+        let status = "Name:\tlht\nVmPeak:\t  999 kB\nVmHWM:\t   20480 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm_kb(status), Some(20480));
+    }
+
+    #[test]
+    fn missing_field_is_none() {
+        assert_eq!(parse_vm_hwm_kb("Name:\tlht\n"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn probe_is_positive_on_linux_and_never_negative() {
+        let mb = peak_rss_mb();
+        if cfg!(target_os = "linux") {
+            // A running test binary has touched well over a megabyte.
+            assert!(mb > 1.0, "VmHWM probe returned {mb} MB");
+        }
+        assert!(mb >= 0.0);
+    }
+}

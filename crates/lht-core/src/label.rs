@@ -191,8 +191,17 @@ impl Label {
 
     /// The DHT key for this label (its textual rendering, e.g.
     /// `"#0110"`), used to place buckets on the ring.
+    ///
+    /// Rendered into a stack buffer — labels are at most 128 bits, so
+    /// `'#'` plus one byte per bit always fits and building the key
+    /// performs no heap allocation.
     pub fn dht_key(&self) -> DhtKey {
-        DhtKey::from(self.to_string())
+        let mut buf = [0u8; 129];
+        buf[0] = b'#';
+        for (slot, bit) in buf[1..].iter_mut().zip(self.bits.iter()) {
+            *slot = if bit { b'1' } else { b'0' };
+        }
+        DhtKey::from_bytes(&buf[..1 + self.bits.len()])
     }
 }
 

@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use lht_id::{sha1, U160};
 
-use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats, Probe};
+use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats, NodeStore, Probe};
 
 /// Configuration for a [`ChordDht`] ring.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -69,7 +69,7 @@ struct Stored<V> {
 }
 
 /// Merges `incoming` into `store` under newest-wins reconciliation.
-fn merge_copy<V>(store: &mut HashMap<DhtKey, Stored<V>>, key: DhtKey, incoming: Stored<V>) {
+fn merge_copy<V>(store: &mut NodeStore<Stored<V>>, key: DhtKey, incoming: Stored<V>) {
     match store.get(&key) {
         Some(existing) if existing.seq >= incoming.seq => {}
         _ => {
@@ -86,7 +86,7 @@ struct Node<V> {
     successors: Vec<U160>,
     /// `fingers[i]` targets the owner of `id + 2^i`. May be stale.
     fingers: Vec<U160>,
-    store: HashMap<DhtKey, Stored<V>>,
+    store: NodeStore<Stored<V>>,
 }
 
 impl<V> Node<V> {
@@ -95,7 +95,7 @@ impl<V> Node<V> {
             predecessor: None,
             successors: Vec::new(),
             fingers: Vec::new(),
-            store: HashMap::new(),
+            store: NodeStore::default(),
         }
     }
 }
@@ -476,7 +476,7 @@ impl<V> ChordDht<V> {
         // Servability: for every key whose newest surviving version is
         // live (not a tombstone), the oracle owner — the node a routed
         // lookup lands on — must hold that newest version.
-        let mut newest: HashMap<&DhtKey, u64> = HashMap::new();
+        let mut newest: HashMap<&DhtKey, u64, crate::KeyHasherBuilder> = HashMap::default();
         for node in inner.nodes.values() {
             for (key, stored) in &node.store {
                 let e = newest.entry(key).or_insert(stored.seq);

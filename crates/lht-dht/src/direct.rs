@@ -1,9 +1,8 @@
 //! The one-hop oracle substrate.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
 
-use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats};
+use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats, NodeStore};
 
 /// A one-hop DHT oracle: a single consistent-hash partition backed by
 /// a hash map, with every operation costing exactly one lookup and one
@@ -38,14 +37,14 @@ pub struct DirectDht<V> {
 
 #[derive(Debug)]
 struct Inner<V> {
-    store: HashMap<DhtKey, V>,
+    store: NodeStore<V>,
     stats: DhtStats,
 }
 
 impl<V> Default for Inner<V> {
     fn default() -> Self {
         Inner {
-            store: HashMap::new(),
+            store: NodeStore::default(),
             stats: DhtStats::default(),
         }
     }

@@ -59,6 +59,7 @@ mod key;
 mod quorum;
 mod retry;
 mod stats;
+mod store;
 mod threaded;
 mod traits;
 
@@ -71,5 +72,6 @@ pub use key::DhtKey;
 pub use quorum::{slot_key, split_slot_key, QuorumConfig, QuorumDht, Versioned};
 pub use retry::{Backoffs, RetriedDht, RetryPolicy};
 pub use stats::{DhtOp, DhtStats, LatencyHistogram};
+pub use store::{node_store, KeyHasher, KeyHasherBuilder, NodeStore};
 pub use threaded::{ThreadedConfig, ThreadedDht};
 pub use traits::{Dht, Probe};

@@ -189,10 +189,34 @@ pub fn slot_key(base: &DhtKey, slot: usize) -> DhtKey {
     if slot == 0 {
         return base.clone();
     }
-    let mut bytes = base.as_bytes().to_vec();
-    bytes.extend_from_slice(SLOT_TAG);
-    bytes.extend_from_slice(slot.to_string().as_bytes());
-    DhtKey::new(bytes)
+    // Decimal digits of `slot`, rendered into a stack buffer.
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut s = slot;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (s % 10) as u8;
+        s /= 10;
+        if s == 0 {
+            break;
+        }
+    }
+    let digits = &digits[i..];
+    let bytes = base.as_bytes();
+    let total = bytes.len() + SLOT_TAG.len() + digits.len();
+    let mut buf = [0u8; 128];
+    if total <= buf.len() {
+        // Common case: assemble the derived key without heap traffic.
+        buf[..bytes.len()].copy_from_slice(bytes);
+        buf[bytes.len()..bytes.len() + SLOT_TAG.len()].copy_from_slice(SLOT_TAG);
+        buf[bytes.len() + SLOT_TAG.len()..total].copy_from_slice(digits);
+        DhtKey::from_bytes(&buf[..total])
+    } else {
+        let mut v = bytes.to_vec();
+        v.extend_from_slice(SLOT_TAG);
+        v.extend_from_slice(digits);
+        DhtKey::from_bytes(&v)
+    }
 }
 
 /// Inverts [`slot_key`]: splits a (possibly) derived key back into
@@ -208,7 +232,7 @@ pub fn split_slot_key(key: &DhtKey) -> (DhtKey, usize) {
         let digits = &bytes[pos + SLOT_TAG.len()..];
         if !digits.is_empty() && digits.iter().all(u8::is_ascii_digit) {
             if let Ok(slot) = std::str::from_utf8(digits).unwrap_or("").parse::<usize>() {
-                return (DhtKey::new(bytes[..pos].to_vec()), slot);
+                return (DhtKey::new(&bytes[..pos]), slot);
             }
         }
     }

@@ -1,0 +1,139 @@
+//! Compact per-node key/value stores.
+//!
+//! Every substrate keeps one store per simulated peer, so at paper
+//! scale (2^20 keys over hundreds of peers) store overhead is the
+//! dominant memory cost after the records themselves. Two choices
+//! keep it compact and fast:
+//!
+//! * [`DhtKey`](crate::DhtKey) payloads are inline (no per-entry heap
+//!   box for the key bytes), so an open-addressed table holds entries
+//!   in a flat slab — `std`'s `HashMap` is already open-addressed;
+//!   what costs on the hot path is its DoS-resistant SipHash.
+//! * DHT keys need no hash-flooding defence — they are short,
+//!   program-generated label strings — so the store swaps SipHash for
+//!   [`KeyHasher`], a word-at-a-time multiplicative hasher that chews
+//!   the inline payload in 8-byte gulps.
+//!
+//! Leaf buckets, by contrast, are bounded by `θ_split` and sorted by
+//! data key, so `lht-core` backs them with sorted compact vectors;
+//! node stores are unbounded and write-heavy, where shifting a sorted
+//! vector would cost O(n) per insert.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::DhtKey;
+
+/// A compact per-node store: open-addressed flat table, inline keys,
+/// multiplicative hashing.
+pub type NodeStore<V> = HashMap<DhtKey, V, KeyHasherBuilder>;
+
+/// [`BuildHasher`](std::hash::BuildHasher) for [`KeyHasher`].
+pub type KeyHasherBuilder = BuildHasherDefault<KeyHasher>;
+
+/// Multiplicative rotate-xor hasher for short program-generated keys
+/// (the fxhash recipe with a splitmix finalizer).
+///
+/// Not DoS-resistant by design: DHT keys come from the index's naming
+/// function, not from untrusted input, and placement already runs the
+/// keys through SHA-1. What matters here is per-lookup cost on inline
+/// byte strings a few dozen bytes long.
+#[derive(Default)]
+pub struct KeyHasher {
+    hash: u64,
+}
+
+/// fxhash's 64-bit multiplier (derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl KeyHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        // Length prefixes (slice hashing) fold in as one word.
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: open addressing wants avalanche in the
+        // bits the table derives its bucket and control byte from.
+        let mut h = self.hash;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d049bb133111eb);
+        h ^ (h >> 31)
+    }
+}
+
+/// Convenience constructor: an empty [`NodeStore`].
+pub fn node_store<V>() -> NodeStore<V> {
+    NodeStore::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::hash::BuildHasher;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = KeyHasherBuilder::default().build_hasher();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_content_sensitive() {
+        assert_eq!(hash_of(b"#0110"), hash_of(b"#0110"));
+        assert_ne!(hash_of(b"#0110"), hash_of(b"#0111"));
+        assert_ne!(hash_of(b"#0"), hash_of(b"#00"));
+    }
+
+    #[test]
+    fn label_shaped_keys_do_not_collide() {
+        // All 2^12 binary labels of length 12 — the adversarial case
+        // for low-entropy ASCII input — must hash near-uniquely.
+        let mut seen = HashSet::new();
+        for i in 0..4096u32 {
+            let label: String = std::iter::once('#')
+                .chain((0..12).map(|b| if i >> b & 1 == 1 { '1' } else { '0' }))
+                .collect();
+            seen.insert(hash_of(label.as_bytes()));
+        }
+        assert_eq!(seen.len(), 4096, "multiplicative hash collided on labels");
+    }
+
+    #[test]
+    fn store_round_trips_keys() {
+        let mut store: NodeStore<u32> = node_store();
+        for i in 0..1000 {
+            store.insert(DhtKey::from(format!("#k{i}")), i);
+        }
+        for i in 0..1000 {
+            assert_eq!(store.get(&DhtKey::from(format!("#k{i}"))), Some(&i));
+        }
+        assert_eq!(store.len(), 1000);
+    }
+}

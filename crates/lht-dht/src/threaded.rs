@@ -47,7 +47,6 @@
 //! [`FaultyDht`](crate::FaultyDht)/[`RetriedDht`](crate::RetriedDht)
 //! for lossy-network studies.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -56,7 +55,7 @@ use std::thread::JoinHandle;
 use lht_id::{sha1, U160};
 use parking_lot::Mutex;
 
-use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats, Probe};
+use crate::{Dht, DhtError, DhtKey, DhtOp, DhtStats, NodeStore, Probe};
 
 /// Construction parameters for a [`ThreadedDht`].
 #[derive(Clone, Copy, Debug)]
@@ -118,7 +117,7 @@ enum Request<V> {
 struct Node<V> {
     id: U160,
     ids: Arc<Vec<U160>>,
-    store: HashMap<DhtKey, V>,
+    store: NodeStore<V>,
     /// Out-of-order-put mutant (see [`ThreadedDht::arm_out_of_order_put`]):
     /// a put acknowledged but not yet applied.
     stashed_put: Option<(DhtKey, V)>,
@@ -259,7 +258,7 @@ impl<V: Clone + Send + 'static> ThreadedDht<V> {
             let mut node = Node {
                 id,
                 ids: Arc::clone(&ids),
-                store: HashMap::new(),
+                store: NodeStore::default(),
                 stashed_put: None,
                 mutant_fuse: Arc::clone(&mutant_fuse),
             };

@@ -28,15 +28,19 @@
 //! assert_eq!(label.len(), 4);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SHA-NI module carries the crate's
+// single, runtime-feature-gated `unsafe` behind a scoped allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitstr;
 mod fraction;
 mod sha1;
+#[cfg(target_arch = "x86_64")]
+mod sha1_shani;
 mod u160;
 
 pub use bitstr::{BitStr, ParseBitStrError};
 pub use fraction::KeyFraction;
-pub use sha1::{sha1, sha1_compressions, Sha1};
+pub use sha1::{sha1, sha1_compressions, sha1_digest_into, sha1_multi, Sha1};
 pub use u160::U160;

@@ -1,0 +1,146 @@
+//! Hardware SHA-1 compression via the x86 SHA extensions (SHA-NI).
+//!
+//! Detected at runtime and used as a drop-in replacement for the
+//! portable unrolled compression in [`crate::sha1`]: same state-in /
+//! state-out contract, one compression per 64-byte block. The module
+//! holds the crate's only `unsafe` (the call into the
+//! `#[target_feature]` function, gated on `is_x86_feature_detected!`)
+//! and is differentially tested against the scalar path over random
+//! inputs, so a divergence in either implementation is caught by the
+//! same proptest.
+//!
+//! Instruction mapping (Intel SDM): `SHA1RNDS4` performs four rounds
+//! with the round function/constant selected by an immediate, taking
+//! `E` pre-folded into the first message dword (`SHA1NEXTE` derives
+//! the next `E` from the `A` of four rounds earlier and adds it);
+//! `SHA1MSG1`/`SHA1MSG2` implement the message-schedule recurrence
+//! four dwords at a time. Lane convention throughout: `w[4g]` in the
+//! most-significant dword.
+
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::{
+    __m128i, _mm_add_epi32, _mm_extract_epi32, _mm_set_epi32, _mm_sha1msg1_epu32,
+    _mm_sha1msg2_epu32, _mm_sha1nexte_epu32, _mm_sha1rnds4_epu32, _mm_xor_si128,
+};
+
+/// Whether this CPU exposes the SHA extensions (plus SSE4.1 for the
+/// dword extracts). The `std` detection macro caches its answer, so
+/// per-digest calls cost one atomic load.
+pub(crate) fn available() -> bool {
+    std::arch::is_x86_feature_detected!("sha") && std::arch::is_x86_feature_detected!("sse4.1")
+}
+
+/// Compresses every 64-byte block of `data` (whose length must be a
+/// multiple of 64) into `state` using SHA-NI, if the CPU supports it.
+///
+/// Returns `false` without touching `state` when the extensions are
+/// missing, letting the caller fall back to the scalar path.
+pub(crate) fn try_compress_blocks(state: &mut [u32; 5], data: &[u8]) -> bool {
+    debug_assert_eq!(data.len() % 64, 0);
+    if !available() {
+        return false;
+    }
+    // SAFETY: `compress_blocks` only requires the sha/sse2/sse4.1
+    // target features, which `available()` just confirmed at runtime.
+    unsafe { compress_blocks(state, data) };
+    true
+}
+
+/// Big-endian dword `i` of `block`.
+#[inline(always)]
+fn be_word(block: &[u8], i: usize) -> i32 {
+    i32::from_be_bytes([
+        block[4 * i],
+        block[4 * i + 1],
+        block[4 * i + 2],
+        block[4 * i + 3],
+    ])
+}
+
+#[target_feature(enable = "sha,sse2,sse4.1")]
+fn compress_blocks(state: &mut [u32; 5], data: &[u8]) {
+    // `_mm_set_epi32(hi, .., lo)` places its first argument in the
+    // most-significant dword, so ABCD packs as {a, b, c, d} and the
+    // running E rides the top dword of `e0`.
+    let mut abcd = _mm_set_epi32(
+        state[0] as i32,
+        state[1] as i32,
+        state[2] as i32,
+        state[3] as i32,
+    );
+    let mut e0 = _mm_set_epi32(state[4] as i32, 0, 0, 0);
+
+    for block in data.chunks_exact(64) {
+        let abcd_save = abcd;
+        let e_save = e0;
+
+        // Four message vectors m[g] = {w[4g], .., w[4g+3]}.
+        let mut m: [__m128i; 4] = [
+            _mm_set_epi32(
+                be_word(block, 0),
+                be_word(block, 1),
+                be_word(block, 2),
+                be_word(block, 3),
+            ),
+            _mm_set_epi32(
+                be_word(block, 4),
+                be_word(block, 5),
+                be_word(block, 6),
+                be_word(block, 7),
+            ),
+            _mm_set_epi32(
+                be_word(block, 8),
+                be_word(block, 9),
+                be_word(block, 10),
+                be_word(block, 11),
+            ),
+            _mm_set_epi32(
+                be_word(block, 12),
+                be_word(block, 13),
+                be_word(block, 14),
+                be_word(block, 15),
+            ),
+        ];
+
+        // `abcd` as it stood before the previous SHA1RNDS4 — its top
+        // dword is the `a` from four rounds ago, which SHA1NEXTE
+        // rotates into the next `E`.
+        let mut abcd_prev = abcd;
+
+        for g in 0..20 {
+            if g >= 4 {
+                // w[4g..4g+4] from the schedule recurrence:
+                // msg2(msg1(m[g-4], m[g-3]) ^ m[g-2], m[g-1]).
+                let t = _mm_sha1msg1_epu32(m[g & 3], m[(g + 1) & 3]);
+                let t = _mm_xor_si128(t, m[(g + 2) & 3]);
+                m[g & 3] = _mm_sha1msg2_epu32(t, m[(g + 3) & 3]);
+            }
+            // Fold E into the first message dword: explicitly for the
+            // first group, via SHA1NEXTE afterwards.
+            let e_vec = if g == 0 {
+                _mm_add_epi32(e0, m[0])
+            } else {
+                _mm_sha1nexte_epu32(abcd_prev, m[g & 3])
+            };
+            abcd_prev = abcd;
+            abcd = match g / 5 {
+                0 => _mm_sha1rnds4_epu32::<0>(abcd, e_vec),
+                1 => _mm_sha1rnds4_epu32::<1>(abcd, e_vec),
+                2 => _mm_sha1rnds4_epu32::<2>(abcd, e_vec),
+                _ => _mm_sha1rnds4_epu32::<3>(abcd, e_vec),
+            };
+        }
+
+        // E after 80 rounds is rotl30 of the `a` from round 76 (the
+        // top dword of `abcd_prev`), plus the saved chaining E.
+        e0 = _mm_sha1nexte_epu32(abcd_prev, e_save);
+        abcd = _mm_add_epi32(abcd, abcd_save);
+    }
+
+    state[0] = _mm_extract_epi32::<3>(abcd) as u32;
+    state[1] = _mm_extract_epi32::<2>(abcd) as u32;
+    state[2] = _mm_extract_epi32::<1>(abcd) as u32;
+    state[3] = _mm_extract_epi32::<0>(abcd) as u32;
+    state[4] = _mm_extract_epi32::<3>(e0) as u32;
+}

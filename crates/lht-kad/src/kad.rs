@@ -4,9 +4,9 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
-use lht_dht::{Dht, DhtError, DhtKey, DhtOp, DhtStats, Probe};
+use lht_dht::{Dht, DhtError, DhtKey, DhtOp, DhtStats, NodeStore, Probe};
 use lht_id::{sha1, U160};
 
 /// Configuration for a [`KademliaDht`].
@@ -40,14 +40,14 @@ struct Node<V> {
     /// bucket index = leading_zeros of the distance; smaller index =
     /// farther). Most-recently-seen first, capped at `k`.
     buckets: Vec<Vec<U160>>,
-    store: HashMap<DhtKey, V>,
+    store: NodeStore<V>,
 }
 
 impl<V> Node<V> {
     fn new() -> Node<V> {
         Node {
             buckets: vec![Vec::new(); U160::BITS as usize],
-            store: HashMap::new(),
+            store: NodeStore::default(),
         }
     }
 }
