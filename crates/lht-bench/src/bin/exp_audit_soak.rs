@@ -9,7 +9,8 @@
 //! cargo run --release -p lht-bench --bin exp_audit_soak -- \
 //!     [--substrate direct|chord|both] [--index lht|pht|dst|rst] [--seed N] \
 //!     [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N] \
-//!     [--drop P] [--net-seed N] [--mloss P] [--cache N] [--quorum N,R,W]
+//!     [--drop P] [--net-seed N] [--mloss P] [--cache N] [--quorum N,R,W] \
+//!     [--erasure K,M]
 //! ```
 //!
 //! Exits non-zero on the first divergence or invariant violation,
@@ -37,6 +38,7 @@ struct SoakArgs {
     maintenance_loss: f64,
     route_cache: Option<usize>,
     quorum: Option<(usize, usize, usize)>,
+    erasure: Option<(usize, usize)>,
 }
 
 impl Default for SoakArgs {
@@ -56,6 +58,7 @@ impl Default for SoakArgs {
             maintenance_loss: 0.0,
             route_cache: None,
             quorum: None,
+            erasure: None,
         }
     }
 }
@@ -67,7 +70,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: exp_audit_soak [--substrate direct|chord|both] [--index lht|pht|dst|rst] \
          [--seed N] [--ops N] [--theta N] [--churn] [--nodes N] [--replicas N] \
-         [--drop P] [--net-seed N] [--mloss P] [--cache N] [--quorum N,R,W]"
+         [--drop P] [--net-seed N] [--mloss P] [--cache N] [--quorum N,R,W] \
+         [--erasure K,M]"
     );
     eprintln!("  --substrate  which DHT to soak (default both)");
     eprintln!("  --index      which index scheme is primary (default lht)");
@@ -84,6 +88,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "  --quorum N,R,W  replicate via a strict-quorum tier over chord (lht only, R+W > N)"
     );
+    eprintln!("  --erasure K,M   erasure-code via k-of-m fragment groups over chord (lht only)");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -137,9 +142,23 @@ fn parse_args() -> SoakArgs {
                     _ => usage("--quorum needs N,R,W with 1 <= R,W <= N and R+W > N"),
                 }
             }
+            "--erasure" => {
+                let spec = it.next().unwrap_or_else(|| usage("--erasure needs K,M"));
+                let parts: Option<Vec<usize>> =
+                    spec.split(',').map(|s| s.trim().parse().ok()).collect();
+                match parts.as_deref() {
+                    Some([k, m]) if *k >= 2 && k < m && *m <= 32 => {
+                        args.erasure = Some((*k, *m));
+                    }
+                    _ => usage("--erasure needs K,M with 2 <= K < M <= 32"),
+                }
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
+    }
+    if args.quorum.is_some() && args.erasure.is_some() {
+        usage("the quorum and erasure tiers are mutually exclusive");
     }
     args
 }
@@ -197,6 +216,7 @@ fn main() {
             maintenance_loss: args.maintenance_loss,
             route_cache: args.route_cache,
             quorum: args.quorum,
+            erasure: args.erasure,
             audit_every: (args.ops / 10).max(1),
             ..SoakOptions::default()
         };

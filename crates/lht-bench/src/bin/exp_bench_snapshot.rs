@@ -17,6 +17,11 @@
 //! * availability of the `{n=3, r=2, w=2}` quorum tier at 20% drop +
 //!   churn (E20 — asserted strictly above the primary-owner baseline
 //!   measured in the same run),
+//! * availability and bytes-per-durable-key of the `{k=4, m=6}`
+//!   erasure tier at the same sweep cell (E20 coded rows — asserted
+//!   at least the primary baseline's availability while storing at
+//!   most 0.6× the bytes of `{n=3}` replication of identical
+//!   payloads),
 //! * the E21 paper-scale headline: verified insert throughput and
 //!   range-query rate of a scattered 2^16-key run over 256 Chord
 //!   peers, plus the process's peak resident set.
@@ -27,11 +32,13 @@
 //! ```
 //!
 //! `--check` re-measures and compares against the committed
-//! `BENCH_lht.json`: the run fails if `chord_hops_per_lookup` or
-//! `cached_hops_per_lookup` regressed by more than 15%, or if a
+//! `BENCH_lht.json`: the run fails if `chord_hops_per_lookup`,
+//! `cached_hops_per_lookup` or `erasure_bytes_per_durable_key`
+//! regressed by more than 15%, or if a
 //! throughput metric — where *lower* is worse, so the comparison is
-//! inverted — fell below its committed floor: `threaded_ops_per_sec`
-//! and `quorum_availability_at_20pct_drop` by more than 15%,
+//! inverted — fell below its committed floor: `threaded_ops_per_sec`,
+//! `quorum_availability_at_20pct_drop` and
+//! `erasure_availability_at_20pct_drop` by more than 15%,
 //! `sha1_throughput_mb_s` by more than 25% (the hardware SHA path
 //! shares a noisy core; a real regression to the scalar path is a
 //! ~3x cliff, far past the band), and `paper_scale_inserts_per_sec`
@@ -44,7 +51,7 @@ use lht::{
     ChordDht, Dht, DirectDht, KeyFraction, KeyInterval, Label, LeafBucket, LhtConfig, LhtIndex,
     NamingCache,
 };
-use lht_bench::experiments::{paper_scale, quorum, route_cache, threaded};
+use lht_bench::experiments::{erasure, paper_scale, quorum, route_cache, threaded};
 use lht_id::{sha1, sha1_compressions};
 use lht_sim::checker::Outcome;
 
@@ -240,6 +247,35 @@ fn quorum_availability(args: &Args) -> f64 {
     quorum
 }
 
+/// E20 coded headline: availability and bytes-per-durable-key of the
+/// `{k=4, m=6}` erasure tier at the same harshest sweep cell, asserted
+/// against both baselines measured under the identical fault and
+/// workload schedule: no worse than the primary owner on
+/// availability, and at most 0.6× the resident bytes of `{n=3}`
+/// replication of the same 512-byte payloads — durability priced
+/// below replication on the storage axis without giving the masking
+/// back.
+fn erasure_headline(args: &Args) -> (f64, f64) {
+    let ops = if args.smoke { 800 } else { 2_000 };
+    let h = erasure::headline(ops, 16, args.seed);
+    assert!(
+        h.coded_availability >= h.primary_availability,
+        "erasure(4,6) availability {:.4} must not fall below the \
+         primary-owner baseline {:.4} at 20% drop + churn",
+        h.coded_availability,
+        h.primary_availability
+    );
+    assert!(
+        h.replicated_bytes_per_key > 0.0
+            && h.coded_bytes_per_key <= 0.6 * h.replicated_bytes_per_key,
+        "erasure(4,6) must store at most 0.6x the bytes of n=3 \
+         replication ({:.0} coded vs {:.0} replicated per durable key)",
+        h.coded_bytes_per_key,
+        h.replicated_bytes_per_key
+    );
+    (h.coded_availability, h.coded_bytes_per_key)
+}
+
 /// Reads one numeric field out of the committed `BENCH_lht.json`.
 /// The file is written by this binary line-by-line, so a plain string
 /// scan is exact (the vendored serde shim has no JSON parser).
@@ -261,6 +297,7 @@ fn check_regressions(
     fresh_cached: f64,
     fresh_threaded: f64,
     fresh_quorum: f64,
+    fresh_erasure: (f64, f64),
     fresh_sha1: f64,
     fresh_paper_inserts: f64,
 ) -> Result<(), String> {
@@ -269,6 +306,7 @@ fn check_regressions(
     for (field, fresh) in [
         ("chord_hops_per_lookup", fresh_chord),
         ("cached_hops_per_lookup", fresh_cached),
+        ("erasure_bytes_per_durable_key", fresh_erasure.1),
     ] {
         let committed = committed_field(&json, field)
             .ok_or_else(|| format!("committed BENCH_lht.json lacks {field:?}"))?;
@@ -288,6 +326,12 @@ fn check_regressions(
     for (field, fresh, band, digits) in [
         ("threaded_ops_per_sec", fresh_threaded, 1.15, 0usize),
         ("quorum_availability_at_20pct_drop", fresh_quorum, 1.15, 4),
+        (
+            "erasure_availability_at_20pct_drop",
+            fresh_erasure.0,
+            1.15,
+            4,
+        ),
         ("sha1_throughput_mb_s", fresh_sha1, 1.25, 1),
         ("paper_scale_inserts_per_sec", fresh_paper_inserts, 1.5, 0),
     ] {
@@ -322,6 +366,8 @@ fn main() {
     let threaded_ops = threaded_throughput(&args);
     eprintln!("measuring quorum availability at 20% drop + churn…");
     let quorum_avail = quorum_availability(&args);
+    eprintln!("measuring erasure availability and storage at 20% drop + churn…");
+    let (erasure_avail, erasure_bytes) = erasure_headline(&args);
     eprintln!("measuring paper-scale headline (scattered verified run)…");
     let (paper_keys, paper_inserts, paper_range_qps, rss_mb) = paper_scale_headline(&args);
 
@@ -331,6 +377,7 @@ fn main() {
             cached_hops,
             threaded_ops,
             quorum_avail,
+            (erasure_avail, erasure_bytes),
             throughput,
             paper_inserts,
         ) {
@@ -366,6 +413,14 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"quorum_availability_at_20pct_drop\": {quorum_avail:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"erasure_availability_at_20pct_drop\": {erasure_avail:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"erasure_bytes_per_durable_key\": {erasure_bytes:.1},"
     );
     let _ = writeln!(json, "  \"paper_scale_keys\": {paper_keys},");
     let _ = writeln!(

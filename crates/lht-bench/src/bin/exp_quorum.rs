@@ -15,14 +15,23 @@
 //!     [--smoke] [--ops N] [--nodes N] [--seed N]
 //! ```
 //!
-//! The full run persists `results/e20_quorum.csv`; the headline
-//! (quorum availability vs the primary baseline at 20% drop + churn)
-//! prints either way — and the run *fails* if the tier does not beat
-//! the baseline there — matching the `exp_bench_snapshot` guard.
+//! The coded rows run the *same* workload through
+//! `ErasureDht<FaultyDht<ChordDht>>` with fixed 512-byte payloads
+//! (cell mechanics in [`lht_bench::experiments::erasure`]): `{k, m}`
+//! fragment groups instead of full copies, so the table adds the
+//! storage axis — resident bytes per durable key vs `{n=3}`
+//! replication of the same payloads.
+//!
+//! The full run persists `results/e20_quorum.csv` and
+//! `results/e20_erasure.csv`; the headlines (quorum availability vs
+//! the primary baseline at 20% drop + churn, and coded `{4, 6}`
+//! availability ≥ primary while storing ≤ 0.6× the bytes of `{n=3}`
+//! replication) print either way — and the run *fails* if a tier
+//! misses its bar — matching the `exp_bench_snapshot` guards.
 
 use std::collections::HashMap;
 
-use lht_bench::experiments::quorum;
+use lht_bench::experiments::{erasure, quorum};
 use lht_bench::{write_csv, Table};
 
 struct QuorumArgs {
@@ -159,12 +168,100 @@ fn main() {
         eprintln!("FAIL: quorum(3,2,2) availability must be strictly above the primary baseline");
         std::process::exit(1);
     }
+
+    // ---- Coded rows: erasure tier over the same ring and workload,
+    // 512-byte payloads, vs full-copy replication of the same blobs.
+    let coded_configs: &[(usize, usize)] = if args.smoke {
+        &[(4, 6)]
+    } else {
+        &[(2, 3), (4, 6)]
+    };
+    let mut t2 = Table::new(
+        format!(
+            "E20 coded durability — {}-byte payloads, {} ops/cell, {} nodes, seed {} (repl rows = full copies via quorum)",
+            erasure::PAYLOAD_LEN,
+            args.ops,
+            args.nodes,
+            args.seed
+        ),
+        &[
+            "tier",
+            "drop%",
+            "churn",
+            "ops",
+            "ok",
+            "avail%",
+            "stale%",
+            "B/key",
+            "durable",
+            "repair_xfers",
+            "repair_bw",
+            "drops",
+        ],
+    );
+    let push_coded_row =
+        |t2: &mut Table, tier: String, rate: f64, churn: bool, cell: &erasure::ErasureCell| {
+            t2.push_row(vec![
+                tier,
+                format!("{:.0}", rate * 100.0),
+                if churn { "yes" } else { "no" }.to_string(),
+                cell.attempted.to_string(),
+                cell.ok.to_string(),
+                format!("{:.2}", cell.availability() * 100.0),
+                format!("{:.2}", cell.staleness() * 100.0),
+                format!("{:.0}", cell.bytes_per_durable_key()),
+                cell.durable_keys.to_string(),
+                cell.stats.repair_transfers.to_string(),
+                cell.stats.repair_bandwidth.to_string(),
+                cell.stats.drops.to_string(),
+            ]);
+        };
+    for &(k, m) in coded_configs {
+        for &rate in drop_rates {
+            for churn in [false, true] {
+                eprintln!("cell erasure k={k} m={m} drop={rate} churn={churn}…");
+                let cell = erasure::run_cell((k, m), rate, churn, args.ops, args.nodes, args.seed);
+                push_coded_row(&mut t2, format!("ec{{{k},{m}}}"), rate, churn, &cell);
+            }
+        }
+    }
+    for &(n, r, w) in &[(1usize, 1usize, 1usize), (3, 2, 2)] {
+        for churn in [false, true] {
+            eprintln!("cell repl n={n} r={r} w={w} drop=0.2 churn={churn}…");
+            let cell =
+                erasure::replication_cell((n, r, w), 0.20, churn, args.ops, args.nodes, args.seed);
+            push_coded_row(&mut t2, format!("repl{{{n},{r},{w}}}"), 0.20, churn, &cell);
+        }
+    }
+    print!("{}", t2.render());
+
+    let h = erasure::headline(args.ops, args.nodes, args.seed);
+    println!(
+        "headline: coded {{4,6}} at 20% drop + churn — availability {:.2}% vs primary {:.2}%, {:.0} B/durable key vs {:.0} for repl{{n=3}} (ratio {:.2}, bar ≤ 0.60)",
+        h.coded_availability * 100.0,
+        h.primary_availability * 100.0,
+        h.coded_bytes_per_key,
+        h.replicated_bytes_per_key,
+        h.coded_bytes_per_key / h.replicated_bytes_per_key.max(1.0)
+    );
+    if h.coded_availability < h.primary_availability {
+        eprintln!("FAIL: coded {{4,6}} availability must not fall below the primary baseline");
+        std::process::exit(1);
+    }
+    if h.replicated_bytes_per_key <= 0.0 || h.coded_bytes_per_key > 0.6 * h.replicated_bytes_per_key
+    {
+        eprintln!("FAIL: coded {{4,6}} must store at most 0.6x the bytes of {{n=3}} replication");
+        std::process::exit(1);
+    }
+
     if !args.smoke {
-        match write_csv(&t, "e20_quorum") {
-            Ok(path) => eprintln!("wrote {}", path.display()),
-            Err(e) => {
-                eprintln!("failed to write CSV: {e}");
-                std::process::exit(1);
+        for (table, name) in [(&t, "e20_quorum"), (&t2, "e20_erasure")] {
+            match write_csv(table, name) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write CSV: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -62,8 +62,9 @@ fn usage(err: &str) -> ! {
         "usage: exp_sim_explore [--seed N] [--explore N] [--budget-secs S] \
          [--clients N] [--ops N] [--nodes N] [--churn N] [--replicas N] \
          [--drop P] [--theta N] [--depth N] [--quorum N,R,W] \
-         [--stale-replica] [--torn-split N] [--stale-cache-read] \
-         [--sloppy-quorum-read] [--lost-write-ack] [--schedule a,b,c] \
+         [--erasure K,M] [--stale-replica] [--torn-split N] \
+         [--stale-cache-read] [--sloppy-quorum-read] [--lost-write-ack] \
+         [--corrupt-fragment] [--lazy-regen] [--schedule a,b,c] \
          [--expect-violation] [--trace]"
     );
     eprintln!("  --seed N           first (or only) simulation seed (default 1)");
@@ -78,11 +79,14 @@ fn usage(err: &str) -> ! {
     eprintln!("  --theta N          leaf-split threshold (default 4)");
     eprintln!("  --depth N          max tree depth (default 24)");
     eprintln!("  --quorum N,R,W     run the quorum-replicated stack with these parameters");
+    eprintln!("  --erasure K,M      run the erasure-coded stack (k-of-m fragment groups)");
     eprintln!("  --stale-replica    arm the stale-replica mutant");
     eprintln!("  --torn-split N     arm the torn-split mutant at the N-th split");
     eprintln!("  --stale-cache-read arm the stale-cache-read mutant (unverified probes)");
     eprintln!("  --sloppy-quorum-read arm the sloppy-quorum-read mutant (implies --quorum 3,2,2)");
     eprintln!("  --lost-write-ack   arm the lost-write-ack mutant (implies --quorum 3,2,2)");
+    eprintln!("  --corrupt-fragment arm the corrupt-fragment mutant (implies --erasure 2,5)");
+    eprintln!("  --lazy-regen       arm the lazy-regen mutant (implies --erasure 2,5)");
     eprintln!("  --schedule a,b,c   replay this exact actor schedule (single seed)");
     eprintln!("  --expect-violation exit 0 iff a violation is found (mutant proof)");
     eprintln!("  --trace            print the full schedule trace of each run");
@@ -127,11 +131,24 @@ fn parse_args() -> Args {
                     _ => usage("--quorum needs N,R,W with 1 <= R,W <= N and R+W > N"),
                 }
             }
+            "--erasure" => {
+                let spec = it.next().unwrap_or_else(|| usage("--erasure needs K,M"));
+                let parts: Option<Vec<usize>> =
+                    spec.split(',').map(|s| s.trim().parse().ok()).collect();
+                match parts.as_deref() {
+                    Some([k, m]) if *k >= 2 && k < m && *m <= 32 => {
+                        args.cfg.erasure = Some((*k, *m));
+                    }
+                    _ => usage("--erasure needs K,M with 2 <= K < M <= 32"),
+                }
+            }
             "--stale-replica" => args.cfg.stale_replica = true,
             "--torn-split" => args.cfg.torn_split = Some(num(&mut it, "--torn-split").max(1)),
             "--stale-cache-read" => args.cfg.stale_cache_read = true,
             "--sloppy-quorum-read" => args.cfg.sloppy_quorum_read = true,
             "--lost-write-ack" => args.cfg.lost_write_ack = true,
+            "--corrupt-fragment" => args.cfg.corrupt_fragment = true,
+            "--lazy-regen" => args.cfg.lazy_regen = true,
             "--schedule" => {
                 let csv = it
                     .next()
@@ -146,6 +163,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
+    }
+    if args.cfg.quorum_params().is_some() && args.cfg.erasure_params().is_some() {
+        usage("the quorum and erasure stacks are mutually exclusive");
     }
     args
 }

@@ -6,6 +6,7 @@ pub mod bulk;
 pub mod churn;
 mod common;
 pub mod deletion;
+pub mod erasure;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

@@ -254,6 +254,59 @@ impl<V> Extend<(KeyFraction, V)> for LeafBucket<V> {
     }
 }
 
+/// Byte codec for storing buckets under an
+/// [`ErasureDht`](lht_dht::ErasureDht): the erasure layer shards real
+/// bytes, and the vendored serde shim is a no-op, so the wire format
+/// is explicit — `u16` label length, the label's `#bits` rendering,
+/// `u32` record count, then `(u64 key bits, u32 value)` pairs in key
+/// order. Exact: labels round-trip through their string form and keys
+/// through their raw 64-bit numerators.
+impl lht_dht::ErasurePayload for LeafBucket<u32> {
+    fn encode_payload(&self) -> Vec<u8> {
+        let label = self.label.to_string();
+        let mut out = Vec::with_capacity(2 + label.len() + 4 + 12 * self.records.len());
+        out.extend_from_slice(&(label.len() as u16).to_le_bytes());
+        out.extend_from_slice(label.as_bytes());
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for (k, v) in &self.records {
+            out.extend_from_slice(&k.bits().to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        let take = |bytes: &[u8], at: &mut usize, n: usize| -> Option<Vec<u8>> {
+            let out = bytes.get(*at..*at + n)?.to_vec();
+            *at += n;
+            Some(out)
+        };
+        let mut at = 0usize;
+        let label_len = u16::from_le_bytes(take(bytes, &mut at, 2)?.try_into().ok()?) as usize;
+        let label_str = String::from_utf8(take(bytes, &mut at, label_len)?).ok()?;
+        let label: Label = label_str.parse().ok()?;
+        if label.is_virtual_root() {
+            return None;
+        }
+        let count = u32::from_le_bytes(take(bytes, &mut at, 4)?.try_into().ok()?) as usize;
+        let mut bucket = LeafBucket::new(label);
+        for _ in 0..count {
+            let key = KeyFraction::from_bits(u64::from_le_bytes(
+                take(bytes, &mut at, 8)?.try_into().ok()?,
+            ));
+            let value = u32::from_le_bytes(take(bytes, &mut at, 4)?.try_into().ok()?);
+            if !bucket.covers(key) {
+                return None; // malformed bytes must fail closed, not assert
+            }
+            bucket.insert(key, value);
+        }
+        if at != bytes.len() {
+            return None;
+        }
+        Some(bucket)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,5 +444,34 @@ mod tests {
     #[should_panic(expected = "virtual root")]
     fn bucket_for_virtual_root_rejected() {
         let _: LeafBucket<u32> = LeafBucket::new(Label::virtual_root());
+    }
+
+    #[test]
+    fn erasure_payload_round_trips_and_fails_closed() {
+        use lht_dht::ErasurePayload;
+        let b = bucket_with("#011", &[0.8, 0.9, 0.95]);
+        let bytes = b.encode_payload();
+        assert_eq!(LeafBucket::<u32>::decode_payload(&bytes), Some(b));
+        let empty = bucket_with("#0", &[]);
+        assert_eq!(
+            LeafBucket::<u32>::decode_payload(&empty.encode_payload()),
+            Some(empty)
+        );
+        // Truncated, trailing-garbage, and out-of-interval bytes all
+        // fail closed instead of asserting.
+        assert_eq!(
+            LeafBucket::<u32>::decode_payload(&bytes[..bytes.len() - 1]),
+            None
+        );
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(LeafBucket::<u32>::decode_payload(&long), None);
+        let mut bad = bytes;
+        let key_at = 2 + "#011".len() + 4;
+        for b in &mut bad[key_at..key_at + 8] {
+            *b = 0; // key 0.0 is outside #011's interval [0.75, 1)
+        }
+        assert_eq!(LeafBucket::<u32>::decode_payload(&bad), None);
+        assert_eq!(LeafBucket::<u32>::decode_payload(&[]), None);
     }
 }

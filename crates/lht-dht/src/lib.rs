@@ -53,8 +53,10 @@
 mod cache;
 mod chord;
 mod direct;
+mod erasure;
 mod error;
 mod fault;
+pub mod gf256;
 mod key;
 mod quorum;
 mod retry;
@@ -66,6 +68,9 @@ mod traits;
 pub use cache::{CacheConfig, CachedDht};
 pub use chord::{ChordConfig, ChordDht, RingSnapshot, RingViolation};
 pub use direct::DirectDht;
+pub use erasure::{
+    fragment_key, split_fragment_key, ErasureConfig, ErasureDht, ErasurePayload, Fragment,
+};
 pub use error::DhtError;
 pub use fault::{Brownout, FaultyDht, LatencyProfile, NetProfile};
 pub use key::DhtKey;

@@ -67,6 +67,29 @@ pub struct SimConfig {
     /// read quorums miss a completed write entirely. Implies a quorum
     /// stack like `sloppy_quorum_read`.
     pub lost_write_ack: bool,
+    /// Coding parameters `(k, m)` for the erasure layer. When set,
+    /// the stack becomes
+    /// `CachedDht<RetriedDht<FaultyDht<ErasureDht<ChordDht>>>>`, the
+    /// ring runs with a single copy per fragment slot (the coded
+    /// group owns redundancy), the key-sync actor is replaced by the
+    /// erasure layer's anti-entropy rounds, and — unlike every other
+    /// stack — churn departures **crash** nodes instead of leaving
+    /// gracefully: losing fragments outright is precisely what makes
+    /// regeneration load-bearing, so an anti-entropy bug has
+    /// schedules where it loses data. Mutually exclusive with
+    /// [`quorum`](SimConfig::quorum).
+    pub erasure: Option<(usize, usize)>,
+    /// Arms the corrupt-fragment bug: a decoded read adopts the first
+    /// gathered fragment's generation without reconciling to the
+    /// newest, so a rotated read starting on deferred slots decodes a
+    /// stale generation. Implies an erasure stack (defaulted to
+    /// `(2, 5)` when [`erasure`](SimConfig::erasure) is unset).
+    pub corrupt_fragment: bool,
+    /// Arms the lazy-regen bug: anti-entropy counts a fragment as
+    /// repaired without writing it, so crashed fragments never heal
+    /// and groups erode below `k` — reads then report durable keys as
+    /// absent. Implies an erasure stack like `corrupt_fragment`.
+    pub lazy_regen: bool,
     /// State budget for the linearizability search; exceeding it
     /// yields [`SimVerdict::Undecided`](crate::SimVerdict).
     pub check_budget: u64,
@@ -90,6 +113,9 @@ impl Default for SimConfig {
             quorum: None,
             sloppy_quorum_read: false,
             lost_write_ack: false,
+            erasure: None,
+            corrupt_fragment: false,
+            lazy_regen: false,
             check_budget: 2_000_000,
         }
     }
@@ -120,6 +146,22 @@ impl SimConfig {
             self.quorum
         } else if self.sloppy_quorum_read || self.lost_write_ack {
             Some((3, 2, 2))
+        } else {
+            None
+        }
+    }
+
+    /// The effective erasure parameters, if any: the explicit
+    /// setting, or `(2, 5)` when only an erasure mutant is armed.
+    /// `(2, 5)` because a corrupt-fragment read needs a *decodable*
+    /// stale group: writes install `k + 1 = 3` fragments, leaving two
+    /// deferred slots — exactly `k` fragments of the previous
+    /// generation for the mutant's first-seen decode to land on.
+    pub fn erasure_params(&self) -> Option<(usize, usize)> {
+        if self.erasure.is_some() {
+            self.erasure
+        } else if self.corrupt_fragment || self.lazy_regen {
+            Some((2, 5))
         } else {
             None
         }
@@ -159,6 +201,15 @@ impl SimConfig {
         }
         if self.lost_write_ack {
             s.push_str(" --lost-write-ack");
+        }
+        if let Some((k, m)) = self.erasure {
+            let _ = write!(s, " --erasure {k},{m}");
+        }
+        if self.corrupt_fragment {
+            s.push_str(" --corrupt-fragment");
+        }
+        if self.lazy_regen {
+            s.push_str(" --lazy-regen");
         }
         s
     }

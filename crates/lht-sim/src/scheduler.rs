@@ -27,8 +27,9 @@ use rand::{Rng, SeedableRng};
 
 use lht_core::{HistoryLog, KeyInterval, LeafBucket, LhtConfig, LhtIndex};
 use lht_dht::{
-    CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtError, DhtKey, FaultyDht, NetProfile,
-    Probe, QuorumConfig, QuorumDht, RetriedDht, RetryPolicy, Versioned,
+    CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtError, DhtKey, ErasureConfig,
+    ErasureDht, FaultyDht, Fragment, NetProfile, Probe, QuorumConfig, QuorumDht, RetriedDht,
+    RetryPolicy, Versioned,
 };
 use lht_id::{KeyFraction, U160};
 
@@ -127,6 +128,9 @@ type Stack = CachedDht<RetriedDht<FaultyDht<SharedDht<Ring>>>>;
 type QRing = ChordDht<Versioned<LeafBucket<u32>>>;
 type QuorumLayer = QuorumDht<SharedDht<QRing>>;
 type QStack = CachedDht<RetriedDht<FaultyDht<SharedDht<QuorumLayer>>>>;
+type ERing = ChordDht<Fragment>;
+type ErasureLayer = ErasureDht<SharedDht<ERing>, LeafBucket<u32>>;
+type EStack = CachedDht<RetriedDht<FaultyDht<SharedDht<ErasureLayer>>>>;
 
 /// The maintenance half of a built world: the ring the stabilize and
 /// churn actors drive, plus — in quorum mode — the replication layer
@@ -148,6 +152,18 @@ enum Maint {
         /// The replication layer driven by the anti-entropy actor.
         quorum: Arc<QuorumLayer>,
     },
+    /// Erasure stack: the ring stores single-copy coded fragments and
+    /// the erasure layer owns redundancy; the key-sync slot runs the
+    /// layer's anti-entropy (handoff flush + fragment regeneration),
+    /// and churn departures **crash** nodes — fragments on the victim
+    /// are lost, which is what makes regeneration observable by the
+    /// checker.
+    Erasure {
+        /// The shared single-copy Chord ring under the erasure layer.
+        ring: Arc<ERing>,
+        /// The coding layer driven by the anti-entropy actor.
+        erasure: Arc<ErasureLayer>,
+    },
 }
 
 impl Maint {
@@ -155,12 +171,14 @@ impl Maint {
         match self {
             Maint::Plain { ring } => ring.stabilize_step(),
             Maint::Quorum { ring, .. } => ring.stabilize_step(),
+            Maint::Erasure { ring, .. } => ring.stabilize_step(),
         }
     }
 
     /// One replica-reconciliation round: Chord key-sync in plain
-    /// mode, a quorum anti-entropy step in quorum mode. Returns the
-    /// trace description (deterministic for equal configurations).
+    /// mode, a durability-layer anti-entropy step in quorum or
+    /// erasure mode. Returns the trace description (deterministic for
+    /// equal configurations).
     fn sync_step(&self) -> String {
         match self {
             Maint::Plain { ring } => {
@@ -171,13 +189,17 @@ impl Maint {
                 let writes = quorum.anti_entropy_step();
                 format!("round writes={writes}")
             }
+            Maint::Erasure { erasure, .. } => {
+                let writes = erasure.anti_entropy_step();
+                format!("round writes={writes}")
+            }
         }
     }
 
     fn sync_name(&self) -> &'static str {
         match self {
             Maint::Plain { .. } => "key-sync",
-            Maint::Quorum { .. } => "anti-entropy",
+            Maint::Quorum { .. } | Maint::Erasure { .. } => "anti-entropy",
         }
     }
 
@@ -185,6 +207,7 @@ impl Maint {
         match self {
             Maint::Plain { ring } => ring.node_count(),
             Maint::Quorum { ring, .. } => ring.node_count(),
+            Maint::Erasure { ring, .. } => ring.node_count(),
         }
     }
 
@@ -192,13 +215,28 @@ impl Maint {
         match self {
             Maint::Plain { ring } => ring.snapshot().node_ids,
             Maint::Quorum { ring, .. } => ring.snapshot().node_ids,
+            Maint::Erasure { ring, .. } => ring.snapshot().node_ids,
         }
     }
 
+    /// A churn departure: graceful (the node hands its keys to its
+    /// successor) in plain and quorum mode, a **crash** (its
+    /// fragments are lost) in erasure mode — surviving exactly that
+    /// loss is the coded tier's contract, and it is what gives a
+    /// broken regeneration path schedules where it destroys data.
     fn leave(&self, id: &U160) -> bool {
         match self {
             Maint::Plain { ring } => ring.leave(id),
             Maint::Quorum { ring, .. } => ring.leave(id),
+            Maint::Erasure { ring, .. } => ring.crash(id),
+        }
+    }
+
+    /// The churn trace verb for a departure (see [`leave`](Self::leave)).
+    fn leave_verb(&self) -> &'static str {
+        match self {
+            Maint::Plain { .. } | Maint::Quorum { .. } => "leave",
+            Maint::Erasure { .. } => "crash",
         }
     }
 
@@ -206,6 +244,7 @@ impl Maint {
         match self {
             Maint::Plain { ring } => ring.join(name),
             Maint::Quorum { ring, .. } => ring.join(name),
+            Maint::Erasure { ring, .. } => ring.join(name),
         }
     }
 }
@@ -284,6 +323,50 @@ impl StackBuild for QStack {
             cache_config(cfg),
         );
         (stack, Maint::Quorum { ring, quorum })
+    }
+}
+
+impl StackBuild for EStack {
+    fn build(cfg: &SimConfig) -> (EStack, Maint) {
+        let (k, m) = cfg
+            .erasure_params()
+            .expect("erasure stack requires erasure parameters");
+        // The coded group owns redundancy, so the ring runs
+        // single-copy; churn departures crash nodes (see
+        // [`Maint::leave`]) and the anti-entropy actor regenerates
+        // what the crashes destroy.
+        let ring = Arc::new(ERing::with_config(
+            cfg.nodes,
+            cfg.seed ^ 0x5EED_0001,
+            ChordConfig {
+                replicas: 1,
+                ..ChordConfig::default()
+            },
+        ));
+        if cfg.stale_replica {
+            ring.arm_stale_replica_mutant();
+        }
+        if cfg.stale_cache_read {
+            ring.arm_stale_cache_mutant();
+        }
+        let erasure = Arc::new(ErasureDht::new(
+            SharedDht(Arc::clone(&ring)),
+            ErasureConfig::new(k, m),
+        ));
+        if cfg.corrupt_fragment {
+            erasure.arm_corrupt_fragment_mutant();
+        }
+        if cfg.lazy_regen {
+            erasure.arm_lazy_regen_mutant();
+        }
+        let stack = CachedDht::new(
+            RetriedDht::new(
+                FaultyDht::new(SharedDht(Arc::clone(&erasure)), net_profile(cfg)),
+                retry_policy(cfg),
+            ),
+            cache_config(cfg),
+        );
+        (stack, Maint::Erasure { ring, erasure })
     }
 }
 
@@ -532,7 +615,7 @@ impl<S: StackBuild> World<S> {
             let ids: Vec<U160> = self.maint.node_ids();
             let victim = ids[self.churn_rng.gen_range(0..ids.len())];
             let ok = self.maint.leave(&victim);
-            format!("leave {victim} -> {ok}")
+            format!("{} {victim} -> {ok}", self.maint.leave_verb())
         } else {
             self.joined += 1;
             let name = format!("sim:{}", self.joined);
@@ -625,12 +708,20 @@ fn verdict_of<S: StackBuild>(cfg: &SimConfig, world: &World<S>) -> (SimVerdict, 
 /// check, and — on a violation — shrink the schedule and build the
 /// replay line.
 ///
-/// The stack is picked by the configuration: any quorum setting (or
-/// armed quorum mutant) selects the quorum-replicated stack, whose
-/// key-sync actor slot runs anti-entropy instead; otherwise the
-/// historical plain stack runs with byte-identical traces.
+/// The stack is picked by the configuration: any erasure setting (or
+/// armed erasure mutant) selects the erasure-coded stack, any quorum
+/// setting (or armed quorum mutant) the quorum-replicated stack —
+/// both replace the key-sync actor slot with anti-entropy — and
+/// otherwise the historical plain stack runs with byte-identical
+/// traces. Quorum and erasure are mutually exclusive.
 pub fn simulate(cfg: &SimConfig) -> SimReport {
-    if cfg.quorum_params().is_some() {
+    if cfg.erasure_params().is_some() {
+        assert!(
+            cfg.quorum_params().is_none(),
+            "quorum and erasure stacks are mutually exclusive"
+        );
+        simulate_on::<EStack>(cfg)
+    } else if cfg.quorum_params().is_some() {
         simulate_on::<QStack>(cfg)
     } else {
         simulate_on::<Stack>(cfg)
@@ -663,7 +754,13 @@ fn simulate_on<S: StackBuild>(cfg: &SimConfig) -> SimReport {
 /// the resulting history. The verdict's `minimized` schedule is the
 /// replayed schedule itself — replay does not re-shrink.
 pub fn replay_schedule(cfg: &SimConfig, schedule: &[u32]) -> SimReport {
-    if cfg.quorum_params().is_some() {
+    if cfg.erasure_params().is_some() {
+        assert!(
+            cfg.quorum_params().is_none(),
+            "quorum and erasure stacks are mutually exclusive"
+        );
+        replay_on::<EStack>(cfg, schedule)
+    } else if cfg.quorum_params().is_some() {
         replay_on::<QStack>(cfg, schedule)
     } else {
         replay_on::<Stack>(cfg, schedule)
@@ -783,6 +880,65 @@ mod tests {
             report.trace
         );
         assert!(report.history_len > 0);
+    }
+
+    #[test]
+    fn erasure_mode_is_deterministic_runs_anti_entropy_and_crashes() {
+        let cfg = SimConfig {
+            erasure: Some((2, 5)),
+            ..SimConfig::small(11)
+        };
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a.trace, b.trace, "erasure trace must be byte-identical");
+        assert_eq!(a.verdict, b.verdict);
+        assert!(
+            a.trace.contains("anti-entropy"),
+            "the key-sync actor slot must run anti-entropy in erasure mode:\n{}",
+            a.trace
+        );
+        assert!(!a.trace.contains("key-sync"));
+        assert!(
+            !a.trace.contains("] churn: leave"),
+            "erasure-mode departures must crash, not leave gracefully:\n{}",
+            a.trace
+        );
+    }
+
+    #[test]
+    fn correct_erasure_stack_passes_under_crash_churn() {
+        for seed in [3u64, 11] {
+            let cfg = SimConfig {
+                erasure: Some((2, 5)),
+                ..SimConfig::small(seed)
+            };
+            let report = simulate(&cfg);
+            assert!(
+                matches!(report.verdict, SimVerdict::Pass { .. }),
+                "seed {seed}: {:?}\n{}",
+                report.verdict,
+                report.trace
+            );
+            assert!(report.history_len > 0);
+        }
+    }
+
+    #[test]
+    fn erasure_mutants_imply_the_erasure_stack_in_replays() {
+        let cfg = SimConfig {
+            corrupt_fragment: true,
+            ..SimConfig::small(1)
+        };
+        assert_eq!(cfg.erasure_params(), Some((2, 5)));
+        assert!(cfg.replay_args().contains("--corrupt-fragment"));
+        let explicit = SimConfig {
+            erasure: Some((4, 6)),
+            lazy_regen: true,
+            ..SimConfig::small(1)
+        };
+        assert_eq!(explicit.erasure_params(), Some((4, 6)));
+        assert!(explicit.replay_args().contains("--erasure 4,6"));
+        assert!(explicit.replay_args().contains("--lazy-regen"));
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! retry stack on top — the chaos matrix exercises every cell.
 
 use lht_core::{audit, KeyInterval, LeafBucket, LhtConfig, LhtError, LhtIndex};
+use lht_dht::gf256::ReedSolomon;
 use lht_dht::{
-    split_slot_key, CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtKey, DhtStats,
-    DirectDht, FaultyDht, NetProfile, QuorumConfig, QuorumDht, RetriedDht, RetryPolicy, Versioned,
+    split_fragment_key, split_slot_key, CacheConfig, CachedDht, ChordConfig, ChordDht, Dht, DhtKey,
+    DhtStats, DirectDht, ErasureConfig, ErasureDht, ErasurePayload, FaultyDht, Fragment,
+    NetProfile, QuorumConfig, QuorumDht, RetriedDht, RetryPolicy, Versioned,
 };
 use lht_dst::{DstConfig, DstIndex, DstNode};
 use lht_id::KeyFraction;
@@ -132,6 +134,13 @@ pub struct SoakOptions {
     /// [`SoakReport::repair_transfers`] /
     /// [`SoakReport::repair_bandwidth`].
     pub quorum: Option<(usize, usize, usize)>,
+    /// Erasure-code every logical key into `(k, m)` Reed–Solomon
+    /// fragment groups through an [`ErasureDht`] (Chord substrate,
+    /// LHT primary only; ignored elsewhere). The ring runs
+    /// single-copy — the coded group owns redundancy — and repair
+    /// counters land in the same report fields as the quorum tier's.
+    /// Mutually exclusive with [`SoakOptions::quorum`].
+    pub erasure: Option<(usize, usize)>,
 }
 
 impl Default for SoakOptions {
@@ -152,6 +161,7 @@ impl Default for SoakOptions {
             route_cache: None,
             inject_loss_at: None,
             quorum: None,
+            erasure: None,
         }
     }
 }
@@ -179,6 +189,9 @@ impl SoakOptions {
         }
         if let Some((n, r, w)) = self.quorum {
             line.push_str(&format!(" --quorum {n},{r},{w}"));
+        }
+        if let Some((k, m)) = self.erasure {
+            line.push_str(&format!(" --erasure {k},{m}"));
         }
         line
     }
@@ -638,6 +651,65 @@ pub fn run_trace(trace: &Trace, opts: &SoakOptions) -> Result<SoakReport, Box<Di
                 ..ChordConfig::default()
             };
             match opts.index {
+                IndexKind::Lht if opts.erasure.is_some() => {
+                    assert!(
+                        opts.quorum.is_none(),
+                        "the quorum and erasure tiers are mutually exclusive"
+                    );
+                    let (k, m) = opts.erasure.expect("guarded by the match arm");
+                    // The coded group owns redundancy; the ring stores
+                    // one copy of each fragment slot.
+                    let dht: ChordDht<Fragment> = ChordDht::with_config(
+                        nodes,
+                        opts.seed ^ 0x5eed,
+                        ChordConfig {
+                            replicas: 1,
+                            maintenance_loss: opts.maintenance_loss,
+                            ..ChordConfig::default()
+                        },
+                    );
+                    let erasure: ErasureDht<_, LeafBucket<u32>> =
+                        ErasureDht::new(&dht, ErasureConfig::new(k, m));
+                    let mut env = ErasureChordEnv {
+                        dht: &dht,
+                        erasure: &erasure,
+                        cfg,
+                        rs: ReedSolomon::new(k, m),
+                        lossy_maintenance: opts.maintenance_loss > 0.0,
+                    };
+                    // As with the quorum tier, faults wrap the erasure
+                    // layer: a lost RPC drops the whole logical op
+                    // atomically, never a partial fragment scatter.
+                    let report = match (opts.net, opts.route_cache) {
+                        (None, None) => {
+                            let ix =
+                                LhtIndex::new(&erasure, cfg).map_err(|e| setup_failure(opts, e))?;
+                            drive(&LhtDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                        (None, Some(cap)) => {
+                            let cached = CachedDht::new(&erasure, cache_cfg(opts, cap));
+                            let ix =
+                                LhtIndex::new(cached, cfg).map_err(|e| setup_failure(opts, e))?;
+                            let report = drive(&LhtDriver { ix: &ix }, trace, opts, &mut env);
+                            annotate_cache(report, &Dht::stats(ix.dht()))
+                        }
+                        (Some(net), None) => {
+                            let lossy = RetriedDht::new(FaultyDht::new(&erasure, net), opts.retry);
+                            let ix =
+                                LhtIndex::new(lossy, cfg).map_err(|e| setup_failure(opts, e))?;
+                            drive(&LhtDriver { ix: &ix }, trace, opts, &mut env)
+                        }
+                        (Some(net), Some(cap)) => {
+                            let lossy = RetriedDht::new(FaultyDht::new(&erasure, net), opts.retry);
+                            let cached = CachedDht::new(lossy, cache_cfg(opts, cap));
+                            let ix =
+                                LhtIndex::new(cached, cfg).map_err(|e| setup_failure(opts, e))?;
+                            let report = drive(&LhtDriver { ix: &ix }, trace, opts, &mut env);
+                            annotate_cache(report, &Dht::stats(ix.dht()))
+                        }
+                    };
+                    annotate_repair(report, &Dht::stats(&erasure))
+                }
                 IndexKind::Lht if opts.quorum.is_some() => {
                     let (n, r, w) = opts.quorum.expect("guarded by the match arm");
                     // The quorum layer owns redundancy; the ring
@@ -1487,6 +1559,161 @@ fn quorum_projection(
         .into_iter()
         .filter_map(|(key, envelope)| envelope.value.map(|bucket| (key, bucket)))
         .collect()
+}
+
+/// Chord environment for the erasure-coded stack: churn moves ring
+/// nodes gracefully (departing nodes hand their fragments off — loss
+/// tolerance under *crashes* is the simulator's and E20's territory,
+/// where availability is measured rather than asserted), the
+/// stabilize windows run the erasure layer's anti-entropy, and the
+/// audit reassembles raw fragments into logical buckets before
+/// holding them to the oracle — so a single reconstruction mismatch
+/// anywhere in the store fails the soak.
+struct ErasureChordEnv<'a> {
+    dht: &'a ChordDht<Fragment>,
+    erasure: &'a ErasureDht<&'a ChordDht<Fragment>, LeafBucket<u32>>,
+    cfg: LhtConfig,
+    rs: ReedSolomon,
+    /// Whether maintenance RPCs can be lost (see [`ChordEnv`]).
+    lossy_maintenance: bool,
+}
+
+/// Collapses a dump of raw `(fragment key, fragment)` entries to the
+/// logical `(base key, bucket)` view: per base key the newest
+/// generation wins, tombstones disappear, and anything that fails to
+/// reconstruct or decode is a violation, not a skip.
+fn erasure_projection(
+    entries: Vec<(DhtKey, Fragment)>,
+    rs: &ReedSolomon,
+) -> (Vec<(DhtKey, LeafBucket<u32>)>, Vec<String>) {
+    let mut groups: std::collections::BTreeMap<DhtKey, Vec<Fragment>> =
+        std::collections::BTreeMap::new();
+    for (key, fragment) in entries {
+        let (base, _slot) = split_fragment_key(&key);
+        groups.entry(base).or_default().push(fragment);
+    }
+    let mut out = Vec::new();
+    let mut violations = Vec::new();
+    for (base, fragments) in groups {
+        let newest = fragments
+            .iter()
+            .map(|f| f.seq)
+            .max()
+            .expect("group is nonempty by construction");
+        let generation: Vec<&Fragment> = fragments.iter().filter(|f| f.seq == newest).collect();
+        if generation.iter().any(|f| f.tomb) {
+            continue;
+        }
+        let len = generation[0].len as usize;
+        let mut shards: Vec<(usize, Vec<u8>)> = Vec::new();
+        for f in &generation {
+            if !shards.iter().any(|(i, _)| *i == f.index as usize) {
+                shards.push((f.index as usize, f.data.clone()));
+            }
+        }
+        let Some(bytes) = rs.reconstruct(&shards, len) else {
+            violations.push(format!(
+                "erasure: base key {base:?} newest generation {newest} holds {} of {} \
+                 fragments — undecodable",
+                shards.len(),
+                rs.m()
+            ));
+            continue;
+        };
+        match <LeafBucket<u32> as ErasurePayload>::decode_payload(&bytes) {
+            Some(bucket) => out.push((base, bucket)),
+            None => violations.push(format!(
+                "erasure: base key {base:?} generation {newest} reconstructed to \
+                 undecodable payload bytes"
+            )),
+        }
+    }
+    (out, violations)
+}
+
+impl SoakEnv for ErasureChordEnv<'_> {
+    fn churn(&mut self, op: &Op) -> Result<bool, String> {
+        match op {
+            Op::Join(n) => {
+                let joined = self.dht.join(&format!("soak:{n}")).is_some();
+                if joined {
+                    self.dht.stabilize(1);
+                }
+                Ok(joined)
+            }
+            Op::Leave(n) => {
+                let ids = self.dht.snapshot().node_ids;
+                if ids.len() <= 2 {
+                    return Ok(false);
+                }
+                let victim = ids[*n as usize % ids.len()];
+                let left = self.dht.leave(&victim);
+                if left {
+                    self.dht.stabilize(1);
+                }
+                Ok(left)
+            }
+            Op::Stabilize => {
+                self.dht.stabilize(3);
+                // Anti-entropy rides the stabilize cadence: flush
+                // deferred fragment handoffs and sweep tracked keys.
+                self.erasure.anti_entropy_step();
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn mirror(&mut self, _op: &Op, _oracle: &ShadowOracle) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn optimal_buckets(&self, _range: &KeyInterval) -> Option<u64> {
+        None
+    }
+
+    fn audit(&mut self, oracle: &ShadowOracle, converged: bool) -> Vec<String> {
+        if !converged {
+            return Vec::new();
+        }
+        if self.lossy_maintenance {
+            for _ in 0..4 {
+                if self.dht.audit_ring().is_empty() {
+                    break;
+                }
+                self.dht.stabilize(2);
+            }
+            // A lost maintenance transfer may have dropped a fragment
+            // in flight; the low-maintenance claim is that the tier's
+            // own repair regenerates it, so let a full sync pass run
+            // before the strict reassembly audit below.
+            self.erasure.sync_all();
+        }
+        let expect: Vec<(u64, u32)> = oracle
+            .snapshot()
+            .into_iter()
+            .map(|(k, v)| (k.bits(), v))
+            .collect();
+        let (projected, mut out) = erasure_projection(self.dht.all_entries(), &self.rs);
+        out.extend(lht_entry_audit(projected, self.cfg, &expect));
+        out.extend(
+            self.dht
+                .audit_ring()
+                .into_iter()
+                .map(|v| format!("ring: {v:?}")),
+        );
+        out
+    }
+
+    fn sabotage(&mut self) -> bool {
+        false
+    }
+
+    fn repair(&mut self) -> bool {
+        self.dht.stabilize(2);
+        self.erasure.anti_entropy_step();
+        true
+    }
 }
 
 impl SoakEnv for QuorumChordEnv<'_> {

