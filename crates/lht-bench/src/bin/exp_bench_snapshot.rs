@@ -24,7 +24,10 @@
 //!   payloads),
 //! * the E21 paper-scale headline: verified insert throughput and
 //!   range-query rate of a scattered 2^16-key run over 256 Chord
-//!   peers, plus the process's peak resident set.
+//!   peers — and the same scale again over **1024** peers — plus each
+//!   cell's own peak resident set (`VmHWM`, reset per cell; rendered
+//!   as `"unsupported"` where the platform has no probe, never a fake
+//!   zero a check could pass vacuously).
 //!
 //! ```sh
 //! cargo run --release -p lht-bench --bin exp_bench_snapshot -- \
@@ -33,16 +36,19 @@
 //!
 //! `--check` re-measures and compares against the committed
 //! `BENCH_lht.json`: the run fails if `chord_hops_per_lookup`,
-//! `cached_hops_per_lookup` or `erasure_bytes_per_durable_key`
-//! regressed by more than 15%, or if a
-//! throughput metric — where *lower* is worse, so the comparison is
-//! inverted — fell below its committed floor: `threaded_ops_per_sec`,
+//! `cached_hops_per_lookup`, `erasure_bytes_per_durable_key` or
+//! `peak_rss_mb_1024_peers` regressed by more than their band (15%
+//! for the hop/storage figures, 30% for the RSS high-water mark), or
+//! if a throughput metric — where *lower* is worse, so the comparison
+//! is inverted — fell below its committed floor: `threaded_ops_per_sec`,
 //! `quorum_availability_at_20pct_drop` and
 //! `erasure_availability_at_20pct_drop` by more than 15%,
 //! `sha1_throughput_mb_s` by more than 25% (the hardware SHA path
 //! shares a noisy core; a real regression to the scalar path is a
-//! ~3x cliff, far past the band), and `paper_scale_inserts_per_sec`
-//! by more than 33%.
+//! ~3x cliff, far past the band), and `paper_scale_inserts_per_sec` /
+//! `paper_scale_peers_1024_inserts_per_sec` by more than 33%. A
+//! platform without an RSS probe fails `--check` outright instead of
+//! passing on a fake figure.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -167,14 +173,35 @@ fn sha1_throughput(smoke: bool) -> f64 {
     best
 }
 
+/// The E21 snapshot figures across both peer-count cells.
+struct PaperHeadline {
+    keys: usize,
+    inserts_per_sec: f64,
+    range_qps: f64,
+    rss_mb: Option<f64>,
+    inserts_per_sec_1024: f64,
+    rss_mb_1024: Option<f64>,
+}
+
 /// E21 headline at snapshot scale: verified insert throughput and
-/// range-query rate of a scattered run over 256 Chord peers, plus
-/// peak RSS. 2^16 keys is enough tree depth to exercise the paper
-/// hot path while keeping the snapshot fast; `--smoke` drops to 2^14.
-fn paper_scale_headline(args: &Args) -> (usize, f64, f64, f64) {
+/// range-query rate of a scattered run over 256 Chord peers — then
+/// the same scale over 1024 peers — plus each cell's peak RSS (the
+/// high-water mark is reset per cell inside the run). 2^16 keys is
+/// enough tree depth to exercise the paper hot path while keeping the
+/// snapshot fast; `--smoke` drops to 2^14.
+fn paper_scale_headline(args: &Args) -> PaperHeadline {
     let keys = if args.smoke { 1 << 14 } else { 1 << 16 };
     let (inserts_per_sec, range_qps, rss_mb) = paper_scale::headline(keys, 256, 4, args.seed);
-    (keys, inserts_per_sec, range_qps, rss_mb)
+    eprintln!("measuring paper-scale headline over 1024 peers…");
+    let r1024 = paper_scale::run(keys, 1024, 4, args.seed);
+    PaperHeadline {
+        keys,
+        inserts_per_sec,
+        range_qps,
+        rss_mb,
+        inserts_per_sec_1024: r1024.inserts_per_sec,
+        rss_mb_1024: r1024.peak_rss_mb,
+    }
 }
 
 /// Naming-cache behaviour on a repeated-lookup workload: hit rate and
@@ -276,6 +303,16 @@ fn erasure_headline(args: &Args) -> (f64, f64) {
     (h.coded_availability, h.coded_bytes_per_key)
 }
 
+/// Renders an optional peak-RSS figure as a JSON value: a number
+/// where measured, the string `"unsupported"` where the platform has
+/// no probe — never a fake `0.0` a `--check` floor could pass on.
+fn json_mb(mb: Option<f64>) -> String {
+    match mb {
+        Some(mb) => format!("{mb:.1}"),
+        None => "\"unsupported\"".to_string(),
+    }
+}
+
 /// Reads one numeric field out of the committed `BENCH_lht.json`.
 /// The file is written by this binary line-by-line, so a plain string
 /// scan is exact (the vendored serde shim has no JSON parser).
@@ -299,20 +336,30 @@ fn check_regressions(
     fresh_quorum: f64,
     fresh_erasure: (f64, f64),
     fresh_sha1: f64,
-    fresh_paper_inserts: f64,
+    paper: &PaperHeadline,
 ) -> Result<(), String> {
     let json = std::fs::read_to_string("BENCH_lht.json")
         .map_err(|e| format!("cannot read committed BENCH_lht.json: {e}"))?;
-    for (field, fresh) in [
-        ("chord_hops_per_lookup", fresh_chord),
-        ("cached_hops_per_lookup", fresh_cached),
-        ("erasure_bytes_per_durable_key", fresh_erasure.1),
+    // The RSS ceiling is only meaningful where the probe works; a
+    // platform without one must fail the check loudly rather than
+    // sail under a ceiling it never measured.
+    let fresh_rss_1024 = paper.rss_mb_1024.ok_or_else(|| {
+        "peak-RSS probe unsupported on this platform; \
+         peak_rss_mb_1024_peers cannot be checked"
+            .to_string()
+    })?;
+    for (field, fresh, band) in [
+        ("chord_hops_per_lookup", fresh_chord, 1.15),
+        ("cached_hops_per_lookup", fresh_cached, 1.15),
+        ("erasure_bytes_per_durable_key", fresh_erasure.1, 1.15),
+        ("peak_rss_mb_1024_peers", fresh_rss_1024, 1.3),
     ] {
         let committed = committed_field(&json, field)
             .ok_or_else(|| format!("committed BENCH_lht.json lacks {field:?}"))?;
-        if fresh > committed * 1.15 {
+        if fresh > committed * band {
             return Err(format!(
-                "{field} regressed: {fresh:.3} measured vs {committed:.3} committed (> 15%)"
+                "{field} regressed: {fresh:.3} measured vs {committed:.3} \
+                 committed (over the {band:.2}x ceiling)"
             ));
         }
         eprintln!("check {field}: {fresh:.3} vs committed {committed:.3} — ok");
@@ -333,7 +380,13 @@ fn check_regressions(
             4,
         ),
         ("sha1_throughput_mb_s", fresh_sha1, 1.25, 1),
-        ("paper_scale_inserts_per_sec", fresh_paper_inserts, 1.5, 0),
+        ("paper_scale_inserts_per_sec", paper.inserts_per_sec, 1.5, 0),
+        (
+            "paper_scale_peers_1024_inserts_per_sec",
+            paper.inserts_per_sec_1024,
+            1.5,
+            0,
+        ),
     ] {
         let committed = committed_field(&json, field)
             .ok_or_else(|| format!("committed BENCH_lht.json lacks {field:?}"))?;
@@ -369,7 +422,7 @@ fn main() {
     eprintln!("measuring erasure availability and storage at 20% drop + churn…");
     let (erasure_avail, erasure_bytes) = erasure_headline(&args);
     eprintln!("measuring paper-scale headline (scattered verified run)…");
-    let (paper_keys, paper_inserts, paper_range_qps, rss_mb) = paper_scale_headline(&args);
+    let paper = paper_scale_headline(&args);
 
     if args.check {
         if let Err(e) = check_regressions(
@@ -379,7 +432,7 @@ fn main() {
             quorum_avail,
             (erasure_avail, erasure_bytes),
             throughput,
-            paper_inserts,
+            &paper,
         ) {
             eprintln!("regression check failed: {e}");
             std::process::exit(1);
@@ -422,13 +475,24 @@ fn main() {
         json,
         "  \"erasure_bytes_per_durable_key\": {erasure_bytes:.1},"
     );
-    let _ = writeln!(json, "  \"paper_scale_keys\": {paper_keys},");
+    let _ = writeln!(json, "  \"paper_scale_keys\": {},", paper.keys);
     let _ = writeln!(
         json,
-        "  \"paper_scale_inserts_per_sec\": {paper_inserts:.0},"
+        "  \"paper_scale_inserts_per_sec\": {:.0},",
+        paper.inserts_per_sec
     );
-    let _ = writeln!(json, "  \"paper_scale_range_qps\": {paper_range_qps:.1},");
-    let _ = writeln!(json, "  \"peak_rss_mb\": {rss_mb:.1}");
+    let _ = writeln!(
+        json,
+        "  \"paper_scale_peers_1024_inserts_per_sec\": {:.0},",
+        paper.inserts_per_sec_1024
+    );
+    let _ = writeln!(json, "  \"paper_scale_range_qps\": {:.1},", paper.range_qps);
+    let _ = writeln!(json, "  \"peak_rss_mb\": {},", json_mb(paper.rss_mb));
+    let _ = writeln!(
+        json,
+        "  \"peak_rss_mb_1024_peers\": {}",
+        json_mb(paper.rss_mb_1024)
+    );
     json.push_str("}\n");
 
     print!("{json}");

@@ -1,34 +1,45 @@
-//! Extension experiment E21 — paper-scale throughput and memory.
+//! Extension experiment E21 — paper-scale and beyond-paper-scale
+//! throughput and memory over a {keys} × {peers} grid.
 //!
-//! Sweeps the paper's top data sizes (2^18, 2^19, 2^20 keys — §9 runs
-//! to 2^20) through the real index hot path over a Chord ring of 256
-//! simulated peers, scattered across real worker threads. Reports
-//! verified insert / point-lookup / range-query throughput and the
-//! process's peak resident set, as a table on stdout and as
+//! The paper's evaluation runs to 2^20 keys (§9); ROADMAP item 1 asks
+//! for 2^22–2^24 keys over ≥1024 peers. The default grid covers
+//! {2^20, 2^22} × {256, 1024} plus 2^20 × 4096; `--full` adds the
+//! expensive corner cells up to 2^24 × 4096. Every cell runs the real
+//! index hot path over a simulated Chord ring, scattered across real
+//! worker threads, and reports verified insert / point-lookup /
+//! range-query throughput and the cell's own peak resident set
+//! (`VmHWM`, reset per cell), as a table on stdout and as
 //! `results/e21_paper_scale.csv`.
 //!
 //! ```sh
 //! cargo run --release -p lht-bench --bin exp_paper_scale -- \
-//!     [--smoke] [--keys N] [--peers N] [--threads N] [--seed N] [--budget SECS]
+//!     [--smoke] [--full] [--keys N] [--peers N] [--threads N] \
+//!     [--seed N] [--budget SECS]
 //! ```
 //!
-//! `--smoke` runs one 2^14-key scale with conservative throughput
-//! floors asserted — the CI guard against the hot path silently
-//! falling off a cliff. The full sweep asserts a wall-clock budget
-//! instead (default 900 s): the paper-scale run *completing* in
-//! bounded time is itself the claim under test.
+//! `--smoke` runs one 2^14-key scale at 256 **and** 1024 peers with
+//! conservative throughput floors asserted — the CI guard against the
+//! hot path (or the 1024-peer routing) silently falling off a cliff.
+//! The grid sweeps assert a wall-clock budget instead (default
+//! 1800 s): paper scale *completing* in bounded time is itself the
+//! claim under test. Whenever a keys scale ran at both 256 and 1024
+//! peers, the sweep additionally asserts the 1024-peer cell holds
+//! ≥ half the 256-peer insert throughput — the O(log n) routing
+//! claim, measured.
 //!
 //! Every run is self-verifying: lookup values, exact range
 //! cardinalities, min/max endpoints, and scatter-gather stats
 //! cross-checks all assert inside the experiment.
 
 use lht_bench::experiments::paper_scale;
+use lht_bench::rss::format_mb;
 use lht_bench::{write_csv, Table};
 
 struct Args {
     smoke: bool,
+    full: bool,
     keys: Option<usize>,
-    peers: usize,
+    peers: Option<usize>,
     threads: usize,
     seed: u64,
     budget_secs: f64,
@@ -38,11 +49,12 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             smoke: false,
+            full: false,
             keys: None,
-            peers: 256,
+            peers: None,
             threads: 4,
             seed: 21,
-            budget_secs: 900.0,
+            budget_secs: 1800.0,
         }
     }
 }
@@ -52,7 +64,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: exp_paper_scale [--smoke] [--keys N] [--peers N] \
+        "usage: exp_paper_scale [--smoke] [--full] [--keys N] [--peers N] \
          [--threads N] [--seed N] [--budget SECS]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -69,8 +81,9 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => args.smoke = true,
+            "--full" => args.full = true,
             "--keys" => args.keys = Some((num(&mut it, "--keys") as usize).max(8192)),
-            "--peers" => args.peers = (num(&mut it, "--peers") as usize).max(1),
+            "--peers" => args.peers = Some((num(&mut it, "--peers") as usize).max(1)),
             "--threads" => args.threads = (num(&mut it, "--threads") as usize).clamp(1, 64),
             "--seed" => args.seed = num(&mut it, "--seed"),
             "--budget" => args.budget_secs = num(&mut it, "--budget") as f64,
@@ -81,21 +94,56 @@ fn parse_args() -> Args {
     args
 }
 
+/// The `(keys, peers)` cells a run covers. An explicit `--keys` or
+/// `--peers` pins a single cell; otherwise smoke mode runs the two CI
+/// cells and the sweep runs the grid (plus the `--full` corners).
+fn cells(args: &Args) -> Vec<(usize, usize)> {
+    if args.keys.is_some() || args.peers.is_some() {
+        return vec![(
+            args.keys
+                .unwrap_or(if args.smoke { 1 << 14 } else { 1 << 20 }),
+            args.peers.unwrap_or(256),
+        )];
+    }
+    if args.smoke {
+        return vec![(1 << 14, 256), (1 << 14, 1024)];
+    }
+    let mut cells = vec![
+        (1 << 20, 256),
+        (1 << 20, 1024),
+        (1 << 20, 4096),
+        (1 << 22, 256),
+        (1 << 22, 1024),
+    ];
+    if args.full {
+        cells.extend([
+            (1 << 22, 4096),
+            (1 << 24, 256),
+            (1 << 24, 1024),
+            (1 << 24, 4096),
+        ]);
+    }
+    cells
+}
+
 /// Smoke-mode throughput floors: an order of magnitude below what a
 /// single shared CPU core sustains, so they only trip on a real
-/// regression (an accidental per-op allocation storm or a hashing
-/// slowdown), not on scheduler noise.
+/// regression (an accidental per-op allocation storm, a hashing
+/// slowdown, or super-logarithmic routing), not on scheduler noise.
+/// The same floors apply at 256 and 1024 peers — O(log n) routing
+/// costs the bigger ring only a fraction more hops.
 const SMOKE_MIN_INSERTS_PER_SEC: f64 = 10_000.0;
 const SMOKE_MIN_RANGE_QPS: f64 = 40.0;
 
+/// A 1024-peer ring must hold at least half the 256-peer insert
+/// throughput at equal keys: hops grow like log2(n), so a 4× ring
+/// costs ~10/8 hops — far from 2×. A miss means routing degraded
+/// super-logarithmically.
+const MAX_PEER_SCALING_SLOWDOWN: f64 = 2.0;
+
 fn main() {
     let args = parse_args();
-
-    let scales: Vec<usize> = match (args.smoke, args.keys) {
-        (true, keys) => vec![keys.unwrap_or(1 << 14)],
-        (false, Some(keys)) => vec![keys],
-        (false, None) => vec![1 << 18, 1 << 19, 1 << 20],
-    };
+    let cells = cells(&args);
 
     let mut table = Table::new(
         "E21 — paper-scale hot path (verified throughput, peak RSS)",
@@ -114,22 +162,22 @@ fn main() {
     );
 
     let sweep_start = std::time::Instant::now();
-    let mut last = None;
-    for &keys in &scales {
+    let mut runs = Vec::new();
+    for &(keys, peers) in &cells {
         eprintln!(
-            "E21: {keys} keys over {} peers, {} threads…",
-            args.peers, args.threads
+            "E21: {keys} keys over {peers} peers, {} threads…",
+            args.threads
         );
-        let r = paper_scale::run(keys, args.peers, args.threads, args.seed);
+        let r = paper_scale::run(keys, peers, args.threads, args.seed);
         eprintln!(
             "  inserts {:.0}/s ({:.1}s seed + {:.1}s scattered), lookups {:.0}/s, \
-             ranges {:.1}/s, peak RSS {:.1} MB",
+             ranges {:.1}/s, peak RSS {} MB",
             r.inserts_per_sec,
             r.seed_secs,
             r.insert_secs,
             r.lookups_per_sec,
             r.range_qps,
-            r.peak_rss_mb
+            format_mb(r.peak_rss_mb)
         );
         table.push_row(vec![
             r.keys.to_string(),
@@ -141,9 +189,9 @@ fn main() {
             r.range_records.to_string(),
             format!("{:.2}", r.insert_dht_lookups as f64 / r.keys as f64),
             format!("{:.2}", r.insert_hops as f64 / r.keys as f64),
-            format!("{:.1}", r.peak_rss_mb),
+            format_mb(r.peak_rss_mb),
         ]);
-        last = Some(r);
+        runs.push(r);
     }
     let elapsed = sweep_start.elapsed().as_secs_f64();
 
@@ -156,18 +204,43 @@ fn main() {
         }
     }
 
-    let last = last.expect("at least one scale ran");
+    // Peer-scaling guard: wherever a keys scale ran at both 256 and
+    // 1024 peers, the bigger ring must stay within the logarithmic
+    // slowdown envelope.
+    for r in &runs {
+        if r.peers != 1024 {
+            continue;
+        }
+        let Some(base) = runs.iter().find(|b| b.keys == r.keys && b.peers == 256) else {
+            continue;
+        };
+        assert!(
+            r.inserts_per_sec * MAX_PEER_SCALING_SLOWDOWN >= base.inserts_per_sec,
+            "{} keys: 1024-peer inserts/s {:.0} fell below half the \
+             256-peer figure {:.0}",
+            r.keys,
+            r.inserts_per_sec,
+            base.inserts_per_sec
+        );
+    }
+
     if args.smoke {
-        assert!(
-            last.inserts_per_sec >= SMOKE_MIN_INSERTS_PER_SEC,
-            "smoke floor: inserts/s {:.0} fell below {SMOKE_MIN_INSERTS_PER_SEC}",
-            last.inserts_per_sec
-        );
-        assert!(
-            last.range_qps >= SMOKE_MIN_RANGE_QPS,
-            "smoke floor: range q/s {:.1} fell below {SMOKE_MIN_RANGE_QPS}",
-            last.range_qps
-        );
+        for r in &runs {
+            assert!(
+                r.inserts_per_sec >= SMOKE_MIN_INSERTS_PER_SEC,
+                "smoke floor ({} peers): inserts/s {:.0} fell below \
+                 {SMOKE_MIN_INSERTS_PER_SEC}",
+                r.peers,
+                r.inserts_per_sec
+            );
+            assert!(
+                r.range_qps >= SMOKE_MIN_RANGE_QPS,
+                "smoke floor ({} peers): range q/s {:.1} fell below \
+                 {SMOKE_MIN_RANGE_QPS}",
+                r.peers,
+                r.range_qps
+            );
+        }
         eprintln!("smoke floors passed ({elapsed:.1}s)");
     } else {
         // The budget is the in-bin claim that paper scale is

@@ -1,7 +1,7 @@
 //! Reproduces **Figure 6** (§9.2): average α.
 //!
 //! ```sh
-//! cargo run --release -p lht-bench --bin fig6_alpha -- [--trials N] [--full]
+//! cargo run --release -p lht-bench --bin fig6_alpha -- [--trials N] [--full] [--threads N]
 //! ```
 
 use lht_bench::experiments::fig6;
@@ -28,7 +28,13 @@ fn main() {
     for dist in dists {
         for theta in [40usize, 160] {
             eprintln!("fig6a: {} θ={theta}…", dist.tag());
-            cols.push(fig6::alpha_vs_size(dist, theta, &sizes, opts.trials));
+            cols.push(fig6::alpha_vs_size(
+                dist,
+                theta,
+                &sizes,
+                opts.trials,
+                opts.threads,
+            ));
         }
     }
     for (i, n) in sizes.iter().enumerate() {
@@ -56,8 +62,14 @@ fn main() {
         &["theta", "uniform", "gaussian", "predicted ½+1/2θ"],
     );
     eprintln!("fig6b…");
-    let uni = fig6::alpha_vs_theta(KeyDist::Uniform, n, &thetas, opts.trials);
-    let gau = fig6::alpha_vs_theta(KeyDist::gaussian_paper(), n, &thetas, opts.trials);
+    let uni = fig6::alpha_vs_theta(KeyDist::Uniform, n, &thetas, opts.trials, opts.threads);
+    let gau = fig6::alpha_vs_theta(
+        KeyDist::gaussian_paper(),
+        n,
+        &thetas,
+        opts.trials,
+        opts.threads,
+    );
     for i in 0..thetas.len() {
         t6b.push_row(vec![
             thetas[i].to_string(),

@@ -2,7 +2,7 @@
 //! LHT vs PHT under progressive insertion, θ_split = 100.
 //!
 //! ```sh
-//! cargo run --release -p lht-bench --bin fig7_maintenance -- [--trials N] [--full]
+//! cargo run --release -p lht-bench --bin fig7_maintenance -- [--trials N] [--full] [--threads N]
 //! ```
 
 use lht_bench::experiments::fig7;
@@ -15,7 +15,7 @@ fn main() {
 
     for dist in [KeyDist::Uniform, KeyDist::gaussian_paper()] {
         eprintln!("fig7: {} data…", dist.tag());
-        let pts = fig7::maintenance_vs_size(dist, &sizes, opts.trials);
+        let pts = fig7::maintenance_vs_size(dist, &sizes, opts.trials, opts.threads);
 
         let mut t7a = Table::new(
             format!(

@@ -2,7 +2,7 @@
 //! operation vs data size, D = 20, 1000 probes per point.
 //!
 //! ```sh
-//! cargo run --release -p lht-bench --bin fig8_lookup -- [--trials N] [--full]
+//! cargo run --release -p lht-bench --bin fig8_lookup -- [--trials N] [--full] [--threads N]
 //! ```
 
 use lht_bench::experiments::fig8;
@@ -18,7 +18,7 @@ fn main() {
 
     for (fig, dist) in [("8a", KeyDist::Uniform), ("8b", KeyDist::gaussian_paper())] {
         eprintln!("fig{fig}: {} data…", dist.tag());
-        let pts = fig8::lookup_vs_size(dist, &sizes, opts.trials);
+        let pts = fig8::lookup_vs_size(dist, &sizes, opts.trials, opts.threads);
         let mut t = Table::new(
             format!(
                 "Fig. {fig} — avg DHT-lookups per lookup, {} data (D=20, {} probes)",

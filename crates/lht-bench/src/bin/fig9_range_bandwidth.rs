@@ -3,7 +3,7 @@
 //! PHT(parallel), against data size (9a) and against span (9b).
 //!
 //! ```sh
-//! cargo run --release -p lht-bench --bin fig9_range_bandwidth -- [--trials N] [--full]
+//! cargo run --release -p lht-bench --bin fig9_range_bandwidth -- [--trials N] [--full] [--threads N]
 //! ```
 
 use lht_bench::experiments::fig9_10;
@@ -17,7 +17,7 @@ fn main() {
 
     for dist in [KeyDist::Uniform, KeyDist::gaussian_paper()] {
         eprintln!("fig9a: {} data…", dist.tag());
-        let pts = fig9_10::range_vs_size(dist, &sizes, span, opts.trials);
+        let pts = fig9_10::range_vs_size(dist, &sizes, span, opts.trials, opts.threads);
         let mut t = Table::new(
             format!(
                 "Fig. 9a — range bandwidth vs data size, {} data (span {span})",
@@ -42,7 +42,7 @@ fn main() {
     let spans = [0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
     for dist in [KeyDist::Uniform, KeyDist::gaussian_paper()] {
         eprintln!("fig9b: {} data…", dist.tag());
-        let pts = fig9_10::range_vs_span(dist, n, &spans, opts.trials);
+        let pts = fig9_10::range_vs_span(dist, n, &spans, opts.trials, opts.threads);
         let mut t = Table::new(
             format!(
                 "Fig. 9b — range bandwidth vs span, {} data (n = {n})",

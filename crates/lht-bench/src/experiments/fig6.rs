@@ -9,7 +9,7 @@
 use lht_core::LhtConfig;
 use lht_workload::{summary, KeyDist};
 
-use super::GrowthRun;
+use super::ScatterGrowthRun;
 
 /// One point of Fig. 6a: data size → average α (mean over trials).
 #[derive(Clone, Copy, Debug)]
@@ -20,17 +20,21 @@ pub struct AlphaPoint {
     pub avg_alpha: f64,
 }
 
-/// Fig. 6a: average α as a function of data size.
+/// Fig. 6a: average α as a function of data size. Growth runs through
+/// the scatter driver over `threads` workers (1 reproduces the
+/// sequential run exactly), which is what lets the `--full` sweeps
+/// reach the paper's 2^20 sizes.
 pub fn alpha_vs_size(
     dist: KeyDist,
     theta_split: usize,
     sizes: &[usize],
     trials: u64,
+    threads: usize,
 ) -> Vec<AlphaPoint> {
     let cfg = LhtConfig::new(theta_split, 24);
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for trial in 0..trials {
-        let run = GrowthRun::run(dist, sizes, cfg, seed(dist, trial), |_, _, _| {});
+        let run = ScatterGrowthRun::run(dist, sizes, cfg, seed(dist, trial), threads, |_, _, _| {});
         for (i, cp) in run.checkpoints.iter().enumerate() {
             if let Some(a) = cp.lht.average_alpha() {
                 per_size[i].push(a);
@@ -66,11 +70,12 @@ pub fn alpha_vs_theta(
     n: usize,
     thetas: &[usize],
     trials: u64,
+    threads: usize,
 ) -> Vec<AlphaThetaPoint> {
     thetas
         .iter()
         .map(|&theta| {
-            let points = alpha_vs_size(dist, theta, &[n], trials);
+            let points = alpha_vs_size(dist, theta, &[n], trials, threads);
             AlphaThetaPoint {
                 theta_split: theta,
                 avg_alpha: points[0].avg_alpha,
@@ -95,7 +100,7 @@ mod tests {
 
     #[test]
     fn uniform_alpha_tracks_closed_form() {
-        let pts = alpha_vs_size(KeyDist::Uniform, 40, &[4096], 2);
+        let pts = alpha_vs_size(KeyDist::Uniform, 40, &[4096], 2, 2);
         let predicted = 0.5 + 1.0 / 80.0;
         assert!(
             (pts[0].avg_alpha - predicted).abs() < 0.03,
@@ -106,7 +111,7 @@ mod tests {
 
     #[test]
     fn theta_sweep_shape() {
-        let rows = alpha_vs_theta(KeyDist::Uniform, 2048, &[8, 32], 1);
+        let rows = alpha_vs_theta(KeyDist::Uniform, 2048, &[8, 32], 1, 1);
         assert_eq!(rows.len(), 2);
         assert!(rows[0].predicted > rows[1].predicted, "ᾱ decreases with θ");
         for r in rows {

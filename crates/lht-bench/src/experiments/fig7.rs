@@ -9,7 +9,7 @@
 use lht_core::LhtConfig;
 use lht_workload::{summary, KeyDist};
 
-use super::GrowthRun;
+use super::ScatterGrowthRun;
 
 /// One data-size point of Fig. 7 (means over trials).
 #[derive(Clone, Copy, Debug)]
@@ -38,14 +38,20 @@ impl MaintenancePoint {
     }
 }
 
-/// Runs the Fig. 7 experiment: one growth pass per trial, cumulative
-/// stats at each size.
-pub fn maintenance_vs_size(dist: KeyDist, sizes: &[usize], trials: u64) -> Vec<MaintenancePoint> {
+/// Runs the Fig. 7 experiment: one growth pass per trial through the
+/// scatter driver over `threads` workers, cumulative stats at each
+/// size.
+pub fn maintenance_vs_size(
+    dist: KeyDist,
+    sizes: &[usize],
+    trials: u64,
+    threads: usize,
+) -> Vec<MaintenancePoint> {
     let cfg = LhtConfig::new(100, 24);
     let mut acc: Vec<[Vec<f64>; 4]> = (0..sizes.len()).map(|_| Default::default()).collect();
     for trial in 0..trials {
         let seed = 0x7_2000 + trial * 31 + dist.tag().len() as u64;
-        let run = GrowthRun::run(dist, sizes, cfg, seed, |_, _, _| {});
+        let run = ScatterGrowthRun::run(dist, sizes, cfg, seed, threads, |_, _, _| {});
         for (i, cp) in run.checkpoints.iter().enumerate() {
             acc[i][0].push(cp.lht.records_moved as f64);
             acc[i][1].push(cp.pht.records_moved as f64);
@@ -72,7 +78,7 @@ mod tests {
 
     #[test]
     fn ratios_match_section8_shape() {
-        let pts = maintenance_vs_size(KeyDist::Uniform, &[2048, 8192], 1);
+        let pts = maintenance_vs_size(KeyDist::Uniform, &[2048, 8192], 1, 2);
         let last = pts.last().unwrap();
         assert!(
             (0.4..=0.6).contains(&last.moved_ratio()),

@@ -10,7 +10,7 @@
 use lht_core::LhtConfig;
 use lht_workload::{summary, KeyDist, LookupGen};
 
-use super::GrowthRun;
+use super::ScatterGrowthRun;
 
 /// Number of lookup probes per data point (the paper's 1000).
 pub const PROBES: usize = 1000;
@@ -34,15 +34,21 @@ impl LookupPoint {
     }
 }
 
-/// Runs the Fig. 8 experiment for one distribution.
-pub fn lookup_vs_size(dist: KeyDist, sizes: &[usize], trials: u64) -> Vec<LookupPoint> {
+/// Runs the Fig. 8 experiment for one distribution, growing through
+/// the scatter driver over `threads` workers.
+pub fn lookup_vs_size(
+    dist: KeyDist,
+    sizes: &[usize],
+    trials: u64,
+    threads: usize,
+) -> Vec<LookupPoint> {
     let cfg = LhtConfig::new(100, 20); // the paper's D = 20
     let mut lht_acc: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     let mut pht_acc: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for trial in 0..trials {
         let seed = 0x8_3000 + trial * 17 + dist.tag().len() as u64;
         let mut idx = 0usize;
-        GrowthRun::run(dist, sizes, cfg, seed, |_n, lht, pht| {
+        ScatterGrowthRun::run(dist, sizes, cfg, seed, threads, |_n, lht, pht| {
             let mut probes = LookupGen::new(seed ^ 0xbeef);
             let (mut l, mut p) = (0u64, 0u64);
             for _ in 0..PROBES {
@@ -73,7 +79,7 @@ mod tests {
     #[test]
     fn lookup_costs_are_logarithmic_and_lht_saves_on_average() {
         let sizes = [1 << 10, 1 << 11, 1 << 13, 1 << 14];
-        let pts = lookup_vs_size(KeyDist::Uniform, &sizes, 1);
+        let pts = lookup_vs_size(KeyDist::Uniform, &sizes, 1, 2);
         for p in &pts {
             assert!(p.lht >= 1.0 && p.lht <= 6.0, "LHT avg {}", p.lht);
             assert!(p.pht >= 1.0 && p.pht <= 6.0, "PHT avg {}", p.pht);

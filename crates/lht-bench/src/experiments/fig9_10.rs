@@ -13,7 +13,7 @@
 use lht_core::{LhtConfig, LhtError};
 use lht_workload::{summary, KeyDist, RangeQueryGen};
 
-use super::GrowthRun;
+use super::ScatterGrowthRun;
 
 /// Range queries issued per data point.
 pub const QUERIES: usize = 25;
@@ -104,14 +104,21 @@ fn measure(
     Ok(())
 }
 
-/// Figs. 9a/10a: range cost against data size at a fixed span.
-pub fn range_vs_size(dist: KeyDist, sizes: &[usize], span: f64, trials: u64) -> Vec<RangePoint> {
+/// Figs. 9a/10a: range cost against data size at a fixed span,
+/// growing through the scatter driver over `threads` workers.
+pub fn range_vs_size(
+    dist: KeyDist,
+    sizes: &[usize],
+    span: f64,
+    trials: u64,
+    threads: usize,
+) -> Vec<RangePoint> {
     let cfg = LhtConfig::new(100, 20);
     let mut per_size: Vec<Samples> = sizes.iter().map(|_| Samples::new()).collect();
     for trial in 0..trials {
         let seed = 0x9_4000 + trial * 13 + dist.tag().len() as u64;
         let mut idx = 0usize;
-        GrowthRun::run(dist, sizes, cfg, seed, |_n, lht, pht| {
+        ScatterGrowthRun::run(dist, sizes, cfg, seed, threads, |_n, lht, pht| {
             measure(lht, pht, span, seed ^ 0xfeed, &mut per_size[idx]).expect("consistent tree");
             idx += 1;
         });
@@ -130,13 +137,20 @@ pub fn range_vs_size(dist: KeyDist, sizes: &[usize], span: f64, trials: u64) -> 
         .collect()
 }
 
-/// Figs. 9b/10b: range cost against span at a fixed data size.
-pub fn range_vs_span(dist: KeyDist, n: usize, spans: &[f64], trials: u64) -> Vec<RangeSpanPoint> {
+/// Figs. 9b/10b: range cost against span at a fixed data size,
+/// growing through the scatter driver over `threads` workers.
+pub fn range_vs_span(
+    dist: KeyDist,
+    n: usize,
+    spans: &[f64],
+    trials: u64,
+    threads: usize,
+) -> Vec<RangeSpanPoint> {
     let cfg = LhtConfig::new(100, 20);
     let mut per_span: Vec<Samples> = spans.iter().map(|_| Samples::new()).collect();
     for trial in 0..trials {
         let seed = 0x9_5000 + trial * 13 + dist.tag().len() as u64;
-        let run = GrowthRun::run(dist, &[n], cfg, seed, |_, _, _| {});
+        let run = ScatterGrowthRun::run(dist, &[n], cfg, seed, threads, |_, _, _| {});
         let lht = run.lht();
         let pht = run.pht();
         for (i, span) in spans.iter().enumerate() {
@@ -163,7 +177,7 @@ mod tests {
 
     #[test]
     fn shapes_match_section9_4() {
-        let pts = range_vs_size(KeyDist::Uniform, &[4096, 16384], 0.1, 1);
+        let pts = range_vs_size(KeyDist::Uniform, &[4096, 16384], 0.1, 1, 2);
         for p in &pts {
             // Fig. 9: parallel PHT burns the most bandwidth; LHT ≈
             // sequential PHT.
@@ -195,7 +209,7 @@ mod tests {
 
     #[test]
     fn span_sweep_grows_with_span() {
-        let pts = range_vs_span(KeyDist::Uniform, 8192, &[0.05, 0.3], 1);
+        let pts = range_vs_span(KeyDist::Uniform, 8192, &[0.05, 0.3], 1, 2);
         assert_eq!(pts.len(), 2);
         assert!(pts[1].bandwidth.lht > pts[0].bandwidth.lht);
         assert!(pts[1].latency.pht_seq > pts[0].latency.pht_seq);

@@ -18,4 +18,4 @@ pub mod route_cache;
 pub mod saving;
 pub mod threaded;
 
-pub use common::{GrowthCheckpoint, GrowthRun};
+pub use common::{GrowthCheckpoint, GrowthRun, ScatterGrowthRun};

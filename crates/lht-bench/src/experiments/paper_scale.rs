@@ -29,7 +29,7 @@ use lht_core::{KeyInterval, LeafBucket, LhtConfig, LhtIndex};
 use lht_dht::ChordDht;
 use lht_id::KeyFraction;
 
-use crate::rss::peak_rss_mb;
+use crate::rss::{peak_rss_mb, reset_peak_rss};
 use crate::scatter::{partition_ranges, scatter};
 
 /// θ_split for the paper-scale tree — the paper's default block
@@ -41,10 +41,10 @@ const THETA_SPLIT: usize = 100;
 /// rendering limit.
 const MAX_DEPTH: usize = 48;
 
-/// Keys inserted single-threaded before scattering, spread uniformly
-/// over the whole grid. They pre-split the tree into enough leaves
-/// that concurrent workers land on disjoint subtrees instead of all
-/// racing the root bucket through its first splits.
+/// Keys bulk-loaded single-threaded before scattering, spread
+/// uniformly over the whole grid. They pre-split the tree into enough
+/// leaves that concurrent workers land on disjoint subtrees instead
+/// of all racing the root bucket through its first splits.
 const SEED_INSERTS: usize = 4096;
 
 /// One measured paper-scale run.
@@ -76,8 +76,11 @@ pub struct PaperScaleRun {
     pub range_qps: f64,
     /// Records returned across all range queries.
     pub range_records: u64,
-    /// Peak resident set after the run, in MB (0 off-Linux).
-    pub peak_rss_mb: f64,
+    /// Peak resident set over this run in MB — the high-water mark is
+    /// reset when the run starts where the kernel allows it, so grid
+    /// cells report their own peaks. `None` where the platform has no
+    /// probe (render with [`crate::rss::format_mb`]).
+    pub peak_rss_mb: Option<f64>,
 }
 
 /// The `i`-th key of the uniform grid over `(0, 1)`: midpoints of
@@ -125,19 +128,28 @@ fn grid_count_in(lo: f64, hi: f64, keys: usize) -> u64 {
 /// scatter-gather accounting drift.
 pub fn run(keys: usize, peers: usize, threads: usize, seed: u64) -> PaperScaleRun {
     assert!(keys >= SEED_INSERTS, "scale must cover the seed phase");
+    // Attribute the peak RSS to this run where the kernel lets us
+    // reset the high-water mark (best-effort; see `rss`).
+    reset_peak_rss();
     let cfg = LhtConfig::new(THETA_SPLIT, MAX_DEPTH);
     let dht: ChordDht<LeafBucket<u32>> = ChordDht::with_nodes(peers, seed);
     let stride = keys / SEED_INSERTS;
 
-    // Phase 1: single-threaded pre-split. A uniform sample across the
-    // whole grid walks the root bucket down through its first splits
-    // before any threads race it.
+    // Phase 1: single-threaded pre-split via the bulk loader — the
+    // partition tree over a uniform sample of the grid is computed
+    // locally and each leaf ships with one put, its name hashed in
+    // `bulk_load`'s single multi-lane SHA-1 batch. The scattered
+    // phase then lands on disjoint subtrees instead of racing the
+    // root bucket through its first splits.
     let seed_start = Instant::now();
     {
         let ix: LhtIndex<_, u32> = LhtIndex::new(&dht, cfg).expect("bootstrap index");
-        for i in (0..keys).step_by(stride) {
-            ix.insert(grid_key(i, keys), i as u32).expect("seed insert");
-        }
+        ix.bulk_load(
+            (0..keys)
+                .step_by(stride)
+                .map(|i| (grid_key(i, keys), i as u32)),
+        )
+        .expect("bulk seed");
     }
     let seed_secs = seed_start.elapsed().as_secs_f64();
 
@@ -252,7 +264,7 @@ pub fn run(keys: usize, peers: usize, threads: usize, seed: u64) -> PaperScaleRu
 /// The bench-snapshot headline: one modest-scale run (2^16 keys by
 /// default is the caller's choice) returning `(inserts_per_sec,
 /// range_qps, peak_rss_mb)`.
-pub fn headline(keys: usize, peers: usize, threads: usize, seed: u64) -> (f64, f64, f64) {
+pub fn headline(keys: usize, peers: usize, threads: usize, seed: u64) -> (f64, f64, Option<f64>) {
     let run = run(keys, peers, threads, seed);
     (run.inserts_per_sec, run.range_qps, run.peak_rss_mb)
 }

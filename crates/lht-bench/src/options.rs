@@ -9,6 +9,9 @@ pub struct BenchOpts {
     /// Run at the paper's full data scale (up to 2^20 records)
     /// instead of the faster default subset.
     pub full: bool,
+    /// Scatter workers the growth phases run over (1 reproduces the
+    /// sequential insert order exactly).
+    pub threads: usize,
 }
 
 impl Default for BenchOpts {
@@ -16,6 +19,7 @@ impl Default for BenchOpts {
         BenchOpts {
             trials: 3,
             full: false,
+            threads: 4,
         }
     }
 }
@@ -24,7 +28,7 @@ impl BenchOpts {
     /// Parses options from an argument iterator (excluding the
     /// program name). Unknown arguments abort with a usage message.
     ///
-    /// Recognized: `--trials N`, `--full`.
+    /// Recognized: `--trials N`, `--full`, `--threads N`.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> BenchOpts {
         let mut opts = BenchOpts::default();
         let mut it = args.into_iter();
@@ -41,6 +45,16 @@ impl BenchOpts {
                     opts.trials = v;
                 }
                 "--full" => opts.full = true,
+                "--threads" => {
+                    let v: usize = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--threads needs a positive integer"));
+                    if v == 0 {
+                        usage("--threads needs a positive integer");
+                    }
+                    opts.threads = v.min(64);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument {other:?}")),
             }
@@ -65,9 +79,10 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <experiment> [--trials N] [--full]");
+    eprintln!("usage: <experiment> [--trials N] [--full] [--threads N]");
     eprintln!("  --trials N   datasets averaged per point (default 3; paper used 100)");
     eprintln!("  --full       paper-scale data sizes up to 2^20 (default up to 2^16)");
+    eprintln!("  --threads N  scatter workers growing the index (default 4)");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -85,13 +100,15 @@ mod tests {
         assert_eq!(o, BenchOpts::default());
         assert_eq!(o.trials, 3);
         assert!(!o.full);
+        assert_eq!(o.threads, 4);
     }
 
     #[test]
     fn parses_trials_and_full() {
-        let o = parse(&["--trials", "10", "--full"]);
+        let o = parse(&["--trials", "10", "--full", "--threads", "8"]);
         assert_eq!(o.trials, 10);
         assert!(o.full);
+        assert_eq!(o.threads, 8);
     }
 
     #[test]

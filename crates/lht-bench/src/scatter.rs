@@ -280,6 +280,11 @@ where
 /// Splits `0..total` into `threads` contiguous ranges whose lengths
 /// differ by at most one (leading ranges take the remainder). Empty
 /// ranges appear only when `threads > total`.
+///
+/// The balance guarantee is load-bearing for the scattered phases —
+/// the slowest worker sets the wall clock — so the function asserts
+/// it on every call: exact coverage of `0..total` and a max−min
+/// spread of at most one key.
 pub fn partition_ranges(total: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
     let threads = threads.max(1);
     let base = total / threads;
@@ -291,6 +296,16 @@ pub fn partition_ranges(total: usize, threads: usize) -> Vec<std::ops::Range<usi
         ranges.push(lo..lo + len);
         lo += len;
     }
+    assert_eq!(lo, total, "partitions must cover 0..{total} exactly");
+    let spread = ranges.last().map_or(0, |shortest| {
+        // Leading ranges take the remainder, so first is longest and
+        // last is shortest.
+        ranges[0].len() - shortest.len()
+    });
+    assert!(
+        spread <= 1,
+        "partitions of {total} over {threads} workers differ by {spread} > 1 keys"
+    );
     ranges
 }
 
@@ -316,6 +331,33 @@ mod tests {
             let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
             let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
             assert!(max - min <= 1, "lengths must be balanced: {lens:?}");
+        }
+    }
+
+    /// Regression guard for non-power-of-two totals and worker
+    /// counts: every remainder distribution stays within one key and
+    /// still covers the range exactly.
+    #[test]
+    fn partitions_balance_on_awkward_sizes() {
+        for (total, threads) in [
+            (1_000_003, 7),
+            ((1 << 20) + 3, 12),
+            (5, 3),
+            ((1 << 22) - 1, 24),
+            (97, 96),
+            (96, 97),
+        ] {
+            let ranges = partition_ranges(total, threads);
+            assert_eq!(ranges.len(), threads);
+            assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), total);
+            assert_eq!(ranges.last().unwrap().end, total);
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(
+                max - min <= 1,
+                "({total}, {threads}) produced spread {} > 1",
+                max - min
+            );
         }
     }
 

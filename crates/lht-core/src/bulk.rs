@@ -81,11 +81,14 @@ where
         build_tree(Label::root(), pairs, capacity, max_depth, &mut buckets);
 
         // Ship every leaf in one batched round: the puts target
-        // distinct names, so no ordering between them is needed.
-        let entries: Vec<(DhtKey, LeafBucket<V>)> = buckets
-            .into_iter()
-            .map(|bucket| (self.named_key(&name(&bucket.label())), bucket))
-            .collect();
+        // distinct names, so no ordering between them is needed. The
+        // names are resolved as one batch, which hashes every cache
+        // miss through a single multi-lane `sha1_multi` pass — the
+        // same compressions a per-leaf resolution would have spent,
+        // through a wider pipe.
+        let labels: Vec<Label> = buckets.iter().map(|b| name(&b.label())).collect();
+        let keys = self.named_keys_batch(&labels);
+        let entries: Vec<(DhtKey, LeafBucket<V>)> = keys.into_iter().zip(buckets).collect();
         let leaves = entries.len() as u64;
         for shipped in self.dht().multi_put(entries) {
             shipped?;

@@ -107,6 +107,32 @@ impl IndexStats {
     }
 }
 
+/// Every column is a cumulative sum, so merging the stats of several
+/// index handles over one shared substrate — the scatter-gather
+/// growth driver's view — is plain columnwise addition; `average_alpha`
+/// of the sum is the split-weighted mean across the handles.
+impl Add for IndexStats {
+    type Output = IndexStats;
+
+    fn add(self, rhs: IndexStats) -> IndexStats {
+        IndexStats {
+            inserts: self.inserts + rhs.inserts,
+            removes: self.removes + rhs.removes,
+            splits: self.splits + rhs.splits,
+            merges: self.merges + rhs.merges,
+            maintenance_lookups: self.maintenance_lookups + rhs.maintenance_lookups,
+            records_moved: self.records_moved + rhs.records_moved,
+            alpha_sum: self.alpha_sum + rhs.alpha_sum,
+        }
+    }
+}
+
+impl AddAssign for IndexStats {
+    fn add_assign(&mut self, rhs: IndexStats) {
+        *self = *self + rhs;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +156,36 @@ mod tests {
     fn sequential_cost_equates_steps() {
         let c = OpCost::sequential(5);
         assert_eq!(c.dht_lookups, c.steps);
+    }
+
+    #[test]
+    fn index_stats_sum_is_columnwise() {
+        let a = IndexStats {
+            inserts: 10,
+            removes: 1,
+            splits: 2,
+            merges: 0,
+            maintenance_lookups: 2,
+            records_moved: 40,
+            alpha_sum: 1.0,
+        };
+        let b = IndexStats {
+            inserts: 5,
+            removes: 0,
+            splits: 2,
+            merges: 1,
+            maintenance_lookups: 6,
+            records_moved: 30,
+            alpha_sum: 1.2,
+        };
+        let mut c = a;
+        c += b;
+        assert_eq!(c.inserts, 15);
+        assert_eq!(c.splits, 4);
+        assert_eq!(c.maintenance_lookups, 8);
+        assert_eq!(c.records_moved, 70);
+        // Split-weighted mean of the two handles' alphas.
+        assert!((c.average_alpha().unwrap() - 2.2 / 4.0).abs() < 1e-12);
     }
 
     #[test]

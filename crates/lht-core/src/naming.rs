@@ -323,6 +323,77 @@ impl NamingCache {
         key
     }
 
+    /// Resolves a whole batch of labels, hashing every cache miss
+    /// through a single [`DhtKey::hash_batch`] multi-lane SHA-1 pass
+    /// instead of one scalar pass per label.
+    ///
+    /// Results, cache contents, and hit/miss accounting are the same
+    /// as resolving each label in order with [`resolve`]: a label
+    /// re-resolved within the batch is a hit, and the batch spends
+    /// exactly one SHA-1 compression sequence per *distinct* missing
+    /// label — no more, no fewer — so compression counters stay exact
+    /// under the batched path.
+    ///
+    /// [`resolve`]: NamingCache::resolve
+    pub fn resolve_batch(&self, labels: &[Label]) -> Vec<DhtKey> {
+        let mut guard = self.inner.lock();
+        let st = &mut *guard;
+        // Pass 1: serve hits from the cache; render each distinct
+        // miss *without* hashing it yet.
+        let mut out: Vec<Result<DhtKey, usize>> = Vec::with_capacity(labels.len());
+        let mut pending: Vec<(Label, DhtKey)> = Vec::new();
+        let mut pending_at: HashMap<Label, usize> = HashMap::new();
+        for label in labels {
+            st.tick += 1;
+            let tick = st.tick;
+            if let Some(slot) = st.map.get_mut(label) {
+                st.hits += 1;
+                st.lru.remove(&slot.stamp);
+                slot.stamp = tick;
+                st.lru.insert(tick, *label);
+                out.push(Ok(slot.key.clone()));
+            } else if let Some(&at) = pending_at.get(label) {
+                // Re-resolved within the batch: the first occurrence
+                // owns the (single) SHA-1 pass, this one is a hit.
+                st.hits += 1;
+                out.push(Err(at));
+            } else {
+                st.misses += 1;
+                pending_at.insert(*label, pending.len());
+                pending.push((*label, label.dht_key()));
+                out.push(Err(pending.len() - 1));
+            }
+        }
+        // Pass 2: one multi-lane hash over the distinct misses.
+        DhtKey::hash_batch(pending.iter().map(|(_, key)| key));
+        // Pass 3: admit the now-warm keys under the usual LRU policy
+        // (clones taken after hashing carry the digest along).
+        for (label, key) in &pending {
+            st.tick += 1;
+            let tick = st.tick;
+            if st.map.len() >= self.capacity {
+                if let Some((_, victim)) = st.lru.pop_first() {
+                    st.map.remove(&victim);
+                    st.evictions += 1;
+                }
+            }
+            st.map.insert(
+                *label,
+                CacheSlot {
+                    key: key.clone(),
+                    stamp: tick,
+                },
+            );
+            st.lru.insert(tick, *label);
+        }
+        out.into_iter()
+            .map(|slot| match slot {
+                Ok(key) => key,
+                Err(at) => pending[at].1.clone(),
+            })
+            .collect()
+    }
+
     /// A snapshot of the hit/miss counters.
     pub fn stats(&self) -> NamingCacheStats {
         let st = self.inner.lock();
@@ -645,6 +716,43 @@ mod tests {
         let warm = cache.resolve(&label);
         let cold = label.dht_key();
         assert_eq!(warm.hash(), cold.hash());
+    }
+
+    #[test]
+    fn resolve_batch_matches_sequential_resolution() {
+        let batched = NamingCache::new(64);
+        let sequential = NamingCache::new(64);
+        let labels: Vec<Label> = ["#0", "#01", "#0110", "#01", "#00000", "#0110", "#0"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        // Warm one label so the batch mixes hits, misses, and
+        // within-batch repeats.
+        batched.resolve(&labels[0]);
+        sequential.resolve(&labels[0]);
+
+        let keys = batched.resolve_batch(&labels);
+        let expect: Vec<DhtKey> = labels.iter().map(|l| sequential.resolve(l)).collect();
+        assert_eq!(keys, expect);
+        for (key, label) in keys.iter().zip(&labels) {
+            assert_eq!(key.hash(), label.dht_key().hash(), "digest for {label}");
+        }
+        assert_eq!(batched.stats(), sequential.stats());
+    }
+
+    #[test]
+    fn resolve_batch_larger_than_capacity_evicts_like_resolve() {
+        let batched = NamingCache::new(2);
+        let sequential = NamingCache::new(2);
+        let labels: Vec<Label> = ["#00", "#01", "#010", "#011", "#0110"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let keys = batched.resolve_batch(&labels);
+        let expect: Vec<DhtKey> = labels.iter().map(|l| sequential.resolve(l)).collect();
+        assert_eq!(keys, expect);
+        assert_eq!(batched.stats(), sequential.stats());
+        assert_eq!(batched.stats().evictions, 3);
     }
 
     #[test]

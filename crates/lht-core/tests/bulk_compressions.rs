@@ -1,0 +1,81 @@
+//! Compression-counter exactness for the batched bulk-load path.
+//!
+//! `lht_id::sha1_compressions` is a process-wide counter, and `cargo
+//! test` gives each integration-test file its own process — so this
+//! file holds exactly the tests that assert *exact* counter deltas,
+//! run single-threaded (`--test-threads=1` is not needed: the tests
+//! below serialize themselves through a mutex).
+
+use std::sync::Mutex;
+
+use lht_core::naming::{name, NamingCache};
+use lht_core::{audit, Label, LhtConfig, LhtIndex};
+use lht_dht::DirectDht;
+use lht_id::{sha1_compressions, KeyFraction};
+
+/// Serializes the tests in this file: the compression counter is
+/// process-global, so concurrent hashing would smear the deltas.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+/// SHA-1 compressions a message of `len` bytes must cost: one per
+/// 64-byte block after the 1-byte `0x80` marker and 8-byte length
+/// field are padded in.
+fn expected_blocks(len: usize) -> u64 {
+    ((len + 8) / 64 + 1) as u64
+}
+
+#[test]
+fn batched_resolution_spends_the_same_compressions_as_sequential() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let labels: Vec<Label> = ["#0", "#01", "#0110", "#01", "#00000", "#0110"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+
+    let sequential = NamingCache::new(64);
+    let before = sha1_compressions();
+    let expect: Vec<_> = labels.iter().map(|l| sequential.resolve(l)).collect();
+    let sequential_delta = sha1_compressions() - before;
+
+    let batched = NamingCache::new(64);
+    let before = sha1_compressions();
+    let keys = batched.resolve_batch(&labels);
+    let batched_delta = sha1_compressions() - before;
+
+    assert_eq!(keys, expect);
+    assert_eq!(
+        batched_delta, sequential_delta,
+        "batched resolution must spend exactly the sequential compressions"
+    );
+    // 4 distinct labels, every rendered name shorter than one block.
+    assert_eq!(batched_delta, 4);
+}
+
+#[test]
+fn bulk_load_compression_delta_is_one_pass_per_distinct_leaf_name() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let cfg = LhtConfig::new(8, 20);
+    let dht = DirectDht::new();
+    let ix = LhtIndex::new(&dht, cfg).unwrap();
+
+    let records = (0..2000u32).map(|i| (KeyFraction::from_f64((i as f64 + 0.5) / 2000.0), i));
+    let before = sha1_compressions();
+    let outcome = ix.bulk_load(records).unwrap();
+    let delta = sha1_compressions() - before;
+
+    // Every compression the load spent belongs to a distinct leaf
+    // name; the virtual-root name `#` (the leftmost leaf's) was
+    // already cached when the index was created — as was the root
+    // emptiness probe's key — and the DHT puts ride memoized keys.
+    let expected: u64 = audit::leaf_labels(&dht)
+        .iter()
+        .map(name)
+        .filter(|n| !n.is_virtual_root())
+        .map(|n| expected_blocks(n.to_string().len()))
+        .sum();
+    assert_eq!(outcome.leaves, audit::leaf_labels(&dht).len() as u64);
+    assert_eq!(
+        delta, expected,
+        "bulk load must hash each distinct leaf name exactly once"
+    );
+}

@@ -84,8 +84,12 @@ struct Node<V> {
     /// `successors[0]` is the immediate successor. Entries may be
     /// stale (pointing at departed nodes) until stabilization runs.
     successors: Vec<U160>,
-    /// `fingers[i]` targets the owner of `id + 2^i`. May be stale.
-    fingers: Vec<U160>,
+    /// Compact finger table: the distinct owners of `id + 2^i`
+    /// (`i = 0..160`, `id` itself excluded), in increasing clockwise
+    /// distance from `id` — O(log n) boxed entries instead of a
+    /// 160-entry array, the same candidate set as the classic table.
+    /// May be stale.
+    fingers: Box<[U160]>,
     store: NodeStore<Stored<V>>,
 }
 
@@ -94,7 +98,7 @@ impl<V> Node<V> {
         Node {
             predecessor: None,
             successors: Vec::new(),
-            fingers: Vec::new(),
+            fingers: Box::default(),
             store: NodeStore::default(),
         }
     }
@@ -133,6 +137,12 @@ impl RingSnapshot {
 struct Ring<V> {
     cfg: ChordConfig,
     nodes: BTreeMap<U160, Node<V>>,
+    /// Shared sorted index of live node identifiers, kept in sync
+    /// with `nodes` on every join/leave/crash. Owner resolution and
+    /// initiator draws binary-search this flat array instead of
+    /// walking the node map — O(log n) per hop with no per-node
+    /// copies of the membership view.
+    ring: Vec<U160>,
     stats: DhtStats,
     rng: StdRng,
     /// Ring-global write clock stamping every put/remove/update.
@@ -209,9 +219,11 @@ impl<V> ChordDht<V> {
             let id = sha1(format!("node:{i}").as_bytes());
             nodes.insert(id, Node::new(id));
         }
+        let ids: Vec<U160> = nodes.keys().copied().collect();
         let mut ring = Ring {
             cfg,
             nodes,
+            ring: ids,
             stats: DhtStats::default(),
             rng: StdRng::seed_from_u64(seed),
             clock: 0,
@@ -287,8 +299,9 @@ impl<V> ChordDht<V> {
                 pred.successors.truncate(keep);
             }
         }
-        node.fingers = Vec::new(); // built by stabilization
+        // Fingers stay empty until stabilization builds them.
         inner.nodes.insert(id, node);
+        inner.ring_insert(id);
         Some(id)
     }
 
@@ -301,6 +314,7 @@ impl<V> ChordDht<V> {
             return false;
         }
         let node = inner.nodes.remove(id).expect("checked present");
+        inner.ring_remove(id);
         let succ_id = inner.owner_of(id); // next live node clockwise
         let moved = node.store.len() as u64;
         let mutant = inner.stale_replica_mutant;
@@ -338,6 +352,7 @@ impl<V> ChordDht<V> {
             return false;
         }
         inner.nodes.remove(id);
+        inner.ring_remove(id);
         true
     }
 
@@ -345,7 +360,7 @@ impl<V> ChordDht<V> {
     pub fn snapshot(&self) -> RingSnapshot {
         let inner = self.inner.lock();
         RingSnapshot {
-            node_ids: inner.nodes.keys().copied().collect(),
+            node_ids: inner.ring.clone(),
             keys_per_node: inner
                 .nodes
                 .values()
@@ -392,12 +407,13 @@ pub enum RingViolation {
         /// The node with the bad pointer.
         node: U160,
     },
-    /// A finger entry points somewhere other than the owner of its
-    /// target identifier.
+    /// A finger entry disagrees with the freshly computed compact
+    /// finger table (the distinct owners of `node + 2^i`).
     StaleFinger {
         /// The node holding the finger.
         node: U160,
-        /// The finger index `i` (targeting `node + 2^i`).
+        /// Position of the stale entry in the node's compact,
+        /// distance-sorted finger table.
         index: usize,
     },
     /// A stored key's oracle owner holds no copy of it, so lookups
@@ -426,7 +442,7 @@ impl<V> ChordDht<V> {
         let inner = self.inner.lock();
         let mut violations = Vec::new();
         let n = inner.nodes.len();
-        let ids: Vec<U160> = inner.nodes.keys().copied().collect();
+        let ids = inner.ring.clone();
 
         for (pos, id) in ids.iter().enumerate() {
             let node = &inner.nodes[id];
@@ -462,13 +478,19 @@ impl<V> ChordDht<V> {
                 }
             }
 
-            for (i, finger) in node.fingers.iter().enumerate() {
-                let target = id.wrapping_add(&U160::pow2(i as u32));
-                if *finger != inner.owner_of(&target) {
-                    violations.push(RingViolation::StaleFinger {
-                        node: *id,
-                        index: i,
-                    });
+            // An empty table (a joiner before stabilization) is
+            // vacuously clean, as the classic per-entry audit was;
+            // otherwise the compact table must match a fresh rebuild
+            // entry for entry.
+            if !node.fingers.is_empty() {
+                let perfect = inner.perfect_fingers(id);
+                for i in 0..node.fingers.len().max(perfect.len()) {
+                    if node.fingers.get(i) != perfect.get(i) {
+                        violations.push(RingViolation::StaleFinger {
+                            node: *id,
+                            index: i,
+                        });
+                    }
                 }
             }
         }
@@ -536,30 +558,45 @@ impl<V: Clone> ChordDht<V> {
 }
 
 impl<V> Ring<V> {
+    /// Inserts `id` into the shared sorted ring index.
+    fn ring_insert(&mut self, id: U160) {
+        let i = self.ring.partition_point(|x| *x < id);
+        self.ring.insert(i, id);
+    }
+
+    /// Removes `id` from the shared sorted ring index.
+    fn ring_remove(&mut self, id: &U160) {
+        if let Ok(i) = self.ring.binary_search(id) {
+            self.ring.remove(i);
+        }
+    }
+
     /// The live node owning identifier `h`: the first node clockwise
-    /// at or after `h`.
+    /// at or after `h`. O(log n) binary search on the ring index.
     fn owner_of(&self, h: &U160) -> U160 {
-        debug_assert!(!self.nodes.is_empty());
-        self.nodes
-            .range(h..)
-            .next()
-            .map(|(id, _)| *id)
-            .unwrap_or_else(|| *self.nodes.keys().next().expect("non-empty"))
+        debug_assert!(!self.ring.is_empty());
+        let i = self.ring.partition_point(|id| id < h);
+        if i == self.ring.len() {
+            self.ring[0]
+        } else {
+            self.ring[i]
+        }
     }
 
     /// The first live node strictly after `id` clockwise.
     fn live_successor(&self, id: &U160) -> U160 {
-        self.nodes
-            .range((std::ops::Bound::Excluded(*id), std::ops::Bound::Unbounded))
-            .next()
-            .map(|(i, _)| *i)
-            .unwrap_or_else(|| *self.nodes.keys().next().expect("non-empty"))
+        let i = self.ring.partition_point(|x| x <= id);
+        if i == self.ring.len() {
+            self.ring[0]
+        } else {
+            self.ring[i]
+        }
     }
 
     /// Rebuilds perfect routing state on every node (used to construct
     /// an initially-converged ring).
     fn rebuild_all_routing_state(&mut self) {
-        let ids: Vec<U160> = self.nodes.keys().copied().collect();
+        let ids = self.ring.clone();
         let n = ids.len();
         for (pos, id) in ids.iter().enumerate() {
             let mut successors = Vec::with_capacity(self.cfg.successor_list_len);
@@ -575,13 +612,26 @@ impl<V> Ring<V> {
         }
     }
 
-    fn perfect_fingers(&self, id: &U160) -> Vec<U160> {
-        (0..U160::BITS)
-            .map(|i| {
-                let target = id.wrapping_add(&U160::pow2(i));
-                self.owner_of(&target)
-            })
-            .collect()
+    /// The compact perfect finger table for `id`: the distinct owners
+    /// of `id + 2^i` for `i = 0..160`, excluding `id` itself.
+    ///
+    /// As `i` grows the owner's clockwise distance from `id` is
+    /// non-decreasing (each target selects the first node at distance
+    /// ≥ 2^i), so deduplicating consecutive owners yields a strictly
+    /// distance-sorted array covering exactly the classic table's
+    /// candidate set; self-entries (targets that wrap past every
+    /// other node) carry no routing information and are dropped.
+    fn perfect_fingers(&self, id: &U160) -> Box<[U160]> {
+        let mut fingers: Vec<U160> = Vec::new();
+        for i in 0..U160::BITS {
+            let target = id.wrapping_add(&U160::pow2(i));
+            let owner = self.owner_of(&target);
+            if owner == *id || fingers.last() == Some(&owner) {
+                continue;
+            }
+            fingers.push(owner);
+        }
+        fingers.into_boxed_slice()
     }
 
     /// Whether one maintenance RPC is lost to the simulated network
@@ -592,7 +642,7 @@ impl<V> Ring<V> {
     }
 
     fn stabilize_round(&mut self) {
-        let ids: Vec<U160> = self.nodes.keys().copied().collect();
+        let ids = self.ring.clone();
         for id in &ids {
             if !self.nodes.contains_key(id) {
                 continue;
@@ -656,7 +706,7 @@ impl<V> Ring<V> {
             node.fingers = fingers;
         }
         // Drop dead predecessors.
-        let live: Vec<U160> = self.nodes.keys().copied().collect();
+        let live = self.ring.clone();
         for id in live {
             let dead_pred = match self.nodes[&id].predecessor {
                 Some(p) => !self.nodes.contains_key(&p),
@@ -684,11 +734,13 @@ impl<V> Ring<V> {
     /// Draws a random live initiator, as a client joining the overlay
     /// at an arbitrary node would.
     fn draw_initiator(&mut self) -> Result<U160, DhtError> {
-        if self.nodes.is_empty() {
+        if self.ring.is_empty() {
             return Err(DhtError::EmptyRing);
         }
-        let ids: Vec<U160> = self.nodes.keys().copied().collect();
-        Ok(ids[self.rng.gen_range(0..ids.len())])
+        // Same draw against the same sorted order as the historical
+        // collect-then-index, without materializing the id list.
+        let i = self.rng.gen_range(0..self.ring.len());
+        Ok(self.ring[i])
     }
 
     /// Iterative Chord lookup of the owner of identifier `h`, started
@@ -727,17 +779,36 @@ impl<V> Ring<V> {
 
     /// The closest live routing-table entry of `cur` that strictly
     /// precedes `h` (classic `closest_preceding_node`).
+    ///
+    /// Candidates with equal clockwise distance from `cur` are the
+    /// same node, so the farthest eligible candidate is unique and
+    /// this returns exactly what a full max-scan over fingers plus
+    /// successors would.
     fn closest_preceding(&self, cur: &U160, h: &U160) -> Option<U160> {
         let node = &self.nodes[cur];
+        let d_h = cur.distance_cw(h);
         let mut best: Option<(U160, U160)> = None; // (distance from cur, id)
-        let candidates = node.fingers.iter().chain(node.successors.iter());
-        for c in candidates {
+                                                   // Fingers are sorted by increasing distance from `cur` and
+                                                   // never contain `cur`, so the first live entry from the end
+                                                   // that strictly precedes `h` is the farthest eligible finger.
+        for c in node.fingers.iter().rev() {
+            let d_c = cur.distance_cw(c);
+            if d_c >= d_h {
+                continue;
+            }
+            if self.nodes.contains_key(c) {
+                best = Some((d_c, *c));
+                break;
+            }
+        }
+        // A successor can still beat every live finger (e.g. while
+        // fingers are stale or empty right after a join).
+        for c in &node.successors {
             if c == cur || !self.nodes.contains_key(c) {
                 continue;
             }
             // c must lie strictly between cur and h.
             let d_c = cur.distance_cw(c);
-            let d_h = cur.distance_cw(h);
             if d_c == U160::ZERO || d_c >= d_h {
                 continue;
             }
@@ -790,7 +861,7 @@ impl<V: Clone> Ring<V> {
     /// periodic key synchronization a real deployment (e.g. DHash)
     /// runs alongside stabilization; counted as transferred keys.
     fn sync_keys_to_owners(&mut self) {
-        let ids: Vec<U160> = self.nodes.keys().copied().collect();
+        let ids = self.ring.clone();
         let mut to_copy: Vec<(U160, DhtKey)> = Vec::new();
         for id in &ids {
             for (key, stored) in &self.nodes[id].store {
@@ -916,6 +987,17 @@ impl<V: Clone> Dht for ChordDht<V> {
             seq: inner.clock,
             value: Some(value),
         };
+        if inner.cfg.replicas == 1 {
+            // Single-copy fast path (the default): no replica-set
+            // walk, no extra replica hops, one store write.
+            inner.stats.record_op(DhtOp::Put, hops);
+            merge_copy(
+                &mut inner.nodes.get_mut(&owner).expect("owner is live").store,
+                key.clone(),
+                stored,
+            );
+            return Ok(());
+        }
         let replicas = inner.replica_set(&owner);
         // One extra hop per replica write beyond the owner.
         inner
@@ -941,6 +1023,13 @@ impl<V: Clone> Dht for ChordDht<V> {
             seq: inner.clock,
             value: None,
         };
+        if inner.cfg.replicas == 1 {
+            inner.stats.record_op(DhtOp::Remove, hops);
+            let store = &mut inner.nodes.get_mut(&owner).expect("owner is live").store;
+            let out = store.get(key).and_then(|s| s.value.clone());
+            merge_copy(store, key.clone(), stored);
+            return Ok(out);
+        }
         let replicas = inner.replica_set(&owner);
         inner
             .stats
@@ -962,6 +1051,29 @@ impl<V: Clone> Dht for ChordDht<V> {
     fn update(&self, key: &DhtKey, f: &mut dyn FnMut(&mut Option<V>)) -> Result<(), DhtError> {
         let mut inner = self.inner.lock();
         let (owner, hops) = inner.route(&key.hash())?;
+        if inner.cfg.replicas == 1 {
+            // In-place read-modify-write at the owner: the fresh seq
+            // always wins the newest-wins comparison, so mutating the
+            // slot directly is equivalent to clone + merge while
+            // never copying the stored value (a whole leaf bucket on
+            // the index insert path).
+            inner.clock += 1;
+            let seq = inner.clock;
+            inner.stats.record_op(DhtOp::Update, hops);
+            let store = &mut inner.nodes.get_mut(&owner).expect("owner is live").store;
+            match store.get_mut(key) {
+                Some(entry) => {
+                    f(&mut entry.value);
+                    entry.seq = seq;
+                }
+                None => {
+                    let mut slot = None;
+                    f(&mut slot);
+                    store.insert(key.clone(), Stored { seq, value: slot });
+                }
+            }
+            return Ok(());
+        }
         let mut slot = inner.nodes[&owner]
             .store
             .get(key)
@@ -1032,6 +1144,16 @@ impl<V: Clone> Dht for ChordDht<V> {
                         seq: inner.clock,
                         value: Some(value),
                     };
+                    if inner.cfg.replicas == 1 {
+                        ops.push((DhtOp::Put, hops));
+                        merge_copy(
+                            &mut inner.nodes.get_mut(&owner).expect("owner is live").store,
+                            key,
+                            stored,
+                        );
+                        out.push(Ok(()));
+                        continue;
+                    }
                     let replicas = inner.replica_set(&owner);
                     ops.push((DhtOp::Put, hops + replicas.len() as u64 - 1));
                     for r in replicas {
@@ -1088,6 +1210,15 @@ impl<V: Clone> Dht for ChordDht<V> {
             seq: inner.clock,
             value: Some(value),
         };
+        if inner.cfg.replicas == 1 {
+            inner.stats.record_op(DhtOp::Put, 1);
+            merge_copy(
+                &mut inner.nodes.get_mut(&owner).expect("owner is live").store,
+                key.clone(),
+                stored,
+            );
+            return Ok(Probe::Served(()));
+        }
         let replicas = inner.replica_set(&owner);
         // One probe hop plus one hop per replica write beyond the
         // owner — same write fan-out as the routed put.
@@ -1154,6 +1285,16 @@ impl<V: Clone> Dht for ChordDht<V> {
                 seq: inner.clock,
                 value: Some(value),
             };
+            if inner.cfg.replicas == 1 {
+                ops.push((DhtOp::Put, 1));
+                merge_copy(
+                    &mut inner.nodes.get_mut(&owner).expect("owner is live").store,
+                    key,
+                    stored,
+                );
+                out.push(Ok(Probe::Served(())));
+                continue;
+            }
             let replicas = inner.replica_set(&owner);
             ops.push((DhtOp::Put, replicas.len() as u64));
             for r in replicas {

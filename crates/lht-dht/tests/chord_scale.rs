@@ -1,0 +1,77 @@
+//! 1024-peer scale soak for the overhauled Chord routing: the ring
+//! audit must come back clean, and lookups must stay inside an
+//! O(log n) hop band — `[1, log2(n) + 2]`, the same shape the pinned
+//! 16/64/256-node bands in `chord.rs` use — before and after churn.
+
+use lht_dht::{ChordConfig, ChordDht, Dht, DhtKey};
+
+fn k(i: u64) -> DhtKey {
+    DhtKey::from(format!("scale:{i}"))
+}
+
+const PEERS: usize = 1024;
+const KEYS: u64 = 4096;
+
+/// `log2(1024) + 2 = 12`: mean lookups on a converged ring land near
+/// `0.5 * log2(n) + 1`, so this band has comfortable slack while
+/// still failing on any super-logarithmic regression.
+const HOP_BAND: f64 = 12.0;
+
+#[test]
+fn audit_soak_1024_peers_hops_stay_logarithmic() {
+    let cfg = ChordConfig {
+        replicas: 2, // crashes below must lose nothing
+        ..ChordConfig::default()
+    };
+    let dht: ChordDht<u64> = ChordDht::with_config(PEERS, 9001, cfg);
+    assert!(dht.audit_ring().is_empty(), "fresh ring must audit clean");
+
+    for i in 0..KEYS {
+        dht.put(&k(i), i).unwrap();
+    }
+    dht.reset_stats();
+    for i in 0..KEYS {
+        assert_eq!(dht.get(&k(i)).unwrap(), Some(i), "key {i} lost");
+    }
+    let per = dht.stats().hops_per_lookup();
+    assert!(
+        (1.0..=HOP_BAND).contains(&per),
+        "converged 1024-peer ring took {per} hops/lookup, outside [1, {HOP_BAND}]"
+    );
+
+    // Churn. Crashes come before the leaves: widely spaced crash
+    // victims never take both copies of a key, while a graceful
+    // leave *after* a crash only moves copies, so `replicas = 2`
+    // guarantees zero loss. (Leave-then-crash can genuinely lose a
+    // key — the leaver's handoff merges into the replica holder,
+    // collapsing two copies into one.)
+    for i in 0..24 {
+        assert!(dht.join(&format!("soak-join:{i}")).is_some());
+    }
+    let ids = dht.snapshot().node_ids;
+    for victim in ids.iter().step_by(131).take(6) {
+        assert!(dht.crash(victim));
+    }
+    dht.stabilize(3);
+    let ids = dht.snapshot().node_ids;
+    for victim in ids.iter().step_by(83).take(12) {
+        assert!(dht.leave(victim));
+    }
+    dht.stabilize(3);
+    assert!(
+        dht.audit_ring().is_empty(),
+        "ring must audit clean after churn + stabilization"
+    );
+
+    // Every key survives (replicas = 2 covers the crashes) and
+    // lookups stay inside the logarithmic band.
+    dht.reset_stats();
+    for i in 0..KEYS {
+        assert_eq!(dht.get(&k(i)).unwrap(), Some(i), "key {i} lost to churn");
+    }
+    let per = dht.stats().hops_per_lookup();
+    assert!(
+        (1.0..=HOP_BAND).contains(&per),
+        "post-churn 1024-peer ring took {per} hops/lookup, outside [1, {HOP_BAND}]"
+    );
+}
