@@ -1,0 +1,23 @@
+use lht_core::naming::{Label, NamingCache};
+
+#[test]
+fn batch_vs_sequential_divergence_probe() {
+    let batched = NamingCache::new(2);
+    let sequential = NamingCache::new(2);
+    let a: Label = "#00".parse().unwrap();
+    let b: Label = "#01".parse().unwrap();
+    let c: Label = "#010".parse().unwrap();
+    // Warm A then B (A is LRU-oldest).
+    for cache in [&batched, &sequential] {
+        cache.resolve(&a);
+        cache.resolve(&b);
+    }
+    // Batch: miss C (whose sequential admission evicts A), then A.
+    let labels = vec![c, a];
+    batched.resolve_batch(&labels);
+    for l in &labels {
+        sequential.resolve(l);
+    }
+    assert_eq!(batched.stats(), sequential.stats(),
+        "batched {:?} vs sequential {:?}", batched.stats(), sequential.stats());
+}
